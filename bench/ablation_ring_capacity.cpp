@@ -1,0 +1,59 @@
+// Ablation: per-process ring capacity vs overflow (dropped entries).
+//
+// The OoH module's per-process ring decouples the hardware logging rate
+// from the Tracker's fetch rate. If the Tracker lags and the ring is too
+// small, entries drop and the reported dirty set is incomplete -- the
+// module counts drops so the Tracker can tell (evaluation question 3).
+#include "common.hpp"
+#include "guest/ooh_module.hpp"
+
+using namespace ooh;
+
+namespace {
+
+struct RingRun {
+  u64 dropped = 0;
+  double capture_pct = 0.0;
+};
+
+RingRun run(std::size_t ring_entries, u64 pages) {
+  lib::TestBed bed;
+  auto& k = bed.kernel();
+  auto& proc = k.create_process();
+  const Gva base = proc.mmap(pages * kPageSize);
+  guest::OohModule& mod = k.load_ooh_module(guest::OohMode::kEpml);
+  mod.set_ring_entries(ring_entries);
+  mod.track(proc);
+
+  k.scheduler().enter_process(proc.pid());
+  for (u64 i = 0; i < pages; ++i) proc.touch_write(base + i * kPageSize);
+  k.scheduler().exit_process(proc.pid());
+
+  const std::vector<u64> got = mod.fetch(proc);
+  RingRun out;
+  out.dropped = mod.dropped(proc);
+  out.capture_pct = 100.0 * static_cast<double>(got.size()) / static_cast<double>(pages);
+  mod.untrack(proc);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Args args = bench::Args::parse(argc, argv);
+  bench::print_header("Ablation: ring capacity",
+                      "EPML capture vs per-process ring size (Tracker never fetching)");
+  const u64 pages = args.full ? 65536 : 8192;
+
+  TextTable t({"ring entries", "dropped", "capture (%)"});
+  for (const std::size_t cap : {std::size_t{1} << 10, std::size_t{1} << 12,
+                                std::size_t{1} << 13, std::size_t{1} << 14,
+                                std::size_t{1} << 20}) {
+    const RingRun r = run(cap, pages);
+    t.add_row(std::to_string(cap), {static_cast<double>(r.dropped), r.capture_pct}, 1);
+  }
+  t.print(std::cout);
+  std::printf("\nShape check: capture is exact once the ring covers the interval's\n"
+              "dirty set; smaller rings drop entries and *report* the loss.\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Ablation: OoH-SPP guarded allocator vs classic guard pages (§III-D).
+//
+// Sweeps allocation sizes and reports guard-memory overhead (the paper
+// projects a 32x reduction), total footprint, and detection granularity
+// (how many bytes past the payload an overflow can reach undetected).
+#include "common.hpp"
+#include "ooh/guard_alloc.hpp"
+#include "sim/spp.hpp"
+
+using namespace ooh;
+
+int main(int argc, char** argv) {
+  const bench::Args args = bench::Args::parse(argc, argv);
+  bench::print_header("Ablation: SPP guard allocator",
+                      "guard waste: 4KiB guard pages vs 128B SPP sub-page guards");
+  const int allocations = args.full ? 20000 : 2000;
+
+  TextTable t({"alloc size", "page-guard waste (B/alloc)", "SPP waste (B/alloc)",
+               "reduction (x)", "undetected slack pg (B)", "slack spp (B)"});
+  for (const u64 size : {16ull, 64ull, 128ull, 512ull, 2048ull, 4096ull}) {
+    lib::TestBed bed;
+    auto& k = bed.kernel();
+    auto& p1 = k.create_process();
+    auto& p2 = k.create_process();
+    lib::PageGuardAllocator page_alloc(k, p1);
+    lib::SubPageGuardAllocator sub_alloc(k, p2, /*arena_bytes=*/512 * kMiB);
+    for (int i = 0; i < allocations; ++i) {
+      (void)page_alloc.alloc(size);
+      (void)sub_alloc.alloc(size);
+    }
+    const auto& ps = page_alloc.stats();
+    const auto& ss = sub_alloc.stats();
+    const double page_waste =
+        static_cast<double>(ps.guard_bytes + ps.padding_bytes) / allocations;
+    const double sub_waste =
+        static_cast<double>(ss.guard_bytes + ss.padding_bytes) / allocations;
+    // Undetected slack: bytes past the payload before the guard bites.
+    const double slack_pg = static_cast<double>(page_ceil(size) - size);
+    const double slack_spp =
+        static_cast<double>(((size + 127) & ~u64{127}) - size);
+    t.add_row(std::to_string(size) + " B",
+              {page_waste, sub_waste, page_waste / sub_waste, slack_pg, slack_spp}, 1);
+  }
+  t.print(std::cout);
+  std::printf("\nShape check: guard waste shrinks by up to 32x (the sub-page count),\n"
+              "and the undetected overflow slack shrinks from page- to 128B-rounding.\n");
+  return 0;
+}

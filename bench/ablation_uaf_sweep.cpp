@@ -1,0 +1,75 @@
+// Ablation: use-after-free quarantine sweeps under each tracking technique.
+//
+// The quarantine allocator's dangling-pointer sweep re-scans only dirty
+// pages after its first pass; the dirty-query cost is the technique-
+// dependent part, exactly as in Boehm's mark phase.
+#include "common.hpp"
+#include "base/rng.hpp"
+#include "trackers/uafguard/quarantine.hpp"
+
+using namespace ooh;
+
+int main(int argc, char** argv) {
+  const bench::Args args = bench::Args::parse(argc, argv);
+  const int blocks = args.full ? 30000 : 6000;
+
+  bench::print_header("Ablation: UAF quarantine sweeps",
+                      "sweep cost per technique, full pass vs dirty-driven re-sweeps");
+
+  TextTable t({"technique", "full sweep (ms)", "resweep avg (ms)", "dirty query avg (ms)",
+               "released", "held"});
+  for (const lib::Technique tech :
+       {lib::Technique::kProc, lib::Technique::kSpml, lib::Technique::kEpml,
+        lib::Technique::kOracle}) {
+    lib::TestBed bed;
+    auto& k = bed.kernel();
+    auto& proc = k.create_process();
+    uaf::QuarantineAllocator alloc(k, proc, 64 * kMiB, tech);
+    k.scheduler().enter_process(proc.pid());
+
+    Rng rng(11);
+    std::vector<Gva> live;
+    for (int i = 0; i < blocks; ++i) live.push_back(alloc.alloc(160));
+    // Free a third; half of those keep a dangling pointer somewhere.
+    const Gva cell_block = alloc.alloc(4096);
+    u64 cell = 0;
+    u64 released_total = 0, held_final = 0;
+    for (int i = 0; i < blocks / 3; ++i) {
+      const u64 victim_idx = rng.below(live.size());
+      const Gva victim = live[victim_idx];
+      if (victim == 0) continue;
+      if (rng.below(2) == 0 && cell < 500) {
+        proc.write_u64(cell_block + 8 * cell++, victim);  // dangle
+      }
+      alloc.free(victim);
+      live[victim_idx] = 0;
+    }
+
+    const auto full = alloc.sweep();
+    double resweep_ms = 0.0, query_ms = 0.0;
+    const int resweeps = 5;
+    for (int s = 0; s < resweeps; ++s) {
+      // Light churn between sweeps.
+      for (int i = 0; i < 50; ++i) {
+        const Gva b = alloc.alloc(160);
+        alloc.free(b);
+      }
+      const auto st = alloc.sweep();
+      resweep_ms += st.time.count() / 1e3;
+      query_ms += st.dirty_query.count() / 1e3;
+      released_total += st.blocks_released;
+      held_final = st.blocks_held;
+    }
+    k.scheduler().exit_process(proc.pid());
+    t.add_row(std::string(lib::technique_name(tech)),
+              {full.time.count() / 1e3, resweep_ms / resweeps, query_ms / resweeps,
+               static_cast<double>(full.blocks_released + released_total),
+               static_cast<double>(held_final)},
+              2);
+  }
+  t.print(std::cout);
+  std::printf("\nShape check: re-sweeps are cheap for EPML (ring read + dirty pages),\n"
+              "expensive for /proc (full pagemap scan per sweep); dangling-referenced\n"
+              "blocks stay held under every technique.\n");
+  return 0;
+}

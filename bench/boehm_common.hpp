@@ -1,0 +1,65 @@
+// Shared runner for the Boehm GC experiments (Figs. 5, 6, 10, 11): run one
+// application with the GC attached, collections driven by the given dirty
+// tracking technique, all inside one tenant VM of a TestBed.
+#pragma once
+
+#include "common.hpp"
+#include "trackers/boehmgc/gc.hpp"
+#include "workloads/registry.hpp"
+
+namespace ooh::bench {
+
+struct BoehmRun {
+  double app_time_us = 0.0;        ///< Tracked completion time, GC included.
+  double gc_total_us = 0.0;        ///< sum of all collection pauses.
+  double gc_first_cycle_us = 0.0;  ///< the cycle where SPML reverse-maps.
+  double gc_later_avg_us = 0.0;    ///< mean pause of cycles 2..n.
+  unsigned cycles = 0;
+};
+
+inline BoehmRun run_boehm_in(guest::GuestKernel& k, std::string_view app,
+                             wl::ConfigSize size, u64 scale, lib::Technique tech) {
+  guest::Process& proc = k.create_process();
+  auto w = wl::make_workload(app, size, scale);
+  // Heap sized to the (scaled) workload; threshold tuned so runs perform
+  // several collection cycles, as the paper's apps do (2..23 cycles, §VI-E).
+  const u64 heap_bytes = std::max<u64>(w->footprint_bytes() * 2, 16 * kMiB);
+  const u64 threshold = std::clamp<u64>(w->footprint_bytes() / 8, 256 * 1024, 4 * kMiB);
+  gc::GcHeap heap(k, proc, heap_bytes, threshold);
+  heap.set_technique(tech);
+  heap.prepare_tracker();  // startup-time init, outside any cycle's pause
+  w->attach_gc(&heap);
+  w->setup(proc);
+
+  sim::Machine& m = k.machine();
+  const VirtDuration start = m.clock.now();
+  k.scheduler().enter_process(proc.pid());
+  w->run(proc);
+  // Final collection, as Boehm performs at least one full cycle per run.
+  (void)heap.collect();
+  k.scheduler().exit_process(proc.pid());
+
+  BoehmRun out;
+  out.app_time_us = (m.clock.now() - start).count();
+  const gc::GcStats& stats = heap.stats();
+  out.cycles = stats.cycle_count();
+  out.gc_total_us = stats.total_gc_time.count();
+  if (!stats.cycles.empty()) {
+    out.gc_first_cycle_us = stats.cycles.front().duration.count();
+    double later = 0.0;
+    for (std::size_t i = 1; i < stats.cycles.size(); ++i) {
+      later += stats.cycles[i].duration.count();
+    }
+    out.gc_later_avg_us =
+        stats.cycles.size() > 1 ? later / static_cast<double>(stats.cycles.size() - 1) : 0.0;
+  }
+  return out;
+}
+
+inline BoehmRun run_boehm(std::string_view app, wl::ConfigSize size, u64 scale,
+                          lib::Technique tech) {
+  lib::TestBed bed;
+  return run_boehm_in(bed.kernel(), app, size, scale, tech);
+}
+
+}  // namespace ooh::bench

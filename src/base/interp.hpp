@@ -1,0 +1,38 @@
+// Piecewise log-log interpolation over calibration points.
+//
+// The paper reports size-dependent primitive costs (Table Vb) at seven
+// memory sizes spanning three decades (1MB..1GB). Costs grow smoothly but
+// not linearly, so we interpolate linearly in (log size, log cost) space and
+// extrapolate the end segments' slopes beyond the measured range.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ooh {
+
+class LogLogInterp {
+ public:
+  struct Point {
+    double x;  ///< e.g. tracked memory size in bytes; must be > 0.
+    double y;  ///< e.g. cost in microseconds; must be > 0.
+  };
+
+  LogLogInterp() = default;
+  /// Points must be sorted by strictly increasing x.
+  explicit LogLogInterp(std::vector<Point> points);
+
+  /// Interpolated (or slope-extrapolated) value at x.
+  [[nodiscard]] double at(double x) const;
+
+  [[nodiscard]] bool empty() const noexcept { return pts_.empty(); }
+  [[nodiscard]] std::span<const Point> points() const noexcept { return pts_; }
+
+ private:
+  std::vector<Point> pts_;   // original points
+  std::vector<double> lx_;   // log(x)
+  std::vector<double> ly_;   // log(y)
+};
+
+}  // namespace ooh

@@ -1,0 +1,39 @@
+#include "base/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace ooh {
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  s.n = xs.size();
+  if (xs.empty()) return s;
+  s.min = std::numeric_limits<double>::infinity();
+  s.max = -std::numeric_limits<double>::infinity();
+  double sum = 0.0;
+  for (double x : xs) {
+    sum += x;
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+  }
+  s.mean = sum / static_cast<double>(xs.size());
+  double sq = 0.0;
+  for (double x : xs) sq += (x - s.mean) * (x - s.mean);
+  s.stddev = xs.size() > 1 ? std::sqrt(sq / static_cast<double>(xs.size() - 1)) : 0.0;
+  return s;
+}
+
+double overhead_pct(double measured, double baseline) {
+  if (baseline <= 0.0) throw std::invalid_argument("overhead_pct: nonpositive baseline");
+  return (measured - baseline) / baseline * 100.0;
+}
+
+double speedup(double baseline, double measured) {
+  if (measured <= 0.0) throw std::invalid_argument("speedup: nonpositive measured");
+  return baseline / measured;
+}
+
+}  // namespace ooh

@@ -1,0 +1,25 @@
+// Small descriptive-statistics helpers used by benches and tests.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace ooh {
+
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+[[nodiscard]] Summary summarize(std::span<const double> xs);
+
+/// (a - b) / b as a percentage; the paper's "overhead" metric.
+[[nodiscard]] double overhead_pct(double measured, double baseline);
+
+/// baseline / measured; the paper's "speedup" metric (>1 means faster).
+[[nodiscard]] double speedup(double baseline, double measured);
+
+}  // namespace ooh

@@ -1,0 +1,33 @@
+// ASCII table printer for the bench harnesses.
+//
+// Every bench binary regenerates one of the paper's tables/figures as rows
+// and series; this renders them with aligned columns so outputs diff cleanly
+// against EXPERIMENTS.md.
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ooh {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  /// Convenience: formats each double with `precision` significant decimals.
+  void add_row(const std::string& label, const std::vector<double>& values, int precision = 2);
+
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] static std::string fmt(double v, int precision = 2);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ooh

@@ -1,0 +1,53 @@
+// Core address and page types shared by every layer of the OoH stack.
+//
+// The simulator distinguishes the three address spaces that the paper's
+// mechanisms translate between:
+//   GVA (guest virtual)  -- what a guest process sees; what Trackers want.
+//   GPA (guest physical) -- what Intel PML logs at the hypervisor level.
+//   HPA (host physical)  -- what the machine's RAM is addressed by; only the
+//                           hypervisor ever sees these (security section V).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ooh {
+
+using Gva = std::uint64_t;  ///< Guest virtual address.
+using Gpa = std::uint64_t;  ///< Guest physical address.
+using Hpa = std::uint64_t;  ///< Host physical address.
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i64 = std::int64_t;
+
+inline constexpr u64 kPageShift = 12;
+inline constexpr u64 kPageSize = u64{1} << kPageShift;   // 4 KiB
+inline constexpr u64 kPageOffsetMask = kPageSize - 1;
+inline constexpr u64 kPageMask = ~kPageOffsetMask;
+
+/// Number of 8-byte PML entries in one 4KiB PML buffer (SDM: 512).
+inline constexpr u16 kPmlBufferEntries = 512;
+/// Initial value of the PML index guest-state field (SDM: counts down).
+inline constexpr u16 kPmlIndexStart = 511;
+
+inline constexpr u64 kKiB = u64{1} << 10;
+inline constexpr u64 kMiB = u64{1} << 20;
+inline constexpr u64 kGiB = u64{1} << 30;
+
+[[nodiscard]] constexpr u64 page_floor(u64 addr) noexcept { return addr & kPageMask; }
+[[nodiscard]] constexpr u64 page_ceil(u64 addr) noexcept {
+  return (addr + kPageSize - 1) & kPageMask;
+}
+[[nodiscard]] constexpr u64 page_index(u64 addr) noexcept { return addr >> kPageShift; }
+[[nodiscard]] constexpr u64 page_offset(u64 addr) noexcept { return addr & kPageOffsetMask; }
+[[nodiscard]] constexpr u64 pages_for_bytes(u64 bytes) noexcept {
+  return (bytes + kPageSize - 1) >> kPageShift;
+}
+[[nodiscard]] constexpr bool is_page_aligned(u64 addr) noexcept {
+  return page_offset(addr) == 0;
+}
+
+}  // namespace ooh

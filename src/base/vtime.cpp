@@ -1,0 +1,24 @@
+#include "base/vtime.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace ooh {
+
+std::string format_duration(VirtDuration d) {
+  const double us = d.count();
+  char buf[64];
+  const double a = std::fabs(us);
+  if (a < 1.0) {
+    std::snprintf(buf, sizeof buf, "%.1f ns", us * 1e3);
+  } else if (a < 1e3) {
+    std::snprintf(buf, sizeof buf, "%.2f us", us);
+  } else if (a < 1e6) {
+    std::snprintf(buf, sizeof buf, "%.2f ms", us / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3f s", us / 1e6);
+  }
+  return buf;
+}
+
+}  // namespace ooh

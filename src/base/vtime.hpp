@@ -1,0 +1,28 @@
+// Virtual time. All latencies in the simulation are virtual: the machine
+// model advances a per-experiment clock by calibrated primitive costs
+// (see CostModel); no wall-clock time is ever measured by the harness.
+#pragma once
+
+#include <chrono>
+#include <string>
+
+namespace ooh {
+
+/// Virtual duration, double-precision microseconds. Microseconds are the
+/// natural unit of the paper's Table V; double rep keeps sub-ns per-page
+/// costs exact enough over billions of events.
+using VirtDuration = std::chrono::duration<double, std::micro>;
+
+[[nodiscard]] constexpr VirtDuration usecs(double v) noexcept { return VirtDuration{v}; }
+[[nodiscard]] constexpr VirtDuration msecs(double v) noexcept { return VirtDuration{v * 1e3}; }
+[[nodiscard]] constexpr VirtDuration secs(double v) noexcept { return VirtDuration{v * 1e6}; }
+[[nodiscard]] constexpr VirtDuration nsecs(double v) noexcept { return VirtDuration{v * 1e-3}; }
+
+[[nodiscard]] constexpr double to_us(VirtDuration d) noexcept { return d.count(); }
+[[nodiscard]] constexpr double to_ms(VirtDuration d) noexcept { return d.count() / 1e3; }
+[[nodiscard]] constexpr double to_s(VirtDuration d) noexcept { return d.count() / 1e6; }
+
+/// Human-readable rendering with an auto-selected unit ("3.21 ms").
+[[nodiscard]] std::string format_duration(VirtDuration d);
+
+}  // namespace ooh

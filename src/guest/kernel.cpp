@@ -1,0 +1,240 @@
+#include "guest/kernel.hpp"
+
+#include <cassert>
+#include <cstring>
+
+#include "guest/ooh_module.hpp"
+#include "guest/procfs.hpp"
+#include "guest/swap.hpp"
+#include "guest/uffd.hpp"
+#include "hypervisor/hypervisor.hpp"
+
+namespace ooh::guest {
+
+GuestKernel::GuestKernel(hv::Hypervisor& hypervisor, hv::Vm& vm)
+    : hypervisor_(hypervisor),
+      vm_(vm),
+      machine_(hypervisor.machine()),
+      mmu_(machine_, vm.vcpu(), vm.ept(), &vm.spp_table()),
+      sched_(machine_) {
+  procfs_ = std::make_unique<ProcFs>(*this);
+  uffd_ = std::make_unique<Uffd>(*this);
+  swap_ = std::make_unique<SwapDaemon>(*this);
+  // Install the kernel as the posted-interrupt sink (EPML self-IPI vector).
+  vm_.vcpu().attach(vm_.vcpu().exits(), this, vm_.vcpu().ept());
+}
+
+GuestKernel::~GuestKernel() {
+  ooh_module_.reset();
+}
+
+Process& GuestKernel::create_process() {
+  ProcEntry e;
+  e.proc = std::make_unique<Process>(*this, next_pid_);
+  e.pt = std::make_unique<sim::GuestPageTable>();
+  ++next_pid_;
+  procs_.push_back(std::move(e));
+  return *procs_.back().proc;
+}
+
+Process* GuestKernel::find(u32 pid) noexcept {
+  for (auto& e : procs_) {
+    if (e.proc->pid() == pid) return e.proc.get();
+  }
+  return nullptr;
+}
+
+sim::GuestPageTable& GuestKernel::page_table(Process& proc) {
+  for (auto& e : procs_) {
+    if (e.proc.get() == &proc) return *e.pt;
+  }
+  throw std::logic_error("process does not belong to this kernel");
+}
+
+OohModule& GuestKernel::load_ooh_module(OohMode mode) {
+  if (ooh_module_) throw std::logic_error("OoH module already loaded");
+  ooh_module_ = std::make_unique<OohModule>(*this, mode);
+  return *ooh_module_;
+}
+
+void GuestKernel::unload_ooh_module() {
+  ooh_module_.reset();
+}
+
+Gpa GuestKernel::alloc_gpa_frame() {
+  if (!gpa_free_list_.empty()) {
+    const Gpa gpa = gpa_free_list_.back();
+    gpa_free_list_.pop_back();
+    return gpa;
+  }
+  if (next_gpa_frame_ + kPageSize > vm_.mem_bytes()) {
+    throw std::runtime_error("guest out of physical memory");
+  }
+  const Gpa gpa = next_gpa_frame_;
+  next_gpa_frame_ += kPageSize;
+  return gpa;
+}
+
+void GuestKernel::free_gpa_frame(Gpa gpa) {
+  gpa_free_list_.push_back(page_floor(gpa));
+}
+
+void GuestKernel::ensure_ept_mapped(Gpa gpa) {
+  sim::EptEntry* e = vm_.ept().entry(gpa);
+  if (e != nullptr && e->present) return;
+  machine_.charge_us(machine_.cost.ept_violation_us);
+  vm_.vcpu().vmexit_to_root(Event::kVmExitEptViolation, [&] {
+    vm_.vcpu().exits()->on_ept_violation(vm_.vcpu(), gpa, /*is_write=*/true);
+  });
+}
+
+void GuestKernel::on_guest_pml_full(sim::Vcpu& /*vcpu*/) {
+  if (!ooh_module_) throw std::logic_error("EPML self-IPI with no OoH module loaded");
+  ooh_module_->handle_guest_pml_full();
+}
+
+Hpa GuestKernel::access(Process& proc, Gva gva, bool is_write) {
+  sim::GuestPageTable& pt = page_table(proc);
+  // A single access needs at most: missing fault, then (after the page is
+  // mapped write-protected by a registered ufd) a write-protect fault, then
+  // success. The bound just guards against policy bugs.
+  for (int tries = 0; tries < 4; ++tries) {
+    const sim::Mmu::Result r = mmu_.access(proc.pid(), pt, gva, is_write);
+    switch (r.status) {
+      case sim::Mmu::Status::kOk:
+        if (is_write) proc.truth_record(page_floor(gva));
+        sched_.on_progress(proc.pid());
+        return r.hpa;
+      case sim::Mmu::Status::kFaultNotPresent:
+        handle_not_present(proc, gva, is_write);
+        break;
+      case sim::Mmu::Status::kFaultNotWritable:
+        handle_not_writable(proc, gva);
+        break;
+      case sim::Mmu::Status::kFaultSubPage:
+        handle_subpage_fault(proc, gva);
+        break;
+    }
+  }
+  throw std::logic_error("fault retry loop did not converge");
+}
+
+Gpa GuestKernel::translate_gva(Process& proc, Gva gva_page) {
+  // Fault the page in if needed, then read the translation from the PTE.
+  (void)access(proc, gva_page, /*is_write=*/false);
+  const sim::Pte* pte = page_table(proc).pte(gva_page);
+  assert(pte != nullptr && pte->present);
+  return pte->gpa_page;
+}
+
+void GuestKernel::spp_protect(Process& proc, Gva gva_page, u32 write_mask) {
+  const Gpa gpa = translate_gva(proc, page_floor(gva_page));
+  if (vm_.vcpu().hypercall(sim::Hypercall::kOohSppProtect, gpa, write_mask) != 0) {
+    throw std::runtime_error("SPP protect hypercall rejected");
+  }
+}
+
+void GuestKernel::spp_clear(Process& proc, Gva gva_page) {
+  const Gpa gpa = translate_gva(proc, page_floor(gva_page));
+  (void)vm_.vcpu().hypercall(sim::Hypercall::kOohSppClear, gpa);
+}
+
+u32 GuestKernel::spp_mask_of(Process& proc, Gva gva_page) {
+  const sim::Pte* pte = page_table(proc).pte(page_floor(gva_page));
+  if (pte == nullptr || !pte->present) return sim::kSppAllWritable;
+  return vm_.spp_table().mask(pte->gpa_page);
+}
+
+void GuestKernel::set_spp_handler(Process& proc, SppHandler handler) {
+  if (handler) {
+    spp_handlers_[proc.pid()] = std::move(handler);
+  } else {
+    spp_handlers_.erase(proc.pid());
+  }
+}
+
+void GuestKernel::handle_subpage_fault(Process& proc, Gva gva) {
+  ++spp_violations_;
+  const auto it = spp_handlers_.find(proc.pid());
+  // No handler: the guard hit is fatal, like a write to a guard page.
+  if (it == spp_handlers_.end()) throw GuestSegfault(gva);
+  switch (it->second(gva)) {
+    case SppAction::kKill:
+      throw GuestSegfault(gva);
+    case SppAction::kUnprotect: {
+      // Open the faulted sub-page so the access can proceed.
+      const Gva page = page_floor(gva);
+      const u32 mask = spp_mask_of(proc, page) | (1u << sim::subpage_index(gva));
+      spp_protect(proc, page, mask);
+      break;
+    }
+  }
+}
+
+void GuestKernel::handle_not_present(Process& proc, Gva gva, bool /*is_write*/) {
+  Vma* vma = proc.vma_of(gva);
+  if (vma == nullptr) throw GuestSegfault(gva);
+  const Gva page = page_floor(gva);
+
+  // Swapped-out page? Major fault: the daemon restores it.
+  if (swap_->swap_in_if_needed(proc, page)) return;
+
+  if (vma->uffd == Vma::Uffd::kMissing && uffd_->missing_registered(proc)) {
+    uffd_->deliver_missing_fault(proc, page);
+  }
+
+  // Demand paging: minor fault, two world switches, map a fresh frame.
+  machine_.count(Event::kPageFaultDemand);
+  machine_.count(Event::kContextSwitch, 2);
+  machine_.charge_us(machine_.cost.demand_fault_us + 2 * machine_.cost.ctx_switch_us);
+
+  sim::GuestPageTable& pt = page_table(proc);
+  pt.map(page, alloc_gpa_frame(), vma->writable);
+  sim::Pte* pte = pt.pte(page);
+  assert(pte != nullptr);
+  if (vma->data_backed) {
+    // Anonymous pages are zeroed: a recycled frame (e.g. from a swap
+    // eviction) must not leak its previous contents.
+    ensure_ept_mapped(pte->gpa_page);
+    Hpa hpa = 0;
+    if (vm_.ept().translate(pte->gpa_page, hpa)) {
+      std::memset(machine_.pmem.frame_data(hpa), 0, kPageSize);
+    }
+  }
+  // Linux marks freshly mapped pages soft-dirty so /proc does not miss them.
+  pte->soft_dirty = true;
+  if (vma->uffd == Vma::Uffd::kWriteProtect && uffd_->wp_registered(proc)) {
+    pte->uffd_wp = true;  // the retried write will raise the ufd-wp fault
+  }
+}
+
+void GuestKernel::handle_not_writable(Process& proc, Gva gva) {
+  const Gva page = page_floor(gva);
+  sim::GuestPageTable& pt = page_table(proc);
+  sim::Pte* pte = pt.pte(page);
+  assert(pte != nullptr && pte->present);
+  Vma* vma = proc.vma_of(gva);
+  if (vma == nullptr || !vma->writable) throw GuestSegfault(gva);
+
+  if (pte->uffd_wp) {
+    if (uffd_->wp_registered(proc)) {
+      uffd_->deliver_wp_fault(proc, page);
+      return;
+    }
+    pte->uffd_wp = false;  // stale marker from a torn-down registration
+    vm_.vcpu().tlb().invalidate_page(proc.pid(), page);
+    return;
+  }
+
+  // Soft-dirty write-protect fault (/proc technique): set the bit, restore
+  // write access (Table V metric M5 per fault, plus two world switches).
+  machine_.count(Event::kPageFaultSoftDirty);
+  machine_.count(Event::kContextSwitch, 2);
+  machine_.charge_us(machine_.cost.pfh_kernel_per_fault_us(proc.mapped_bytes()) +
+                     2 * machine_.cost.ctx_switch_us);
+  pte->soft_dirty = true;
+  pte->writable = true;
+  vm_.vcpu().tlb().invalidate_page(proc.pid(), page);
+}
+
+}  // namespace ooh::guest

@@ -1,0 +1,130 @@
+// The guest operating system kernel (Linux-like).
+//
+// Owns processes, the per-process page tables' fault policy (demand paging,
+// soft-dirty, userfaultfd dispatch), the guest-physical frame allocator, the
+// scheduler, and the interrupt table entry for EPML's posted self-IPI
+// (the paper's "Linux Core" change, §IV-E).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "base/types.hpp"
+#include "guest/process.hpp"
+#include "guest/scheduler.hpp"
+#include "hypervisor/vm.hpp"
+#include "sim/machine.hpp"
+#include "sim/mmu.hpp"
+#include "sim/page_table.hpp"
+
+namespace ooh::hv {
+class Hypervisor;
+}
+
+namespace ooh::guest {
+
+class OohModule;
+class Uffd;
+class ProcFs;
+class SwapDaemon;
+enum class OohMode { kSpml, kEpml };
+
+/// Raised when a guest access has no VMA or violates permissions for good.
+struct GuestSegfault : std::runtime_error {
+  explicit GuestSegfault(Gva gva)
+      : std::runtime_error("guest segfault"), addr(gva) {}
+  Gva addr;
+};
+
+class GuestKernel final : public sim::GuestIrqSink {
+ public:
+  GuestKernel(hv::Hypervisor& hypervisor, hv::Vm& vm);
+  ~GuestKernel() override;
+
+  GuestKernel(const GuestKernel&) = delete;
+  GuestKernel& operator=(const GuestKernel&) = delete;
+
+  Process& create_process();
+  [[nodiscard]] Process* find(u32 pid) noexcept;
+
+  [[nodiscard]] sim::Machine& machine() noexcept { return machine_; }
+  [[nodiscard]] hv::Vm& vm() noexcept { return vm_; }
+  [[nodiscard]] hv::Hypervisor& hypervisor() noexcept { return hypervisor_; }
+  [[nodiscard]] Scheduler& scheduler() noexcept { return sched_; }
+  [[nodiscard]] ProcFs& procfs() noexcept { return *procfs_; }
+  [[nodiscard]] Uffd& uffd() noexcept { return *uffd_; }
+  [[nodiscard]] sim::Mmu& mmu() noexcept { return mmu_; }
+
+  /// Load/unload the OoH kernel module (UIO driver's kernel half).
+  OohModule& load_ooh_module(OohMode mode);
+  void unload_ooh_module();
+  [[nodiscard]] OohModule* ooh_module() noexcept { return ooh_module_.get(); }
+
+  /// Core access path: translate (fault + retry as needed), record truth,
+  /// give the scheduler a chance to tick. Returns the HPA.
+  Hpa access(Process& proc, Gva gva, bool is_write);
+
+  /// Per-process page table (kernel-owned, like mm_struct).
+  [[nodiscard]] sim::GuestPageTable& page_table(Process& proc);
+
+  // ---- guest-physical memory -----------------------------------------------
+  [[nodiscard]] Gpa alloc_gpa_frame();
+  void free_gpa_frame(Gpa gpa);
+  /// Force an EPT mapping to exist for `gpa` (models a kernel touch).
+  void ensure_ept_mapped(Gpa gpa);
+
+  /// The swap daemon (kernel's own dirty-tracking consumer, paper §I).
+  [[nodiscard]] SwapDaemon& swap() noexcept { return *swap_; }
+
+  // ---- OoH-SPP: sub-page write protection (paper §III-D) --------------------
+  /// What the guest asks the handler to do after a guard hit.
+  enum class SppAction { kUnprotect, kKill };
+  using SppHandler = std::function<SppAction(Gva fault_addr)>;
+
+  /// Install a 32-bit write-allow mask (bit i = sub-page i of 128B) for one
+  /// page of `proc` (demand-mapping it if needed). Goes through the
+  /// kOohSppProtect hypercall; the guest only ever names GPAs.
+  void spp_protect(Process& proc, Gva gva_page, u32 write_mask);
+  void spp_clear(Process& proc, Gva gva_page);
+  [[nodiscard]] u32 spp_mask_of(Process& proc, Gva gva_page);
+  void set_spp_handler(Process& proc, SppHandler handler);
+
+  [[nodiscard]] u64 spp_violations() const noexcept { return spp_violations_; }
+
+  // ---- sim::GuestIrqSink -----------------------------------------------------
+  void on_guest_pml_full(sim::Vcpu& vcpu) override;
+
+ private:
+  friend class ProcFs;
+  friend class Uffd;
+
+  void handle_not_present(Process& proc, Gva gva, bool is_write);
+  void handle_not_writable(Process& proc, Gva gva);
+  void handle_subpage_fault(Process& proc, Gva gva);
+  [[nodiscard]] Gpa translate_gva(Process& proc, Gva gva_page);
+
+  hv::Hypervisor& hypervisor_;
+  hv::Vm& vm_;
+  sim::Machine& machine_;
+  sim::Mmu mmu_;
+  Scheduler sched_;
+  std::unique_ptr<ProcFs> procfs_;
+  std::unique_ptr<Uffd> uffd_;
+  std::unique_ptr<SwapDaemon> swap_;
+  std::unique_ptr<OohModule> ooh_module_;
+  struct ProcEntry {
+    std::unique_ptr<Process> proc;
+    std::unique_ptr<sim::GuestPageTable> pt;
+  };
+  std::vector<ProcEntry> procs_;
+  std::unordered_map<u32, SppHandler> spp_handlers_;
+  u64 spp_violations_ = 0;
+  u32 next_pid_ = 1;
+  Gpa next_gpa_frame_ = kPageSize;  // guest frame 0 reserved, like HPA 0
+  std::vector<Gpa> gpa_free_list_;
+};
+
+}  // namespace ooh::guest

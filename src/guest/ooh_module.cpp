@@ -1,0 +1,226 @@
+#include "guest/ooh_module.hpp"
+
+#include <stdexcept>
+
+#include "hypervisor/hypervisor.hpp"
+
+namespace ooh::guest {
+
+OohModule::OohModule(GuestKernel& kernel, OohMode mode) : kernel_(kernel), mode_(mode) {
+  kernel_.scheduler().add_hook(this);
+}
+
+OohModule::~OohModule() {
+  // Untrack everything, then tear the design down.
+  while (!tracked_.empty()) {
+    Process* p = tracked_.begin()->second.proc;
+    untrack(*p);
+  }
+  kernel_.scheduler().remove_hook(this);
+}
+
+bool OohModule::tracking(const Process& proc) const {
+  return tracked_.contains(proc.pid());
+}
+
+OohModule::Tracked* OohModule::active_tracked() noexcept {
+  if (active_pid_ == 0) return nullptr;
+  const auto it = tracked_.find(active_pid_);
+  return it == tracked_.end() ? nullptr : &it->second;
+}
+
+void OohModule::track(Process& proc) {
+  if (tracking(proc)) throw std::logic_error("process already tracked");
+  sim::Machine& m = kernel_.machine();
+  sim::Vcpu& vcpu = kernel_.vm().vcpu();
+
+  // The userspace ioctl into the module (Table V metric M3).
+  m.count(Event::kContextSwitch, 2);
+  m.charge_us(m.cost.ioctl_init_pml_us + 2 * m.cost.ctx_switch_us);
+
+  Tracked t;
+  t.proc = &proc;
+  t.ring = std::make_unique<RingBuffer>(ring_entries_);
+
+  if (mode_ == OohMode::kSpml) {
+    // SPML init hypercall (M9): PML buffer setup + EPT dirty-state reset.
+    vcpu.hypercall(sim::Hypercall::kOohInitPml, proc.mapped_bytes());
+  } else {
+    if (!epml_initialized_) {
+      // The only hypercall EPML ever makes (M10): VMCS shadowing + the new
+      // guest PML VMCS fields.
+      vcpu.hypercall(sim::Hypercall::kOohInitEpml);
+      epml_initialized_ = true;
+    }
+    // Guest-level PML buffer: a guest-physical page the module owns. It must
+    // be EPT-mapped so the EPML vmwrite can translate it.
+    t.guest_buf_gpa = kernel_.alloc_gpa_frame();
+    kernel_.ensure_ept_mapped(t.guest_buf_gpa);
+    // Reset guest dirty flags so the first interval logs pre-dirtied pages.
+    u64 cleared = 0;
+    kernel_.page_table(proc).for_each_present([&](Gva, sim::Pte& pte) {
+      if (pte.dirty) {
+        pte.dirty = false;
+        ++cleared;
+      }
+    });
+    m.charge_ns(m.cost.dbit_clear_ns * static_cast<double>(cleared));
+    vcpu.tlb().flush_pid(proc.pid());
+    m.count(Event::kTlbFlush);
+    m.charge_us(m.cost.tlb_flush_us);
+  }
+  tracked_.emplace(proc.pid(), std::move(t));
+}
+
+void OohModule::untrack(Process& proc) {
+  const auto it = tracked_.find(proc.pid());
+  if (it == tracked_.end()) throw std::logic_error("process not tracked");
+  sim::Machine& m = kernel_.machine();
+  sim::Vcpu& vcpu = kernel_.vm().vcpu();
+
+  if (active_pid_ == proc.pid()) on_schedule_out(proc.pid());
+
+  m.count(Event::kContextSwitch, 2);
+  m.charge_us(m.cost.ioctl_deactivate_pml_us + 2 * m.cost.ctx_switch_us);
+
+  tracked_.erase(it);
+  if (mode_ == OohMode::kSpml) {
+    vcpu.hypercall(sim::Hypercall::kOohDeactivatePml);
+  } else if (tracked_.empty() && epml_initialized_) {
+    vcpu.hypercall(sim::Hypercall::kOohDeactivateEpml);
+    epml_initialized_ = false;
+  }
+}
+
+void OohModule::on_schedule_in(u32 pid) {
+  const auto it = tracked_.find(pid);
+  if (it == tracked_.end()) return;
+  active_pid_ = pid;
+  sim::Vcpu& vcpu = kernel_.vm().vcpu();
+  if (mode_ == OohMode::kSpml) {
+    vcpu.hypercall(sim::Hypercall::kOohEnableLogging);
+  } else {
+    // Point the hardware at this process's buffer and arm logging, all with
+    // guest-mode vmwrites on the shadow VMCS -- no VM-exit (§IV-D).
+    vcpu.guest_vmwrite(sim::VmcsField::kGuestPmlAddress, it->second.guest_buf_gpa);
+    vcpu.guest_vmwrite(sim::VmcsField::kGuestPmlEnable, 1);
+  }
+}
+
+void OohModule::on_schedule_out(u32 pid) {
+  const auto it = tracked_.find(pid);
+  if (it == tracked_.end()) return;
+  Tracked& t = it->second;
+  sim::Machine& m = kernel_.machine();
+  sim::Vcpu& vcpu = kernel_.vm().vcpu();
+  if (mode_ == OohMode::kSpml) {
+    // disable_logging flushes the in-flight PML buffer into the shared ring
+    // (M14); the module then moves the GPAs into this process's private ring
+    // (the per-process isolation fix of §V).
+    vcpu.hypercall(sim::Hypercall::kOohDisableLogging, t.proc->mapped_bytes());
+    RingBuffer& shared = kernel_.vm().spml_ring();
+    u64 v = 0;
+    while (shared.pop(v)) {
+      t.ring->push(v);
+      m.charge_ns(m.cost.drain_entry_ns);
+    }
+  } else {
+    epml_drain_guest_buffer(t);
+    vcpu.guest_vmwrite(sim::VmcsField::kGuestPmlEnable, 0);
+  }
+  active_pid_ = 0;
+}
+
+void OohModule::epml_drain_guest_buffer(Tracked& t) {
+  sim::Machine& m = kernel_.machine();
+  sim::Vcpu& vcpu = kernel_.vm().vcpu();
+  const u16 idx = static_cast<u16>(vcpu.guest_vmread(sim::VmcsField::kGuestPmlIndex));
+  const u64 count =
+      idx > kPmlIndexStart ? kPmlBufferEntries : static_cast<u64>(kPmlIndexStart - idx);
+  if (count == 0) return;
+
+  Hpa buf_hpa = 0;
+  if (!kernel_.vm().ept().translate(t.guest_buf_gpa, buf_hpa)) {
+    throw std::logic_error("EPML guest buffer lost its EPT mapping");
+  }
+  sim::GuestPageTable& pt = kernel_.page_table(*t.proc);
+  // Walk from slot 511 downward: logging order (the index counts down).
+  const u64 first_slot = kPmlBufferEntries - count;
+  for (u64 slot = kPmlBufferEntries; slot-- > first_slot;) {
+    const Gva gva_page = m.pmem.read_u64(buf_hpa + slot * 8);
+    m.charge_ns(m.cost.drain_entry_ns);
+    t.ring->push(gva_page);
+    m.count(Event::kRingBufCopyEntry);
+  }
+  // Dirty flags stay set until fetch() (the interval boundary), so a page
+  // logs once per interval instead of once per drain.
+  vcpu.guest_vmwrite(sim::VmcsField::kGuestPmlIndex, kPmlIndexStart);
+  (void)pt;
+}
+
+void OohModule::handle_guest_pml_full() {
+  Tracked* t = active_tracked();
+  if (t == nullptr) {
+    // Spurious IPI (no tracked process active): reset the index and return.
+    kernel_.vm().vcpu().guest_vmwrite(sim::VmcsField::kGuestPmlIndex, kPmlIndexStart);
+    return;
+  }
+  epml_drain_guest_buffer(*t);
+}
+
+std::vector<u64> OohModule::fetch(Process& proc) {
+  const auto it = tracked_.find(proc.pid());
+  if (it == tracked_.end()) throw std::logic_error("process not tracked");
+  Tracked& t = it->second;
+  sim::Machine& m = kernel_.machine();
+
+  m.count(Event::kContextSwitch, 2);  // the fetch ioctl
+  m.charge_us(2 * m.cost.ctx_switch_us);
+
+  // Flush the partial in-flight hardware buffer so the caller sees
+  // everything logged so far (completeness; evaluation question 3).
+  if (mode_ == OohMode::kEpml && active_pid_ == proc.pid()) {
+    epml_drain_guest_buffer(t);
+  }
+  if (mode_ == OohMode::kSpml) {
+    // The interval-reset hypercall drains the PML buffer into the shared
+    // ring and re-arms the consumed pages; move the new entries into this
+    // process's private ring before handing them to userspace.
+    kernel_.vm().vcpu().hypercall(sim::Hypercall::kOohIntervalReset);
+    RingBuffer& shared = kernel_.vm().spml_ring();
+    u64 v = 0;
+    while (shared.pop(v)) {
+      t.ring->push(v);
+      m.charge_ns(m.cost.drain_entry_ns);
+    }
+  }
+
+  std::vector<u64> out = t.ring->drain();
+  // Copying the ring into userspace (Table V metric M18, per entry).
+  m.count(Event::kRingBufFetchEntry, out.size());
+  m.charge_us(m.cost.rb_copy_per_entry_us(proc.mapped_bytes()) *
+              static_cast<double>(out.size()));
+
+  // Interval boundary (EPML): re-arm logging for every page handed to
+  // userspace. (SPML's re-arm happened in the interval-reset hypercall.)
+  if (mode_ == OohMode::kEpml) {
+    sim::GuestPageTable& pt = kernel_.page_table(proc);
+    u64 cleared = 0;
+    for (const u64 gva_page : out) {
+      if (sim::Pte* pte = pt.pte(gva_page); pte != nullptr && pte->dirty) {
+        pte->dirty = false;
+        ++cleared;
+        kernel_.vm().vcpu().tlb().invalidate_page(proc.pid(), gva_page);
+      }
+    }
+    m.charge_ns(m.cost.dbit_clear_ns * static_cast<double>(cleared));
+  }
+  return out;
+}
+
+u64 OohModule::dropped(const Process& proc) const {
+  const auto it = tracked_.find(proc.pid());
+  return it == tracked_.end() ? 0 : it->second.ring->dropped();
+}
+
+}  // namespace ooh::guest

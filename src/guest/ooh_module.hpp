@@ -1,0 +1,74 @@
+// The OoH kernel module -- the kernel half of the paper's UIO-style driver
+// (§IV-B). It multiplexes the exposed hardware feature across processes:
+//
+//   SPML: hooks schedule-in/out of tracked processes to issue the
+//         enable_logging/disable_logging hypercalls, and moves GPAs from
+//         the hypervisor-shared ring into per-process rings (§V isolation).
+//   EPML: performs the single setup hypercall (VMCS shadowing + guest PML),
+//         toggles logging with guest-mode vmwrites at each switch, and
+//         drains the guest-level buffer of GVAs on the posted self-IPI.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "base/ring_buffer.hpp"
+#include "base/types.hpp"
+#include "guest/kernel.hpp"
+#include "guest/scheduler.hpp"
+
+namespace ooh::guest {
+
+class OohModule final : public SchedHook {
+ public:
+  OohModule(GuestKernel& kernel, OohMode mode);
+  ~OohModule() override;
+
+  [[nodiscard]] OohMode mode() const noexcept { return mode_; }
+
+  /// ioctl: register `proc` for dirty tracking (Table V metric M3 + the
+  /// design's init hypercall M9/M10).
+  void track(Process& proc);
+  /// ioctl: stop tracking (M4 + M11/M12).
+  void untrack(Process& proc);
+  [[nodiscard]] bool tracking(const Process& proc) const;
+
+  /// ioctl: drain the per-process ring into userspace. Entries are GPAs
+  /// under SPML (the library reverse-maps them) and GVAs under EPML.
+  [[nodiscard]] std::vector<u64> fetch(Process& proc);
+
+  /// Entries lost to ring overflow since tracking began (consumer lagging).
+  [[nodiscard]] u64 dropped(const Process& proc) const;
+
+  /// Capacity of per-process rings created by future track() calls; the
+  /// ring-pressure ablation shrinks this to study overflow behaviour.
+  void set_ring_entries(std::size_t entries) noexcept { ring_entries_ = entries; }
+
+  // ---- SchedHook -------------------------------------------------------------
+  void on_schedule_in(u32 pid) override;
+  void on_schedule_out(u32 pid) override;
+
+  /// Self-IPI handler: the EPML guest-level buffer is full (called from the
+  /// kernel's interrupt table).
+  void handle_guest_pml_full();
+
+ private:
+  struct Tracked {
+    Process* proc = nullptr;
+    std::unique_ptr<RingBuffer> ring;
+    Gpa guest_buf_gpa = 0;  ///< EPML: guest-level PML buffer page.
+  };
+
+  void epml_drain_guest_buffer(Tracked& t);
+  [[nodiscard]] Tracked* active_tracked() noexcept;
+
+  GuestKernel& kernel_;
+  OohMode mode_;
+  std::unordered_map<u32, Tracked> tracked_;
+  u32 active_pid_ = 0;  ///< tracked process currently scheduled in (0 = none).
+  bool epml_initialized_ = false;
+  std::size_t ring_entries_ = std::size_t{1} << 20;
+};
+
+}  // namespace ooh::guest

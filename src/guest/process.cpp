@@ -1,0 +1,121 @@
+#include "guest/process.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "guest/kernel.hpp"
+
+namespace ooh::guest {
+
+Gva Process::mmap(u64 bytes, bool data_backed) {
+  if (bytes == 0) throw std::invalid_argument("mmap of zero bytes");
+  const u64 len = page_ceil(bytes);
+  Vma vma;
+  vma.start = next_mmap_;
+  vma.end = next_mmap_ + len;
+  vma.writable = true;
+  vma.data_backed = data_backed;
+  vmas_.push_back(vma);
+  next_mmap_ += len + kPageSize;  // guard page between mappings
+  mapped_bytes_ += len;
+  return vma.start;
+}
+
+void Process::munmap(Gva base) {
+  const auto it = std::find_if(vmas_.begin(), vmas_.end(),
+                               [base](const Vma& v) { return v.start == base; });
+  if (it == vmas_.end()) throw std::invalid_argument("munmap: no VMA at this base");
+  sim::GuestPageTable& pt = kernel_.page_table(*this);
+  sim::Machine& m = kernel_.machine();
+  for (Gva page = it->start; page < it->end; page += kPageSize) {
+    pt.unmap(page);
+    kernel_.vm().vcpu().tlb().invalidate_page(pid_, page);
+    truth_.erase(page);
+  }
+  m.count(Event::kContextSwitch, 2);  // the munmap syscall
+  m.charge_us(2 * m.cost.ctx_switch_us);
+  mapped_bytes_ -= it->bytes();
+  vmas_.erase(it);
+}
+
+Vma* Process::vma_of(Gva gva) noexcept {
+  for (Vma& v : vmas_) {
+    if (v.contains(gva)) return &v;
+  }
+  return nullptr;
+}
+
+void Process::write_u64(Gva gva, u64 value) {
+  const Hpa hpa = kernel_.access(*this, gva, /*is_write=*/true);
+  sim::Machine& m = kernel_.machine();
+  m.charge_ns(m.cost.workload_write_ns);
+  const Vma* vma = vma_of(gva);
+  if (vma != nullptr && vma->data_backed) m.pmem.write_u64(hpa, value);
+}
+
+u64 Process::read_u64(Gva gva) {
+  const Hpa hpa = kernel_.access(*this, gva, /*is_write=*/false);
+  sim::Machine& m = kernel_.machine();
+  m.charge_ns(m.cost.workload_write_ns);
+  const Vma* vma = vma_of(gva);
+  return (vma != nullptr && vma->data_backed) ? m.pmem.read_u64(hpa) : 0;
+}
+
+void Process::touch_write(Gva gva) {
+  (void)kernel_.access(*this, gva, /*is_write=*/true);
+  sim::Machine& m = kernel_.machine();
+  m.charge_ns(m.cost.workload_write_ns);
+}
+
+void Process::touch_read(Gva gva) {
+  (void)kernel_.access(*this, gva, /*is_write=*/false);
+  sim::Machine& m = kernel_.machine();
+  m.charge_ns(m.cost.workload_write_ns);
+}
+
+void Process::write_bytes(Gva gva, std::span<const u8> data) {
+  // One translation per page chunk (sequential stores share the TLB entry);
+  // compute cost scales with the words moved.
+  sim::Machine& m = kernel_.machine();
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const Gva addr = gva + off;
+    const std::size_t chunk =
+        std::min<std::size_t>(data.size() - off, kPageSize - page_offset(addr));
+    const Hpa hpa = kernel_.access(*this, addr, /*is_write=*/true);
+    m.charge_ns(m.cost.workload_bulk_word_ns * static_cast<double>((chunk + 7) / 8));
+    const Vma* vma = vma_of(addr);
+    if (vma != nullptr && vma->data_backed) {
+      std::memcpy(m.pmem.frame_data(page_floor(hpa)) + page_offset(hpa),
+                  data.data() + off, chunk);
+    }
+    off += chunk;
+  }
+}
+
+void Process::read_bytes(Gva gva, std::span<u8> out) {
+  sim::Machine& m = kernel_.machine();
+  std::size_t off = 0;
+  while (off < out.size()) {
+    const Gva addr = gva + off;
+    const std::size_t chunk =
+        std::min<std::size_t>(out.size() - off, kPageSize - page_offset(addr));
+    const Hpa hpa = kernel_.access(*this, addr, /*is_write=*/false);
+    m.charge_ns(m.cost.workload_bulk_word_ns * static_cast<double>((chunk + 7) / 8));
+    const Vma* vma = vma_of(addr);
+    if (vma != nullptr && vma->data_backed) {
+      const u8* src = m.pmem.frame_data_if_present(page_floor(hpa));
+      if (src != nullptr) {
+        std::memcpy(out.data() + off, src + page_offset(hpa), chunk);
+      } else {
+        std::memset(out.data() + off, 0, chunk);
+      }
+    } else {
+      std::memset(out.data() + off, 0, chunk);
+    }
+    off += chunk;
+  }
+}
+
+}  // namespace ooh::guest

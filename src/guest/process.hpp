@@ -1,0 +1,88 @@
+// A guest userspace process: VMAs, a page table, and the memory-access API
+// that workloads run against. Every store routes through the simulated MMU,
+// so dirty-tracking mechanisms observe real page-granularity write traffic.
+//
+// The process also keeps a zero-virtual-cost "truth" set of pages written
+// since the last reset; the oracle tracker and the completeness tests use it
+// (paper evaluation question 3).
+#pragma once
+
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/types.hpp"
+
+namespace ooh::guest {
+
+class GuestKernel;
+
+struct Vma {
+  Gva start = 0;
+  Gva end = 0;  ///< exclusive.
+  bool writable = true;
+  bool data_backed = false;  ///< stores/loads move real bytes through host RAM.
+  enum class Uffd { kNone, kMissing, kWriteProtect } uffd = Uffd::kNone;
+
+  [[nodiscard]] bool contains(Gva a) const noexcept { return a >= start && a < end; }
+  [[nodiscard]] u64 bytes() const noexcept { return end - start; }
+};
+
+class Process {
+ public:
+  Process(GuestKernel& kernel, u32 pid) : kernel_(kernel), pid_(pid) {}
+
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  [[nodiscard]] u32 pid() const noexcept { return pid_; }
+  [[nodiscard]] GuestKernel& kernel() noexcept { return kernel_; }
+
+  /// Map `bytes` of anonymous memory (page-rounded); returns the base GVA.
+  /// Pages are demand-allocated on first touch, like real mmap.
+  Gva mmap(u64 bytes, bool data_backed = false);
+
+  /// Unmap a whole VMA by its base address: PTEs are torn down, cached
+  /// translations dropped, and the pages vanish from tracking and truth.
+  void munmap(Gva base);
+
+  // ---- accesses (each one goes through the MMU) ----------------------------
+  void write_u64(Gva gva, u64 value);
+  [[nodiscard]] u64 read_u64(Gva gva);
+  /// Metadata-only store: full translation/dirty semantics, no data bytes.
+  void touch_write(Gva gva);
+  void touch_read(Gva gva);
+  void write_bytes(Gva gva, std::span<const u8> data);
+  void read_bytes(Gva gva, std::span<u8> out);
+
+  [[nodiscard]] u64 mapped_bytes() const noexcept { return mapped_bytes_; }
+  [[nodiscard]] const std::vector<Vma>& vmas() const noexcept { return vmas_; }
+  /// Mutable VMA access for kernel subsystems (ufd registration flags).
+  [[nodiscard]] std::vector<Vma>& vmas_mut() noexcept { return vmas_; }
+  [[nodiscard]] Vma* vma_of(Gva gva) noexcept;
+
+  // ---- ground truth ---------------------------------------------------------
+  /// Pages written since truth_reset(), each tagged with the global write
+  /// sequence of its *last* write -- so interval consumers (oracle tracker)
+  /// can tell re-dirtied pages apart from stale ones.
+  [[nodiscard]] const std::unordered_map<Gva, u64>& truth_dirty() const noexcept {
+    return truth_;
+  }
+  [[nodiscard]] u64 truth_seq() const noexcept { return truth_seq_; }
+  void truth_reset() { truth_.clear(); }
+  void truth_record(Gva gva_page) { truth_[gva_page] = ++truth_seq_; }
+
+ private:
+  friend class GuestKernel;
+
+  GuestKernel& kernel_;
+  u32 pid_;
+  std::vector<Vma> vmas_;
+  Gva next_mmap_ = 0x1000'0000;  // grows upward, one guard page between VMAs
+  u64 mapped_bytes_ = 0;
+  std::unordered_map<Gva, u64> truth_;
+  u64 truth_seq_ = 0;
+};
+
+}  // namespace ooh::guest

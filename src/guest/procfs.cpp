@@ -1,0 +1,47 @@
+#include "guest/procfs.hpp"
+
+#include <algorithm>
+
+#include "guest/kernel.hpp"
+
+namespace ooh::guest {
+
+void ProcFs::clear_refs(Process& proc) {
+  sim::Machine& m = kernel_.machine();
+  m.count(Event::kClearRefs);
+  m.count(Event::kContextSwitch, 2);  // the write() syscall's world switches
+  m.charge_us(m.cost.clear_refs_us(proc.mapped_bytes()) + 2 * m.cost.ctx_switch_us);
+
+  // Clear soft-dirty and write-protect every present PTE so the next store
+  // faults; the fault handler restores write access and re-sets the bit.
+  kernel_.page_table(proc).for_each_present([](Gva, sim::Pte& pte) {
+    pte.soft_dirty = false;
+    pte.writable = false;
+  });
+  kernel_.vm().vcpu().tlb().flush_pid(proc.pid());
+  m.count(Event::kTlbFlush);
+  m.charge_us(m.cost.tlb_flush_us);
+}
+
+std::vector<Gva> ProcFs::pagemap_dirty(Process& proc) {
+  sim::Machine& m = kernel_.machine();
+  m.count(Event::kPagemapScan);
+  m.count(Event::kContextSwitch, 2);
+  m.charge_us(m.cost.pagemap_scan_us(proc.mapped_bytes()) + 2 * m.cost.ctx_switch_us);
+
+  std::vector<Gva> dirty;
+  kernel_.page_table(proc).for_each_present([&](Gva gva, sim::Pte& pte) {
+    if (pte.soft_dirty) dirty.push_back(gva);
+  });
+  std::sort(dirty.begin(), dirty.end());
+  return dirty;
+}
+
+std::vector<std::pair<Gva, Gpa>> ProcFs::pagemap_entries(Process& proc) {
+  std::vector<std::pair<Gva, Gpa>> out;
+  kernel_.page_table(proc).for_each_present(
+      [&](Gva gva, sim::Pte& pte) { out.emplace_back(gva, pte.gpa_page); });
+  return out;
+}
+
+}  // namespace ooh::guest

@@ -1,0 +1,37 @@
+// /proc/<PID>/{clear_refs,pagemap} -- Linux's soft-dirty interface, the
+// default technique in both CRIU and Boehm GC (paper §III-B).
+//
+//   clear_refs: clears soft-dirty bits and write-protects the PTEs so the
+//               next store faults; the fault handler re-sets soft-dirty.
+//   pagemap:    userspace scans bit 55 of every PTE to collect dirty pages.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "base/types.hpp"
+#include "guest/process.hpp"
+
+namespace ooh::guest {
+
+class GuestKernel;
+
+class ProcFs {
+ public:
+  explicit ProcFs(GuestKernel& kernel) : kernel_(kernel) {}
+
+  /// `echo 4 > /proc/PID/clear_refs` (Table V metric M15 + TLB flush).
+  void clear_refs(Process& proc);
+
+  /// Scan /proc/PID/pagemap for soft-dirty pages (metric M16).
+  [[nodiscard]] std::vector<Gva> pagemap_dirty(Process& proc);
+
+  /// All present GVA -> GPA translations, as pagemap exposes them. The cost
+  /// is charged by the caller (SPML charges it as reverse-mapping, M17).
+  [[nodiscard]] std::vector<std::pair<Gva, Gpa>> pagemap_entries(Process& proc);
+
+ private:
+  GuestKernel& kernel_;
+};
+
+}  // namespace ooh::guest

@@ -1,0 +1,86 @@
+// Cooperative single-vCPU scheduler for the guest OS.
+//
+// The paper's methodology (§VI-B) runs Tracker and Tracked time-sharing one
+// dedicated CPU, so every cycle the Tracker spends directly delays the
+// Tracked. We model that with one virtual clock and explicit switch points:
+//   * quantum expiries on the Tracked's execution path (timer ticks), and
+//   * service windows in which Tracker code runs (collection rounds).
+// Schedule-in/out hooks are how the OoH module gets per-process PML
+// granularity (challenge C2): it toggles logging at every switch.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "base/types.hpp"
+#include "base/vtime.hpp"
+#include "sim/machine.hpp"
+
+namespace ooh::guest {
+
+class SchedHook {
+ public:
+  virtual ~SchedHook() = default;
+  virtual void on_schedule_in(u32 pid) = 0;
+  virtual void on_schedule_out(u32 pid) = 0;
+};
+
+class Scheduler {
+ public:
+  explicit Scheduler(sim::Machine& machine) : machine_(machine) {}
+
+  void set_quantum(VirtDuration q) noexcept { quantum_ = q; }
+  [[nodiscard]] VirtDuration quantum() const noexcept { return quantum_; }
+
+  void add_hook(SchedHook* h) { hooks_.push_back(h); }
+  void remove_hook(SchedHook* h);
+
+  /// Install a service callback that preempts the running process every
+  /// `period` of virtual time (the Tracker's collection cadence).
+  void set_periodic(VirtDuration period, std::function<void()> fn);
+  void clear_periodic();
+
+  /// Called from the memory-access path of the running process; fires
+  /// quantum ticks and periodic service when their deadlines pass.
+  void on_progress(u32 pid);
+
+  /// Run `fn` as a different task: schedule the current process out (firing
+  /// hooks, charging context switches), run, schedule it back in.
+  template <typename Fn>
+  void run_service(u32 pid, Fn&& fn) {
+    if (in_service_) {  // nested service calls run inline
+      fn();
+      return;
+    }
+    in_service_ = true;
+    switch_out(pid);
+    fn();
+    switch_in(pid);
+    in_service_ = false;
+    rearm_deadlines();
+  }
+
+  [[nodiscard]] u64 quantum_switches() const noexcept { return quantum_switches_; }
+  [[nodiscard]] bool in_service() const noexcept { return in_service_; }
+
+  /// Explicit process lifecycle around a workload run.
+  void enter_process(u32 pid);
+  void exit_process(u32 pid);
+
+ private:
+  void switch_out(u32 pid);
+  void switch_in(u32 pid);
+  void rearm_deadlines();
+
+  sim::Machine& machine_;
+  std::vector<SchedHook*> hooks_;
+  VirtDuration quantum_{secs(1.0)};
+  VirtDuration next_quantum_{secs(1.0)};
+  std::function<void()> periodic_;
+  VirtDuration period_{0};
+  VirtDuration next_periodic_{0};
+  bool in_service_ = false;
+  u64 quantum_switches_ = 0;
+};
+
+}  // namespace ooh::guest

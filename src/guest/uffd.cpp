@@ -1,0 +1,96 @@
+#include "guest/uffd.hpp"
+
+#include <optional>
+
+#include "guest/kernel.hpp"
+#include "base/clock.hpp"
+
+namespace ooh::guest {
+
+void Uffd::register_wp(Process& proc, Handler on_fault, VirtDuration* tracker_bucket) {
+  regs_[proc.pid()].on_wp = std::move(on_fault);
+  regs_[proc.pid()].tracker_bucket = tracker_bucket;
+  for (Vma& vma : proc.vmas_mut()) {
+    vma.uffd = Vma::Uffd::kWriteProtect;
+  }
+  rearm_wp(proc);
+}
+
+void Uffd::register_missing(Process& proc, Handler on_fault) {
+  regs_[proc.pid()].on_missing = std::move(on_fault);
+  for (Vma& vma : proc.vmas_mut()) {
+    vma.uffd = Vma::Uffd::kMissing;
+  }
+  sim::Machine& m = kernel_.machine();
+  m.count(Event::kContextSwitch, 2);  // the register ioctl
+  m.charge_us(2 * m.cost.ctx_switch_us);
+}
+
+void Uffd::rearm_wp(Process& proc) {
+  // ioctl write-protect over the whole registered range (Table V metric M2,
+  // modelled as one clear_refs-shaped PTE pass; see CostModel).
+  sim::Machine& m = kernel_.machine();
+  m.count(Event::kContextSwitch, 2);
+  m.charge_us(m.cost.ufd_write_protect_us(proc.mapped_bytes()) + 2 * m.cost.ctx_switch_us);
+  kernel_.page_table(proc).for_each_present(
+      [](Gva, sim::Pte& pte) { pte.uffd_wp = true; });
+  kernel_.vm().vcpu().tlb().flush_pid(proc.pid());
+  m.count(Event::kTlbFlush);
+  m.charge_us(m.cost.tlb_flush_us);
+}
+
+void Uffd::unregister(Process& proc) {
+  regs_.erase(proc.pid());
+  for (Vma& vma : proc.vmas_mut()) {
+    vma.uffd = Vma::Uffd::kNone;
+  }
+  kernel_.page_table(proc).for_each_present(
+      [](Gva, sim::Pte& pte) { pte.uffd_wp = false; });
+  kernel_.vm().vcpu().tlb().flush_pid(proc.pid());
+}
+
+bool Uffd::wp_registered(const Process& proc) const {
+  const auto it = regs_.find(proc.pid());
+  return it != regs_.end() && static_cast<bool>(it->second.on_wp);
+}
+
+bool Uffd::missing_registered(const Process& proc) const {
+  const auto it = regs_.find(proc.pid());
+  return it != regs_.end() && static_cast<bool>(it->second.on_missing);
+}
+
+void Uffd::deliver_wp_fault(Process& proc, Gva gva_page) {
+  sim::Machine& m = kernel_.machine();
+  // The faulting thread is suspended: the kernel part of the fault, the
+  // handoff to the Tracker, its userspace handling (metric M6, the ufd
+  // bottleneck), and the write-unprotect ioctl all run on its clock.
+  m.count(Event::kPageFaultUffd);
+  m.count(Event::kContextSwitch, 2);
+  const u64 mem = proc.mapped_bytes();
+  Registration& reg = regs_.at(proc.pid());
+  {
+    // The userspace half of the fault is Tracker execution: attribute it so
+    // the "On Tracker" overhead of Table I is measurable.
+    std::optional<VirtualClock::Scope> attributed;
+    if (reg.tracker_bucket != nullptr) attributed.emplace(m.clock, *reg.tracker_bucket);
+    m.charge_us(m.cost.pfh_kernel_per_fault_us(mem) + m.cost.pfh_user_per_fault_us(mem) +
+                2 * m.cost.ctx_switch_us);
+    reg.on_wp(gva_page);
+  }
+
+  sim::Pte* pte = kernel_.page_table(proc).pte(gva_page);
+  if (pte != nullptr) pte->uffd_wp = false;
+  kernel_.vm().vcpu().tlb().invalidate_page(proc.pid(), gva_page);
+  m.count(Event::kUffdWriteUnprotect);
+}
+
+void Uffd::deliver_missing_fault(Process& proc, Gva gva_page) {
+  sim::Machine& m = kernel_.machine();
+  m.count(Event::kPageFaultUffd);
+  m.count(Event::kContextSwitch, 2);
+  const u64 mem = proc.mapped_bytes();
+  m.charge_us(m.cost.pfh_user_per_fault_us(mem) + 2 * m.cost.ctx_switch_us);
+  if (auto& h = regs_.at(proc.pid()).on_missing; h) h(gva_page);
+}
+
+}  // namespace ooh::guest

@@ -1,0 +1,283 @@
+#include "hypervisor/hypervisor.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace ooh::hv {
+
+Vm& Hypervisor::create_vm(u64 mem_bytes, std::size_t spml_ring_entries) {
+  const u32 id = static_cast<u32>(vms_.size());
+  auto vm = std::make_unique<Vm>(machine_, id, mem_bytes, spml_ring_entries);
+  vm->vcpu().attach(this, nullptr, &vm->ept());
+  vm->vcpu().vmcs().write(sim::VmcsField::kEptPointer, id + 1);
+  vms_.push_back(std::move(vm));
+  return *vms_.back();
+}
+
+Vm& Hypervisor::vm_of(const sim::Vcpu& vcpu) {
+  const u32 id = vcpu.id();
+  if (id >= vms_.size()) throw std::logic_error("vCPU does not belong to any VM");
+  return *vms_[id];
+}
+
+void Hypervisor::ensure_pml_buffer(Vm& vm) {
+  if (vm.pml_buffer == 0) {
+    vm.pml_buffer = machine_.pmem.alloc_frame();
+    vm.vcpu().vmcs().write(sim::VmcsField::kPmlAddress, vm.pml_buffer);
+    vm.vcpu().vmcs().write(sim::VmcsField::kPmlIndex, kPmlIndexStart);
+  }
+}
+
+void Hypervisor::update_pml_enable(Vm& vm) {
+  const bool on = vm.pml_enabled_by_hyp || vm.guest_logging_on;
+  vm.vcpu().vmcs().set_control(sim::kEnablePml, on);
+}
+
+void Hypervisor::clear_all_ept_dirty(Vm& vm) {
+  u64 cleared = 0;
+  vm.ept().for_each_present([&](Gpa, sim::EptEntry& e) {
+    if (e.dirty) {
+      e.dirty = false;
+      ++cleared;
+    }
+  });
+  machine_.charge_ns(machine_.cost.dbit_clear_ns * static_cast<double>(cleared));
+  vm.vcpu().tlb().flush_all();
+  machine_.count(Event::kTlbFlush);
+  machine_.charge_us(machine_.cost.tlb_flush_us);
+}
+
+void Hypervisor::drain_pml_buffer(Vm& vm) {
+  sim::Vmcs& vmcs = vm.vcpu().vmcs();
+  if (vm.pml_buffer == 0) return;
+  const u16 idx = static_cast<u16>(vmcs.read(sim::VmcsField::kPmlIndex));
+  // Entries occupy slots idx+1 .. 511; a wrapped index (0xFFFF) means all 512.
+  const u64 count = idx > kPmlIndexStart ? kPmlBufferEntries
+                                         : static_cast<u64>(kPmlIndexStart - idx);
+  if (count == 0) return;
+
+  // Slot 511 holds the oldest entry (the index counts down); walk newest-
+  // last so consumers see logging order.
+  const u64 first_slot = kPmlBufferEntries - count;
+  for (u64 slot = kPmlBufferEntries; slot-- > first_slot;) {
+    const Gpa gpa_page = machine_.pmem.read_u64(vm.pml_buffer + slot * 8);
+    machine_.charge_ns(machine_.cost.drain_entry_ns);
+    // Coexistence routing (paper §IV-C item 3): each consumer gets the GPA
+    // only if its flag is set. Dirty flags stay set until the consumer's
+    // interval boundary (collect/harvest), so an already-logged page does
+    // not re-log on every later write -- matching how Xen harvests PML.
+    if (vm.pml_enabled_by_hyp) vm.hyp_dirty_log().insert(gpa_page);
+    if (vm.pml_enabled_by_guest && vm.guest_logging_on) {
+      vm.spml_ring().push(gpa_page);
+      vm.spml_interval_log().push_back(gpa_page);
+      machine_.count(Event::kRingBufCopyEntry);
+    }
+  }
+  vmcs.write(sim::VmcsField::kPmlIndex, kPmlIndexStart);
+}
+
+void Hypervisor::reset_dirty_for(Vm& vm, std::span<const Gpa> gpa_pages) {
+  u64 cleared = 0;
+  for (const Gpa gpa : gpa_pages) {
+    if (sim::EptEntry* e = vm.ept().entry(gpa); e != nullptr && e->dirty) {
+      e->dirty = false;
+      ++cleared;
+    }
+  }
+  machine_.charge_ns(machine_.cost.dbit_clear_ns * static_cast<double>(cleared));
+  // Cleared dirty flags require invalidating cached translations (INVEPT).
+  vm.vcpu().tlb().flush_all();
+  machine_.count(Event::kTlbFlush);
+  machine_.charge_us(machine_.cost.tlb_flush_us);
+}
+
+void Hypervisor::on_pml_full(sim::Vcpu& vcpu) {
+  drain_pml_buffer(vm_of(vcpu));
+}
+
+void Hypervisor::on_ept_violation(sim::Vcpu& vcpu, Gpa gpa, bool /*is_write*/) {
+  Vm& vm = vm_of(vcpu);
+  if (page_floor(gpa) >= vm.mem_bytes()) {
+    throw std::runtime_error("EPT violation beyond the VM's memory size");
+  }
+  const Hpa frame = machine_.pmem.alloc_frame();
+  vm.ept().map(page_floor(gpa), frame, /*writable=*/true);
+}
+
+u64 Hypervisor::on_hypercall(sim::Vcpu& vcpu, sim::Hypercall nr, u64 a0, u64 a1) {
+  Vm& vm = vm_of(vcpu);
+  auto& cost = machine_.cost;
+  switch (nr) {
+    case sim::Hypercall::kOohInitPml:
+      // SPML setup (M9): allocate the PML buffer and reset dirty state so
+      // the first tracking interval starts from a clean slate. The guest may
+      // not start while the hypervisor is tearing down, and vice versa --
+      // the flags arbitrate (§IV-C item 3).
+      machine_.charge_us(cost.hc_init_pml_us);
+      ensure_pml_buffer(vm);
+      clear_all_ept_dirty(vm);
+      vm.pml_enabled_by_guest = true;
+      vm.spml_tracked_mem_bytes = a0;
+      return 0;
+    case sim::Hypercall::kOohDeactivatePml:
+      machine_.charge_us(cost.hc_deact_pml_us);
+      drain_pml_buffer(vm);
+      vm.pml_enabled_by_guest = false;
+      vm.guest_logging_on = false;
+      update_pml_enable(vm);
+      return 0;
+    case sim::Hypercall::kOohEnableLogging:
+      machine_.charge_us(cost.hc_enable_logging_us);
+      if (!vm.pml_enabled_by_guest) return u64(-1);
+      vm.guest_logging_on = true;
+      update_pml_enable(vm);
+      return 0;
+    case sim::Hypercall::kOohDisableLogging:
+      // M14: cost depends on the tracked process's memory size because the
+      // in-flight buffer is flushed to the ring on the way out.
+      machine_.charge_us(cost.spml_disable_logging_us(
+          a0 != 0 ? a0 : vm.spml_tracked_mem_bytes));
+      drain_pml_buffer(vm);
+      vm.guest_logging_on = false;
+      update_pml_enable(vm);
+      return 0;
+    case sim::Hypercall::kOohInitEpml: {
+      // EPML setup (M10): VMCS shadowing plus the new guest PML fields. This
+      // is the *only* hypercall EPML performs (§IV-D).
+      machine_.charge_us(cost.hc_init_pml_shadow_us);
+      sim::Vmcs& shadow = vcpu.create_shadow_vmcs();
+      shadow.write(sim::VmcsField::kGuestPmlIndex, kPmlIndexStart);
+      // Shadowing permission bitmaps: the guest may touch exactly the three
+      // EPML fields, nothing else in the VMCS.
+      for (const sim::VmcsField f :
+           {sim::VmcsField::kGuestPmlAddress, sim::VmcsField::kGuestPmlIndex,
+            sim::VmcsField::kGuestPmlEnable}) {
+        vcpu.shadow_readable().add(f);
+        vcpu.shadow_writable().add(f);
+      }
+      vcpu.vmcs().set_control(sim::kEnableVmcsShadowing, true);
+      vcpu.vmcs().set_control(sim::kEnableGuestPml, true);
+      return 0;
+    }
+    case sim::Hypercall::kOohDeactivateEpml:
+      machine_.charge_us(cost.hc_deact_pml_shadow_us);
+      vcpu.vmcs().set_control(sim::kEnableGuestPml, false);
+      vcpu.destroy_shadow_vmcs();
+      return 0;
+    case sim::Hypercall::kOohSppProtect: {
+      // OoH-SPP (§III-D): the guest installs a 32-bit sub-page write mask
+      // for one of its pages. The hypervisor owns the SPP table; the guest
+      // only ever names GPAs it was given (no HPA exposure, as in §V).
+      machine_.charge_us(cost.hc_spp_protect_us);
+      const Gpa gpa_page = page_floor(a0);
+      if (gpa_page >= vm.mem_bytes()) return u64(-1);
+      sim::EptEntry* e = vm.ept().entry(gpa_page);
+      if (e == nullptr || !e->present) {
+        on_ept_violation(vcpu, gpa_page, /*is_write=*/false);
+        e = vm.ept().entry(gpa_page);
+      }
+      vm.spp_table().set_mask(gpa_page, static_cast<u32>(a1));
+      e->spp = static_cast<u32>(a1) != sim::kSppAllWritable;
+      // Cached translations may still claim page-level write permission.
+      vm.vcpu().tlb().flush_all();
+      machine_.count(Event::kTlbFlush);
+      machine_.charge_us(cost.tlb_flush_us);
+      return 0;
+    }
+    case sim::Hypercall::kOohSppClear: {
+      machine_.charge_us(cost.hc_spp_protect_us);
+      const Gpa gpa_page = page_floor(a0);
+      vm.spp_table().clear(gpa_page);
+      if (sim::EptEntry* e = vm.ept().entry(gpa_page); e != nullptr) e->spp = false;
+      vm.vcpu().tlb().flush_all();
+      machine_.count(Event::kTlbFlush);
+      machine_.charge_us(cost.tlb_flush_us);
+      return 0;
+    }
+    case sim::Hypercall::kOohIntervalReset: {
+      // End of an SPML tracking interval: re-arm logging for every page the
+      // guest consumed this interval (their next write must re-log).
+      machine_.charge_us(cost.hc_enable_logging_us);
+      drain_pml_buffer(vm);
+      reset_dirty_for(vm, vm.spml_interval_log());
+      vm.spml_interval_log().clear();
+      return 0;
+    }
+  }
+  throw std::logic_error("unknown hypercall");
+}
+
+void Hypervisor::enable_pml_for_hyp(Vm& vm) {
+  // Guard ordering from §IV-C: check the other side's flag before toggling.
+  ensure_pml_buffer(vm);
+  clear_all_ept_dirty(vm);
+  vm.pml_enabled_by_hyp = true;
+  update_pml_enable(vm);
+}
+
+void Hypervisor::disable_pml_for_hyp(Vm& vm) {
+  drain_pml_buffer(vm);
+  vm.pml_enabled_by_hyp = false;
+  update_pml_enable(vm);
+}
+
+std::vector<Gpa> Hypervisor::harvest_hyp_dirty(Vm& vm) {
+  drain_pml_buffer(vm);
+  std::vector<Gpa> out(vm.hyp_dirty_log().begin(), vm.hyp_dirty_log().end());
+  vm.hyp_dirty_log().clear();
+  // Round boundary: re-arm logging for the harvested pages.
+  reset_dirty_for(vm, out);
+  return out;
+}
+
+void Hypervisor::enable_wss_sampling(Vm& vm) {
+  if (vm.pml_enabled_by_guest) {
+    throw std::logic_error(
+        "WSS sampling and a guest SPML session cannot share the PML buffer");
+  }
+  ensure_pml_buffer(vm);
+  // Reset both accessed and dirty flags so every first touch re-logs.
+  u64 cleared = 0;
+  vm.ept().for_each_present([&](Gpa, sim::EptEntry& e) {
+    if (e.accessed || e.dirty) ++cleared;
+    e.accessed = false;
+    e.dirty = false;
+  });
+  machine_.charge_ns(machine_.cost.dbit_clear_ns * static_cast<double>(cleared));
+  vm.vcpu().tlb().flush_all();
+  machine_.count(Event::kTlbFlush);
+  machine_.charge_us(machine_.cost.tlb_flush_us);
+  vm.pml_enabled_by_hyp = true;
+  vm.vcpu().vmcs().set_control(sim::kEnablePmlReadLog, true);
+  update_pml_enable(vm);
+}
+
+void Hypervisor::disable_wss_sampling(Vm& vm) {
+  drain_pml_buffer(vm);
+  vm.hyp_dirty_log().clear();
+  vm.vcpu().vmcs().set_control(sim::kEnablePmlReadLog, false);
+  vm.pml_enabled_by_hyp = false;
+  update_pml_enable(vm);
+}
+
+std::vector<Gpa> Hypervisor::harvest_wss(Vm& vm) {
+  drain_pml_buffer(vm);
+  std::vector<Gpa> out(vm.hyp_dirty_log().begin(), vm.hyp_dirty_log().end());
+  vm.hyp_dirty_log().clear();
+  // Re-arm: clear accessed (and dirty) flags of the sampled pages.
+  u64 cleared = 0;
+  for (const Gpa gpa : out) {
+    if (sim::EptEntry* e = vm.ept().entry(gpa); e != nullptr) {
+      if (e->accessed || e->dirty) ++cleared;
+      e->accessed = false;
+      e->dirty = false;
+    }
+  }
+  machine_.charge_ns(machine_.cost.dbit_clear_ns * static_cast<double>(cleared));
+  vm.vcpu().tlb().flush_all();
+  machine_.count(Event::kTlbFlush);
+  machine_.charge_us(machine_.cost.tlb_flush_us);
+  return out;
+}
+
+}  // namespace ooh::hv

@@ -1,0 +1,68 @@
+// The hypervisor (Xen-like): VM lifecycle, VM-exit handling, the OoH
+// hypercall interface of §IV, and coexistence between the guest's use of
+// PML (SPML) and the hypervisor's own (live migration).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "base/types.hpp"
+#include "hypervisor/vm.hpp"
+#include "sim/hw_if.hpp"
+#include "sim/machine.hpp"
+
+namespace ooh::hv {
+
+class Hypervisor final : public sim::VmExitHandler {
+ public:
+  explicit Hypervisor(sim::Machine& machine) : machine_(machine) {}
+
+  /// Create a VM with `mem_bytes` of guest-physical space. Host frames are
+  /// demand-allocated on EPT violations, as on a real overcommitted host.
+  Vm& create_vm(u64 mem_bytes, std::size_t spml_ring_entries = 1u << 20);
+
+  [[nodiscard]] std::size_t vm_count() const noexcept { return vms_.size(); }
+  [[nodiscard]] Vm& vm(std::size_t i) noexcept { return *vms_[i]; }
+
+  // ---- sim::VmExitHandler ---------------------------------------------------
+  void on_pml_full(sim::Vcpu& vcpu) override;
+  void on_ept_violation(sim::Vcpu& vcpu, Gpa gpa, bool is_write) override;
+  u64 on_hypercall(sim::Vcpu& vcpu, sim::Hypercall nr, u64 a0, u64 a1) override;
+
+  // ---- hypervisor's own PML use (live migration, checkpoint) ----------------
+  /// Start logging for the whole VM: clear all EPT dirty flags, flush, arm PML.
+  void enable_pml_for_hyp(Vm& vm);
+  void disable_pml_for_hyp(Vm& vm);
+  /// Flush the in-flight PML buffer and take the accumulated dirty GPA set.
+  [[nodiscard]] std::vector<Gpa> harvest_hyp_dirty(Vm& vm);
+
+  // ---- working-set-size estimation (read-logging PML extension) -------------
+  /// Start WSS sampling: PML logs on accessed-flag transitions, so the
+  /// harvested set is the *touched* (read or written) pages -- the extension
+  /// of Bitchebe et al. cited in the paper's related work. Mutually
+  /// exclusive with a guest SPML session (one buffer, different meanings).
+  void enable_wss_sampling(Vm& vm);
+  void disable_wss_sampling(Vm& vm);
+  /// Touched pages since the last harvest; resets accessed+dirty flags.
+  [[nodiscard]] std::vector<Gpa> harvest_wss(Vm& vm);
+
+  [[nodiscard]] sim::Machine& machine() noexcept { return machine_; }
+
+ private:
+  [[nodiscard]] Vm& vm_of(const sim::Vcpu& vcpu);
+  void ensure_pml_buffer(Vm& vm);
+  /// Clear EPT dirty flags for `gpa_pages` and invalidate cached
+  /// translations, re-arming PML for them (interval/round boundary).
+  void reset_dirty_for(Vm& vm, std::span<const Gpa> gpa_pages);
+  /// Copy logged GPAs to their consumers, clear their EPT dirty flags so
+  /// future writes re-log, invalidate cached translations, reset the index.
+  void drain_pml_buffer(Vm& vm);
+  void clear_all_ept_dirty(Vm& vm);
+  void update_pml_enable(Vm& vm);
+
+  sim::Machine& machine_;
+  std::vector<std::unique_ptr<Vm>> vms_;
+};
+
+}  // namespace ooh::hv

@@ -1,0 +1,59 @@
+#include "hypervisor/migration.hpp"
+
+namespace ooh::hv {
+
+u64 MigrationEngine::send_pages(u64 count) {
+  sim::Machine& m = hv_.machine();
+  m.count(Event::kMigrationPageSent, count);
+  m.charge_us(m.cost.migration_send_page_us * static_cast<double>(count));
+  return count;
+}
+
+MigrationReport MigrationEngine::migrate(Vm& vm,
+                                         const std::function<void()>& run_guest_quantum,
+                                         const MigrationOptions& opts) {
+  sim::Machine& m = hv_.machine();
+  MigrationReport rep;
+  const VirtDuration start = m.clock.now();
+
+  hv_.enable_pml_for_hyp(vm);
+
+  // Round 0: full copy of every mapped guest page while the guest runs.
+  rep.initial_pages = vm.ept().present_pages();
+  rep.pages_sent += send_pages(rep.initial_pages);
+
+  u64 last_dirty = rep.initial_pages;
+  for (unsigned round = 0; round < opts.max_rounds; ++round) {
+    run_guest_quantum();
+    const std::vector<Gpa> dirty = hv_.harvest_hyp_dirty(vm);
+    m.count(Event::kMigrationRound);
+    ++rep.rounds;
+    if (dirty.size() <= opts.stop_copy_threshold_pages) {
+      // Converged: pause the guest and send the remainder (downtime).
+      const VirtDuration pause_start = m.clock.now();
+      rep.stop_copy_pages = dirty.size();
+      rep.pages_sent += send_pages(dirty.size());
+      rep.downtime = m.clock.now() - pause_start;
+      rep.converged = true;
+      break;
+    }
+    rep.pages_sent += send_pages(dirty.size());
+    last_dirty = dirty.size();
+  }
+  if (!rep.converged) {
+    // Forced stop-and-copy after max_rounds: send the final dirty set paused.
+    run_guest_quantum();
+    const std::vector<Gpa> dirty = hv_.harvest_hyp_dirty(vm);
+    const VirtDuration pause_start = m.clock.now();
+    rep.stop_copy_pages = dirty.size();
+    rep.pages_sent += send_pages(dirty.size());
+    rep.downtime = m.clock.now() - pause_start;
+  }
+  (void)last_dirty;
+
+  hv_.disable_pml_for_hyp(vm);
+  rep.total_time = m.clock.now() - start;
+  return rep;
+}
+
+}  // namespace ooh::hv

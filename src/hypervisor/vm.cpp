@@ -1,0 +1,10 @@
+#include "hypervisor/vm.hpp"
+
+#include "sim/machine.hpp"
+
+namespace ooh::hv {
+
+Vm::Vm(sim::Machine& machine, u32 id, u64 mem_bytes, std::size_t spml_ring_entries)
+    : id_(id), mem_bytes_(mem_bytes), vcpu_(machine, id), spml_ring_(spml_ring_entries) {}
+
+}  // namespace ooh::hv

@@ -1,0 +1,66 @@
+// A virtual machine as the hypervisor sees it: EPT, one vCPU (the paper's
+// evaluation setup), the hypervisor-level PML state, and the coexistence
+// flags that let the guest's OoH use of PML and the hypervisor's own use
+// (live migration) share one buffer without stepping on each other (§IV-C).
+#pragma once
+
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "base/ring_buffer.hpp"
+#include "base/types.hpp"
+#include "sim/ept.hpp"
+#include "sim/spp.hpp"
+#include "sim/vcpu.hpp"
+
+namespace ooh::hv {
+
+class Vm {
+ public:
+  Vm(sim::Machine& machine, u32 id, u64 mem_bytes, std::size_t spml_ring_entries);
+
+  Vm(const Vm&) = delete;
+  Vm& operator=(const Vm&) = delete;
+
+  [[nodiscard]] u32 id() const noexcept { return id_; }
+  [[nodiscard]] u64 mem_bytes() const noexcept { return mem_bytes_; }
+  [[nodiscard]] sim::Ept& ept() noexcept { return ept_; }
+  [[nodiscard]] sim::Vcpu& vcpu() noexcept { return vcpu_; }
+
+  /// The ring shared between hypervisor and guest OS (SPML design). It is
+  /// allocated in the guest's address space conceptually; the hypervisor
+  /// only writes logged GPAs into it (§V isolation argument).
+  [[nodiscard]] RingBuffer& spml_ring() noexcept { return spml_ring_; }
+
+  /// The hypervisor's "larger buffer": dirty GPAs retained for its own use
+  /// (live migration pre-copy). Deduplicated.
+  [[nodiscard]] std::unordered_set<Gpa>& hyp_dirty_log() noexcept { return hyp_dirty_log_; }
+
+  /// GPAs routed to the guest ring since the last SPML interval reset; used
+  /// to re-arm their dirty flags at the interval boundary.
+  [[nodiscard]] std::vector<Gpa>& spml_interval_log() noexcept { return spml_interval_log_; }
+
+  /// Sub-page permission table (Intel SPP); consulted by the page-walk
+  /// circuit for EPT entries flagged spp.
+  [[nodiscard]] sim::SppTable& spp_table() noexcept { return spp_table_; }
+
+  // -- PML state -------------------------------------------------------------
+  Hpa pml_buffer = 0;             ///< hypervisor-level 4KiB PML buffer (HPA).
+  bool pml_enabled_by_guest = false;  ///< enabled_by_guest flag (§IV-C item 3).
+  bool pml_enabled_by_hyp = false;    ///< enabled_by_hyp flag.
+  bool guest_logging_on = false;      ///< SPML: tracked process currently scheduled in.
+  u64 spml_tracked_mem_bytes = 0;     ///< tracked process size, for M14 scaling.
+
+ private:
+  u32 id_;
+  u64 mem_bytes_;
+  sim::Ept ept_;
+  sim::Vcpu vcpu_;
+  RingBuffer spml_ring_;
+  std::unordered_set<Gpa> hyp_dirty_log_;
+  std::vector<Gpa> spml_interval_log_;
+  sim::SppTable spp_table_;
+};
+
+}  // namespace ooh::hv

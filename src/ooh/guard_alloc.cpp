@@ -1,0 +1,66 @@
+#include "ooh/guard_alloc.hpp"
+
+#include <stdexcept>
+
+#include "sim/spp.hpp"
+
+namespace ooh::lib {
+
+Gva PageGuardAllocator::alloc(u64 bytes) {
+  if (bytes == 0) throw std::invalid_argument("alloc of zero bytes");
+  // One mapping per allocation; Process::mmap leaves an unmapped guard page
+  // between VMAs, which is exactly the classic guard.
+  const u64 rounded = page_ceil(bytes);
+  const Gva addr = proc_.mmap(rounded);
+  ++stats_.allocations;
+  stats_.payload_bytes += bytes;
+  stats_.guard_bytes += kPageSize;        // the unmapped page after the VMA
+  stats_.padding_bytes += rounded - bytes;  // page-rounding waste
+  return addr;
+}
+
+SubPageGuardAllocator::SubPageGuardAllocator(guest::GuestKernel& kernel,
+                                             guest::Process& proc, u64 arena_bytes)
+    : GuardedAllocator(kernel, proc), arena_bytes_(page_ceil(arena_bytes)) {
+  arena_ = proc_.mmap(arena_bytes_);
+  kernel_.set_spp_handler(proc_, [this](Gva fault_addr) {
+    ++stats_.overflows_detected;
+    (void)fault_addr;
+    return guest::GuestKernel::SppAction::kKill;  // guards are fatal, like a guard page
+  });
+}
+
+SubPageGuardAllocator::~SubPageGuardAllocator() {
+  kernel_.set_spp_handler(proc_, nullptr);
+}
+
+void SubPageGuardAllocator::protect_guard(Gva addr) {
+  const Gva page = page_floor(addr);
+  const u32 mask =
+      kernel_.spp_mask_of(proc_, page) & ~(1u << sim::subpage_index(addr));
+  kernel_.spp_protect(proc_, page, mask);
+}
+
+Gva SubPageGuardAllocator::alloc(u64 bytes) {
+  if (bytes == 0) throw std::invalid_argument("alloc of zero bytes");
+  const u64 sub = sim::kSubPageSize;
+  const u64 rounded = (bytes + sub - 1) & ~(sub - 1);
+  // Payload must not straddle its guard: place payload + guard contiguously,
+  // starting a fresh page when they would not fit in the current one...
+  // allocations larger than a page span pages; the guard is the sub-page
+  // right after the payload.
+  if (bump_ + rounded + sub > arena_bytes_) {
+    throw std::bad_alloc{};
+  }
+  const Gva addr = arena_ + bump_;
+  bump_ += rounded + sub;
+  protect_guard(addr + rounded);  // the 128B redzone after the payload
+
+  ++stats_.allocations;
+  stats_.payload_bytes += bytes;
+  stats_.guard_bytes += sub;
+  stats_.padding_bytes += rounded - bytes;
+  return addr;
+}
+
+}  // namespace ooh::lib

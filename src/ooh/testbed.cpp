@@ -1,0 +1,16 @@
+#include "ooh/testbed.hpp"
+
+namespace ooh::lib {
+
+TestBed::TestBed(const TestBedOptions& opts) {
+  machine_ = std::make_unique<sim::Machine>(opts.host_mem_bytes, opts.cost);
+  hypervisor_ = std::make_unique<hv::Hypervisor>(*machine_);
+  kernels_.reserve(opts.tenant_vms);
+  for (unsigned i = 0; i < opts.tenant_vms; ++i) {
+    hv::Vm& vm = hypervisor_->create_vm(opts.vm_mem_bytes);
+    kernels_.push_back(std::make_unique<guest::GuestKernel>(*hypervisor_, vm));
+    kernels_.back()->scheduler().set_quantum(opts.sched_quantum);
+  }
+}
+
+}  // namespace ooh::lib

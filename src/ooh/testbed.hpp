@@ -1,0 +1,45 @@
+// TestBed: one Machine + hypervisor + N tenant VMs, each with a guest
+// kernel -- the paper's experimental environment (§VI-A: one dedicated vCPU
+// per VM, 5GB of guest memory, 1..5 tenant VMs for the scalability study).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "base/cost_model.hpp"
+#include "guest/kernel.hpp"
+#include "hypervisor/hypervisor.hpp"
+#include "sim/machine.hpp"
+
+namespace ooh::lib {
+
+struct TestBedOptions {
+  u64 host_mem_bytes = 64 * kGiB;
+  u64 vm_mem_bytes = 5 * kGiB;
+  unsigned tenant_vms = 1;
+  CostModel cost = CostModel::paper_calibrated();
+  VirtDuration sched_quantum = secs(1.0);
+};
+
+class TestBed {
+ public:
+  explicit TestBed(const TestBedOptions& opts = {});
+
+  TestBed(const TestBed&) = delete;
+  TestBed& operator=(const TestBed&) = delete;
+
+  [[nodiscard]] sim::Machine& machine() noexcept { return *machine_; }
+  [[nodiscard]] hv::Hypervisor& hypervisor() noexcept { return *hypervisor_; }
+  [[nodiscard]] unsigned tenant_count() const noexcept {
+    return static_cast<unsigned>(kernels_.size());
+  }
+  [[nodiscard]] hv::Vm& vm(unsigned i = 0) { return hypervisor_->vm(i); }
+  [[nodiscard]] guest::GuestKernel& kernel(unsigned i = 0) { return *kernels_.at(i); }
+
+ private:
+  std::unique_ptr<sim::Machine> machine_;
+  std::unique_ptr<hv::Hypervisor> hypervisor_;
+  std::vector<std::unique_ptr<guest::GuestKernel>> kernels_;
+};
+
+}  // namespace ooh::lib

@@ -1,0 +1,45 @@
+#include "ooh/tracker.hpp"
+
+#include <algorithm>
+
+#include "base/clock.hpp"
+
+namespace ooh::lib {
+
+std::string_view technique_name(Technique t) noexcept {
+  switch (t) {
+    case Technique::kProc: return "/proc";
+    case Technique::kUfd: return "ufd";
+    case Technique::kSpml: return "SPML";
+    case Technique::kEpml: return "EPML";
+    case Technique::kOracle: return "oracle";
+  }
+  return "?";
+}
+
+void DirtyTracker::init() {
+  VirtualClock::Scope s(kernel_.machine().clock, phases_.init);
+  do_init();
+}
+
+void DirtyTracker::begin_interval() {
+  VirtualClock::Scope s(kernel_.machine().clock, phases_.arm);
+  do_begin_interval();
+}
+
+std::vector<Gva> DirtyTracker::collect() {
+  kernel_.machine().count(Event::kTrackerCollect);
+  VirtualClock::Scope s(kernel_.machine().clock, phases_.collect);
+  std::vector<Gva> pages = do_collect();
+  std::sort(pages.begin(), pages.end());
+  pages.erase(std::unique(pages.begin(), pages.end()), pages.end());
+  ++phases_.intervals;
+  phases_.collected_pages += pages.size();
+  return pages;
+}
+
+void DirtyTracker::shutdown() {
+  do_shutdown();
+}
+
+}  // namespace ooh::lib

@@ -1,0 +1,88 @@
+// The OoH userspace library: a unified dirty-page tracker API over the four
+// techniques the paper compares (/proc, userfaultfd, SPML, EPML) plus an
+// oracle (zero-cost ground truth, the hypothetical technique of §VI-B).
+//
+// Tracker lifecycle:
+//     init()            one-time setup (ufd registration, OoH PML init)
+//     begin_interval()  arm tracking for a new interval (clear_refs, re-WP)
+//     ... tracked process runs ...
+//     collect()         harvest dirty GVAs for the interval
+//     shutdown()        teardown
+//
+// Per-phase virtual time is attributed to Phases so benches can report the
+// paper's Tracker-side costs (Fig. 3, Table I "On Tracker").
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "base/types.hpp"
+#include "base/vtime.hpp"
+#include "guest/kernel.hpp"
+#include "guest/process.hpp"
+
+namespace ooh::lib {
+
+enum class Technique { kProc, kUfd, kSpml, kEpml, kOracle };
+
+[[nodiscard]] std::string_view technique_name(Technique t) noexcept;
+
+/// Tracker-side time split by lifecycle phase.
+struct Phases {
+  VirtDuration init{0};
+  VirtDuration arm{0};       ///< begin_interval total (clear_refs / re-protect).
+  VirtDuration collect{0};   ///< address-collection total (incl. reverse map).
+  VirtDuration monitor{0};   ///< tracker work during monitoring (ufd fault service).
+  u64 intervals = 0;
+  u64 collected_pages = 0;   ///< sum over intervals (after per-interval dedup).
+
+  [[nodiscard]] VirtDuration tracker_total() const noexcept {
+    return init + arm + collect + monitor;
+  }
+};
+
+class DirtyTracker {
+ public:
+  DirtyTracker(guest::GuestKernel& kernel, guest::Process& proc)
+      : kernel_(kernel), proc_(proc) {}
+  virtual ~DirtyTracker() = default;
+
+  DirtyTracker(const DirtyTracker&) = delete;
+  DirtyTracker& operator=(const DirtyTracker&) = delete;
+
+  [[nodiscard]] virtual Technique technique() const noexcept = 0;
+  [[nodiscard]] std::string_view name() const noexcept {
+    return technique_name(technique());
+  }
+
+  void init();
+  void begin_interval();
+  /// Dirty page GVAs (page-aligned, deduplicated, sorted) for the interval.
+  [[nodiscard]] std::vector<Gva> collect();
+  void shutdown();
+
+  /// Pages known to have been lost (ring overflow). 0 for exact techniques.
+  [[nodiscard]] virtual u64 dropped() const { return 0; }
+
+  [[nodiscard]] const Phases& phases() const noexcept { return phases_; }
+  [[nodiscard]] guest::Process& process() noexcept { return proc_; }
+
+ protected:
+  virtual void do_init() = 0;
+  virtual void do_begin_interval() = 0;
+  [[nodiscard]] virtual std::vector<Gva> do_collect() = 0;
+  virtual void do_shutdown() = 0;
+
+  guest::GuestKernel& kernel_;
+  guest::Process& proc_;
+  Phases phases_;
+};
+
+/// Factory over the technique enum; SPML/EPML load the OoH kernel module on
+/// init() if it is not already loaded in the right mode.
+[[nodiscard]] std::unique_ptr<DirtyTracker> make_tracker(Technique t,
+                                                         guest::GuestKernel& kernel,
+                                                         guest::Process& proc);
+
+}  // namespace ooh::lib

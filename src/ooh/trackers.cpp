@@ -1,0 +1,170 @@
+#include "ooh/trackers.hpp"
+
+#include <unordered_map>
+
+#include "guest/ooh_module.hpp"
+#include "guest/procfs.hpp"
+#include "guest/uffd.hpp"
+
+namespace ooh::lib {
+namespace {
+
+/// Load (or re-load) the OoH kernel module in the requested mode. One design
+/// is active per guest at a time, matching the paper's prototypes.
+guest::OohModule& ensure_module(guest::GuestKernel& kernel, guest::OohMode mode) {
+  guest::OohModule* mod = kernel.ooh_module();
+  if (mod != nullptr && mod->mode() != mode) {
+    kernel.unload_ooh_module();
+    mod = nullptr;
+  }
+  return mod != nullptr ? *mod : kernel.load_ooh_module(mode);
+}
+
+}  // namespace
+
+// ---- ProcTracker ------------------------------------------------------------
+
+void ProcTracker::do_begin_interval() {
+  kernel_.procfs().clear_refs(proc_);
+}
+
+std::vector<Gva> ProcTracker::do_collect() {
+  return kernel_.procfs().pagemap_dirty(proc_);
+}
+
+// ---- UfdTracker --------------------------------------------------------------
+
+void UfdTracker::do_init() {
+  kernel_.uffd().register_wp(
+      proc_, [this](Gva page) { pending_.insert(page); }, &phases_.monitor);
+}
+
+void UfdTracker::do_begin_interval() {
+  // Registration already write-protected everything; later intervals must
+  // re-protect so second writes to the same page fault again.
+  if (first_interval_) {
+    first_interval_ = false;
+    return;
+  }
+  kernel_.uffd().rearm_wp(proc_);
+}
+
+std::vector<Gva> UfdTracker::do_collect() {
+  std::vector<Gva> out(pending_.begin(), pending_.end());
+  pending_.clear();
+  return out;
+}
+
+void UfdTracker::do_shutdown() {
+  kernel_.uffd().unregister(proc_);
+}
+
+// ---- SpmlTracker -------------------------------------------------------------
+
+void SpmlTracker::do_init() {
+  module_ = &ensure_module(kernel_, guest::OohMode::kSpml);
+  module_->track(proc_);
+}
+
+std::vector<Gva> SpmlTracker::do_collect() {
+  sim::Machine& m = kernel_.machine();
+  std::vector<u64> gpas = module_->fetch(proc_);  // GPAs; charges the RB copy
+
+  // Deduplicate: a page drained more than once re-logs within the interval.
+  std::sort(gpas.begin(), gpas.end());
+  gpas.erase(std::unique(gpas.begin(), gpas.end()), gpas.end());
+
+  // Reverse mapping GPA -> GVA (§IV-C item 2): a userspace page-table scan
+  // through /proc (M16) plus a per-GPA lookup (M17) -- the dominant SPML
+  // term (Fig. 3). Resolved addresses are cached and reused by later
+  // intervals, as the paper's Boehm integration does (§VI-E footnote 2), so
+  // only GPAs never seen before pay the cost.
+  const bool any_miss =
+      std::any_of(gpas.begin(), gpas.end(),
+                  [&](Gpa g) { return !rmap_cache_.contains(g); });
+  if (any_miss) {
+    m.count(Event::kPagemapScan);
+    m.charge_us(m.cost.pagemap_scan_us(proc_.mapped_bytes()));
+    const double per_page = m.cost.reverse_map_per_page_us(proc_.mapped_bytes());
+    std::unordered_map<Gpa, Gva> current;
+    for (const auto& [gva, gpa] : kernel_.procfs().pagemap_entries(proc_)) {
+      current.emplace(gpa, gva);
+    }
+    for (const Gpa gpa : gpas) {
+      if (rmap_cache_.contains(gpa)) continue;
+      m.count(Event::kReverseMapLookup);
+      m.charge_us(per_page);
+      if (const auto it = current.find(gpa); it != current.end()) {
+        rmap_cache_.emplace(gpa, it->second);
+      }
+    }
+  }
+  std::vector<Gva> out;
+  out.reserve(gpas.size());
+  for (const Gpa gpa : gpas) {
+    if (const auto it = rmap_cache_.find(gpa); it != rmap_cache_.end()) {
+      out.push_back(it->second);
+    }
+  }
+  return out;
+}
+
+void SpmlTracker::do_shutdown() {
+  if (module_ != nullptr && module_->tracking(proc_)) module_->untrack(proc_);
+}
+
+u64 SpmlTracker::dropped() const {
+  return module_ != nullptr && module_->tracking(proc_) ? module_->dropped(proc_)
+                                                        : 0;
+}
+
+// ---- EpmlTracker -------------------------------------------------------------
+
+void EpmlTracker::do_init() {
+  module_ = &ensure_module(kernel_, guest::OohMode::kEpml);
+  module_->track(proc_);
+}
+
+std::vector<Gva> EpmlTracker::do_collect() {
+  // The hardware already logged GVAs: collection is a ring-buffer read.
+  return module_->fetch(proc_);
+}
+
+void EpmlTracker::do_shutdown() {
+  if (module_ != nullptr && module_->tracking(proc_)) module_->untrack(proc_);
+}
+
+u64 EpmlTracker::dropped() const {
+  return module_ != nullptr && module_->tracking(proc_) ? module_->dropped(proc_)
+                                                        : 0;
+}
+
+// ---- OracleTracker -----------------------------------------------------------
+
+void OracleTracker::do_begin_interval() {
+  baseline_seq_ = proc_.truth_seq();
+}
+
+std::vector<Gva> OracleTracker::do_collect() {
+  std::vector<Gva> out;
+  for (const auto& [page, seq] : proc_.truth_dirty()) {
+    if (seq > baseline_seq_) out.push_back(page);
+  }
+  return out;
+}
+
+// ---- factory -------------------------------------------------------------------
+
+std::unique_ptr<DirtyTracker> make_tracker(Technique t, guest::GuestKernel& kernel,
+                                           guest::Process& proc) {
+  switch (t) {
+    case Technique::kProc: return std::make_unique<ProcTracker>(kernel, proc);
+    case Technique::kUfd: return std::make_unique<UfdTracker>(kernel, proc);
+    case Technique::kSpml: return std::make_unique<SpmlTracker>(kernel, proc);
+    case Technique::kEpml: return std::make_unique<EpmlTracker>(kernel, proc);
+    case Technique::kOracle: return std::make_unique<OracleTracker>(kernel, proc);
+  }
+  throw std::invalid_argument("unknown technique");
+}
+
+}  // namespace ooh::lib

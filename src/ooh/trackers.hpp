@@ -1,0 +1,108 @@
+// The five DirtyTracker backends (paper §III and §IV).
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "ooh/tracker.hpp"
+
+namespace ooh::guest {
+class OohModule;
+}
+
+namespace ooh::lib {
+
+/// /proc/PID/{clear_refs,pagemap} soft-dirty tracking -- the default in both
+/// CRIU and Boehm GC (§III-B).
+class ProcTracker final : public DirtyTracker {
+ public:
+  using DirtyTracker::DirtyTracker;
+  [[nodiscard]] Technique technique() const noexcept override { return Technique::kProc; }
+
+ protected:
+  void do_init() override {}
+  void do_begin_interval() override;
+  [[nodiscard]] std::vector<Gva> do_collect() override;
+  void do_shutdown() override {}
+};
+
+/// userfaultfd write-protect tracking (§III-A). Dirty addresses accumulate
+/// synchronously while the Tracked faults; collect() just takes the set.
+class UfdTracker final : public DirtyTracker {
+ public:
+  using DirtyTracker::DirtyTracker;
+  [[nodiscard]] Technique technique() const noexcept override { return Technique::kUfd; }
+
+ protected:
+  void do_init() override;
+  void do_begin_interval() override;
+  [[nodiscard]] std::vector<Gva> do_collect() override;
+  void do_shutdown() override;
+
+ private:
+  std::unordered_set<Gva> pending_;
+  bool first_interval_ = true;
+};
+
+/// Shadow PML (§IV-C): the hypervisor emulates per-process PML via
+/// enable/disable_logging hypercalls; the library reverse-maps logged GPAs
+/// to GVAs by parsing the page table through /proc -- the measured
+/// bottleneck (Fig. 3).
+class SpmlTracker final : public DirtyTracker {
+ public:
+  using DirtyTracker::DirtyTracker;
+  [[nodiscard]] Technique technique() const noexcept override { return Technique::kSpml; }
+  [[nodiscard]] u64 dropped() const override;
+
+ protected:
+  void do_init() override;
+  void do_begin_interval() override {}
+  [[nodiscard]] std::vector<Gva> do_collect() override;
+  void do_shutdown() override;
+
+ private:
+  guest::OohModule* module_ = nullptr;
+  /// GPA -> GVA index built by reverse mapping. The paper's Boehm
+  /// integration reuses first-cycle addresses (§VI-E footnote), so lookups
+  /// only pay M16/M17 for GPAs not yet in the cache.
+  std::unordered_map<Gpa, Gva> rmap_cache_;
+};
+
+/// Extended PML (§IV-D): the hardware logs GVAs straight into a guest-level
+/// buffer; collection is a plain ring-buffer read.
+class EpmlTracker final : public DirtyTracker {
+ public:
+  using DirtyTracker::DirtyTracker;
+  [[nodiscard]] Technique technique() const noexcept override { return Technique::kEpml; }
+  [[nodiscard]] u64 dropped() const override;
+
+ protected:
+  void do_init() override;
+  void do_begin_interval() override {}
+  [[nodiscard]] std::vector<Gva> do_collect() override;
+  void do_shutdown() override;
+
+ private:
+  guest::OohModule* module_ = nullptr;
+};
+
+/// The hypothetical zero-cost technique of §VI-B ("oracle"): perfect dirty
+/// information with E(C_oracle) = 0. Reads the simulator's ground truth.
+class OracleTracker final : public DirtyTracker {
+ public:
+  using DirtyTracker::DirtyTracker;
+  [[nodiscard]] Technique technique() const noexcept override {
+    return Technique::kOracle;
+  }
+
+ protected:
+  void do_init() override {}
+  void do_begin_interval() override;
+  [[nodiscard]] std::vector<Gva> do_collect() override;
+  void do_shutdown() override {}
+
+ private:
+  u64 baseline_seq_ = 0;  ///< write sequence at the start of the interval.
+};
+
+}  // namespace ooh::lib

@@ -1,0 +1,32 @@
+#include "sim/ept.hpp"
+
+#include <cassert>
+
+namespace ooh::sim {
+
+void Ept::map(Gpa gpa_page, Hpa hpa_page, bool writable) {
+  assert(is_page_aligned(gpa_page) && is_page_aligned(hpa_page));
+  EptEntry& e = table_.ensure(gpa_page);
+  if (!e.present) ++present_pages_;
+  e = EptEntry{};
+  e.hpa_page = hpa_page;
+  e.present = true;
+  e.writable = writable;
+}
+
+void Ept::unmap(Gpa gpa_page) {
+  EptEntry* e = table_.find(page_floor(gpa_page));
+  if (e != nullptr && e->present) {
+    *e = EptEntry{};
+    --present_pages_;
+  }
+}
+
+bool Ept::translate(Gpa gpa, Hpa& out) const noexcept {
+  const EptEntry* e = entry(gpa);
+  if (e == nullptr || !e->present) return false;
+  out = e->hpa_page | page_offset(gpa);
+  return true;
+}
+
+}  // namespace ooh::sim

@@ -1,0 +1,51 @@
+// Extended Page Table: per-VM GPA -> HPA mapping with accessed/dirty flags.
+//
+// Intel PML's trigger point lives here: a write that sets an EPT entry's
+// dirty flag during the nested walk logs the GPA to the PML buffer
+// (SDM Vol. 3C, "Page-Modification Logging").
+#pragma once
+
+#include "base/types.hpp"
+#include "sim/radix.hpp"
+
+namespace ooh::sim {
+
+struct EptEntry {
+  Hpa hpa_page = 0;
+  bool present : 1 = false;
+  bool writable : 1 = false;
+  bool accessed : 1 = false;
+  bool dirty : 1 = false;
+  /// Intel SPP: writes consult the sub-page permission table (sim/spp.hpp).
+  bool spp : 1 = false;
+};
+
+class Ept {
+ public:
+  void map(Gpa gpa_page, Hpa hpa_page, bool writable = true);
+  void unmap(Gpa gpa_page);
+
+  [[nodiscard]] EptEntry* entry(Gpa gpa) noexcept { return table_.find(page_floor(gpa)); }
+  [[nodiscard]] const EptEntry* entry(Gpa gpa) const noexcept {
+    return table_.find(page_floor(gpa));
+  }
+
+  /// GPA -> HPA for a present mapping; returns false when unmapped.
+  [[nodiscard]] bool translate(Gpa gpa, Hpa& out) const noexcept;
+
+  /// Visit every present entry as fn(gpa_page, EptEntry&).
+  template <typename Fn>
+  void for_each_present(Fn&& fn) {
+    table_.for_each([&](u64 addr, EptEntry& e) {
+      if (e.present) fn(addr, e);
+    });
+  }
+
+  [[nodiscard]] u64 present_pages() const noexcept { return present_pages_; }
+
+ private:
+  RadixTable4<EptEntry> table_;
+  u64 present_pages_ = 0;
+};
+
+}  // namespace ooh::sim

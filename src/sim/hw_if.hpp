@@ -1,0 +1,45 @@
+// Interfaces through which the simulated hardware calls software.
+//
+// The hypervisor implements VmExitHandler (runs in VMX root mode); the guest
+// kernel implements GuestIrqSink (posted interrupts are delivered in VMX
+// non-root mode without any exit -- the property EPML exploits).
+#pragma once
+
+#include "base/types.hpp"
+
+namespace ooh::sim {
+
+class Vcpu;
+
+/// Hypercall numbers of the OoH para-virtual interface (paper §IV).
+enum class Hypercall : u64 {
+  kOohInitPml = 1,          ///< SPML: allocate/point PML buffer, share ring (M9).
+  kOohDeactivatePml,        ///< SPML teardown (M11).
+  kOohEnableLogging,        ///< SPML: tracked process scheduled in (M13).
+  kOohDisableLogging,       ///< SPML: tracked scheduled out; flush buffer to ring (M14).
+  kOohInitEpml,             ///< EPML: enable VMCS shadowing + guest PML field (M10).
+  kOohDeactivateEpml,       ///< EPML teardown (M12).
+  kOohIntervalReset,        ///< SPML: end of interval; re-arm consumed pages.
+  kOohSppProtect,           ///< OoH-SPP: install a sub-page write mask (a0=gpa, a1=mask).
+  kOohSppClear,             ///< OoH-SPP: remove the sub-page mask (a0=gpa).
+};
+
+class VmExitHandler {
+ public:
+  virtual ~VmExitHandler() = default;
+  /// Hypervisor-level PML buffer is full; drain it and reset the index.
+  virtual void on_pml_full(Vcpu& vcpu) = 0;
+  /// No EPT mapping for `gpa`; back-fill it (demand allocation of host RAM).
+  virtual void on_ept_violation(Vcpu& vcpu, Gpa gpa, bool is_write) = 0;
+  /// Guest-initiated hypercall (vmcall); returns a status/result value.
+  virtual u64 on_hypercall(Vcpu& vcpu, Hypercall nr, u64 a0, u64 a1) = 0;
+};
+
+class GuestIrqSink {
+ public:
+  virtual ~GuestIrqSink() = default;
+  /// EPML: guest-level PML buffer full, delivered as a posted self-IPI.
+  virtual void on_guest_pml_full(Vcpu& vcpu) = 0;
+};
+
+}  // namespace ooh::sim

@@ -1,0 +1,30 @@
+// The physical machine: RAM + the experiment-wide clock, counters and cost
+// model. One Machine hosts one hypervisor and any number of VMs.
+#pragma once
+
+#include "base/clock.hpp"
+#include "base/cost_model.hpp"
+#include "base/counters.hpp"
+#include "sim/phys_mem.hpp"
+
+namespace ooh::sim {
+
+class Machine {
+ public:
+  explicit Machine(u64 host_mem_bytes, CostModel cost_model = CostModel::paper_calibrated())
+      : cost(cost_model), pmem(host_mem_bytes) {}
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  void charge_us(double us) { clock.advance(usecs(us)); }
+  void charge_ns(double ns) { clock.advance(nsecs(ns)); }
+  void count(Event e, u64 n = 1) noexcept { counters.add(e, n); }
+
+  VirtualClock clock;
+  EventCounters counters;
+  CostModel cost;
+  PhysicalMemory pmem;
+};
+
+}  // namespace ooh::sim

@@ -1,0 +1,153 @@
+#include "sim/mmu.hpp"
+
+#include <stdexcept>
+
+#include "sim/machine.hpp"
+#include "sim/vcpu.hpp"
+
+namespace ooh::sim {
+
+Mmu::Mmu(Machine& machine, Vcpu& vcpu, Ept& ept, SppTable* spp)
+    : machine_(machine), vcpu_(vcpu), ept_(ept), spp_(spp) {}
+
+bool Mmu::read_log_active() const noexcept {
+  const Vmcs& v = vcpu_.vmcs();
+  return v.control(kEnablePml) && v.control(kEnablePmlReadLog) &&
+         v.read(VmcsField::kPmlAddress) != 0;
+}
+
+bool Mmu::hyp_pml_active() const noexcept {
+  const Vmcs& v = vcpu_.vmcs();
+  return v.control(kEnablePml) && v.read(VmcsField::kPmlAddress) != 0;
+}
+
+bool Mmu::guest_pml_active() const noexcept {
+  const Vmcs& v = vcpu_.vmcs();
+  if (!v.control(kEnableGuestPml)) return false;
+  const Vmcs* shadow = const_cast<Vcpu&>(vcpu_).shadow_vmcs();
+  return shadow != nullptr && shadow->read(VmcsField::kGuestPmlEnable) != 0 &&
+         shadow->read(VmcsField::kGuestPmlAddress) != 0;
+}
+
+void Mmu::log_gpa(Gpa gpa_page) {
+  Vmcs& v = vcpu_.vmcs();
+  u16 idx = static_cast<u16>(v.read(VmcsField::kPmlIndex));
+  if (idx > kPmlIndexStart) {
+    // Index underflowed past entry 0: PML-full VM-exit before logging (SDM).
+    vcpu_.vmexit_to_root(Event::kVmExitPmlFull,
+                         [&] { vcpu_.exits()->on_pml_full(vcpu_); });
+    idx = static_cast<u16>(v.read(VmcsField::kPmlIndex));
+    if (idx > kPmlIndexStart) {
+      throw std::logic_error("PML-full handler did not reset the PML index");
+    }
+  }
+  const Hpa buf = v.read(VmcsField::kPmlAddress);
+  machine_.pmem.write_u64(buf + u64{idx} * 8, gpa_page);
+  v.write(VmcsField::kPmlIndex, static_cast<u16>(idx - 1));  // wraps past 0
+  machine_.count(Event::kPmlLogGpa);
+  machine_.charge_ns(machine_.cost.pml_log_ns);
+}
+
+void Mmu::log_gva(Gva gva_page) {
+  Vmcs& shadow = *vcpu_.shadow_vmcs();
+  u16 idx = static_cast<u16>(shadow.read(VmcsField::kGuestPmlIndex));
+  if (idx > kPmlIndexStart) {
+    // Guest-level buffer full: posted self-IPI into the OoH module; the
+    // module drains the buffer and resets the index. No VM-exit (EPML).
+    machine_.count(Event::kSelfIpi);
+    machine_.charge_us(machine_.cost.self_ipi_us + machine_.cost.irq_dispatch_us);
+    vcpu_.irq_sink()->on_guest_pml_full(vcpu_);
+    idx = static_cast<u16>(shadow.read(VmcsField::kGuestPmlIndex));
+    if (idx > kPmlIndexStart) {
+      throw std::logic_error("self-IPI handler did not reset the guest PML index");
+    }
+  }
+  const Hpa buf = shadow.read(VmcsField::kGuestPmlAddress);
+  machine_.pmem.write_u64(buf + u64{idx} * 8, gva_page);
+  shadow.write(VmcsField::kGuestPmlIndex, static_cast<u16>(idx - 1));
+  machine_.count(Event::kPmlLogGvaGuest);
+  machine_.charge_ns(machine_.cost.pml_log_ns);
+}
+
+Mmu::Result Mmu::access(u32 pid, GuestPageTable& pt, Gva gva, bool is_write) {
+  const Gva gva_page = page_floor(gva);
+  Tlb& tlb = vcpu_.tlb();
+
+  if (TlbEntry* te = tlb.lookup(pid, gva_page); te != nullptr) {
+    // A cached translation can serve reads always, and writes when the
+    // dirty state is already established (no flag transition => no logging).
+    if (!is_write || (te->writable && te->dirty)) {
+      machine_.count(Event::kTlbHit);
+      machine_.charge_ns(machine_.cost.tlb_hit_ns);
+      return {Status::kOk, te->hpa_page | page_offset(gva)};
+    }
+    // Write through a clean/RO cached entry: hardware re-walks to set flags.
+    tlb.invalidate_page(pid, gva_page);
+  }
+  machine_.count(Event::kTlbMiss);
+
+  // ---- guest page-table walk ----------------------------------------------
+  machine_.count(Event::kGuestPtWalk);
+  machine_.charge_ns(machine_.cost.guest_walk_ns);
+  Pte* pte = pt.pte(gva_page);
+  if (pte == nullptr || !pte->present) return {Status::kFaultNotPresent, 0};
+  if (is_write && (!pte->writable || pte->uffd_wp)) return {Status::kFaultNotWritable, 0};
+  pte->accessed = true;
+  if (is_write && !pte->dirty) {
+    pte->dirty = true;
+    if (guest_pml_active()) log_gva(gva_page);
+  }
+  const Gpa gpa = pte->gpa_page | page_offset(gva);
+
+  // ---- EPT walk ------------------------------------------------------------
+  machine_.count(Event::kEptWalk);
+  machine_.charge_ns(machine_.cost.ept_walk_ns);
+  EptEntry* epte = ept_.entry(gpa);
+  if (epte == nullptr || !epte->present) {
+    // EPT violation: exit to the hypervisor, which back-fills the mapping.
+    machine_.charge_us(machine_.cost.ept_violation_us);
+    vcpu_.vmexit_to_root(Event::kVmExitEptViolation, [&] {
+      vcpu_.exits()->on_ept_violation(vcpu_, gpa, is_write);
+    });
+    epte = ept_.entry(gpa);
+    if (epte == nullptr || !epte->present) {
+      throw std::logic_error("EPT violation handler did not map the GPA");
+    }
+  }
+  // SPP: writes to a sub-page whose permission bit is clear raise an
+  // SPP-violation exit before any dirty state changes (guard semantics).
+  if (is_write && epte->spp && spp_ != nullptr && !spp_->write_allowed(gpa)) {
+    machine_.count(Event::kSppViolation);
+    machine_.count(Event::kVmExit);
+    machine_.charge_us(machine_.cost.spp_violation_us);
+    return {Status::kFaultSubPage, 0};
+  }
+
+  if (!epte->accessed) {
+    epte->accessed = true;
+    // Read-logging extension: accessed-flag transitions log the GPA so the
+    // hypervisor can estimate the working set (touched pages, not just
+    // dirtied ones).
+    if (read_log_active()) {
+      machine_.count(Event::kPmlLogRead);
+      log_gpa(pte->gpa_page);
+    }
+  }
+  if (is_write && !epte->dirty) {
+    epte->dirty = true;
+    machine_.count(Event::kEptDirtySet);
+    if (hyp_pml_active() && !read_log_active()) log_gpa(pte->gpa_page);
+  }
+
+  TlbEntry te;
+  te.gpa_page = pte->gpa_page;
+  te.hpa_page = epte->hpa_page;
+  // SPP pages never cache write permission: every store must re-consult the
+  // sub-page mask.
+  te.writable = pte->writable && !pte->uffd_wp && epte->writable && !epte->spp;
+  te.dirty = pte->dirty && epte->dirty;
+  tlb.insert(pid, gva_page, te);
+  return {Status::kOk, epte->hpa_page | page_offset(gva)};
+}
+
+}  // namespace ooh::sim

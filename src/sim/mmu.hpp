@@ -1,0 +1,63 @@
+// The MMU write path: TLB -> guest page-table walk -> EPT walk, with the
+// PML logging circuit at the two dirty-flag transition points.
+//
+// This is where the paper's central hardware mechanism lives:
+//   * hypervisor-level PML (original Intel PML): a write that sets an EPT
+//     dirty flag logs the GPA into the buffer at VMCS.PML_ADDRESS; when the
+//     index underflows, a PML-full VM-exit is raised *before* logging.
+//   * guest-level PML (the EPML extension): a write that sets a guest-PTE
+//     dirty flag logs the GVA into the buffer at VMCS.GUEST_PML_ADDRESS
+//     (shadow VMCS); a full buffer raises a posted self-IPI handled by the
+//     guest OoH module with no VM-exit.
+//
+// Faults are *returned*, not handled: the guest kernel owns fault policy
+// (demand paging, soft-dirty, userfaultfd) and retries the access.
+#pragma once
+
+#include "base/types.hpp"
+#include "sim/ept.hpp"
+#include "sim/page_table.hpp"
+#include "sim/spp.hpp"
+
+namespace ooh::sim {
+
+class Machine;
+class Vcpu;
+
+class Mmu {
+ public:
+  /// `spp` is the sub-page permission table the hardware consults for EPT
+  /// entries with the spp flag (nullptr = SPP absent from this machine).
+  Mmu(Machine& machine, Vcpu& vcpu, Ept& ept, SppTable* spp = nullptr);
+
+  enum class Status {
+    kOk,
+    kFaultNotPresent,   ///< PTE absent: demand paging or ufd `miss` territory.
+    kFaultNotWritable,  ///< write to a present RO/uffd-wp PTE: tracking territory.
+    kFaultSubPage,      ///< write blocked by an SPP sub-page mask (guard hit).
+  };
+
+  struct Result {
+    Status status = Status::kOk;
+    Hpa hpa = 0;  ///< translated host physical address (valid when kOk).
+  };
+
+  /// Perform one access at `gva` for guest process `pid` through `pt`.
+  [[nodiscard]] Result access(u32 pid, GuestPageTable& pt, Gva gva, bool is_write);
+
+  [[nodiscard]] Ept& ept() noexcept { return ept_; }
+
+ private:
+  [[nodiscard]] bool hyp_pml_active() const noexcept;
+  [[nodiscard]] bool guest_pml_active() const noexcept;
+  [[nodiscard]] bool read_log_active() const noexcept;
+  void log_gpa(Gpa gpa_page);
+  void log_gva(Gva gva_page);
+
+  Machine& machine_;
+  Vcpu& vcpu_;
+  Ept& ept_;
+  SppTable* spp_;
+};
+
+}  // namespace ooh::sim

@@ -1,0 +1,26 @@
+#include "sim/page_table.hpp"
+
+#include <cassert>
+
+namespace ooh::sim {
+
+void GuestPageTable::map(Gva gva_page, Gpa gpa_page, bool writable) {
+  assert(is_page_aligned(gva_page) && is_page_aligned(gpa_page));
+  Pte& e = table_.ensure(gva_page);
+  if (!e.present) ++present_pages_;
+  e = Pte{};
+  e.gpa_page = gpa_page;
+  e.present = true;
+  e.writable = writable;
+  e.user = true;
+}
+
+void GuestPageTable::unmap(Gva gva_page) {
+  Pte* e = table_.find(page_floor(gva_page));
+  if (e != nullptr && e->present) {
+    *e = Pte{};
+    --present_pages_;
+  }
+}
+
+}  // namespace ooh::sim

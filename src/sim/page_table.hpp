@@ -1,0 +1,55 @@
+// Guest page table: per-process GVA -> GPA mapping with the PTE bits the
+// paper's tracking techniques manipulate.
+//
+//   dirty       : hardware-set on write; EPML's guest-level PML triggers when
+//                 a write *sets* this flag.
+//   soft_dirty  : Linux's bit-55 clone; set by the #PF handler after
+//                 clear_refs write-protected the PTE (/proc technique).
+//   uffd_wp     : userfaultfd write-protect marker; faults go to userspace.
+#pragma once
+
+#include <cstdint>
+
+#include "base/types.hpp"
+#include "sim/radix.hpp"
+
+namespace ooh::sim {
+
+struct Pte {
+  u64 gpa_page = 0;      ///< page-aligned GPA this GVA maps to.
+  bool present : 1 = false;
+  bool writable : 1 = false;
+  bool user : 1 = false;
+  bool accessed : 1 = false;
+  bool dirty : 1 = false;
+  bool soft_dirty : 1 = false;
+  bool uffd_wp : 1 = false;
+};
+
+class GuestPageTable {
+ public:
+  /// Install a present mapping gva_page -> gpa_page (both page-aligned).
+  void map(Gva gva_page, Gpa gpa_page, bool writable);
+  void unmap(Gva gva_page);
+
+  [[nodiscard]] Pte* pte(Gva gva) noexcept { return table_.find(page_floor(gva)); }
+  [[nodiscard]] const Pte* pte(Gva gva) const noexcept {
+    return table_.find(page_floor(gva));
+  }
+
+  /// Visit every *present* PTE as fn(gva_page, Pte&).
+  template <typename Fn>
+  void for_each_present(Fn&& fn) {
+    table_.for_each([&](u64 addr, Pte& e) {
+      if (e.present) fn(addr, e);
+    });
+  }
+
+  [[nodiscard]] u64 present_pages() const noexcept { return present_pages_; }
+
+ private:
+  RadixTable4<Pte> table_;
+  u64 present_pages_ = 0;
+};
+
+}  // namespace ooh::sim

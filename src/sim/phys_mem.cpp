@@ -1,0 +1,70 @@
+#include "sim/phys_mem.hpp"
+
+#include <cassert>
+#include <cstring>
+#include <new>
+#include <stdexcept>
+
+namespace ooh::sim {
+
+PhysicalMemory::PhysicalMemory(u64 bytes) : total_frames_(pages_for_bytes(bytes)) {
+  // Frame 0 is reserved (HPA 0 doubles as "not configured" in VMCS fields,
+  // as firmware does on real machines).
+  next_frame_ = 1;
+}
+
+Hpa PhysicalMemory::alloc_frame() {
+  u64 fn;
+  if (!free_list_.empty()) {
+    fn = free_list_.back();
+    free_list_.pop_back();
+  } else if (next_frame_ < total_frames_) {
+    fn = next_frame_++;
+  } else {
+    throw std::bad_alloc{};
+  }
+  ++used_frames_;
+  return fn << kPageShift;
+}
+
+void PhysicalMemory::free_frame(Hpa frame) {
+  assert(is_page_aligned(frame));
+  const u64 fn = page_index(frame);
+  assert(fn < next_frame_);
+  data_.erase(fn);
+  free_list_.push_back(fn);
+  assert(used_frames_ > 0);
+  --used_frames_;
+}
+
+u8* PhysicalMemory::frame_data(Hpa frame) {
+  const u64 fn = page_index(frame);
+  auto& slot = data_[fn];
+  if (!slot) {
+    slot = std::make_unique<Frame>();
+    slot->fill(0);
+  }
+  return slot->data();
+}
+
+const u8* PhysicalMemory::frame_data_if_present(Hpa frame) const {
+  const auto it = data_.find(page_index(frame));
+  return it == data_.end() ? nullptr : it->second->data();
+}
+
+u64 PhysicalMemory::read_u64(Hpa addr) const {
+  assert(page_offset(addr) + 8 <= kPageSize);
+  const u8* p = frame_data_if_present(page_floor(addr));
+  if (p == nullptr) return 0;
+  u64 v;
+  std::memcpy(&v, p + page_offset(addr), sizeof v);
+  return v;
+}
+
+void PhysicalMemory::write_u64(Hpa addr, u64 value) {
+  assert(page_offset(addr) + 8 <= kPageSize);
+  u8* p = frame_data(page_floor(addr));
+  std::memcpy(p + page_offset(addr), &value, sizeof value);
+}
+
+}  // namespace ooh::sim

@@ -1,0 +1,48 @@
+// Host physical memory: frame allocator plus lazily materialised contents.
+//
+// Frames are identified by HPA. Page *contents* are only materialised when
+// something actually stores data (PML hardware writes, data-backed workloads,
+// CRIU image verification); metadata-only workloads touch translations
+// without allocating backing bytes, which keeps GB-scale sweeps cheap.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "base/types.hpp"
+
+namespace ooh::sim {
+
+class PhysicalMemory {
+ public:
+  explicit PhysicalMemory(u64 bytes);
+
+  /// Allocate one free frame; throws std::bad_alloc when exhausted.
+  [[nodiscard]] Hpa alloc_frame();
+  void free_frame(Hpa frame);
+
+  [[nodiscard]] u64 total_frames() const noexcept { return total_frames_; }
+  [[nodiscard]] u64 used_frames() const noexcept { return used_frames_; }
+  [[nodiscard]] u64 backed_frames() const noexcept { return data_.size(); }
+
+  /// Mutable view of a frame's 4KiB contents, materialising them on demand.
+  [[nodiscard]] u8* frame_data(Hpa frame);
+  /// Read-only view; nullptr when the frame was never written (all-zero).
+  [[nodiscard]] const u8* frame_data_if_present(Hpa frame) const;
+
+  // Word accessors used by the PML circuit to write log entries into RAM.
+  [[nodiscard]] u64 read_u64(Hpa addr) const;
+  void write_u64(Hpa addr, u64 value);
+
+ private:
+  using Frame = std::array<u8, kPageSize>;
+  u64 total_frames_;
+  u64 used_frames_ = 0;
+  u64 next_frame_ = 0;  // bump pointer, in frame numbers
+  std::vector<u64> free_list_;
+  std::unordered_map<u64, std::unique_ptr<Frame>> data_;  // keyed by frame number
+};
+
+}  // namespace ooh::sim

@@ -1,0 +1,101 @@
+// Four-level radix table over the x86-64 48-bit address split
+// (9 + 9 + 9 + 9 index bits above the 12-bit page offset).
+//
+// Shared by the guest page table (GVA -> GPA) and the EPT (GPA -> HPA);
+// only the leaf entry type differs. Interior nodes are allocated lazily so a
+// sparse 1.5 GiB mapping costs a few thousand nodes.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <memory>
+
+#include "base/types.hpp"
+
+namespace ooh::sim {
+
+inline constexpr unsigned kRadixBits = 9;
+inline constexpr std::size_t kRadixFanout = std::size_t{1} << kRadixBits;  // 512
+
+[[nodiscard]] constexpr std::size_t radix_index(u64 addr, unsigned level) noexcept {
+  // level 3 = top (bits 47:39) ... level 0 = leaf (bits 20:12).
+  return (addr >> (kPageShift + kRadixBits * level)) & (kRadixFanout - 1);
+}
+
+template <typename EntryT>
+class RadixTable4 {
+ public:
+  /// Pointer to the leaf entry for `addr`, or nullptr if any interior node
+  /// on the path is absent. Never allocates.
+  [[nodiscard]] EntryT* find(u64 addr) noexcept {
+    L2* l2 = root_.children[radix_index(addr, 3)].get();
+    if (l2 == nullptr) return nullptr;
+    L1* l1 = l2->children[radix_index(addr, 2)].get();
+    if (l1 == nullptr) return nullptr;
+    Leaf* leaf = l1->children[radix_index(addr, 1)].get();
+    if (leaf == nullptr) return nullptr;
+    return &leaf->entries[radix_index(addr, 0)];
+  }
+  [[nodiscard]] const EntryT* find(u64 addr) const noexcept {
+    return const_cast<RadixTable4*>(this)->find(addr);
+  }
+
+  /// Leaf entry for `addr`, allocating interior nodes as needed.
+  [[nodiscard]] EntryT& ensure(u64 addr) {
+    auto& l2 = root_.children[radix_index(addr, 3)];
+    if (!l2) l2 = std::make_unique<L2>();
+    auto& l1 = l2->children[radix_index(addr, 2)];
+    if (!l1) l1 = std::make_unique<L1>();
+    auto& leaf = l1->children[radix_index(addr, 1)];
+    if (!leaf) {
+      leaf = std::make_unique<Leaf>();
+      ++leaf_count_;
+    }
+    return leaf->entries[radix_index(addr, 0)];
+  }
+
+  /// Visit every entry in existing leaves as fn(page_base_addr, EntryT&).
+  /// Visits entries whether or not they are "present"; callers filter.
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (std::size_t i3 = 0; i3 < kRadixFanout; ++i3) {
+      L2* l2 = root_.children[i3].get();
+      if (l2 == nullptr) continue;
+      for (std::size_t i2 = 0; i2 < kRadixFanout; ++i2) {
+        L1* l1 = l2->children[i2].get();
+        if (l1 == nullptr) continue;
+        for (std::size_t i1 = 0; i1 < kRadixFanout; ++i1) {
+          Leaf* leaf = l1->children[i1].get();
+          if (leaf == nullptr) continue;
+          for (std::size_t i0 = 0; i0 < kRadixFanout; ++i0) {
+            const u64 addr = ((static_cast<u64>(i3) << (kRadixBits * 3)) |
+                              (static_cast<u64>(i2) << (kRadixBits * 2)) |
+                              (static_cast<u64>(i1) << kRadixBits) | static_cast<u64>(i0))
+                             << kPageShift;
+            fn(addr, leaf->entries[i0]);
+          }
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t leaf_count() const noexcept { return leaf_count_; }
+
+ private:
+  struct Leaf {
+    std::array<EntryT, kRadixFanout> entries{};
+  };
+  struct L1 {
+    std::array<std::unique_ptr<Leaf>, kRadixFanout> children;
+  };
+  struct L2 {
+    std::array<std::unique_ptr<L1>, kRadixFanout> children;
+  };
+  struct L3 {
+    std::array<std::unique_ptr<L2>, kRadixFanout> children;
+  };
+  L3 root_;
+  std::size_t leaf_count_ = 0;
+};
+
+}  // namespace ooh::sim

@@ -1,0 +1,62 @@
+#include "sim/tlb.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ooh::sim {
+
+TlbEntry* Tlb::lookup(u32 pid, Gva gva_page) noexcept {
+  const auto it = map_.find(key(pid, gva_page));
+  return it == map_.end() ? nullptr : &it->second.entry;
+}
+
+void Tlb::insert(u32 pid, Gva gva_page, const TlbEntry& entry) {
+  const u64 k = key(pid, gva_page);
+  if (const auto it = map_.find(k); it != map_.end()) {
+    it->second.entry = entry;
+    return;
+  }
+  if (map_.size() >= capacity_ && !keys_.empty()) {
+    // Pseudo-random victim (xorshift): real TLBs approximate random/PLRU;
+    // strict FIFO thrashes pathologically on cyclic page strides.
+    rand_state_ ^= rand_state_ << 13;
+    rand_state_ ^= rand_state_ >> 7;
+    rand_state_ ^= rand_state_ << 17;
+    evict_at(rand_state_ % keys_.size());
+  }
+  Slot slot;
+  slot.entry = entry;
+  slot.pos = keys_.size();
+  keys_.push_back(k);
+  map_.emplace(k, slot);
+}
+
+void Tlb::evict_at(std::size_t pos) noexcept {
+  assert(pos < keys_.size());
+  const u64 victim = keys_[pos];
+  const u64 last = keys_.back();
+  keys_[pos] = last;
+  keys_.pop_back();
+  if (last != victim) {
+    if (const auto it = map_.find(last); it != map_.end()) it->second.pos = pos;
+  }
+  map_.erase(victim);
+}
+
+void Tlb::invalidate_page(u32 pid, Gva gva_page) noexcept {
+  const auto it = map_.find(key(pid, gva_page));
+  if (it != map_.end()) evict_at(it->second.pos);
+}
+
+void Tlb::flush_pid(u32 pid) {
+  for (std::size_t i = keys_.size(); i-- > 0;) {
+    if ((keys_[i] >> 40) == pid) evict_at(i);
+  }
+}
+
+void Tlb::flush_all() noexcept {
+  map_.clear();
+  keys_.clear();
+}
+
+}  // namespace ooh::sim

@@ -1,0 +1,58 @@
+// Per-vCPU TLB.
+//
+// The TLB is what makes dirty-page *logging* an edge-triggered event: a
+// store through a translation whose dirty state is already cached performs
+// no page walk, sets no dirty flag, and therefore logs nothing. Tracking
+// techniques re-arm logging by clearing dirty/permission state and
+// invalidating the cached translation (clear_refs -> full flush; PML drain
+// -> per-page invalidation), exactly as on real hardware.
+//
+// Entries are ASID-tagged by guest PID (PCID-style), so context switches
+// need not flush.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "base/types.hpp"
+
+namespace ooh::sim {
+
+struct TlbEntry {
+  Gpa gpa_page = 0;
+  Hpa hpa_page = 0;
+  bool writable = false;  ///< effective write permission at fill time.
+  bool dirty = false;     ///< guest-PTE and EPT dirty flags were set at fill.
+};
+
+class Tlb {
+ public:
+  explicit Tlb(std::size_t capacity = 1536) : capacity_(capacity) {}
+
+  [[nodiscard]] TlbEntry* lookup(u32 pid, Gva gva_page) noexcept;
+  void insert(u32 pid, Gva gva_page, const TlbEntry& entry);
+  void invalidate_page(u32 pid, Gva gva_page) noexcept;
+  void flush_pid(u32 pid);
+  void flush_all() noexcept;
+
+  [[nodiscard]] std::size_t size() const noexcept { return map_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  static constexpr u64 key(u32 pid, Gva gva_page) noexcept {
+    return (static_cast<u64>(pid) << 40) | page_index(gva_page);
+  }
+  struct Slot {
+    TlbEntry entry;
+    std::size_t pos = 0;  ///< index in keys_, for O(1) eviction.
+  };
+  void evict_at(std::size_t pos) noexcept;
+
+  std::size_t capacity_;
+  std::unordered_map<u64, Slot> map_;
+  std::vector<u64> keys_;
+  u64 rand_state_ = 0x853c49e6748fea9bULL;  // deterministic victim choice
+};
+
+}  // namespace ooh::sim

@@ -1,0 +1,96 @@
+// Virtual CPU: VMX mode, VMCS pointers, TLB, and the instruction-level
+// operations the OoH designs use (vmread/vmwrite from guest mode, vmcall).
+#pragma once
+
+#include <memory>
+
+#include "base/counters.hpp"
+#include "base/types.hpp"
+#include "sim/hw_if.hpp"
+#include "sim/tlb.hpp"
+#include "sim/vmcs.hpp"
+
+namespace ooh::sim {
+
+class Machine;
+class Ept;
+
+enum class CpuMode { kVmxRoot, kVmxNonRoot };
+
+class Vcpu {
+ public:
+  Vcpu(Machine& machine, u32 id);
+
+  [[nodiscard]] u32 id() const noexcept { return id_; }
+  [[nodiscard]] CpuMode mode() const noexcept { return mode_; }
+  [[nodiscard]] Machine& machine() noexcept { return machine_; }
+
+  [[nodiscard]] Vmcs& vmcs() noexcept { return vmcs_; }
+  [[nodiscard]] const Vmcs& vmcs() const noexcept { return vmcs_; }
+
+  /// Shadow VMCS; created by the hypervisor when it enables shadowing.
+  [[nodiscard]] Vmcs* shadow_vmcs() noexcept { return shadow_.get(); }
+  Vmcs& create_shadow_vmcs();
+  void destroy_shadow_vmcs();
+
+  /// Per-field guest access control (the VMREAD/VMWRITE permission bitmaps
+  /// of real VMCS shadowing). Only the hypervisor populates these; a guest
+  /// vmread/vmwrite on an unlisted field traps (we surface it as an error).
+  [[nodiscard]] VmcsFieldSet& shadow_readable() noexcept { return shadow_readable_; }
+  [[nodiscard]] VmcsFieldSet& shadow_writable() noexcept { return shadow_writable_; }
+
+  [[nodiscard]] Tlb& tlb() noexcept { return tlb_; }
+
+  // -- wiring (done by the hypervisor / platform at VM setup) --------------
+  void attach(VmExitHandler* exits, GuestIrqSink* irq, Ept* ept) noexcept {
+    exits_ = exits;
+    irq_ = irq;
+    ept_ = ept;
+  }
+  [[nodiscard]] VmExitHandler* exits() noexcept { return exits_; }
+  [[nodiscard]] GuestIrqSink* irq_sink() noexcept { return irq_; }
+  [[nodiscard]] Ept* ept() noexcept { return ept_; }
+
+  // -- guest-mode instructions ----------------------------------------------
+  /// vmread executed in VMX non-root mode. Requires VMCS shadowing; reads
+  /// the shadow VMCS without a VM-exit. Charges Table V(a) M7.
+  [[nodiscard]] u64 guest_vmread(VmcsField f);
+
+  /// vmwrite executed in VMX non-root mode against the shadow VMCS (M8).
+  /// Implements the EPML ISA extension: a write to kGuestPmlAddress takes a
+  /// GPA and stores the EPT-translated HPA, so the guest never sees HPAs
+  /// and the page-walk circuit can log straight to RAM.
+  void guest_vmwrite(VmcsField f, u64 value);
+
+  /// vmcall: transition to root mode, dispatch to the hypervisor, return.
+  u64 hypercall(Hypercall nr, u64 a0 = 0, u64 a1 = 0);
+
+  // -- transitions (used by exit paths and the hypervisor) ------------------
+  /// Run `fn` in VMX root mode, charging one VM-exit round trip.
+  template <typename Fn>
+  auto vmexit_to_root(Event reason, Fn&& fn) -> decltype(fn()) {
+    begin_exit(reason);
+    struct Restore {
+      Vcpu& cpu;
+      ~Restore() { cpu.mode_ = CpuMode::kVmxNonRoot; }
+    } restore{*this};
+    return fn();
+  }
+
+ private:
+  void begin_exit(Event reason);
+
+  Machine& machine_;
+  u32 id_;
+  CpuMode mode_ = CpuMode::kVmxNonRoot;
+  Vmcs vmcs_{false};
+  std::unique_ptr<Vmcs> shadow_;
+  VmcsFieldSet shadow_readable_;
+  VmcsFieldSet shadow_writable_;
+  Tlb tlb_;
+  VmExitHandler* exits_ = nullptr;
+  GuestIrqSink* irq_ = nullptr;
+  Ept* ept_ = nullptr;
+};
+
+}  // namespace ooh::sim

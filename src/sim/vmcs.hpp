@@ -1,0 +1,82 @@
+// Virtual Machine Control Structure.
+//
+// Models just the fields the OoH designs touch, including the paper's EPML
+// hardware extension fields (GUEST_PML_*). A VMCS can be "shadow": linked
+// from an ordinary VMCS so that guest-mode vmread/vmwrite reach it without
+// a VM-exit (Intel VMCS shadowing, which EPML hijacks).
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "base/types.hpp"
+
+namespace ooh::sim {
+
+enum class VmcsField : std::size_t {
+  kPmlAddress = 0,     ///< HPA of the hypervisor-level 4KiB PML buffer.
+  kPmlIndex,           ///< next hypervisor-level log slot; counts down from 511.
+  kGuestPmlAddress,    ///< EPML: HPA of the guest-level PML buffer (stored
+                       ///< post-EPT-translation; the guest vmwrites a GPA).
+  kGuestPmlIndex,      ///< EPML: next guest-level log slot; counts down.
+  kGuestPmlEnable,     ///< EPML: nonzero = log GVAs to the guest-level buffer.
+  kEptPointer,         ///< opaque id of the VM's EPT root.
+  kSecondaryControls,  ///< bitmask of SecondaryControl.
+  kVmcsLinkPointer,    ///< opaque id of the linked shadow VMCS (0 = none).
+  kCount
+};
+
+/// Bits of VmcsField::kSecondaryControls.
+enum SecondaryControl : u64 {
+  kEnablePml = u64{1} << 0,
+  kEnableVmcsShadowing = u64{1} << 1,
+  /// EPML extension: the page-walk circuit also logs GVAs to the guest-level
+  /// buffer (gated per-process by kGuestPmlEnable, which the guest toggles).
+  kEnableGuestPml = u64{1} << 2,
+  /// Read-logging extension (Bitchebe et al., related work): accessed-flag
+  /// transitions also log the GPA, enabling working-set-size estimation.
+  kEnablePmlReadLog = u64{1} << 3,
+};
+
+/// Bitmask of VMCS fields, used for the shadowing read/write permission
+/// bitmaps (real VMCS shadowing controls per-field guest access the same
+/// way, via the VMREAD/VMWRITE bitmaps).
+class VmcsFieldSet {
+ public:
+  void add(VmcsField f) noexcept { bits_ |= bit(f); }
+  void remove(VmcsField f) noexcept { bits_ &= ~bit(f); }
+  [[nodiscard]] bool contains(VmcsField f) const noexcept { return (bits_ & bit(f)) != 0; }
+  [[nodiscard]] bool empty() const noexcept { return bits_ == 0; }
+
+ private:
+  static constexpr u64 bit(VmcsField f) noexcept {
+    return u64{1} << static_cast<std::size_t>(f);
+  }
+  u64 bits_ = 0;
+};
+
+class Vmcs {
+ public:
+  explicit Vmcs(bool shadow = false) : shadow_(shadow) {}
+
+  [[nodiscard]] u64 read(VmcsField f) const noexcept {
+    return fields_[static_cast<std::size_t>(f)];
+  }
+  void write(VmcsField f, u64 v) noexcept { fields_[static_cast<std::size_t>(f)] = v; }
+
+  [[nodiscard]] bool is_shadow() const noexcept { return shadow_; }
+  [[nodiscard]] bool control(SecondaryControl bit) const noexcept {
+    return (read(VmcsField::kSecondaryControls) & bit) != 0;
+  }
+  void set_control(SecondaryControl bit, bool on) noexcept {
+    u64 c = read(VmcsField::kSecondaryControls);
+    c = on ? (c | bit) : (c & ~static_cast<u64>(bit));
+    write(VmcsField::kSecondaryControls, c);
+  }
+
+ private:
+  std::array<u64, static_cast<std::size_t>(VmcsField::kCount)> fields_{};
+  bool shadow_;
+};
+
+}  // namespace ooh::sim

@@ -1,0 +1,207 @@
+#include "trackers/boehmgc/gc.hpp"
+
+#include <deque>
+#include <new>
+#include <stdexcept>
+
+#include "base/clock.hpp"
+
+namespace ooh::gc {
+namespace {
+
+constexpr u64 kHeaderBytes = 16;
+constexpr u64 kAlign = 16;
+
+[[nodiscard]] constexpr u64 align_up(u64 v) noexcept { return (v + kAlign - 1) & ~(kAlign - 1); }
+
+}  // namespace
+
+GcHeap::GcHeap(guest::GuestKernel& kernel, guest::Process& proc, u64 heap_bytes,
+               u64 gc_threshold_bytes)
+    : kernel_(kernel), proc_(proc), gc_threshold_(gc_threshold_bytes) {
+  heap_base_ = proc_.mmap(heap_bytes);
+  heap_end_ = heap_base_ + page_ceil(heap_bytes);
+  bump_ = heap_base_;
+}
+
+GcHeap::~GcHeap() {
+  if (tracker_) tracker_->shutdown();
+}
+
+void GcHeap::prepare_tracker() {
+  if (!tracker_) {
+    tracker_ = lib::make_tracker(technique_, kernel_, proc_);
+    tracker_->init();
+    tracker_->begin_interval();
+  }
+}
+
+GcHeap::Object& GcHeap::obj(Gva addr) {
+  const auto it = objects_.find(addr);
+  if (it == objects_.end()) throw std::invalid_argument("not a live GC object");
+  return it->second;
+}
+
+Gva GcHeap::alloc(unsigned ref_slots, u64 data_bytes) {
+  maybe_collect();
+  const u64 size = align_up(kHeaderBytes + 8 * ref_slots + data_bytes);
+
+  Gva addr = 0;
+  if (auto it = free_lists_.find(size); it != free_lists_.end() && !it->second.empty()) {
+    addr = it->second.back();
+    it->second.pop_back();
+  } else {
+    if (bump_ + size > heap_end_) {
+      collect();  // emergency full attempt before giving up
+      if (auto it2 = free_lists_.find(size);
+          it2 != free_lists_.end() && !it2->second.empty()) {
+        addr = it2->second.back();
+        it2->second.pop_back();
+      } else {
+        throw std::bad_alloc{};
+      }
+    } else {
+      addr = bump_;
+      bump_ += size;
+    }
+  }
+
+  // Header store: makes allocation itself dirty the page, which is how new
+  // objects become visible to the incremental marker.
+  proc_.write_u64(addr, size);
+
+  Object o;
+  o.size = size;
+  o.refs.assign(ref_slots, 0);
+  objects_.emplace(addr, std::move(o));
+  for (u64 page = page_floor(addr); page < addr + size; page += kPageSize) {
+    page_objects_[page].insert(addr);
+  }
+  allocated_since_gc_ += size;
+  live_bytes_ += size;
+  stats_.total_allocated_bytes += size;
+  return addr;
+}
+
+void GcHeap::add_root(Gva o) {
+  (void)obj(o);
+  roots_.insert(o);
+}
+
+void GcHeap::remove_root(Gva o) {
+  roots_.erase(o);
+}
+
+void GcHeap::write_ref(Gva o, unsigned slot, Gva target) {
+  Object& object = obj(o);
+  if (slot >= object.refs.size()) throw std::out_of_range("ref slot");
+  if (target != 0) (void)obj(target);
+  object.refs[slot] = target;
+  // The pointer store is what the dirty-page techniques must observe.
+  proc_.write_u64(o + kHeaderBytes + 8 * slot, target);
+}
+
+Gva GcHeap::read_ref(Gva o, unsigned slot) {
+  Object& object = obj(o);
+  if (slot >= object.refs.size()) throw std::out_of_range("ref slot");
+  proc_.touch_read(o + kHeaderBytes + 8 * slot);
+  return object.refs[slot];
+}
+
+void GcHeap::write_data(Gva o, u64 offset, u64 value) {
+  Object& object = obj(o);
+  const u64 base = kHeaderBytes + 8 * object.refs.size();
+  if (base + offset + 8 > object.size) throw std::out_of_range("data offset");
+  proc_.write_u64(o + base + offset, value);
+}
+
+void GcHeap::maybe_collect() {
+  if (allocated_since_gc_ >= gc_threshold_) collect();
+}
+
+std::vector<Gva> GcHeap::acquire_dirty_pages(GcCycleStats& st) {
+  sim::Machine& m = kernel_.machine();
+  VirtualClock::Scope s(m.clock, st.dirty_query);
+  std::vector<Gva> dirty = tracker_->collect();
+  tracker_->begin_interval();
+  return dirty;
+}
+
+GcCycleStats GcHeap::collect() {
+  sim::Machine& m = kernel_.machine();
+  GcCycleStats st;
+  st.cycle = static_cast<unsigned>(stats_.cycles.size()) + 1;
+  const VirtDuration start = m.clock.now();
+  m.count(Event::kGcCycle);
+
+  prepare_tracker();
+
+  // ---- mark ------------------------------------------------------------------
+  // Reachability is exact (host-side traversal of the current reference
+  // graph). The technique determines the *cost*: a full cycle scans every
+  // reachable object; an incremental cycle pays the dirty-page query plus a
+  // re-scan of only the objects on dirtied pages (Boehm's mark phase).
+  u64 objects_scanned = 0;
+  if (!first_cycle_done_) {
+    st.full = true;
+    // Flush this cycle's dirty info so the next cycle starts a fresh interval.
+    (void)acquire_dirty_pages(st);
+  } else {
+    const std::vector<Gva> dirty = acquire_dirty_pages(st);
+    for (const Gva page : dirty) {
+      if (const auto it = page_objects_.find(page); it != page_objects_.end()) {
+        ++st.pages_rescanned;
+        objects_scanned += it->second.size();
+      }
+    }
+    objects_scanned += roots_.size();
+  }
+
+  std::unordered_set<Gva> reachable;
+  std::deque<Gva> frontier(roots_.begin(), roots_.end());
+  reachable.insert(roots_.begin(), roots_.end());
+  for (const Gva local : locals_) {
+    if (local != 0 && reachable.insert(local).second) frontier.push_back(local);
+  }
+  while (!frontier.empty()) {
+    const Gva cur = frontier.front();
+    frontier.pop_front();
+    for (const Gva ref : objects_.at(cur).refs) {
+      if (ref != 0 && reachable.insert(ref).second) frontier.push_back(ref);
+    }
+  }
+  if (st.full) objects_scanned = reachable.size();
+  st.objects_marked = objects_scanned;
+  m.charge_ns(scan_ns_per_object_ * static_cast<double>(objects_scanned));
+
+  // ---- sweep -----------------------------------------------------------------
+  std::vector<Gva> to_free;
+  for (const auto& [addr, object] : objects_) {
+    if (!reachable.contains(addr)) to_free.push_back(addr);
+  }
+  m.charge_ns(10.0 * static_cast<double>(objects_.size()));  // block sweep
+  for (const Gva addr : to_free) {
+    const auto it = objects_.find(addr);
+    const u64 size = it->second.size;
+    for (u64 page = page_floor(addr); page < addr + size; page += kPageSize) {
+      if (const auto pit = page_objects_.find(page); pit != page_objects_.end()) {
+        pit->second.erase(addr);
+        if (pit->second.empty()) page_objects_.erase(pit);
+      }
+    }
+    free_lists_[size].push_back(addr);
+    live_bytes_ -= size;
+    ++st.objects_freed;
+    st.bytes_freed += size;
+    objects_.erase(it);
+  }
+
+  first_cycle_done_ = true;
+  allocated_since_gc_ = 0;
+  st.duration = m.clock.now() - start;
+  stats_.total_gc_time += st.duration;
+  stats_.cycles.push_back(st);
+  return st;
+}
+
+}  // namespace ooh::gc

@@ -1,0 +1,126 @@
+// CRIU-like process checkpoint/restore with pluggable dirty tracking.
+//
+// Phase structure follows the paper (§VI-F): after an initial full copy,
+// the process keeps running under tracking; at checkpoint time CRIU
+// collects dirty addresses (the MD, memory-dump phase) and writes those
+// pages to the image (the MW, memory-write phase).
+//
+// The technique changes the phase shape exactly as the paper describes:
+//   * /proc fuses MD into MW -- pages are written as the pagemap walk finds
+//     them, so MW grows with memory size (Fig. 7);
+//   * SPML performs the GPA->GVA reverse mapping inside MD, dominating the
+//     checkpoint (Fig. 8);
+//   * EPML reads GVAs from the ring, leaving MW as a pure page write.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "base/types.hpp"
+#include "base/vtime.hpp"
+#include "ooh/experiment.hpp"
+#include "ooh/tracker.hpp"
+
+namespace ooh::criu {
+
+/// A checkpoint image: per-page contents (empty vector when the source VMA
+/// is metadata-only) plus the VMA layout needed to restore.
+struct CheckpointImage {
+  struct VmaRecord {
+    Gva start = 0;
+    u64 bytes = 0;
+    bool data_backed = false;
+  };
+  std::vector<VmaRecord> vmas;
+  std::unordered_map<Gva, std::vector<u8>> pages;  ///< page GVA -> contents.
+  u64 dump_ops = 0;  ///< total page writes, including overwrites of stale pages.
+};
+
+struct CheckpointPhases {
+  VirtDuration init{0};      ///< tracker setup.
+  VirtDuration precopy{0};   ///< incremental pre-dump rounds while running.
+  VirtDuration md{0};        ///< final memory-dump (address collection).
+  VirtDuration mw{0};        ///< final memory-write (page dump).
+  [[nodiscard]] VirtDuration checkpoint_total() const noexcept { return md + mw; }
+};
+
+struct CheckpointOptions {
+  /// Pre-copy cadence: dirty pages are collected and dumped every period
+  /// while the workload runs. Zero = single final dump only.
+  VirtDuration precopy_period{0};
+  /// Dump the full mapped memory before tracking intervals begin.
+  bool initial_full_copy = true;
+};
+
+struct CheckpointResult {
+  CheckpointImage image;
+  CheckpointPhases phases;
+  lib::RunResult run;      ///< workload-side metrics (tracked time etc).
+  u64 full_copy_pages = 0;
+  u64 final_dirty_pages = 0;
+};
+
+class Checkpointer {
+ public:
+  Checkpointer(guest::GuestKernel& kernel, lib::Technique technique)
+      : kernel_(kernel), technique_(technique) {}
+
+  /// Run `workload` in `proc` under tracking and checkpoint it: initial full
+  /// copy, optional pre-copy rounds, final MD + MW after the run.
+  CheckpointResult checkpoint_during(guest::Process& proc, const lib::WorkloadFn& workload,
+                                     const CheckpointOptions& opts = {});
+
+  /// One-shot dump of the current memory state (no tracking).
+  CheckpointImage full_checkpoint(guest::Process& proc);
+
+  [[nodiscard]] lib::Technique technique() const noexcept { return technique_; }
+
+  /// Write `pages` of `proc` into `image` (content + disk cost per page).
+  void dump_pages(guest::Process& proc, const std::vector<Gva>& pages,
+                  CheckpointImage& image);
+
+ private:
+
+  guest::GuestKernel& kernel_;
+  lib::Technique technique_;
+};
+
+/// Rebuild `proc` (must be fresh, no VMAs) from `image`. Restored pages are
+/// written through the MMU, so the restore itself is a trackable workload.
+void restore(guest::Process& proc, const CheckpointImage& image);
+
+/// A long-lived incremental checkpoint chain (CRIU's pre-dump series): one
+/// full copy up front, then each step() runs a slice of the workload and
+/// dumps only the pages dirtied since the previous step. The image always
+/// restores to the state as of the latest step.
+class IncrementalSession {
+ public:
+  IncrementalSession(guest::GuestKernel& kernel, lib::Technique technique,
+                     guest::Process& proc);
+  ~IncrementalSession();
+
+  IncrementalSession(const IncrementalSession&) = delete;
+  IncrementalSession& operator=(const IncrementalSession&) = delete;
+
+  struct StepResult {
+    u64 dirty_pages = 0;        ///< pages dumped this step.
+    VirtDuration run_time{0};   ///< the workload slice's tracked time.
+    VirtDuration dump_time{0};  ///< MD + MW for the delta.
+  };
+  StepResult step(const lib::WorkloadFn& slice);
+
+  [[nodiscard]] const CheckpointImage& image() const noexcept { return image_; }
+  [[nodiscard]] u64 steps() const noexcept { return steps_; }
+  [[nodiscard]] u64 full_copy_pages() const noexcept { return full_copy_pages_; }
+
+ private:
+  guest::GuestKernel& kernel_;
+  guest::Process& proc_;
+  Checkpointer checkpointer_;
+  std::unique_ptr<lib::DirtyTracker> tracker_;
+  CheckpointImage image_;
+  u64 full_copy_pages_ = 0;
+  u64 steps_ = 0;
+};
+
+}  // namespace ooh::criu

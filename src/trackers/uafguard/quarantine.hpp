@@ -1,0 +1,85 @@
+// Use-after-free mitigation through pointer-quarantine (the third userspace
+// dirty-tracking consumer the paper's introduction names, in the style of
+// MarkUs): free() does not reuse memory immediately -- blocks sit in
+// quarantine until a conservative scan proves no pointer to them remains.
+//
+// The scan is where dirty tracking pays: the first sweep reads every arena
+// page, but a page that has not been written since can't have *changed* its
+// pointers, so later sweeps re-scan only the pages the DirtyTracker reports
+// dirty. Soundness therefore depends on tracker completeness, which the
+// test suite exercises per technique.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "base/types.hpp"
+#include "base/vtime.hpp"
+#include "ooh/tracker.hpp"
+
+namespace ooh::uaf {
+
+class QuarantineAllocator {
+ public:
+  /// The arena is data-backed: sweeps read real bytes, so any u64 the
+  /// application stores is visible to the conservative scan.
+  QuarantineAllocator(guest::GuestKernel& kernel, guest::Process& proc,
+                      u64 arena_bytes, lib::Technique technique);
+  ~QuarantineAllocator();
+
+  QuarantineAllocator(const QuarantineAllocator&) = delete;
+  QuarantineAllocator& operator=(const QuarantineAllocator&) = delete;
+
+  [[nodiscard]] Gva alloc(u64 bytes);
+  /// Quarantine the block; it becomes reusable only after a sweep finds no
+  /// remaining pointer into it.
+  void free(Gva block);
+
+  struct SweepStats {
+    bool full = false;
+    u64 pages_scanned = 0;
+    u64 blocks_released = 0;   ///< left quarantine, back on the free list.
+    u64 blocks_held = 0;       ///< still referenced somewhere (potential UAF).
+    VirtDuration time{0};
+    VirtDuration dirty_query{0};
+  };
+  SweepStats sweep();
+
+  [[nodiscard]] u64 quarantined_blocks() const noexcept { return quarantined_; }
+  [[nodiscard]] u64 live_blocks() const noexcept { return live_; }
+  /// True while `block` is allocated or quarantined (its memory is pinned
+  /// and cannot be handed out again).
+  [[nodiscard]] bool block_pinned(Gva block) const;
+  [[nodiscard]] Gva arena_base() const noexcept { return arena_; }
+
+ private:
+  enum class State { kLive, kQuarantined, kFree };
+  struct Block {
+    u64 size = 0;
+    State state = State::kLive;
+  };
+
+  void scan_page(Gva page);
+  void release_unreferenced();
+
+  guest::GuestKernel& kernel_;
+  guest::Process& proc_;
+  std::unique_ptr<lib::DirtyTracker> tracker_;
+
+  Gva arena_ = 0;
+  u64 arena_bytes_ = 0;
+  u64 bump_ = 0;
+  std::map<Gva, Block> blocks_;  ///< ordered, for containing-block lookup.
+  std::unordered_map<u64, std::vector<Gva>> free_lists_;  ///< size -> blocks.
+  /// page -> blocks referenced from that page, per its most recent scan.
+  std::unordered_map<Gva, std::unordered_set<Gva>> page_refs_;
+  /// block -> pages currently referencing it.
+  std::unordered_map<Gva, std::unordered_set<Gva>> ref_pages_;
+  u64 quarantined_ = 0;
+  u64 live_ = 0;
+  bool first_sweep_done_ = false;
+};
+
+}  // namespace ooh::uaf

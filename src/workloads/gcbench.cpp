@@ -1,0 +1,72 @@
+#include "workloads/gcbench.hpp"
+
+#include <stdexcept>
+
+#include "trackers/boehmgc/gc.hpp"
+
+namespace ooh::wl {
+
+u64 GcBench::footprint_bytes() const noexcept {
+  // Long-lived tree + array, doubled for the garbage resident between
+  // collections (Boehm grows the heap to ~2x the live set).
+  return 2 * (tree_size(lived_depth_) * 48 + array_len_ * 8);
+}
+
+Gva GcBench::make_tree_top_down(guest::Process& proc, int depth) {
+  gc::GcHeap& heap = *gc();
+  const Gva node = heap.alloc(2, 16);
+  if (depth > 0) {
+    // Classic GCBench Populate(): allocate parent first, children after.
+    // The local root keeps the half-built parent alive across the child
+    // allocations (Boehm would find it on the stack).
+    gc::GcHeap::Local live(heap, node);
+    heap.write_ref(node, 0, make_tree_top_down(proc, depth - 1));
+    heap.write_ref(node, 1, make_tree_top_down(proc, depth - 1));
+  }
+  return node;
+}
+
+Gva GcBench::make_tree_bottom_up(guest::Process& proc, int depth) {
+  gc::GcHeap& heap = *gc();
+  if (depth == 0) return heap.alloc(2, 16);
+  const Gva left = make_tree_bottom_up(proc, depth - 1);
+  gc::GcHeap::Local keep_left(heap, left);
+  const Gva right = make_tree_bottom_up(proc, depth - 1);
+  gc::GcHeap::Local keep_right(heap, right);
+  const Gva node = heap.alloc(2, 16);  // MakeTree(): children first
+  heap.write_ref(node, 0, left);
+  heap.write_ref(node, 1, right);
+  return node;
+}
+
+void GcBench::run(guest::Process& proc) {
+  if (gc() == nullptr) throw std::logic_error("GCBench requires an attached GcHeap");
+  gc::GcHeap& heap = *gc();
+
+  // Stretch the heap with a big tree, then drop it.
+  (void)make_tree_top_down(proc, stretch_depth_);
+
+  // Long-lived structures that survive every later collection.
+  const Gva long_lived = make_tree_top_down(proc, lived_depth_);
+  heap.add_root(long_lived);
+  const Gva array = heap.alloc(0, array_len_ * 8);
+  heap.add_root(array);
+  for (u64 i = 0; i < array_len_; i += 8) {
+    heap.write_data(array, i * 8, i);  // d[i] = 1.0/i, every 8th element
+  }
+
+  // Churn: short-lived trees of increasing depth, top-down and bottom-up.
+  for (int depth = kMinDepth; depth <= lived_depth_; depth += 2) {
+    u64 iters = tree_size(stretch_depth_) / tree_size(depth) / work_divisor_;
+    iters = std::max<u64>(1, iters);
+    for (u64 i = 0; i < iters; ++i) {
+      (void)make_tree_top_down(proc, depth);
+      (void)make_tree_bottom_up(proc, depth);
+    }
+  }
+
+  heap.remove_root(long_lived);
+  heap.remove_root(array);
+}
+
+}  // namespace ooh::wl

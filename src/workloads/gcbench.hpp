@@ -1,0 +1,44 @@
+// GCBench: the classic garbage-collection micro-benchmark the paper uses
+// for the Boehm evaluation (§VI-A). Builds a stretch tree, a long-lived
+// tree and a long-lived array, then churns short-lived binary trees of
+// increasing depth -- top-down and bottom-up, as in the original.
+//
+// Requires an attached GcHeap (attach_gc): nodes are GC objects and the
+// churn is what drives collection cycles.
+#pragma once
+
+#include "workloads/workload.hpp"
+
+namespace ooh::wl {
+
+class GcBench final : public Workload {
+ public:
+  /// Table III parameters: array length, long-lived tree depth, stretch
+  /// tree depth. `work_divisor` scales down the short-lived tree counts for
+  /// quick runs (1 = the classic iteration formula).
+  GcBench(u64 array_len, int lived_depth, int stretch_depth, u64 work_divisor = 1)
+      : array_len_(array_len),
+        lived_depth_(lived_depth),
+        stretch_depth_(stretch_depth),
+        work_divisor_(std::max<u64>(1, work_divisor)) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "GCBench"; }
+  [[nodiscard]] u64 footprint_bytes() const noexcept override;
+  void setup(guest::Process&) override {}  // heap comes from the GcHeap
+  void run(guest::Process& proc) override;
+
+ private:
+  [[nodiscard]] static u64 tree_size(int depth) noexcept {
+    return (u64{1} << (depth + 1)) - 1;
+  }
+  Gva make_tree_top_down(guest::Process& proc, int depth);
+  Gva make_tree_bottom_up(guest::Process& proc, int depth);
+
+  u64 array_len_;
+  int lived_depth_;
+  int stretch_depth_;
+  u64 work_divisor_;
+  static constexpr int kMinDepth = 4;
+};
+
+}  // namespace ooh::wl

@@ -1,0 +1,47 @@
+// The paper's micro-benchmark (Listing 1): an array parser that writes one
+// word per page of an mlocked buffer, pass after pass. Table I and Fig. 4
+// are built on it.
+#pragma once
+
+#include "workloads/workload.hpp"
+
+namespace ooh::wl {
+
+class ArrayParser final : public Workload {
+ public:
+  /// `mem_bytes` is the monitored array size (the paper sweeps 1MB..1GB);
+  /// `passes` is how many full passes run() performs.
+  ArrayParser(u64 mem_bytes, unsigned passes = 1)
+      : mem_bytes_(page_ceil(mem_bytes)), passes_(passes) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "array-parser"; }
+  [[nodiscard]] u64 footprint_bytes() const noexcept override { return mem_bytes_; }
+
+  void setup(guest::Process& proc) override {
+    base_ = proc.mmap(mem_bytes_);
+    // mlockall(MCL_CURRENT|MCL_FUTURE): pre-fault every page so the tracked
+    // run measures tracking, not demand paging.
+    for (u64 off = 0; off < mem_bytes_; off += kPageSize) {
+      proc.touch_write(base_ + off);
+    }
+  }
+
+  void run(guest::Process& proc) override {
+    const u64 pages = mem_bytes_ / kPageSize;
+    for (unsigned pass = 0; pass < passes_; ++pass) {
+      for (u64 i = 0; i < pages; ++i) {
+        // region[(i * PAGE_SIZE) / sizeof(unsigned long)] = i;
+        proc.write_u64(base_ + i * kPageSize, i);
+      }
+    }
+  }
+
+  [[nodiscard]] Gva base() const noexcept { return base_; }
+
+ private:
+  u64 mem_bytes_;
+  unsigned passes_;
+  Gva base_ = 0;
+};
+
+}  // namespace ooh::wl

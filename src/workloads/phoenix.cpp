@@ -1,0 +1,367 @@
+#include "workloads/phoenix.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <span>
+#include <vector>
+
+namespace ooh::wl {
+namespace {
+
+/// Pre-fault an input region (the mmap'd datafile, resident after load).
+void prefault(guest::Process& proc, Gva base, u64 bytes) {
+  for (u64 off = 0; off < bytes; off += kPageSize) proc.touch_write(base + off);
+}
+
+}  // namespace
+
+// ---- Histogram ----------------------------------------------------------------
+
+void Histogram::setup(guest::Process& proc) {
+  data_ = proc.mmap(data_bytes_, data_backed_);
+  bins_ = proc.mmap(3 * 256 * 8, data_backed_);  // R/G/B x 256 counters
+  if (data_backed_) {
+    // A real synthetic image: deterministic RGB byte triples.
+    std::vector<u8> page(kPageSize);
+    Rng fill(0x1457);
+    for (u64 off = 0; off < data_bytes_; off += kPageSize) {
+      for (u64 i = 0; i < kPageSize; ++i) page[i] = static_cast<u8>(fill.next());
+      proc.write_bytes(data_ + off, page);
+    }
+  } else {
+    prefault(proc, data_, data_bytes_);
+  }
+}
+
+void Histogram::run(guest::Process& proc) {
+  if (data_backed_) {
+    // The genuine algorithm: read every pixel byte, bump its channel bin.
+    std::vector<u8> page(kPageSize);
+    for (u64 off = 0; off < data_bytes_; off += kPageSize) {
+      proc.read_bytes(data_ + off, page);
+      for (u64 i = 0; i + 2 < kPageSize; i += 3) {
+        for (unsigned c = 0; c < 3; ++c) ++bins_host_[c * 256 + page[i + c]];
+      }
+    }
+    for (u64 b = 0; b < bins_host_.size(); ++b) {
+      proc.write_u64(bins_ + b * 8, bins_host_[b]);
+    }
+    return;
+  }
+  // Metadata mode: each page of pixels bumps a handful of bins.
+  for (u64 off = 0; off < data_bytes_; off += kPageSize) {
+    proc.touch_read(data_ + off);
+    for (int i = 0; i < 12; ++i) {  // sampled pixel values from this page
+      const u64 bin = rng_.below(3 * 256);
+      proc.write_u64(bins_ + bin * 8, off + i);
+    }
+  }
+}
+
+// ---- Kmeans --------------------------------------------------------------------
+
+u64 Kmeans::footprint_bytes() const noexcept {
+  return points_ * dims_ * 4 + clusters_ * dims_ * 4 + points_ * 8;
+}
+
+u32 Kmeans::point_value(u64 p, u64 d) noexcept {
+  // Clustered synthetic data: point p belongs "naturally" to group p%8,
+  // with deterministic jitter.
+  const u64 g = p % 8;
+  return static_cast<u32>(g * 1000 + ((p * 2654435761u + d * 40503u) & 0x7F));
+}
+
+void Kmeans::setup(guest::Process& proc) {
+  points_base_ = proc.mmap(points_ * dims_ * 4, data_backed_);
+  centroids_ = proc.mmap(std::max<u64>(clusters_ * dims_ * 4, kPageSize), data_backed_);
+  assign_ = proc.mmap(points_ * 8, data_backed_);
+  if (data_backed_) {
+    std::vector<u8> row(dims_ * 4);
+    for (u64 p = 0; p < points_; ++p) {
+      for (u64 d = 0; d < dims_; ++d) {
+        const u32 v = point_value(p, d);
+        std::memcpy(row.data() + d * 4, &v, 4);
+      }
+      proc.write_bytes(points_base_ + p * dims_ * 4, row);
+    }
+  } else {
+    prefault(proc, points_base_, points_ * dims_ * 4);
+  }
+}
+
+u64 Kmeans::assignment_of(guest::Process& proc, u64 p) {
+  return proc.read_u64(assign_ + p * 8);
+}
+
+void Kmeans::run(guest::Process& proc) {
+  const u64 point_bytes = points_ * dims_ * 4;
+  const u64 centroid_bytes = clusters_ * dims_ * 4;
+
+  if (data_backed_) {
+    // Genuine Lloyd iterations through guest memory. Centroids start at the
+    // first `clusters_` points.
+    std::vector<double> centroids(clusters_ * dims_);
+    for (u64 c = 0; c < clusters_; ++c) {
+      for (u64 d = 0; d < dims_; ++d) centroids[c * dims_ + d] = point_value(c, d);
+    }
+    std::vector<u8> row(dims_ * 4);
+    std::vector<double> sums(clusters_ * dims_);
+    std::vector<u64> counts(clusters_);
+    for (unsigned it = 0; it < iters_; ++it) {
+      std::fill(sums.begin(), sums.end(), 0.0);
+      std::fill(counts.begin(), counts.end(), u64{0});
+      double inertia = 0.0;
+      for (u64 p = 0; p < points_; ++p) {
+        proc.read_bytes(points_base_ + p * dims_ * 4, row);
+        u64 best = 0;
+        double best_d2 = 1e300;
+        for (u64 c = 0; c < clusters_; ++c) {
+          double d2 = 0.0;
+          for (u64 d = 0; d < dims_; ++d) {
+            u32 v = 0;
+            std::memcpy(&v, row.data() + d * 4, 4);
+            const double diff = static_cast<double>(v) - centroids[c * dims_ + d];
+            d2 += diff * diff;
+          }
+          if (d2 < best_d2) {
+            best_d2 = d2;
+            best = c;
+          }
+        }
+        proc.write_u64(assign_ + p * 8, best);
+        inertia += best_d2;
+        ++counts[best];
+        for (u64 d = 0; d < dims_; ++d) {
+          u32 v = 0;
+          std::memcpy(&v, row.data() + d * 4, 4);
+          sums[best * dims_ + d] += v;
+        }
+      }
+      inertia_.push_back(inertia);
+      for (u64 c = 0; c < clusters_; ++c) {
+        if (counts[c] == 0) continue;
+        for (u64 d = 0; d < dims_; ++d) {
+          centroids[c * dims_ + d] = sums[c * dims_ + d] / static_cast<double>(counts[c]);
+          proc.write_u64(centroids_ + ((c * dims_ + d) * 8) % centroid_bytes,
+                         static_cast<u64>(centroids[c * dims_ + d]));
+        }
+      }
+    }
+    return;
+  }
+
+  for (unsigned it = 0; it < iters_; ++it) {
+    // Assignment pass: read all points, write each point's cluster id.
+    for (u64 off = 0; off < point_bytes; off += kPageSize) {
+      proc.touch_read(points_base_ + off);
+    }
+    for (u64 p = 0; p < points_; ++p) {
+      proc.write_u64(assign_ + p * 8, rng_.below(clusters_));
+    }
+    // Update pass: recompute every centroid.
+    for (u64 off = 0; off < centroid_bytes; off += 8) {
+      proc.write_u64(centroids_ + off, it);
+    }
+  }
+}
+
+// ---- MatrixMultiply -------------------------------------------------------------
+
+u32 MatrixMultiply::a_value(u64 row, u64 col) noexcept {
+  return static_cast<u32>((row * 2654435761u + col * 40503u) & 0xFF);
+}
+
+u32 MatrixMultiply::b_value(u64 row, u64 col) noexcept {
+  return static_cast<u32>((row * 40503u + col * 2654435761u) & 0xFF);
+}
+
+void MatrixMultiply::setup(guest::Process& proc) {
+  const u64 bytes = n_ * n_ * 4;
+  a_ = proc.mmap(bytes, data_backed_);
+  b_ = proc.mmap(bytes, data_backed_);
+  c_ = proc.mmap(bytes, data_backed_);
+  if (data_backed_) {
+    std::vector<u8> row_bytes(n_ * 4);
+    for (u64 r = 0; r < n_; ++r) {
+      for (u64 col = 0; col < n_; ++col) {
+        const u32 av = a_value(r, col);
+        const u32 bv = b_value(r, col);
+        std::memcpy(row_bytes.data() + col * 4, &av, 4);
+        proc.write_bytes(a_ + (r * n_ + col) * 4, std::span<const u8>(row_bytes.data() + col * 4, 4));
+        std::memcpy(row_bytes.data() + col * 4, &bv, 4);
+        proc.write_bytes(b_ + (r * n_ + col) * 4, std::span<const u8>(row_bytes.data() + col * 4, 4));
+      }
+    }
+  } else {
+    prefault(proc, a_, bytes);
+    prefault(proc, b_, bytes);
+  }
+}
+
+u32 MatrixMultiply::element(guest::Process& proc, u64 row, u64 col) const {
+  std::vector<u8> buf(4);
+  proc.read_bytes(c_ + (row * n_ + col) * 4, buf);
+  u32 v = 0;
+  std::memcpy(&v, buf.data(), 4);
+  return v;
+}
+
+void MatrixMultiply::run(guest::Process& proc) {
+  const u64 bytes = n_ * n_ * 4;
+  if (data_backed_) {
+    // The genuine product, streamed through guest memory row by row.
+    std::vector<u8> a_row(n_ * 4), b_row(n_ * 4), c_row(n_ * 4);
+    std::vector<u64> acc(n_);
+    for (u64 r = 0; r < n_; ++r) {
+      proc.read_bytes(a_ + r * n_ * 4, a_row);
+      std::fill(acc.begin(), acc.end(), 0);
+      for (u64 kk = 0; kk < n_; ++kk) {
+        u32 av = 0;
+        std::memcpy(&av, a_row.data() + kk * 4, 4);
+        proc.read_bytes(b_ + kk * n_ * 4, b_row);
+        for (u64 col = 0; col < n_; ++col) {
+          u32 bv = 0;
+          std::memcpy(&bv, b_row.data() + col * 4, 4);
+          acc[col] += static_cast<u64>(av) * bv;
+        }
+      }
+      for (u64 col = 0; col < n_; ++col) {
+        const u32 truncated = static_cast<u32>(acc[col]);
+        std::memcpy(c_row.data() + col * 4, &truncated, 4);
+      }
+      proc.write_bytes(c_ + r * n_ * 4, c_row);
+    }
+    return;
+  }
+  // Metadata mode: for each output page, stream the contributing A row
+  // pages and B column pages, then store the products.
+  for (u64 c_off = 0; c_off < bytes; c_off += kPageSize) {
+    proc.touch_read(a_ + (c_off % bytes));
+    proc.touch_read(b_ + ((c_off * 7) % bytes));
+    for (u64 w = 0; w < kPageSize; w += 8) {
+      proc.write_u64(c_ + c_off + w, c_off + w);
+    }
+  }
+}
+
+// ---- Pca ------------------------------------------------------------------------
+
+u64 Pca::footprint_bytes() const noexcept {
+  return rows_ * cols_ * 4 + cols_ * 8 + sample_ * sample_ * 4;
+}
+
+void Pca::setup(guest::Process& proc) {
+  matrix_ = proc.mmap(rows_ * cols_ * 4);  // int32 samples, as Phoenix's pca
+  means_ = proc.mmap(std::max<u64>(cols_ * 8, kPageSize));
+  cov_ = proc.mmap(std::max<u64>(sample_ * sample_ * 4, kPageSize));
+  prefault(proc, matrix_, rows_ * cols_ * 4);
+}
+
+void Pca::run(guest::Process& proc) {
+  const u64 matrix_bytes = rows_ * cols_ * 4;
+  // Pass 1: column means (read everything, write the mean vector).
+  for (u64 off = 0; off < matrix_bytes; off += kPageSize) {
+    proc.touch_read(matrix_ + off);
+  }
+  for (u64 c = 0; c < cols_; ++c) proc.write_u64(means_ + c * 8, c);
+  // Pass 2: sampled covariance block (re-read rows, fill the cov matrix).
+  for (u64 off = 0; off < matrix_bytes; off += kPageSize) {
+    proc.touch_read(matrix_ + off);
+  }
+  for (u64 off = 0; off < sample_ * sample_ * 4; off += 8) {
+    proc.write_u64(cov_ + off, off);
+  }
+}
+
+// ---- StringMatch ----------------------------------------------------------------
+
+void StringMatch::setup(guest::Process& proc) {
+  data_ = proc.mmap(data_bytes_);
+  matches_ = proc.mmap(kMiB);
+  prefault(proc, data_, data_bytes_);
+}
+
+void StringMatch::run(guest::Process& proc) {
+  for (u64 off = 0; off < data_bytes_; off += kPageSize) {
+    proc.touch_read(data_ + off);
+    // Each chunk hashes its words into a temporary key buffer (garbage
+    // under Boehm) and records the occasional hit.
+    const Gva tmp = alloc_temp(proc, 0, 64);
+    proc.write_u64(tmp + 16, off);
+    if (rng_.below(16) == 0) {
+      proc.write_u64(matches_ + (match_cursor_ % kMiB), off);
+      match_cursor_ += 8;
+    }
+  }
+}
+
+// ---- WordCount ------------------------------------------------------------------
+
+std::vector<u8> WordCount::synth_text(u64 bytes) {
+  // Deterministic lowercase words separated by single spaces.
+  std::vector<u8> text(bytes);
+  Rng gen(0xB00C);
+  u64 i = 0;
+  while (i < bytes) {
+    const u64 len = 2 + gen.below(9);
+    for (u64 c = 0; c < len && i < bytes; ++c) {
+      text[i++] = static_cast<u8>('a' + gen.below(26));
+    }
+    if (i < bytes) text[i++] = ' ';
+  }
+  return text;
+}
+
+void WordCount::setup(guest::Process& proc) {
+  data_ = proc.mmap(data_bytes_, data_backed_);
+  table_ = proc.mmap(table_bytes_, data_backed_);
+  if (data_backed_) {
+    const std::vector<u8> text = synth_text(data_bytes_);
+    proc.write_bytes(data_, text);
+  } else {
+    prefault(proc, data_, data_bytes_);
+  }
+}
+
+void WordCount::run(guest::Process& proc) {
+  if (data_backed_) {
+    // The genuine tokeniser: read real bytes, count words, bump each word's
+    // hash slot in the guest table.
+    std::vector<u8> page(kPageSize);
+    u64 hash = 1469598103934665603ULL;
+    bool in_word = false;
+    for (u64 off = 0; off < data_bytes_; off += kPageSize) {
+      proc.read_bytes(data_ + off, page);
+      for (const u8 ch : page) {
+        if (ch == ' ' || ch == 0) {
+          if (in_word) {
+            ++total_words_;
+            const u64 slot = (hash % (table_bytes_ / 8)) * 8;
+            proc.write_u64(table_ + slot, proc.read_u64(table_ + slot) + 1);
+            hash = 1469598103934665603ULL;
+            in_word = false;
+          }
+        } else {
+          hash = (hash ^ ch) * 1099511628211ULL;  // FNV-1a
+          in_word = true;
+        }
+      }
+    }
+    if (in_word) ++total_words_;
+    return;
+  }
+  for (u64 off = 0; off < data_bytes_; off += kPageSize) {
+    proc.touch_read(data_ + off);
+    // ~32 words per page, each hashed into the table (scattered writes).
+    for (int w = 0; w < 32; ++w) {
+      const u64 slot = rng_.below(table_bytes_ / 8) * 8;
+      proc.write_u64(table_ + slot, off + w);
+    }
+    if (gc() != nullptr) {
+      const Gva tmp = alloc_temp(proc, 0, 48);  // per-chunk emit list
+      proc.write_u64(tmp + 16, off);
+    }
+  }
+}
+
+}  // namespace ooh::wl

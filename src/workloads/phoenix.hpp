@@ -1,0 +1,171 @@
+// The six Phoenix (shared-memory MapReduce) applications used in the paper's
+// evaluation: histogram, kmeans, matrix-multiply, pca, string-match and
+// word-count. Algorithms execute for real at page granularity: inputs are
+// streamed page by page, and every output/intermediate store goes through
+// the simulated MMU, reproducing each app's dirty-page profile.
+#pragma once
+
+#include <vector>
+
+#include "workloads/workload.hpp"
+
+namespace ooh::wl {
+
+/// histogram <datafile>: streams an image file, accumulating 3x256 colour
+/// bins -- large read footprint, tiny dirty set.
+///
+/// With `data_backed = true`, setup() writes a real synthetic image and
+/// run() computes the genuine histogram over its bytes (verifiable via
+/// bin()); the default metadata-only mode preserves the access pattern
+/// without materialising gigabytes.
+class Histogram final : public Workload {
+ public:
+  explicit Histogram(u64 datafile_bytes, bool data_backed = false)
+      : data_bytes_(page_ceil(datafile_bytes)), data_backed_(data_backed) {}
+  [[nodiscard]] std::string_view name() const noexcept override { return "histogram"; }
+  [[nodiscard]] u64 footprint_bytes() const noexcept override {
+    return data_bytes_ + kPageSize;
+  }
+  void setup(guest::Process& proc) override;
+  void run(guest::Process& proc) override;
+
+  /// Computed bin value (data-backed runs only). channel 0..2, value 0..255.
+  [[nodiscard]] u64 bin(unsigned channel, unsigned value) const {
+    return bins_host_.at(channel * 256 + value);
+  }
+
+ private:
+  u64 data_bytes_;
+  bool data_backed_;
+  Gva data_ = 0;
+  Gva bins_ = 0;
+  std::vector<u64> bins_host_ = std::vector<u64>(3 * 256, 0);
+};
+
+/// kmeans -d D -c C -p P: iterative clustering; re-writes the assignment
+/// array and centroids every iteration.
+///
+/// With `data_backed = true`, points get real synthetic coordinates and
+/// run() performs genuine Lloyd iterations through guest memory
+/// (assignment_of() / inertia() for verification).
+class Kmeans final : public Workload {
+ public:
+  Kmeans(u64 dims, u64 clusters, u64 points, unsigned iters = 5,
+         bool data_backed = false)
+      : dims_(dims), clusters_(clusters), points_(points), iters_(iters),
+        data_backed_(data_backed) {}
+  [[nodiscard]] std::string_view name() const noexcept override { return "kmeans"; }
+  [[nodiscard]] u64 footprint_bytes() const noexcept override;
+  void setup(guest::Process& proc) override;
+  void run(guest::Process& proc) override;
+
+  /// Synthetic coordinate of point p, dimension d (for host references).
+  [[nodiscard]] static u32 point_value(u64 p, u64 d) noexcept;
+  /// Final cluster of point p, read back from guest memory (data-backed).
+  [[nodiscard]] u64 assignment_of(guest::Process& proc, u64 p);
+  /// Sum of squared distances to assigned centroids after the last
+  /// iteration (data-backed); Lloyd's algorithm makes this non-increasing.
+  [[nodiscard]] const std::vector<double>& inertia_history() const noexcept {
+    return inertia_;
+  }
+
+ private:
+  u64 dims_, clusters_, points_;
+  unsigned iters_;
+  bool data_backed_;
+  Gva points_base_ = 0, centroids_ = 0, assign_ = 0;
+  std::vector<double> inertia_;
+};
+
+/// matrix-multiply N N: C = A x B over int32 matrices; writes C once.
+///
+/// With `data_backed = true`, A and B get real synthetic values and run()
+/// computes the genuine product into C through guest memory (use element()
+/// to verify); metadata mode preserves the page traffic only.
+class MatrixMultiply final : public Workload {
+ public:
+  explicit MatrixMultiply(u64 n, bool data_backed = false)
+      : n_(n), data_backed_(data_backed) {}
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "matrix-multiply";
+  }
+  [[nodiscard]] u64 footprint_bytes() const noexcept override { return 3 * n_ * n_ * 4; }
+  void setup(guest::Process& proc) override;
+  void run(guest::Process& proc) override;
+
+  /// C[row][col] read back from guest memory (data-backed runs only).
+  [[nodiscard]] u32 element(guest::Process& proc, u64 row, u64 col) const;
+  /// The synthetic inputs, for host-side verification.
+  [[nodiscard]] static u32 a_value(u64 row, u64 col) noexcept;
+  [[nodiscard]] static u32 b_value(u64 row, u64 col) noexcept;
+
+ private:
+  u64 n_;
+  bool data_backed_;
+  Gva a_ = 0, b_ = 0, c_ = 0;
+};
+
+/// pca -r R -c C: column means plus a sampled covariance block.
+class Pca final : public Workload {
+ public:
+  Pca(u64 rows, u64 cols, u64 sample) : rows_(rows), cols_(cols), sample_(sample) {}
+  [[nodiscard]] std::string_view name() const noexcept override { return "pca"; }
+  [[nodiscard]] u64 footprint_bytes() const noexcept override;
+  void setup(guest::Process& proc) override;
+  void run(guest::Process& proc) override;
+
+ private:
+  u64 rows_, cols_, sample_;
+  Gva matrix_ = 0, means_ = 0, cov_ = 0;
+};
+
+/// string-match <datafile>: scans the file for key hashes; writes sparse
+/// match records and per-chunk temporaries (GC-heavy under Boehm).
+class StringMatch final : public Workload {
+ public:
+  explicit StringMatch(u64 datafile_bytes) : data_bytes_(page_ceil(datafile_bytes)) {}
+  [[nodiscard]] std::string_view name() const noexcept override { return "string-match"; }
+  [[nodiscard]] u64 footprint_bytes() const noexcept override {
+    return data_bytes_ + kMiB;
+  }
+  void setup(guest::Process& proc) override;
+  void run(guest::Process& proc) override;
+
+ private:
+  u64 data_bytes_;
+  Gva data_ = 0, matches_ = 0;
+  u64 match_cursor_ = 0;
+};
+
+/// word-count <datafile>: streams words into a hash table -- writes spread
+/// across a table roughly half the input size.
+///
+/// With `data_backed = true`, setup() writes real synthetic text and run()
+/// tokenises it for real, bumping per-word counters in the guest table
+/// (verify via total_words()); metadata mode preserves the write scatter.
+class WordCount final : public Workload {
+ public:
+  explicit WordCount(u64 datafile_bytes, bool data_backed = false)
+      : data_bytes_(page_ceil(datafile_bytes)),
+        table_bytes_(page_ceil(datafile_bytes / 2)),
+        data_backed_(data_backed) {}
+  [[nodiscard]] std::string_view name() const noexcept override { return "word-count"; }
+  [[nodiscard]] u64 footprint_bytes() const noexcept override {
+    return data_bytes_ + table_bytes_;
+  }
+  void setup(guest::Process& proc) override;
+  void run(guest::Process& proc) override;
+
+  /// Words counted (data-backed runs only).
+  [[nodiscard]] u64 total_words() const noexcept { return total_words_; }
+  /// The synthetic text, for host-side reference counting.
+  [[nodiscard]] static std::vector<u8> synth_text(u64 bytes);
+
+ private:
+  u64 data_bytes_, table_bytes_;
+  bool data_backed_;
+  Gva data_ = 0, table_ = 0;
+  u64 total_words_ = 0;
+};
+
+}  // namespace ooh::wl

@@ -1,0 +1,168 @@
+#include "workloads/registry.hpp"
+
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+#include "workloads/gcbench.hpp"
+#include "workloads/microbench.hpp"
+#include "workloads/phoenix.hpp"
+#include "workloads/tkrzw.hpp"
+
+namespace ooh::wl {
+namespace {
+
+constexpr u64 MB(double v) { return static_cast<u64>(v * 1024.0 * 1024.0); }
+
+[[nodiscard]] std::size_t idx(ConfigSize s) { return static_cast<std::size_t>(s); }
+
+/// Integer square root of the divisor, for 2-D workloads whose footprint is
+/// quadratic in the dimension parameter.
+[[nodiscard]] u64 sqrt_div(u64 d) {
+  return std::max<u64>(1, static_cast<u64>(std::llround(std::sqrt(static_cast<double>(d)))));
+}
+
+}  // namespace
+
+const std::vector<WorkloadSpec>& table3_specs() {
+  static const std::vector<WorkloadSpec> specs = {
+      {"GCBench", ConfigSize::kSmall, MB(15.07)},
+      {"GCBench", ConfigSize::kMedium, MB(67.76)},
+      {"GCBench", ConfigSize::kLarge, MB(223.41)},
+      {"histogram", ConfigSize::kSmall, MB(102.27)},
+      {"histogram", ConfigSize::kMedium, MB(441.28)},
+      {"histogram", ConfigSize::kLarge, MB(1525.76)},
+      {"kmeans", ConfigSize::kSmall, MB(4.26)},
+      {"kmeans", ConfigSize::kMedium, MB(16.41)},
+      {"kmeans", ConfigSize::kLarge, MB(195.64)},
+      {"matrix-multiply", ConfigSize::kSmall, MB(5.56)},
+      {"matrix-multiply", ConfigSize::kMedium, MB(16.21)},
+      {"matrix-multiply", ConfigSize::kLarge, MB(47.33)},
+      {"pca", ConfigSize::kSmall, MB(8.12)},
+      {"pca", ConfigSize::kMedium, MB(97.85)},
+      {"pca", ConfigSize::kLarge, MB(195.50)},
+      {"string-match", ConfigSize::kSmall, MB(56.40)},
+      {"string-match", ConfigSize::kMedium, MB(106.14)},
+      {"string-match", ConfigSize::kLarge, MB(212.09)},
+      {"word-count", ConfigSize::kSmall, MB(100.65)},
+      {"word-count", ConfigSize::kMedium, MB(143.99)},
+      {"word-count", ConfigSize::kLarge, MB(205.88)},
+      {"baby", ConfigSize::kSmall, MB(253.64)},
+      {"baby", ConfigSize::kMedium, MB(421.48)},
+      {"baby", ConfigSize::kLarge, MB(848.56)},
+      {"cache", ConfigSize::kSmall, MB(218.21)},
+      {"cache", ConfigSize::kMedium, MB(361.91)},
+      {"cache", ConfigSize::kLarge, MB(721.46)},
+      {"stdhash", ConfigSize::kSmall, MB(358.64)},
+      {"stdhash", ConfigSize::kMedium, MB(595.80)},
+      {"stdhash", ConfigSize::kLarge, MB(1208.32)},
+      {"stdtree", ConfigSize::kSmall, MB(415.12)},
+      {"stdtree", ConfigSize::kMedium, MB(694.07)},
+      {"stdtree", ConfigSize::kLarge, MB(1413.12)},
+      {"tiny", ConfigSize::kSmall, MB(681.35)},
+      {"tiny", ConfigSize::kMedium, MB(977.66)},
+      {"tiny", ConfigSize::kLarge, MB(1300.48)},
+  };
+  return specs;
+}
+
+const std::vector<std::string_view>& phoenix_apps() {
+  static const std::vector<std::string_view> apps = {
+      "histogram", "kmeans", "matrix-multiply", "pca", "string-match", "word-count"};
+  return apps;
+}
+
+const std::vector<std::string_view>& tkrzw_apps() {
+  static const std::vector<std::string_view> apps = {"baby", "cache", "stdhash",
+                                                     "stdtree", "tiny"};
+  return apps;
+}
+
+std::unique_ptr<Workload> make_workload(std::string_view app, ConfigSize size,
+                                        u64 d) {
+  d = std::max<u64>(1, d);
+  const std::size_t i = idx(size);
+
+  if (app == "array-parser") {
+    static constexpr u64 mem[3] = {10 * kMiB, 100 * kMiB, kGiB};
+    return std::make_unique<ArrayParser>(mem[i] / d, /*passes=*/3);
+  }
+  if (app == "GCBench") {
+    // Table III: array 500K/650K/750K, lived depth 16/18/20, stretch 18/20/22.
+    static constexpr u64 arr[3] = {500'000, 650'000, 750'000};
+    static constexpr int lived[3] = {16, 18, 20};
+    static constexpr int stretch[3] = {18, 20, 22};
+    const int shrink = static_cast<int>(std::bit_width(d) - 1);  // log2(d)
+    return std::make_unique<GcBench>(arr[i] / d, std::max(6, lived[i] - shrink),
+                                     std::max(8, stretch[i] - shrink),
+                                     /*work_divisor=*/4 * d);
+  }
+  if (app == "histogram") {
+    static constexpr u64 file[3] = {100 * kMiB, 500 * kMiB, 1536 * kMiB};
+    return std::make_unique<Histogram>(file[i] / d);
+  }
+  if (app == "kmeans") {
+    // -d D -c C -p P -s 100
+    static constexpr u64 dims[3] = {500, 1000, 5000};
+    static constexpr u64 clusters[3] = {500, 1000, 5000};
+    static constexpr u64 points[3] = {500, 1000, 5000};
+    const u64 s = sqrt_div(d);
+    return std::make_unique<Kmeans>(dims[i] / s, std::max<u64>(2, clusters[i] / s),
+                                    std::max<u64>(4, points[i] / s));
+  }
+  if (app == "matrix-multiply") {
+    static constexpr u64 n[3] = {500, 1000, 2000};
+    return std::make_unique<MatrixMultiply>(std::max<u64>(32, n[i] / sqrt_div(d)));
+  }
+  if (app == "pca") {
+    // -r R -c C -s 200
+    static constexpr u64 rows[3] = {1000, 5000, 10000};
+    static constexpr u64 cols[3] = {1000, 5000, 10000};
+    const u64 s = sqrt_div(d);
+    return std::make_unique<Pca>(std::max<u64>(16, rows[i] / s),
+                                 std::max<u64>(16, cols[i] / s), 200 / std::min<u64>(s, 4));
+  }
+  if (app == "string-match") {
+    static constexpr u64 file[3] = {50 * kMiB, 100 * kMiB, 200 * kMiB};
+    return std::make_unique<StringMatch>(file[i] / d);
+  }
+  if (app == "word-count") {
+    static constexpr u64 file[3] = {50 * kMiB, 100 * kMiB, 200 * kMiB};
+    return std::make_unique<WordCount>(file[i] / d);
+  }
+  if (app == "baby") {
+    static constexpr u64 iter[3] = {3'000'000, 5'000'000, 10'000'000};
+    return std::make_unique<BabyEngine>(iter[i] / d, /*record_bytes=*/80);
+  }
+  if (app == "cache") {
+    static constexpr u64 iter[3] = {3'000'000, 5'000'000, 10'000'000};
+    return std::make_unique<CacheEngine>(iter[i] / d, /*cap_rec_num=*/iter[i] / d,
+                                         /*record_bytes=*/64);
+  }
+  if (app == "stdhash") {
+    static constexpr u64 iter[3] = {3'000'000, 5'000'000, 10'000'000};
+    return std::make_unique<StdHashEngine>(iter[i] / d, /*buckets=*/100'000,
+                                           /*record_bytes=*/120);
+  }
+  if (app == "stdtree") {
+    static constexpr u64 iter[3] = {3'000'000, 5'000'000, 10'000'000};
+    return std::make_unique<StdTreeEngine>(iter[i] / d, /*record_bytes=*/104);
+  }
+  if (app == "tiny") {
+    // -iter 5M -buckets 30M -threads 3/5/7: each thread injects 5M sets.
+    static constexpr u64 threads[3] = {3, 5, 7};
+    return std::make_unique<TinyEngine>(5'000'000 * threads[i] / d,
+                                        /*buckets=*/30'000'000 / d,
+                                        /*record_bytes=*/32);
+  }
+  throw std::invalid_argument("unknown workload: " + std::string(app));
+}
+
+u64 paper_footprint_bytes(std::string_view app, ConfigSize size) {
+  for (const WorkloadSpec& s : table3_specs()) {
+    if (s.app == app && s.size == size) return s.paper_footprint_bytes;
+  }
+  throw std::invalid_argument("no Table III entry for " + std::string(app));
+}
+
+}  // namespace ooh::wl

@@ -1,0 +1,39 @@
+// Table III registry: every benchmark application at its Small/Medium/Large
+// configuration, with the paper's reported memory consumption.
+//
+// `scale_divisor` shrinks a configuration for quick runs (CI, default bench
+// mode): iteration counts and data sizes divide by it, so both virtual-time
+// and host-time shrink while the access *shape* is preserved. 1 = the
+// paper's full-scale setup (bench binaries' --full flag).
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "workloads/workload.hpp"
+
+namespace ooh::wl {
+
+struct WorkloadSpec {
+  std::string_view app;
+  ConfigSize size;
+  u64 paper_footprint_bytes;  ///< Table III "Memory Cons.".
+};
+
+/// All (app, config) combinations of Table III.
+[[nodiscard]] const std::vector<WorkloadSpec>& table3_specs();
+
+[[nodiscard]] const std::vector<std::string_view>& phoenix_apps();
+[[nodiscard]] const std::vector<std::string_view>& tkrzw_apps();
+
+/// Instantiate `app` at `size`, optionally scaled down. Throws on unknown
+/// names. GCBench requires attach_gc() before run().
+[[nodiscard]] std::unique_ptr<Workload> make_workload(std::string_view app,
+                                                      ConfigSize size,
+                                                      u64 scale_divisor = 1);
+
+/// Table III footprint for (app, size); throws if unknown.
+[[nodiscard]] u64 paper_footprint_bytes(std::string_view app, ConfigSize size);
+
+}  // namespace ooh::wl

@@ -1,0 +1,93 @@
+// The five in-memory tkrzw key-value engines the paper injects set()
+// requests into (§VI-A): baby (B-tree), cache (LRU), stdhash, stdtree and
+// tiny. Each engine models its real data-structure page layout: an index
+// region touched per insert (read path + written slots) plus a record arena
+// of sequential appends, so the dirty-page profile matches the engine shape
+// (tiny scatters writes across a huge bucket array, stdtree re-dirties tree
+// paths, cache keeps a hot LRU head page, ...).
+#pragma once
+
+#include <optional>
+
+#include "workloads/workload.hpp"
+
+namespace ooh::wl {
+
+class KvEngine : public Workload {
+ public:
+  struct Layout {
+    u64 iterations = 0;
+    u64 index_bytes = 0;    ///< bucket array / node index region.
+    u64 record_bytes = 0;   ///< payload per record (arena append).
+    u64 index_reads = 0;    ///< index pages read per set (tree path).
+    u64 index_writes = 1;   ///< index pages written per set.
+    bool hot_head_page = false;  ///< LRU-style hot page written every set.
+    double extra_compute_us = 0.0;  ///< e.g. zlib record compression.
+  };
+
+  explicit KvEngine(Layout layout, bool data_backed = false)
+      : layout_(layout), data_backed_(data_backed) {}
+
+  [[nodiscard]] u64 footprint_bytes() const noexcept override {
+    return layout_.index_bytes + layout_.iterations * layout_.record_bytes;
+  }
+  void setup(guest::Process& proc) override;
+  void run(guest::Process& proc) override;
+
+  [[nodiscard]] u64 iterations() const noexcept { return layout_.iterations; }
+
+  // ---- real store interface (data-backed mode) ------------------------------
+  /// Insert/update a key: a genuine open-addressing hash store living in the
+  /// engine's index region of guest memory.
+  void put(guest::Process& proc, u64 key, u64 value);
+  /// Look a key up from guest memory; nullopt when absent.
+  [[nodiscard]] std::optional<u64> get(guest::Process& proc, u64 key);
+  /// Rebind the store to a restored process image (same layout).
+  [[nodiscard]] u64 kv_capacity() const noexcept;
+
+ protected:
+  void set(guest::Process& proc, u64 key);
+
+  Layout layout_;
+  bool data_backed_;
+  Gva index_ = 0;
+  Gva arena_ = 0;
+  u64 arena_bytes_ = 0;
+  u64 arena_cursor_ = 0;
+  u64 count_ = 0;
+};
+
+class BabyEngine final : public KvEngine {
+ public:
+  BabyEngine(u64 iterations, u64 record_bytes, bool data_backed = false);
+  [[nodiscard]] std::string_view name() const noexcept override { return "baby"; }
+};
+
+class CacheEngine final : public KvEngine {
+ public:
+  CacheEngine(u64 iterations, u64 cap_rec_num, u64 record_bytes,
+              bool data_backed = false);
+  [[nodiscard]] std::string_view name() const noexcept override { return "cache"; }
+};
+
+class StdHashEngine final : public KvEngine {
+ public:
+  StdHashEngine(u64 iterations, u64 buckets, u64 record_bytes,
+                bool data_backed = false);
+  [[nodiscard]] std::string_view name() const noexcept override { return "stdhash"; }
+};
+
+class StdTreeEngine final : public KvEngine {
+ public:
+  StdTreeEngine(u64 iterations, u64 record_bytes, bool data_backed = false);
+  [[nodiscard]] std::string_view name() const noexcept override { return "stdtree"; }
+};
+
+class TinyEngine final : public KvEngine {
+ public:
+  TinyEngine(u64 iterations, u64 buckets, u64 record_bytes,
+             bool data_backed = false);
+  [[nodiscard]] std::string_view name() const noexcept override { return "tiny"; }
+};
+
+}  // namespace ooh::wl

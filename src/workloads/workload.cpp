@@ -1,0 +1,31 @@
+#include "workloads/workload.hpp"
+
+#include "trackers/boehmgc/gc.hpp"
+
+namespace ooh::wl {
+
+std::string_view config_name(ConfigSize s) noexcept {
+  switch (s) {
+    case ConfigSize::kSmall: return "small";
+    case ConfigSize::kMedium: return "medium";
+    case ConfigSize::kLarge: return "large";
+  }
+  return "?";
+}
+
+Gva Workload::alloc_temp(guest::Process& proc, unsigned ref_slots, u64 data_bytes) {
+  if (gc_ != nullptr) return gc_->alloc(ref_slots, data_bytes);
+  // Plain runs: a recycled 4 MiB arena models malloc/free of temporaries.
+  const u64 size = (16 + 8 * ref_slots + data_bytes + 15) & ~u64{15};
+  if (temp_arena_ == 0) {
+    temp_arena_bytes_ = 4 * kMiB;
+    temp_arena_ = proc.mmap(temp_arena_bytes_);
+  }
+  if (temp_bump_ + size > temp_arena_bytes_) temp_bump_ = 0;
+  const Gva addr = temp_arena_ + temp_bump_;
+  temp_bump_ += size;
+  proc.write_u64(addr, size);  // header store: dirties the page, like malloc metadata
+  return addr;
+}
+
+}  // namespace ooh::wl

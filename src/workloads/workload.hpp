@@ -1,0 +1,66 @@
+// Workload framework: the paper's benchmark applications re-implemented to
+// run against the simulated guest process, preserving their page-granularity
+// write patterns (which is what dirty-tracking cost depends on).
+//
+// Each workload has a setup() phase (allocate VMAs, load synthetic input --
+// untracked, like starting the real program) and a run() phase (the tracked
+// execution). GC-managed workloads additionally allocate objects through a
+// GcHeap when one is attached (the Boehm experiments).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "base/rng.hpp"
+#include "base/types.hpp"
+#include "guest/process.hpp"
+#include "ooh/experiment.hpp"
+
+namespace ooh::gc {
+class GcHeap;
+}
+
+namespace ooh::wl {
+
+enum class ConfigSize { kSmall, kMedium, kLarge };
+
+[[nodiscard]] std::string_view config_name(ConfigSize s) noexcept;
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+  /// Approximate memory footprint (Table III "Memory Cons." at scale 1).
+  [[nodiscard]] virtual u64 footprint_bytes() const noexcept = 0;
+
+  /// Allocate VMAs and load synthetic input. Not part of the tracked run.
+  virtual void setup(guest::Process& proc) = 0;
+  /// The tracked execution.
+  virtual void run(guest::Process& proc) = 0;
+
+  /// Attach a GC heap: object allocations go through it (Boehm experiments).
+  void attach_gc(gc::GcHeap* heap) noexcept { gc_ = heap; }
+  [[nodiscard]] gc::GcHeap* gc() const noexcept { return gc_; }
+
+  [[nodiscard]] lib::WorkloadFn runner() {
+    return [this](guest::Process& p) { run(p); };
+  }
+
+ protected:
+  /// Allocate a short-lived intermediate object: via the GC heap when
+  /// attached (creating collectable garbage), else a recycled bump arena.
+  Gva alloc_temp(guest::Process& proc, unsigned ref_slots, u64 data_bytes);
+
+  gc::GcHeap* gc_ = nullptr;
+  Rng rng_{0xC0FFEE};
+
+ private:
+  Gva temp_arena_ = 0;
+  u64 temp_arena_bytes_ = 0;
+  u64 temp_bump_ = 0;
+};
+
+}  // namespace ooh::wl

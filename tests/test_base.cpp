@@ -1,0 +1,282 @@
+// Unit tests for the base layer: interpolation, clock attribution, ring
+// buffer, counters, cost model calibration, stats, table rendering.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "base/clock.hpp"
+#include "base/cost_model.hpp"
+#include "base/counters.hpp"
+#include "base/interp.hpp"
+#include "base/ring_buffer.hpp"
+#include "base/rng.hpp"
+#include "base/stats.hpp"
+#include "base/table.hpp"
+#include "base/types.hpp"
+
+namespace ooh {
+namespace {
+
+// ---- types -------------------------------------------------------------------
+
+TEST(Types, PageArithmetic) {
+  EXPECT_EQ(page_floor(0x1234), 0x1000u);
+  EXPECT_EQ(page_ceil(0x1001), 0x2000u);
+  EXPECT_EQ(page_ceil(0x1000), 0x1000u);
+  EXPECT_EQ(page_index(0x3456), 3u);
+  EXPECT_EQ(page_offset(0x3456), 0x456u);
+  EXPECT_EQ(pages_for_bytes(1), 1u);
+  EXPECT_EQ(pages_for_bytes(kPageSize), 1u);
+  EXPECT_EQ(pages_for_bytes(kPageSize + 1), 2u);
+  EXPECT_TRUE(is_page_aligned(0x2000));
+  EXPECT_FALSE(is_page_aligned(0x2008));
+}
+
+// ---- interp ------------------------------------------------------------------
+
+TEST(LogLogInterp, HitsCalibrationPointsExactly) {
+  LogLogInterp f({{1.0, 10.0}, {10.0, 100.0}, {100.0, 400.0}});
+  EXPECT_NEAR(f.at(1.0), 10.0, 1e-9);
+  EXPECT_NEAR(f.at(10.0), 100.0, 1e-9);
+  EXPECT_NEAR(f.at(100.0), 400.0, 1e-9);
+}
+
+TEST(LogLogInterp, InterpolatesGeometrically) {
+  LogLogInterp f({{1.0, 1.0}, {100.0, 100.0}});
+  // Linear in log-log space: f(10) = 10.
+  EXPECT_NEAR(f.at(10.0), 10.0, 1e-9);
+}
+
+TEST(LogLogInterp, ExtrapolatesEndSlopes) {
+  LogLogInterp f({{1.0, 1.0}, {10.0, 10.0}});
+  EXPECT_NEAR(f.at(100.0), 100.0, 1e-6);  // slope 1 continues
+  EXPECT_NEAR(f.at(0.1), 0.1, 1e-6);
+}
+
+TEST(LogLogInterp, MonotonicInputsStayMonotonic) {
+  LogLogInterp f({{1.0, 2.0}, {8.0, 5.0}, {64.0, 40.0}, {512.0, 100.0}});
+  double prev = 0.0;
+  for (double x = 0.5; x < 1000.0; x *= 1.3) {
+    const double y = f.at(x);
+    EXPECT_GT(y, prev);
+    prev = y;
+  }
+}
+
+TEST(LogLogInterp, RejectsBadInputs) {
+  EXPECT_THROW(LogLogInterp{std::vector<LogLogInterp::Point>{}}, std::invalid_argument);
+  EXPECT_THROW(LogLogInterp({{1.0, 1.0}, {1.0, 2.0}}), std::invalid_argument);
+  EXPECT_THROW(LogLogInterp({{2.0, 1.0}, {1.0, 2.0}}), std::invalid_argument);
+  EXPECT_THROW(LogLogInterp({{0.0, 1.0}}), std::invalid_argument);
+  LogLogInterp f({{1.0, 1.0}, {2.0, 2.0}});
+  EXPECT_THROW((void)f.at(0.0), std::invalid_argument);
+}
+
+TEST(LogLogInterp, SinglePointIsConstant) {
+  LogLogInterp f({{5.0, 42.0}});
+  EXPECT_EQ(f.at(1.0), 42.0);
+  EXPECT_EQ(f.at(1000.0), 42.0);
+}
+
+// ---- clock --------------------------------------------------------------------
+
+TEST(VirtualClock, AdvancesAndMeasures) {
+  VirtualClock c;
+  EXPECT_EQ(c.now().count(), 0.0);
+  c.advance(usecs(5));
+  EXPECT_DOUBLE_EQ(c.now().count(), 5.0);
+  const VirtDuration d = c.measure([&] { c.advance(msecs(1)); });
+  EXPECT_DOUBLE_EQ(to_ms(d), 1.0);
+}
+
+TEST(VirtualClock, ScopesAttributeToBucketsAndNest) {
+  VirtualClock c;
+  VirtDuration outer{0}, inner{0};
+  {
+    VirtualClock::Scope so(c, outer);
+    c.advance(usecs(10));
+    {
+      VirtualClock::Scope si(c, inner);
+      c.advance(usecs(7));
+    }
+    c.advance(usecs(3));
+  }
+  c.advance(usecs(100));  // outside all scopes
+  EXPECT_DOUBLE_EQ(outer.count(), 20.0);
+  EXPECT_DOUBLE_EQ(inner.count(), 7.0);
+  EXPECT_DOUBLE_EQ(c.now().count(), 120.0);
+}
+
+// ---- ring buffer ---------------------------------------------------------------
+
+TEST(RingBuffer, FifoOrder) {
+  RingBuffer rb(4);
+  for (u64 v : {1, 2, 3}) EXPECT_TRUE(rb.push(v));
+  u64 out = 0;
+  EXPECT_TRUE(rb.pop(out));
+  EXPECT_EQ(out, 1u);
+  EXPECT_TRUE(rb.pop(out));
+  EXPECT_EQ(out, 2u);
+  rb.push(4);
+  rb.push(5);
+  EXPECT_EQ(rb.drain(), (std::vector<u64>{3, 4, 5}));
+  EXPECT_TRUE(rb.empty());
+}
+
+TEST(RingBuffer, OverflowDropsAndCounts) {
+  RingBuffer rb(2);
+  EXPECT_TRUE(rb.push(1));
+  EXPECT_TRUE(rb.push(2));
+  EXPECT_FALSE(rb.push(3));
+  EXPECT_FALSE(rb.push(4));
+  EXPECT_EQ(rb.dropped(), 2u);
+  EXPECT_EQ(rb.drain(), (std::vector<u64>{1, 2}));
+  rb.reset_dropped();
+  EXPECT_EQ(rb.dropped(), 0u);
+}
+
+TEST(RingBuffer, WrapsAroundManyTimes) {
+  RingBuffer rb(3);
+  u64 expected = 0;
+  for (u64 i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(rb.push(i));
+    u64 out = 0;
+    EXPECT_TRUE(rb.pop(out));
+    EXPECT_EQ(out, expected++);
+  }
+}
+
+// ---- counters ------------------------------------------------------------------
+
+TEST(EventCounters, AddGetDiff) {
+  EventCounters c;
+  c.add(Event::kVmExit);
+  c.add(Event::kVmExit, 4);
+  c.add(Event::kTlbMiss, 2);
+  EXPECT_EQ(c.get(Event::kVmExit), 5u);
+  const EventCounters snap = c;
+  c.add(Event::kVmExit, 10);
+  EXPECT_EQ(c.diff(snap).get(Event::kVmExit), 10u);
+  EXPECT_EQ(c.diff(snap).get(Event::kTlbMiss), 0u);
+}
+
+TEST(EventCounters, NamesAreUniqueAndNonEmpty) {
+  std::set<std::string_view> seen;
+  for (std::size_t i = 0; i < kEventCount; ++i) {
+    const std::string_view n = event_name(static_cast<Event>(i));
+    EXPECT_FALSE(n.empty());
+    EXPECT_TRUE(seen.insert(n).second) << "duplicate event name " << n;
+  }
+}
+
+// ---- cost model ----------------------------------------------------------------
+
+TEST(CostModel, PaperCalibrationMatchesTableVb) {
+  const CostModel m = CostModel::paper_calibrated();
+  // Totals at the calibration points, in ms (Table V(b)).
+  EXPECT_NEAR(m.clear_refs_us(kGiB) / 1e3, 2.234, 1e-6);
+  EXPECT_NEAR(m.pagemap_scan_us(kGiB) / 1e3, 594.187, 1e-3);
+  EXPECT_NEAR(m.m6_pfh_user.at(static_cast<double>(kGiB)) / 1e3, 3483.0, 1e-2);
+  EXPECT_NEAR(m.m17_reverse_map.at(static_cast<double>(kGiB)) / 1e3, 15738.0, 1e-1);
+  EXPECT_NEAR(m.spml_disable_logging_us(kGiB) / 1e3, 0.208, 1e-6);
+  EXPECT_NEAR(m.clear_refs_us(kMiB) / 1e3, 0.032, 1e-7);
+}
+
+TEST(CostModel, PerPageCostsScaleWithPageCount) {
+  const CostModel m = CostModel::paper_calibrated();
+  const u64 pages_1g = pages_for_bytes(kGiB);
+  EXPECT_NEAR(m.pfh_kernel_per_fault_us(kGiB) * static_cast<double>(pages_1g) / 1e3,
+              33.58, 1e-2);
+  EXPECT_NEAR(m.reverse_map_per_page_us(kGiB) * static_cast<double>(pages_1g) / 1e3,
+              15738.0, 1.0);
+}
+
+TEST(CostModel, ReverseMappingIsTheDominantSizeDependentCost) {
+  // Fig. 3's premise: reverse mapping dwarfs the PT walk and the RB copy.
+  const CostModel m = CostModel::paper_calibrated();
+  for (u64 mem : {10 * kMiB, 100 * kMiB, kGiB}) {
+    const double rev = m.m17_reverse_map.at(static_cast<double>(mem));
+    EXPECT_GT(rev, m.pagemap_scan_us(mem));
+    EXPECT_GT(rev, m.m18_rb_copy.at(static_cast<double>(mem)) * 100);
+  }
+}
+
+TEST(CostModel, UnitModelHasFlatCosts) {
+  const CostModel m = CostModel::unit();
+  EXPECT_DOUBLE_EQ(m.ctx_switch_us, 1.0);
+  EXPECT_DOUBLE_EQ(m.clear_refs_us(kMiB), m.clear_refs_us(kGiB));
+  EXPECT_DOUBLE_EQ(m.pagemap_scan_us(kMiB), 1.0);
+}
+
+// ---- stats ---------------------------------------------------------------------
+
+TEST(Stats, SummaryAndOverheadHelpers) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.n, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_NEAR(s.stddev, 1.2909944, 1e-6);
+
+  EXPECT_DOUBLE_EQ(overhead_pct(15.0, 10.0), 50.0);
+  EXPECT_DOUBLE_EQ(speedup(10.0, 2.0), 5.0);
+  EXPECT_THROW((void)overhead_pct(1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)speedup(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(Stats, EmptySummaryIsZero) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.n, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+// ---- rng -----------------------------------------------------------------------
+
+TEST(Rng, DeterministicBySeed) {
+  Rng a(42), b(42), c(43);
+  EXPECT_EQ(a.next(), b.next());
+  EXPECT_NE(a.next(), c.next());
+}
+
+TEST(Rng, BoundsRespected) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.below(17), 17u);
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const double v = r.uniform(3.0, 5.0);
+    EXPECT_GE(v, 3.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+// ---- table ---------------------------------------------------------------------
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row("beta", {2.345}, 2);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("2.35"), std::string::npos);
+  // Every rendered line has the same width.
+  std::istringstream is(s);
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(is, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+  }
+}
+
+TEST(VtimeFormat, PicksUnits) {
+  EXPECT_EQ(format_duration(nsecs(500)), "500.0 ns");
+  EXPECT_EQ(format_duration(usecs(12.3)), "12.30 us");
+  EXPECT_EQ(format_duration(msecs(3.5)), "3.50 ms");
+  EXPECT_EQ(format_duration(secs(2.25)), "2.250 s");
+}
+
+}  // namespace
+}  // namespace ooh

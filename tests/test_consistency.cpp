@@ -1,0 +1,157 @@
+// Cross-cutting consistency properties:
+//  * random mixed operation sequences keep PTE/EPT/TLB state coherent,
+//  * all exact techniques report byte-identical dirty sets for the same
+//    deterministic workload,
+//  * virtual time is monotone and attribution buckets never exceed it.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "base/rng.hpp"
+#include "guest/procfs.hpp"
+#include "guest/swap.hpp"
+#include "ooh/experiment.hpp"
+#include "ooh/testbed.hpp"
+#include "ooh/trackers.hpp"
+
+namespace ooh {
+namespace {
+
+TEST(Consistency, RandomOpsKeepTranslationStateCoherent) {
+  lib::TestBed bed;
+  auto& k = bed.kernel();
+  auto& proc = k.create_process();
+  const u64 pages = 128;
+  const Gva base = proc.mmap(pages * kPageSize);
+  Rng rng(31337);
+
+  for (int op = 0; op < 5000; ++op) {
+    const Gva gva = base + rng.below(pages) * kPageSize + 8 * rng.below(512);
+    switch (rng.below(6)) {
+      case 0:
+      case 1:
+        proc.touch_write(gva);
+        break;
+      case 2:
+        proc.touch_read(gva);
+        break;
+      case 3:
+        if (rng.below(20) == 0) k.procfs().clear_refs(proc);
+        break;
+      case 4:
+        if (rng.below(20) == 0) {
+          k.page_table(proc).for_each_present(
+              [](Gva, sim::Pte& pte) { pte.accessed = false; });
+          bed.vm().vcpu().tlb().flush_pid(proc.pid());
+          (void)k.swap().evict(proc, 8);
+        }
+        break;
+      case 5:
+        if (rng.below(50) == 0) bed.vm().vcpu().tlb().flush_all();
+        break;
+    }
+
+    if (op % 500 == 0) {
+      // Invariant: every present PTE maps a GPA inside the VM, the GPA is
+      // EPT-mapped (it was accessed at least once to become present), and
+      // a dirty PTE implies a dirty EPT entry for its frame.
+      k.page_table(proc).for_each_present([&](Gva gva_page, sim::Pte& pte) {
+        ASSERT_LT(pte.gpa_page, bed.vm().mem_bytes());
+        const sim::EptEntry* e = bed.vm().ept().entry(pte.gpa_page);
+        if (pte.accessed) {
+          ASSERT_NE(e, nullptr) << "accessed page lost its EPT mapping";
+          ASSERT_TRUE(e->present);
+        }
+        (void)gva_page;
+      });
+      // Invariant: truth never exceeds the address range.
+      for (const auto& [page, seq] : proc.truth_dirty()) {
+        ASSERT_GE(page, base);
+        ASSERT_LT(page, base + pages * kPageSize);
+        (void)seq;
+      }
+    }
+  }
+  // Final read-back of every page must succeed (swap-ins included).
+  for (u64 i = 0; i < pages; ++i) proc.touch_read(base + i * kPageSize);
+}
+
+TEST(Consistency, AllTechniquesReportIdenticalDirtySets) {
+  // Same deterministic workload under each technique: the reported page
+  // sets must be *identical*, not merely complete.
+  const auto run_with = [](lib::Technique t) {
+    lib::TestBed bed;
+    auto& k = bed.kernel();
+    auto& proc = k.create_process();
+    const u64 pages = 256;
+    const Gva base = proc.mmap(pages * kPageSize);
+    for (u64 i = 0; i < pages; ++i) proc.touch_write(base + i * kPageSize);  // warm
+
+    auto tracker = lib::make_tracker(t, k, proc);
+    tracker->init();
+    tracker->begin_interval();
+    k.scheduler().enter_process(proc.pid());
+    Rng rng(99);
+    for (int i = 0; i < 300; ++i) {
+      proc.touch_write(base + rng.below(pages) * kPageSize);
+    }
+    k.scheduler().exit_process(proc.pid());
+    std::vector<Gva> pages_out = tracker->collect();
+    tracker->shutdown();
+    std::sort(pages_out.begin(), pages_out.end());
+    return pages_out;
+  };
+
+  const std::vector<Gva> oracle = run_with(lib::Technique::kOracle);
+  EXPECT_EQ(run_with(lib::Technique::kProc), oracle);
+  EXPECT_EQ(run_with(lib::Technique::kUfd), oracle);
+  EXPECT_EQ(run_with(lib::Technique::kSpml), oracle);
+  EXPECT_EQ(run_with(lib::Technique::kEpml), oracle);
+}
+
+TEST(Consistency, ClockMonotoneAndBucketsBounded) {
+  lib::TestBed bed;
+  auto& k = bed.kernel();
+  auto& proc = k.create_process();
+  const Gva base = proc.mmap(512 * kPageSize);
+  auto tracker = lib::make_tracker(lib::Technique::kSpml, k, proc);
+  lib::RunOptions opts;
+  opts.collect_period = usecs(200);
+  const VirtDuration before = bed.machine().clock.now();
+  const lib::RunResult r = lib::run_tracked(
+      k, proc,
+      [&](guest::Process& p) {
+        for (u64 i = 0; i < 512; ++i) p.touch_write(base + i * kPageSize);
+      },
+      tracker.get(), opts);
+  const VirtDuration after = bed.machine().clock.now();
+  tracker->shutdown();
+
+  EXPECT_GT(after.count(), before.count());
+  const double total_span = (after - before).count();
+  EXPECT_LE(r.phases.init.count(), total_span);
+  EXPECT_LE(r.phases.collect.count(), total_span);
+  EXPECT_LE(r.tracked_time.count(), total_span);
+  EXPECT_GE(r.phases.collect.count(), 0.0);
+  EXPECT_GE(r.phases.arm.count(), 0.0);
+}
+
+TEST(Consistency, CountersNeverDecrease) {
+  lib::TestBed bed;
+  auto& k = bed.kernel();
+  auto& proc = k.create_process();
+  const Gva base = proc.mmap(64 * kPageSize);
+  EventCounters prev = bed.machine().counters;
+  for (int round = 0; round < 10; ++round) {
+    for (u64 i = 0; i < 64; ++i) proc.touch_write(base + i * kPageSize);
+    k.procfs().clear_refs(proc);
+    const EventCounters now = bed.machine().counters;
+    for (std::size_t e = 0; e < kEventCount; ++e) {
+      ASSERT_GE(now.get(static_cast<Event>(e)), prev.get(static_cast<Event>(e)));
+    }
+    prev = now;
+  }
+}
+
+}  // namespace
+}  // namespace ooh

@@ -1,0 +1,228 @@
+// CRIU tests: checkpoint/restore round-trips byte-for-byte, incremental
+// image freshness depends on tracker completeness (and holds for every
+// technique), and the phase shapes match §VI-F (/proc fuses MD into MW;
+// SPML's MD dominated by reverse mapping; EPML MW is pure page writing).
+#include <gtest/gtest.h>
+
+#include "base/rng.hpp"
+#include "ooh/testbed.hpp"
+#include "trackers/criu/checkpoint.hpp"
+
+namespace ooh::criu {
+namespace {
+
+using lib::Technique;
+
+constexpr Technique kAll[] = {Technique::kProc, Technique::kUfd, Technique::kSpml,
+                              Technique::kEpml, Technique::kOracle};
+
+std::string tech_label(Technique t) {
+  switch (t) {
+    case Technique::kProc: return "proc";
+    case Technique::kUfd: return "ufd";
+    case Technique::kSpml: return "spml";
+    case Technique::kEpml: return "epml";
+    case Technique::kOracle: return "oracle";
+  }
+  return "?";
+}
+
+/// A workload that writes a derministic pattern the restore test can verify.
+lib::WorkloadFn pattern_writer(Gva base, u64 pages, u64 seed) {
+  return [=](guest::Process& p) {
+    Rng rng(seed);
+    for (u64 i = 0; i < pages; ++i) {
+      p.write_u64(base + i * kPageSize + (i % 100) * 8, rng.next());
+    }
+    // Rewrite a subset so the image must refresh stale full-copy pages.
+    for (u64 i = 0; i < pages; i += 3) {
+      p.write_u64(base + i * kPageSize, rng.next());
+    }
+  };
+}
+
+std::vector<u8> read_page(guest::Process& p, Gva page) {
+  std::vector<u8> buf(kPageSize);
+  p.read_bytes(page, buf);
+  return buf;
+}
+
+class CriuRoundTrip : public ::testing::TestWithParam<Technique> {};
+
+TEST_P(CriuRoundTrip, RestoredMemoryEqualsOriginal) {
+  lib::TestBed bed;
+  guest::GuestKernel& k = bed.kernel();
+  guest::Process& proc = k.create_process();
+  const u64 pages = 64;
+  const Gva base = proc.mmap(pages * kPageSize, /*data_backed=*/true);
+  // Warm with initial content so the full copy has something to be stale about.
+  for (u64 i = 0; i < pages; ++i) proc.write_u64(base + i * kPageSize, i);
+
+  Checkpointer cp(k, GetParam());
+  const CheckpointResult res =
+      cp.checkpoint_during(proc, pattern_writer(base, pages, 77));
+
+  guest::Process& restored = k.create_process();
+  restore(restored, res.image);
+
+  for (u64 i = 0; i < pages; ++i) {
+    const Gva page = base + i * kPageSize;
+    EXPECT_EQ(read_page(proc, page), read_page(restored, page))
+        << tech_label(GetParam()) << ": page " << i
+        << " stale in image (tracker missed the re-write)";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTechniques, CriuRoundTrip, ::testing::ValuesIn(kAll),
+                         [](const auto& pinfo) { return tech_label(pinfo.param); });
+
+class CriuPrecopy : public ::testing::TestWithParam<Technique> {};
+
+TEST_P(CriuPrecopy, IncrementalRoundsStillYieldCorrectImage) {
+  lib::TestBed bed;
+  guest::GuestKernel& k = bed.kernel();
+  guest::Process& proc = k.create_process();
+  const u64 pages = 128;
+  const Gva base = proc.mmap(pages * kPageSize, /*data_backed=*/true);
+  for (u64 i = 0; i < pages; ++i) proc.write_u64(base + i * kPageSize, i);
+
+  Checkpointer cp(k, GetParam());
+  CheckpointOptions opts;
+  opts.precopy_period = usecs(200);
+  const CheckpointResult res =
+      cp.checkpoint_during(proc, pattern_writer(base, pages, 99), opts);
+  EXPECT_GT(res.phases.precopy.count(), 0.0);
+
+  guest::Process& restored = k.create_process();
+  restore(restored, res.image);
+  for (u64 i = 0; i < pages; ++i) {
+    const Gva page = base + i * kPageSize;
+    EXPECT_EQ(read_page(proc, page), read_page(restored, page));
+  }
+  EXPECT_GT(res.image.dump_ops, res.image.pages.size())
+      << "pre-copy rounds must have re-dumped some pages";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTechniques, CriuPrecopy,
+                         ::testing::Values(Technique::kProc, Technique::kEpml,
+                                           Technique::kSpml),
+                         [](const auto& pinfo) { return tech_label(pinfo.param); });
+
+TEST(Criu, FullCheckpointCapturesAllPresentPages) {
+  lib::TestBed bed;
+  guest::GuestKernel& k = bed.kernel();
+  guest::Process& proc = k.create_process();
+  const Gva base = proc.mmap(16 * kPageSize, true);
+  for (u64 i = 0; i < 16; i += 2) proc.write_u64(base + i * kPageSize, i);
+
+  Checkpointer cp(k, Technique::kOracle);
+  const CheckpointImage image = cp.full_checkpoint(proc);
+  EXPECT_EQ(image.pages.size(), 8u) << "only touched pages are present";
+  guest::Process& restored = k.create_process();
+  restore(restored, image);
+  for (u64 i = 0; i < 16; i += 2) {
+    EXPECT_EQ(restored.read_u64(base + i * kPageSize), i);
+  }
+}
+
+TEST(Criu, RestoreRequiresFreshProcess) {
+  lib::TestBed bed;
+  guest::GuestKernel& k = bed.kernel();
+  guest::Process& proc = k.create_process();
+  (void)proc.mmap(kPageSize);
+  CheckpointImage image;
+  EXPECT_THROW(restore(proc, image), std::invalid_argument);
+}
+
+TEST(Criu, ProcFusesMdIntoMw) {
+  // §VI-F: with /proc, CRIU dumps pages as the pagemap walk finds them, so
+  // MD is empty and MW carries the scan; with EPML, MD is the cheap ring
+  // read and MW is pure page writing.
+  lib::TestBed bed;
+  guest::GuestKernel& k = bed.kernel();
+  guest::Process& proc = k.create_process();
+  const u64 pages = 256;
+  const Gva base = proc.mmap(pages * kPageSize);
+
+  Checkpointer cp(k, Technique::kProc);
+  const CheckpointResult res = cp.checkpoint_during(proc, pattern_writer(base, pages, 5));
+  EXPECT_EQ(res.phases.md.count(), 0.0);
+  EXPECT_GT(res.phases.mw.count(),
+            bed.machine().cost.pagemap_scan_us(proc.mapped_bytes()))
+      << "/proc MW must include the pagemap walk";
+}
+
+TEST(Criu, SpmlMdDominatedByReverseMapping) {
+  lib::TestBed bed;
+  guest::GuestKernel& k = bed.kernel();
+  guest::Process& proc = k.create_process();
+  const u64 pages = 2560;  // 10 MiB
+  const Gva base = proc.mmap(pages * kPageSize);
+
+  Checkpointer cp(k, Technique::kSpml);
+  const CheckpointResult res = cp.checkpoint_during(proc, pattern_writer(base, pages, 5));
+  EXPECT_GT(res.phases.md.count(), res.phases.mw.count())
+      << "SPML checkpoint time is dominated by MD (reverse mapping), Fig. 8";
+}
+
+TEST(Criu, EpmlMwIsPurePageWriting) {
+  lib::TestBed bed;
+  guest::GuestKernel& k = bed.kernel();
+  guest::Process& proc = k.create_process();
+  const u64 pages = 256;
+  const Gva base = proc.mmap(pages * kPageSize);
+
+  Checkpointer cp(k, Technique::kEpml);
+  const CheckpointResult res = cp.checkpoint_during(proc, pattern_writer(base, pages, 5));
+  const double expected_mw =
+      bed.machine().cost.disk_write_page_us * static_cast<double>(res.final_dirty_pages);
+  EXPECT_NEAR(res.phases.mw.count(), expected_mw, expected_mw * 0.1);
+  EXPECT_LT(res.phases.md.count(), res.phases.mw.count());
+}
+
+TEST(Criu, MwShapeMatchesFig7AcrossTechniques) {
+  // Fig. 7: with a fixed dirty set, MW grows with *memory size* for /proc
+  // (the fused pagemap walk scans everything) but stays ~constant for EPML
+  // (pure page writes of the dirty set).
+  const u64 dirty = 256;
+  auto mw_time = [&](Technique t, u64 total_pages) {
+    lib::TestBed bed;
+    guest::GuestKernel& k = bed.kernel();
+    guest::Process& proc = k.create_process();
+    const Gva base = proc.mmap(total_pages * kPageSize);
+    for (u64 i = 0; i < total_pages; ++i) proc.touch_write(base + i * kPageSize);
+    Checkpointer cp(k, t);
+    CheckpointOptions opts;
+    opts.initial_full_copy = false;  // isolate the dirty-page MW
+    const auto writer = [&](guest::Process& p) {
+      for (u64 i = 0; i < dirty; ++i) p.touch_write(base + i * kPageSize);
+    };
+    return cp.checkpoint_during(proc, writer, opts).phases.mw.count();
+  };
+  const u64 small = 1024, large = 16384;  // 4 MiB vs 64 MiB
+  const double proc_small = mw_time(Technique::kProc, small);
+  const double proc_large = mw_time(Technique::kProc, large);
+  const double epml_small = mw_time(Technique::kEpml, small);
+  const double epml_large = mw_time(Technique::kEpml, large);
+  EXPECT_GT(proc_large, epml_large * 2) << "EPML improves MW vs /proc";
+  EXPECT_GT(proc_large / proc_small, 4.0) << "/proc MW grows with memory";
+  EXPECT_LT(epml_large / epml_small, 1.5) << "EPML MW ~constant (Fig. 7)";
+}
+
+TEST(Criu, MetadataOnlyVmasDumpEmptyPages) {
+  lib::TestBed bed;
+  guest::GuestKernel& k = bed.kernel();
+  guest::Process& proc = k.create_process();
+  const Gva base = proc.mmap(4 * kPageSize, /*data_backed=*/false);
+  for (int i = 0; i < 4; ++i) proc.touch_write(base + i * kPageSize);
+  Checkpointer cp(k, Technique::kOracle);
+  const CheckpointImage image = cp.full_checkpoint(proc);
+  EXPECT_EQ(image.pages.size(), 4u);
+  for (const auto& [gva, content] : image.pages) EXPECT_TRUE(content.empty());
+  guest::Process& restored = k.create_process();
+  restore(restored, image);  // must not throw
+  EXPECT_EQ(k.page_table(restored).present_pages(), 4u);
+}
+
+}  // namespace
+}  // namespace ooh::criu

@@ -1,0 +1,187 @@
+// Experiment-driver tests: methodology invariants of §VI-B -- baseline runs
+// charge no tracking cost, tracker time shows up on the shared clock,
+// overheads order as the paper reports, capture metrics are consistent.
+#include <gtest/gtest.h>
+
+#include "ooh/experiment.hpp"
+#include "ooh/testbed.hpp"
+#include "ooh/trackers.hpp"
+
+namespace ooh::lib {
+namespace {
+
+WorkloadFn writer(Gva base, u64 pages, int passes = 1) {
+  return [=](guest::Process& p) {
+    for (int r = 0; r < passes; ++r) {
+      for (u64 i = 0; i < pages; ++i) p.touch_write(base + i * kPageSize);
+    }
+  };
+}
+
+TEST(Experiment, BaselineHasNoTrackingEvents) {
+  TestBed bed;
+  guest::GuestKernel& k = bed.kernel();
+  guest::Process& proc = k.create_process();
+  const Gva base = proc.mmap(32 * kPageSize);
+  const RunResult r = run_baseline(k, proc, writer(base, 32));
+  EXPECT_EQ(r.events.get(Event::kPageFaultSoftDirty), 0u);
+  EXPECT_EQ(r.events.get(Event::kPageFaultUffd), 0u);
+  EXPECT_EQ(r.events.get(Event::kPmlLogGpa), 0u);
+  EXPECT_EQ(r.events.get(Event::kHypercall), 0u);
+  EXPECT_EQ(r.tracker_time().count(), 0.0);
+  EXPECT_EQ(r.truth_pages, 32u);
+}
+
+TEST(Experiment, DeterministicAcrossIdenticalRuns) {
+  auto once = [] {
+    TestBed bed;
+    guest::GuestKernel& k = bed.kernel();
+    guest::Process& proc = k.create_process();
+    const Gva base = proc.mmap(64 * kPageSize);
+    auto tracker = make_tracker(Technique::kEpml, k, proc);
+    return run_tracked(k, proc, writer(base, 64, 3), tracker.get()).tracked_time.count();
+  };
+  EXPECT_DOUBLE_EQ(once(), once());
+}
+
+TEST(Experiment, TrackerTimeInflatesTrackedCompletion) {
+  // Formula 3: Tracker and Tracked share the CPU, so tracked_time grows by
+  // at least the tracker's in-run time.
+  TestBed bed;
+  guest::GuestKernel& k = bed.kernel();
+  guest::Process& proc = k.create_process();
+  const u64 pages = 512;
+  const Gva base = proc.mmap(pages * kPageSize);
+  for (u64 i = 0; i < pages; ++i) proc.touch_write(base + i * kPageSize);
+
+  const RunResult ideal = run_baseline(k, proc, writer(base, pages, 2));
+
+  auto tracker = make_tracker(Technique::kSpml, k, proc);
+  RunOptions opts;
+  opts.collect_period = msecs(1);
+  opts.final_collect = false;  // only in-run collections inflate the run
+  const RunResult tracked = run_tracked(k, proc, writer(base, pages, 2), tracker.get(), opts);
+  tracker->shutdown();
+
+  EXPECT_GT(tracked.tracked_time.count(), ideal.tracked_time.count());
+  const double in_run_tracker =
+      tracked.phases.arm.count() + tracked.phases.collect.count();
+  EXPECT_GE(tracked.tracked_time.count(),
+            ideal.tracked_time.count() * 0.5 + in_run_tracker)
+      << "collection windows must appear on the tracked timeline";
+}
+
+TEST(Experiment, OnCollectedDeliversEveryInterval) {
+  TestBed bed;
+  guest::GuestKernel& k = bed.kernel();
+  guest::Process& proc = k.create_process();
+  const Gva base = proc.mmap(128 * kPageSize);
+  for (u64 i = 0; i < 128; ++i) proc.touch_write(base + i * kPageSize);
+
+  auto tracker = make_tracker(Technique::kProc, k, proc);
+  RunOptions opts;
+  opts.collect_period = usecs(30);
+  u64 delivered = 0;
+  int calls = 0;
+  opts.on_collected = [&](const std::vector<Gva>& pages) {
+    ++calls;
+    delivered += pages.size();
+  };
+  const RunResult r = run_tracked(k, proc, writer(base, 128, 8), tracker.get(), opts);
+  tracker->shutdown();
+  EXPECT_GT(calls, 1);
+  EXPECT_GE(delivered, r.truth_pages);
+}
+
+double warm_tracked_time(std::optional<Technique> t, u64 pages, int passes) {
+  // Paper microbench methodology: warm memory, one in-run monitor+collect
+  // cycle on the Tracked's timeline (Fig. 1), collection landing late in the
+  // run when the dirty set is built up.
+  auto run_once = [&](DirtyTracker* tracker, guest::GuestKernel& k,
+                      guest::Process& proc, Gva base, VirtDuration period) {
+    RunOptions opts;
+    opts.collect_period = period;
+    opts.max_collections = 1;
+    return run_tracked(k, proc, writer(base, pages, passes), tracker, opts)
+        .tracked_time;
+  };
+  auto make_bed = [&](guest::GuestKernel*& k, guest::Process*& proc, Gva& base) {
+    auto bed = std::make_unique<TestBed>();
+    k = &bed->kernel();
+    proc = &k->create_process();
+    base = proc->mmap(pages * kPageSize);
+    for (u64 i = 0; i < pages; ++i) proc->touch_write(base + i * kPageSize);
+    return bed;
+  };
+
+  guest::GuestKernel* k = nullptr;
+  guest::Process* proc = nullptr;
+  Gva base = 0;
+  const auto ideal_bed = make_bed(k, proc, base);
+  const VirtDuration ideal = run_once(nullptr, *k, *proc, base, VirtDuration{0});
+  if (!t) return ideal.count();
+
+  const auto bed = make_bed(k, proc, base);
+  auto tracker = make_tracker(*t, *k, *proc);
+  const VirtDuration measured = run_once(tracker.get(), *k, *proc, base, ideal * 0.75);
+  tracker->shutdown();
+  return measured.count();
+}
+
+TEST(Experiment, OverheadOrderingSmallMemoryUfdWorst) {
+  // Fig. 4: below the ~250MB crossover, userspace fault handling costs more
+  // than SPML's reverse mapping, so ufd is the worst technique.
+  const u64 pages = (50 * kMiB) / kPageSize;
+  const double ideal = warm_tracked_time(std::nullopt, pages, 2);
+  const double proc_t = warm_tracked_time(Technique::kProc, pages, 2);
+  const double ufd_t = warm_tracked_time(Technique::kUfd, pages, 2);
+  const double spml_t = warm_tracked_time(Technique::kSpml, pages, 2);
+  const double epml_t = warm_tracked_time(Technique::kEpml, pages, 2);
+  const double oracle_t = warm_tracked_time(Technique::kOracle, pages, 2);
+
+  EXPECT_LT(ideal, epml_t);
+  EXPECT_LT(epml_t, proc_t);
+  EXPECT_LT(proc_t, spml_t);
+  EXPECT_LT(spml_t, ufd_t) << "ufd is the worst below the crossover";
+  EXPECT_LT(oracle_t, epml_t) << "oracle is the zero-cost bound";
+}
+
+TEST(Experiment, OverheadOrderingLargeMemorySpmlWorst) {
+  // Fig. 4: past the ~250MB crossover, reverse mapping dominates and SPML
+  // becomes the most expensive technique (up to 66x in the paper).
+  const u64 pages = (512 * kMiB) / kPageSize;
+  const double proc_t = warm_tracked_time(Technique::kProc, pages, 2);
+  const double ufd_t = warm_tracked_time(Technique::kUfd, pages, 2);
+  const double spml_t = warm_tracked_time(Technique::kSpml, pages, 2);
+  const double epml_t = warm_tracked_time(Technique::kEpml, pages, 2);
+
+  EXPECT_LT(epml_t, proc_t);
+  EXPECT_LT(proc_t, ufd_t);
+  EXPECT_LT(ufd_t, spml_t) << "SPML is the worst above the crossover";
+}
+
+TEST(Experiment, CaptureRatioIsOneWhenNothingMissed) {
+  TestBed bed;
+  guest::GuestKernel& k = bed.kernel();
+  guest::Process& proc = k.create_process();
+  const Gva base = proc.mmap(16 * kPageSize);
+  auto tracker = make_tracker(Technique::kEpml, k, proc);
+  const RunResult r = run_tracked(k, proc, writer(base, 16), tracker.get());
+  EXPECT_DOUBLE_EQ(r.capture_ratio(), 1.0);
+  tracker->shutdown();
+}
+
+TEST(Experiment, QuantumSwitchesReportedAsN) {
+  TestBed bed;
+  bed.kernel().scheduler().set_quantum(usecs(200));
+  guest::GuestKernel& k = bed.kernel();
+  guest::Process& proc = k.create_process();
+  const Gva base = proc.mmap(1024 * kPageSize);
+  const RunResult r = run_baseline(k, proc, writer(base, 1024, 2));
+  EXPECT_GT(r.events.get(Event::kSchedQuantum), 0u)
+      << "long runs must hit quantum expiries (N of Formula 4)";
+  EXPECT_GE(r.ctx_switches, 2 * r.events.get(Event::kSchedQuantum));
+}
+
+}  // namespace
+}  // namespace ooh::lib

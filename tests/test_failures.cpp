@@ -1,0 +1,184 @@
+// Failure injection and error-path coverage: resource exhaustion, invalid
+// API use, overflow honesty, teardown ordering.
+#include <gtest/gtest.h>
+
+#include "guest/ooh_module.hpp"
+#include "guest/procfs.hpp"
+#include "hypervisor/hypervisor.hpp"
+#include "ooh/experiment.hpp"
+#include "ooh/testbed.hpp"
+#include "ooh/trackers.hpp"
+
+namespace ooh {
+namespace {
+
+TEST(Failures, GuestPhysicalExhaustion) {
+  lib::TestBedOptions opts;
+  opts.vm_mem_bytes = 16 * kPageSize;
+  lib::TestBed bed(opts);
+  auto& k = bed.kernel();
+  auto& proc = k.create_process();
+  const Gva base = proc.mmap(64 * kPageSize);  // VMA bigger than the VM
+  EXPECT_THROW(
+      {
+        for (int i = 0; i < 64; ++i) proc.touch_write(base + i * kPageSize);
+      },
+      std::runtime_error);
+}
+
+TEST(Failures, HostPhysicalExhaustion) {
+  lib::TestBedOptions opts;
+  opts.host_mem_bytes = 8 * kPageSize;  // almost no host RAM
+  opts.vm_mem_bytes = 64 * kPageSize;
+  lib::TestBed bed(opts);
+  auto& k = bed.kernel();
+  auto& proc = k.create_process();
+  const Gva base = proc.mmap(32 * kPageSize);
+  EXPECT_THROW(
+      {
+        for (int i = 0; i < 32; ++i) proc.touch_write(base + i * kPageSize);
+      },
+      std::bad_alloc);
+}
+
+TEST(Failures, DoubleTrackThrows) {
+  lib::TestBed bed;
+  auto& k = bed.kernel();
+  auto& proc = k.create_process();
+  (void)proc.mmap(kPageSize);
+  guest::OohModule& mod = k.load_ooh_module(guest::OohMode::kEpml);
+  mod.track(proc);
+  EXPECT_THROW(mod.track(proc), std::logic_error);
+  mod.untrack(proc);
+  EXPECT_THROW(mod.untrack(proc), std::logic_error);
+}
+
+TEST(Failures, FetchUntrackedThrows) {
+  lib::TestBed bed;
+  auto& k = bed.kernel();
+  auto& proc = k.create_process();
+  guest::OohModule& mod = k.load_ooh_module(guest::OohMode::kSpml);
+  EXPECT_THROW((void)mod.fetch(proc), std::logic_error);
+  EXPECT_EQ(mod.dropped(proc), 0u);
+}
+
+TEST(Failures, ModuleUnloadUntracksEverything) {
+  lib::TestBed bed;
+  auto& k = bed.kernel();
+  auto& p1 = k.create_process();
+  auto& p2 = k.create_process();
+  (void)p1.mmap(kPageSize);
+  (void)p2.mmap(kPageSize);
+  guest::OohModule& mod = k.load_ooh_module(guest::OohMode::kSpml);
+  mod.track(p1);
+  mod.track(p2);
+  k.unload_ooh_module();  // must untrack both and release PML cleanly
+  EXPECT_FALSE(bed.vm().pml_enabled_by_guest);
+  EXPECT_FALSE(bed.vm().vcpu().vmcs().control(sim::kEnablePml));
+  // Fresh module works afterwards.
+  guest::OohModule& mod2 = k.load_ooh_module(guest::OohMode::kEpml);
+  mod2.track(p1);
+  mod2.untrack(p1);
+}
+
+TEST(Failures, RingOverflowIsReportedNotSilent) {
+  lib::TestBed bed;
+  auto& k = bed.kernel();
+  auto& proc = k.create_process();
+  const u64 pages = 4096;
+  const Gva base = proc.mmap(pages * kPageSize);
+  guest::OohModule& mod = k.load_ooh_module(guest::OohMode::kEpml);
+  mod.set_ring_entries(1024);  // far smaller than the dirty set
+  mod.track(proc);
+  k.scheduler().enter_process(proc.pid());
+  for (u64 i = 0; i < pages; ++i) proc.touch_write(base + i * kPageSize);
+  k.scheduler().exit_process(proc.pid());
+  const std::vector<u64> got = mod.fetch(proc);
+  EXPECT_LT(got.size(), pages);
+  EXPECT_EQ(got.size() + mod.dropped(proc), pages)
+      << "every logged page is either delivered or counted as dropped";
+  mod.untrack(proc);
+}
+
+TEST(Failures, TrackerReportsDropsThroughItsApi) {
+  lib::TestBed bed;
+  auto& k = bed.kernel();
+  auto& proc = k.create_process();
+  const u64 pages = 4096;
+  const Gva base = proc.mmap(pages * kPageSize);
+  guest::OohModule& mod = k.load_ooh_module(guest::OohMode::kEpml);
+  mod.set_ring_entries(512);
+  auto tracker = lib::make_tracker(lib::Technique::kEpml, k, proc);
+  lib::RunOptions opts;
+  opts.collect_period = VirtDuration{0};  // never collect mid-run: force pressure
+  const lib::RunResult r = lib::run_tracked(
+      k, proc,
+      [&](guest::Process& p) {
+        for (u64 i = 0; i < pages; ++i) p.touch_write(base + i * kPageSize);
+      },
+      tracker.get(), opts);
+  EXPECT_GT(r.dropped, 0u);
+  EXPECT_LT(r.capture_ratio(), 1.0);
+  EXPECT_EQ(r.unique_pages + r.dropped, r.truth_pages);
+  tracker->shutdown();
+}
+
+TEST(Failures, SegfaultsCarryTheFaultAddress) {
+  lib::TestBed bed;
+  auto& proc = bed.kernel().create_process();
+  try {
+    proc.touch_write(0xdeadbeef000);
+    FAIL() << "expected a segfault";
+  } catch (const guest::GuestSegfault& sf) {
+    EXPECT_EQ(sf.addr, 0xdeadbeef000u);
+  }
+}
+
+TEST(Failures, ReadOnlyVmaRejectsWrites) {
+  lib::TestBed bed;
+  auto& k = bed.kernel();
+  auto& proc = k.create_process();
+  const Gva base = proc.mmap(2 * kPageSize);
+  proc.touch_write(base);
+  proc.vmas_mut()[0].writable = false;  // mprotect(PROT_READ)
+  k.procfs().clear_refs(proc);          // write-protects the PTEs
+  proc.touch_read(base);
+  EXPECT_THROW(proc.touch_write(base), guest::GuestSegfault)
+      << "the soft-dirty fault path must not upgrade a read-only VMA";
+}
+
+TEST(Failures, MistargetedSelfIpiIsHarmless) {
+  lib::TestBed bed;
+  auto& k = bed.kernel();
+  auto& proc = k.create_process();
+  (void)proc.mmap(kPageSize);
+  guest::OohModule& mod = k.load_ooh_module(guest::OohMode::kEpml);
+  mod.track(proc);
+  // Deliver a spurious buffer-full IPI with no tracked process scheduled.
+  mod.handle_guest_pml_full();
+  mod.untrack(proc);
+}
+
+TEST(Failures, BaselineRunAfterFailedRunIsClean) {
+  // A failed (thrown) workload must not wedge the scheduler.
+  lib::TestBed bed;
+  auto& k = bed.kernel();
+  auto& proc = k.create_process();
+  const Gva base = proc.mmap(2 * kPageSize);
+  EXPECT_THROW(lib::run_baseline(k, proc,
+                                 [&](guest::Process& p) {
+                                   p.touch_write(base);
+                                   throw std::runtime_error("app crashed");
+                                 }),
+               std::runtime_error);
+  // Note: enter_process was not popped; a fresh process still runs fine.
+  auto& proc2 = k.create_process();
+  const Gva b2 = proc2.mmap(kPageSize);
+  const lib::RunResult r = lib::run_baseline(k, proc2, [&](guest::Process& p) {
+    p.touch_write(b2);
+  });
+  EXPECT_EQ(r.truth_pages, 1u);
+}
+
+}  // namespace
+}  // namespace ooh

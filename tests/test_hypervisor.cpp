@@ -1,0 +1,211 @@
+// Hypervisor tests: VM lifecycle, hypercall semantics, guest/hypervisor PML
+// coexistence (the enabled_by_guest / enabled_by_hyp flags of §IV-C), and
+// pre-copy live migration.
+#include <gtest/gtest.h>
+
+#include "hypervisor/hypervisor.hpp"
+#include "hypervisor/migration.hpp"
+#include "sim/machine.hpp"
+#include "sim/mmu.hpp"
+#include "sim/page_table.hpp"
+
+namespace ooh::hv {
+namespace {
+
+class HypervisorTest : public ::testing::Test {
+ protected:
+  HypervisorTest() : machine_(256 * kMiB, CostModel::unit()), hv_(machine_) {}
+
+  /// A bare-metal guest surrogate: page table + MMU writes, no guest kernel.
+  struct MiniGuest {
+    MiniGuest(sim::Machine& m, Vm& vm) : vm_(vm), mmu_(m, vm.vcpu(), vm.ept()) {}
+    void map(Gva gva, Gpa gpa) { pt_.map(gva, gpa, true); }
+    void write(Gva gva) {
+      ASSERT_EQ(mmu_.access(1, pt_, gva, true).status, sim::Mmu::Status::kOk);
+    }
+    Vm& vm_;
+    sim::GuestPageTable pt_;
+    sim::Mmu mmu_;
+  };
+
+  sim::Machine machine_;
+  Hypervisor hv_;
+};
+
+TEST_F(HypervisorTest, CreateVmWiresVcpu) {
+  Vm& vm = hv_.create_vm(64 * kMiB);
+  EXPECT_EQ(vm.id(), 0u);
+  EXPECT_EQ(vm.vcpu().exits(), &hv_);
+  EXPECT_EQ(vm.vcpu().ept(), &vm.ept());
+  Vm& vm2 = hv_.create_vm(64 * kMiB);
+  EXPECT_EQ(vm2.id(), 1u);
+  EXPECT_EQ(hv_.vm_count(), 2u);
+}
+
+TEST_F(HypervisorTest, EptViolationAllocatesHostFrame) {
+  Vm& vm = hv_.create_vm(64 * kMiB);
+  MiniGuest g(machine_, vm);
+  g.map(0x10000, 0x4000);
+  const u64 used_before = machine_.pmem.used_frames();
+  g.write(0x10000);
+  EXPECT_EQ(machine_.pmem.used_frames(), used_before + 1);
+  Hpa hpa = 0;
+  EXPECT_TRUE(vm.ept().translate(0x4000, hpa));
+}
+
+TEST_F(HypervisorTest, EptViolationBeyondVmMemoryThrows) {
+  Vm& vm = hv_.create_vm(1 * kMiB);
+  MiniGuest g(machine_, vm);
+  g.map(0x10000, 64 * kMiB);  // GPA beyond the 1MiB VM
+  EXPECT_THROW(
+      { (void)g.mmu_.access(1, g.pt_, 0x10000, true); }, std::runtime_error);
+}
+
+TEST_F(HypervisorTest, SpmlHypercallFlowRoutesGpasToRing) {
+  Vm& vm = hv_.create_vm(64 * kMiB);
+  MiniGuest g(machine_, vm);
+  for (int i = 0; i < 8; ++i) g.map(0x10000 + i * kPageSize, 0x4000 + i * kPageSize);
+
+  sim::Vcpu& vcpu = vm.vcpu();
+  vcpu.hypercall(sim::Hypercall::kOohInitPml, 8 * kPageSize);
+  EXPECT_TRUE(vm.pml_enabled_by_guest);
+  EXPECT_FALSE(vcpu.vmcs().control(sim::kEnablePml)) << "init does not start logging";
+
+  vcpu.hypercall(sim::Hypercall::kOohEnableLogging);
+  EXPECT_TRUE(vcpu.vmcs().control(sim::kEnablePml));
+  for (int i = 0; i < 8; ++i) g.write(0x10000 + i * kPageSize);
+
+  vcpu.hypercall(sim::Hypercall::kOohDisableLogging, 8 * kPageSize);
+  EXPECT_FALSE(vcpu.vmcs().control(sim::kEnablePml));
+  EXPECT_EQ(vm.spml_ring().size(), 8u);
+  const std::vector<u64> gpas = vm.spml_ring().drain();
+  EXPECT_EQ(gpas.front(), 0x4000u);
+
+  vcpu.hypercall(sim::Hypercall::kOohDeactivatePml);
+  EXPECT_FALSE(vm.pml_enabled_by_guest);
+}
+
+TEST_F(HypervisorTest, EnableLoggingWithoutInitFails) {
+  Vm& vm = hv_.create_vm(64 * kMiB);
+  EXPECT_EQ(vm.vcpu().hypercall(sim::Hypercall::kOohEnableLogging), u64(-1));
+  EXPECT_FALSE(vm.vcpu().vmcs().control(sim::kEnablePml));
+}
+
+TEST_F(HypervisorTest, CoexistenceBothConsumersGetDirtyPages) {
+  // §IV-C item 3: guest SPML session and hypervisor migration logging run
+  // simultaneously on one PML buffer; routing respects both flags.
+  Vm& vm = hv_.create_vm(64 * kMiB);
+  MiniGuest g(machine_, vm);
+  for (int i = 0; i < 4; ++i) g.map(0x10000 + i * kPageSize, 0x4000 + i * kPageSize);
+
+  hv_.enable_pml_for_hyp(vm);
+  vm.vcpu().hypercall(sim::Hypercall::kOohInitPml, 4 * kPageSize);
+  vm.vcpu().hypercall(sim::Hypercall::kOohEnableLogging);
+
+  for (int i = 0; i < 4; ++i) g.write(0x10000 + i * kPageSize);
+  vm.vcpu().hypercall(sim::Hypercall::kOohDisableLogging, 4 * kPageSize);
+
+  EXPECT_EQ(vm.spml_ring().size(), 4u) << "guest ring got the GPAs";
+  // PML stays armed for the hypervisor even after the guest disables.
+  EXPECT_TRUE(vm.vcpu().vmcs().control(sim::kEnablePml));
+  const std::vector<Gpa> harvested = hv_.harvest_hyp_dirty(vm);
+  EXPECT_EQ(harvested.size(), 4u) << "hypervisor log got the same GPAs";
+}
+
+TEST_F(HypervisorTest, GuestOnlyLoggingDoesNotFillHypervisorLog) {
+  Vm& vm = hv_.create_vm(64 * kMiB);
+  MiniGuest g(machine_, vm);
+  g.map(0x10000, 0x4000);
+  vm.vcpu().hypercall(sim::Hypercall::kOohInitPml, kPageSize);
+  vm.vcpu().hypercall(sim::Hypercall::kOohEnableLogging);
+  g.write(0x10000);
+  vm.vcpu().hypercall(sim::Hypercall::kOohDisableLogging, kPageSize);
+  EXPECT_TRUE(vm.hyp_dirty_log().empty());
+}
+
+TEST_F(HypervisorTest, HypOnlyLoggingDoesNotFillGuestRing) {
+  Vm& vm = hv_.create_vm(64 * kMiB);
+  MiniGuest g(machine_, vm);
+  g.map(0x10000, 0x4000);
+  hv_.enable_pml_for_hyp(vm);
+  g.write(0x10000);
+  EXPECT_EQ(hv_.harvest_hyp_dirty(vm).size(), 1u);
+  EXPECT_TRUE(vm.spml_ring().empty());
+}
+
+TEST_F(HypervisorTest, IntervalResetRearmsLogging) {
+  Vm& vm = hv_.create_vm(64 * kMiB);
+  MiniGuest g(machine_, vm);
+  g.map(0x10000, 0x4000);
+  vm.vcpu().hypercall(sim::Hypercall::kOohInitPml, kPageSize);
+  vm.vcpu().hypercall(sim::Hypercall::kOohEnableLogging);
+  g.write(0x10000);
+  vm.vcpu().hypercall(sim::Hypercall::kOohDisableLogging, kPageSize);
+  EXPECT_EQ(vm.spml_ring().drain().size(), 1u);
+
+  // Without a reset, a re-write would not re-log (dirty flag still set).
+  vm.vcpu().hypercall(sim::Hypercall::kOohIntervalReset);
+  vm.vcpu().hypercall(sim::Hypercall::kOohEnableLogging);
+  g.write(0x10000);
+  vm.vcpu().hypercall(sim::Hypercall::kOohDisableLogging, kPageSize);
+  EXPECT_EQ(vm.spml_ring().drain().size(), 1u) << "page re-logged after reset";
+}
+
+TEST_F(HypervisorTest, HarvestResetsDirtySoNextRoundRelogs) {
+  Vm& vm = hv_.create_vm(64 * kMiB);
+  MiniGuest g(machine_, vm);
+  g.map(0x10000, 0x4000);
+  hv_.enable_pml_for_hyp(vm);
+  g.write(0x10000);
+  EXPECT_EQ(hv_.harvest_hyp_dirty(vm).size(), 1u);
+  EXPECT_EQ(hv_.harvest_hyp_dirty(vm).size(), 0u) << "no new writes, no new dirt";
+  g.write(0x10000);
+  EXPECT_EQ(hv_.harvest_hyp_dirty(vm).size(), 1u);
+}
+
+TEST_F(HypervisorTest, MigrationConvergesOnIdleGuest) {
+  Vm& vm = hv_.create_vm(64 * kMiB);
+  MiniGuest g(machine_, vm);
+  for (int i = 0; i < 32; ++i) g.map(0x10000 + i * kPageSize, 0x4000 + i * kPageSize);
+  for (int i = 0; i < 32; ++i) g.write(0x10000 + i * kPageSize);
+
+  MigrationEngine engine(hv_);
+  int quanta = 0;
+  const MigrationReport rep = engine.migrate(vm, [&] {
+    // Guest dirties a shrinking set each round, then goes idle.
+    if (quanta < 2) {
+      for (int i = 0; i < 8 >> quanta; ++i) g.write(0x10000 + i * kPageSize);
+    }
+    ++quanta;
+  });
+  EXPECT_TRUE(rep.converged);
+  EXPECT_GE(rep.initial_pages, 32u);
+  EXPECT_GT(rep.pages_sent, rep.initial_pages) << "pre-copy resent dirty pages";
+  EXPECT_LE(rep.downtime.count(), rep.total_time.count());
+  EXPECT_FALSE(vm.pml_enabled_by_hyp) << "migration tears its PML use down";
+}
+
+TEST_F(HypervisorTest, MigrationForcedStopCopyOnHotGuest) {
+  Vm& vm = hv_.create_vm(64 * kMiB);
+  MiniGuest g(machine_, vm);
+  const int pages = 256;
+  for (int i = 0; i < pages; ++i) g.map(0x10000 + i * kPageSize, 0x4000 + i * kPageSize);
+  for (int i = 0; i < pages; ++i) g.write(0x10000 + i * kPageSize);
+
+  MigrationEngine engine(hv_);
+  MigrationOptions opts;
+  opts.max_rounds = 3;
+  opts.stop_copy_threshold_pages = 4;
+  const MigrationReport rep = engine.migrate(
+      vm,
+      [&] {  // rewrites everything every round: never converges
+        for (int i = 0; i < pages; ++i) g.write(0x10000 + i * kPageSize);
+      },
+      opts);
+  EXPECT_FALSE(rep.converged);
+  EXPECT_EQ(rep.rounds, 3u);
+  EXPECT_EQ(rep.stop_copy_pages, static_cast<u64>(pages));
+}
+
+}  // namespace
+}  // namespace ooh::hv

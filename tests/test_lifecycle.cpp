@@ -1,0 +1,172 @@
+// Memory lifecycle + incremental checkpoint chains: munmap semantics, how
+// unmapping interacts with every tracker, and CRIU pre-dump series whose
+// image must restore the *latest* state after each step.
+#include <gtest/gtest.h>
+
+#include "base/rng.hpp"
+#include "guest/procfs.hpp"
+#include "ooh/experiment.hpp"
+#include "ooh/testbed.hpp"
+#include "ooh/trackers.hpp"
+#include "trackers/criu/checkpoint.hpp"
+
+namespace ooh {
+namespace {
+
+// ---- munmap ----------------------------------------------------------------------
+
+TEST(Munmap, TearsDownMappingsAndTruth) {
+  lib::TestBed bed;
+  auto& k = bed.kernel();
+  auto& proc = k.create_process();
+  const Gva a = proc.mmap(4 * kPageSize);
+  const Gva b = proc.mmap(2 * kPageSize);
+  for (int i = 0; i < 4; ++i) proc.touch_write(a + i * kPageSize);
+  proc.touch_write(b);
+  EXPECT_EQ(proc.mapped_bytes(), 6 * kPageSize);
+
+  proc.munmap(a);
+  EXPECT_EQ(proc.mapped_bytes(), 2 * kPageSize);
+  EXPECT_EQ(k.page_table(proc).present_pages(), 1u);
+  EXPECT_EQ(proc.truth_dirty().size(), 1u);
+  EXPECT_THROW(proc.touch_write(a), guest::GuestSegfault);
+  proc.touch_write(b + kPageSize);  // the other VMA is untouched
+  EXPECT_THROW(proc.munmap(a), std::invalid_argument) << "double munmap";
+  EXPECT_THROW(proc.munmap(b + kPageSize), std::invalid_argument)
+      << "munmap requires the VMA base";
+}
+
+TEST(Munmap, UnmappedPagesVanishFromProcCollection) {
+  lib::TestBed bed;
+  auto& k = bed.kernel();
+  auto& proc = k.create_process();
+  const Gva keep = proc.mmap(2 * kPageSize);
+  const Gva gone = proc.mmap(2 * kPageSize);
+  auto tracker = lib::make_tracker(lib::Technique::kProc, k, proc);
+  tracker->init();
+  tracker->begin_interval();
+  proc.touch_write(keep);
+  proc.touch_write(gone);
+  proc.munmap(gone);
+  const std::vector<Gva> dirty = tracker->collect();
+  EXPECT_EQ(dirty, std::vector<Gva>{keep});
+  tracker->shutdown();
+}
+
+TEST(Munmap, EpmlCollectionToleratesUnmappedEntries) {
+  // EPML logged the GVA before the unmap; collection may still report it,
+  // and consumers (CRIU dump) must skip pages that no longer exist.
+  lib::TestBed bed;
+  auto& k = bed.kernel();
+  auto& proc = k.create_process();
+  const Gva keep = proc.mmap(2 * kPageSize);
+  const Gva gone = proc.mmap(2 * kPageSize);
+  auto tracker = lib::make_tracker(lib::Technique::kEpml, k, proc);
+  tracker->init();
+  tracker->begin_interval();
+  k.scheduler().enter_process(proc.pid());
+  proc.touch_write(keep);
+  proc.touch_write(gone);
+  k.scheduler().exit_process(proc.pid());
+  proc.munmap(gone);
+
+  criu::Checkpointer cp(k, lib::Technique::kEpml);
+  criu::CheckpointImage image;
+  for (const guest::Vma& vma : proc.vmas()) {
+    image.vmas.push_back({vma.start, vma.bytes(), vma.data_backed});
+  }
+  cp.dump_pages(proc, tracker->collect(), image);
+  EXPECT_EQ(image.pages.size(), 1u) << "the unmapped page was skipped";
+  EXPECT_TRUE(image.pages.contains(keep));
+  tracker->shutdown();
+}
+
+TEST(Munmap, RemapAfterUnmapGetsFreshTrackingState) {
+  lib::TestBed bed;
+  auto& k = bed.kernel();
+  auto& proc = k.create_process();
+  const Gva a = proc.mmap(kPageSize);
+  proc.touch_write(a);
+  k.procfs().clear_refs(proc);
+  proc.munmap(a);
+  const Gva b = proc.mmap(kPageSize);  // may reuse no address (bump allocator)
+  proc.touch_write(b);
+  const std::vector<Gva> dirty = k.procfs().pagemap_dirty(proc);
+  EXPECT_EQ(dirty, std::vector<Gva>{b});
+}
+
+// ---- incremental checkpoint chains --------------------------------------------------
+
+TEST(IncrementalChain, EachStepRestoresLatestState) {
+  lib::TestBed bed;
+  auto& k = bed.kernel();
+  auto& proc = k.create_process();
+  const u64 pages = 32;
+  const Gva base = proc.mmap(pages * kPageSize, /*data_backed=*/true);
+  for (u64 i = 0; i < pages; ++i) proc.write_u64(base + i * kPageSize, i);
+
+  criu::IncrementalSession session(k, lib::Technique::kEpml, proc);
+  EXPECT_EQ(session.full_copy_pages(), pages);
+
+  Rng rng(5);
+  for (int s = 1; s <= 4; ++s) {
+    const auto res = session.step([&](guest::Process& p) {
+      for (int w = 0; w < 5; ++w) {
+        p.write_u64(base + rng.below(pages) * kPageSize, 1000 * s + w);
+      }
+    });
+    EXPECT_LE(res.dirty_pages, 5u);
+    EXPECT_GT(res.run_time.count(), 0.0);
+
+    guest::Process& restored = k.create_process();
+    criu::restore(restored, session.image());
+    for (u64 i = 0; i < pages; ++i) {
+      EXPECT_EQ(restored.read_u64(base + i * kPageSize),
+                proc.read_u64(base + i * kPageSize))
+          << "step " << s << " page " << i;
+    }
+  }
+  EXPECT_EQ(session.steps(), 4u);
+}
+
+TEST(IncrementalChain, DumpCostTracksDirtySetNotMemorySize) {
+  lib::TestBed bed;
+  auto& k = bed.kernel();
+  auto& proc = k.create_process();
+  const u64 pages = 2048;  // 8 MiB
+  const Gva base = proc.mmap(pages * kPageSize);
+  for (u64 i = 0; i < pages; ++i) proc.touch_write(base + i * kPageSize);
+
+  criu::IncrementalSession session(k, lib::Technique::kEpml, proc);
+  const auto small_step = session.step([&](guest::Process& p) {
+    for (int i = 0; i < 8; ++i) p.touch_write(base + i * kPageSize);
+  });
+  const auto big_step = session.step([&](guest::Process& p) {
+    for (u64 i = 0; i < pages; ++i) p.touch_write(base + i * kPageSize);
+  });
+  EXPECT_EQ(small_step.dirty_pages, 8u);
+  EXPECT_EQ(big_step.dirty_pages, pages);
+  EXPECT_LT(small_step.dump_time.count() * 10, big_step.dump_time.count())
+      << "EPML incremental dumps pay for dirty pages, not memory size";
+}
+
+TEST(IncrementalChain, NewVmaDuringStepIsRestored) {
+  lib::TestBed bed;
+  auto& k = bed.kernel();
+  auto& proc = k.create_process();
+  const Gva base = proc.mmap(2 * kPageSize, true);
+  proc.write_u64(base, 42);
+  criu::IncrementalSession session(k, lib::Technique::kProc, proc);
+  Gva extra = 0;
+  (void)session.step([&](guest::Process& p) {
+    extra = p.mmap(kPageSize, true);
+    p.write_u64(extra, 77);
+  });
+  guest::Process& restored = k.create_process();
+  criu::restore(restored, session.image());
+  EXPECT_EQ(restored.read_u64(base), 42u);
+  EXPECT_EQ(restored.read_u64(extra), 77u);
+}
+
+}  // namespace
+}  // namespace ooh

@@ -1,0 +1,182 @@
+// Analytical-model tests: Formulas 1-4 must predict the simulator's
+// measured tracker/tracked times from event counts alone -- the paper's
+// Table IV validation reports >=96% accuracy for E(C_tker) and ~99% for
+// E(C_tked_tker).
+#include <gtest/gtest.h>
+
+#include "model/formulas.hpp"
+#include "ooh/experiment.hpp"
+#include "ooh/testbed.hpp"
+#include "ooh/trackers.hpp"
+
+namespace ooh::model {
+namespace {
+
+using lib::Technique;
+
+struct Measured {
+  double tracker_us;
+  double tracked_us;
+  double ideal_us;
+  ModelParams params;
+};
+
+Measured run_and_measure(Technique t, u64 pages, int passes) {
+  // Ideal (untracked) time first, in a fresh bed.
+  auto baseline = [&] {
+    lib::TestBed bed;
+    auto& k = bed.kernel();
+    auto& proc = k.create_process();
+    const Gva base = proc.mmap(pages * kPageSize);
+    for (u64 i = 0; i < pages; ++i) proc.touch_write(base + i * kPageSize);
+    return lib::run_baseline(k, proc, [&](guest::Process& p) {
+      for (int r = 0; r < passes; ++r) {
+        for (u64 i = 0; i < pages; ++i) p.touch_write(base + i * kPageSize);
+      }
+    });
+  }();
+
+  lib::TestBed bed;
+  auto& k = bed.kernel();
+  auto& proc = k.create_process();
+  const Gva base = proc.mmap(pages * kPageSize);
+  for (u64 i = 0; i < pages; ++i) proc.touch_write(base + i * kPageSize);
+  auto tracker = lib::make_tracker(t, k, proc);
+  lib::RunOptions opts;
+  opts.collect_period = baseline.tracked_time * 0.75;
+  opts.max_collections = 1;
+  opts.final_collect = false;  // keep the event window == the tracked window
+  const lib::RunResult r = lib::run_tracked(
+      k, proc,
+      [&](guest::Process& p) {
+        for (int rep = 0; rep < passes; ++rep) {
+          for (u64 i = 0; i < pages; ++i) p.touch_write(base + i * kPageSize);
+        }
+      },
+      tracker.get(), opts);
+  tracker->shutdown();
+
+  Measured m;
+  m.tracker_us = r.tracker_time().count() - r.phases.init.count();
+  m.tracked_us = r.tracked_time.count();
+  m.ideal_us = baseline.tracked_time.count();
+  m.params = params_from_events(t, proc.mapped_bytes(), r.events);
+  return m;
+}
+
+class FormulaAccuracy : public ::testing::TestWithParam<Technique> {};
+
+TEST_P(FormulaAccuracy, TrackerEstimateWithin20Percent) {
+  const Technique t = GetParam();
+  const Measured m = run_and_measure(t, (32 * kMiB) / kPageSize, 2);
+  const Estimate e =
+      estimate(t, m.params, CostModel::paper_calibrated());
+  // E(C_p) is empty in this experiment (paper §III), so E(C_tker) = E(C_x).
+  const double est = e.tracker_us(0.0);
+  ASSERT_GT(m.tracker_us, 0.0);
+  EXPECT_GE(accuracy_pct(est, m.tracker_us), 80.0)
+      << "estimated " << est << "us vs measured " << m.tracker_us << "us";
+}
+
+TEST_P(FormulaAccuracy, TrackedEstimateWithin10Percent) {
+  const Technique t = GetParam();
+  const Measured m = run_and_measure(t, (32 * kMiB) / kPageSize, 2);
+  const Estimate e =
+      estimate(t, m.params, CostModel::paper_calibrated());
+  const double est = e.tracked_us(m.ideal_us, 0.0) + m.tracker_us - e.tracker_us(0.0);
+  EXPECT_GE(accuracy_pct(e.tracked_us(m.ideal_us, 0.0), m.tracked_us), 85.0)
+      << "estimated " << e.tracked_us(m.ideal_us, 0.0) << "us vs measured "
+      << m.tracked_us << "us";
+  (void)est;
+}
+
+INSTANTIATE_TEST_SUITE_P(Techniques, FormulaAccuracy,
+                         ::testing::Values(Technique::kProc, Technique::kUfd,
+                                           Technique::kSpml, Technique::kEpml),
+                         [](const auto& pinfo) {
+                           switch (pinfo.param) {
+                             case Technique::kProc: return "proc";
+                             case Technique::kUfd: return "ufd";
+                             case Technique::kSpml: return "spml";
+                             case Technique::kEpml: return "epml";
+                             default: return "other";
+                           }
+                         });
+
+TEST(Formulas, OracleCostsNothing) {
+  const Estimate e = estimate(Technique::kOracle, {}, CostModel::paper_calibrated());
+  EXPECT_EQ(e.technique_us, 0.0);
+  EXPECT_EQ(e.impact_us, 0.0);
+  EXPECT_EQ(e.tracked_us(100.0, 5.0), 105.0);
+}
+
+TEST(Formulas, EpmlTechniqueCostIsSizeInsensitive) {
+  // Table VI: only M18 depends on tracked memory for EPML, and it is tiny.
+  const CostModel cm = CostModel::paper_calibrated();
+  ModelParams p;
+  p.intervals = 4;
+  p.dirty_pages = 1000;
+  p.n_ctx_switches = 10;
+  p.mem_bytes = 10 * kMiB;
+  const double small = estimate(Technique::kEpml, p, cm).technique_us;
+  p.mem_bytes = kGiB;
+  const double large = estimate(Technique::kEpml, p, cm).technique_us;
+  EXPECT_LT(large / small, 1.5);
+}
+
+TEST(Formulas, SpmlTechniqueCostGrowsSuperlinearly) {
+  const CostModel cm = CostModel::paper_calibrated();
+  ModelParams p;
+  p.intervals = 1;
+  p.n_ctx_switches = 2;
+  p.mem_bytes = 10 * kMiB;
+  p.dirty_pages = pages_for_bytes(p.mem_bytes);
+  const double small = estimate(Technique::kSpml, p, cm).technique_us;
+  p.mem_bytes = kGiB;
+  p.dirty_pages = pages_for_bytes(p.mem_bytes);
+  const double large = estimate(Technique::kSpml, p, cm).technique_us;
+  EXPECT_GT(large / small, 100.0) << "102x memory -> far more than 102x cost";
+}
+
+TEST(Formulas, TechniqueOrderingAtScale) {
+  // With a full-GB working set and one interval, Formula 2 must order the
+  // techniques as the paper does: EPML << /proc < ufd/SPML.
+  const CostModel cm = CostModel::paper_calibrated();
+  ModelParams p;
+  p.mem_bytes = kGiB;
+  p.intervals = 1;
+  p.dirty_pages = pages_for_bytes(kGiB);
+  p.faults = pages_for_bytes(kGiB);
+  p.n_ctx_switches = 4;
+  const double proc_us = estimate(Technique::kProc, p, cm).technique_us;
+  const double ufd_us = estimate(Technique::kUfd, p, cm).technique_us;
+  const double spml_us = estimate(Technique::kSpml, p, cm).technique_us;
+  const double epml_us = estimate(Technique::kEpml, p, cm).technique_us;
+  EXPECT_LT(epml_us * 100, proc_us);
+  EXPECT_LT(proc_us, ufd_us);
+  EXPECT_LT(ufd_us, spml_us);
+}
+
+TEST(Formulas, AccuracyPctBehaves) {
+  EXPECT_DOUBLE_EQ(accuracy_pct(100.0, 100.0), 100.0);
+  EXPECT_DOUBLE_EQ(accuracy_pct(90.0, 100.0), 90.0);
+  EXPECT_DOUBLE_EQ(accuracy_pct(110.0, 100.0), 90.0);
+  EXPECT_THROW(accuracy_pct(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(Formulas, ParamsFromEventsPicksTechniqueFaults) {
+  EventCounters ev;
+  ev.add(Event::kPageFaultSoftDirty, 7);
+  ev.add(Event::kPageFaultUffd, 9);
+  ev.add(Event::kReverseMapLookup, 11);
+  ev.add(Event::kRingBufFetchEntry, 13);
+  ev.add(Event::kTrackerCollect, 2);
+  EXPECT_EQ(params_from_events(Technique::kProc, kMiB, ev).faults, 7u);
+  EXPECT_EQ(params_from_events(Technique::kUfd, kMiB, ev).faults, 9u);
+  EXPECT_EQ(params_from_events(Technique::kSpml, kMiB, ev).dirty_pages, 11u);
+  EXPECT_EQ(params_from_events(Technique::kEpml, kMiB, ev).rb_entries, 13u);
+  EXPECT_EQ(params_from_events(Technique::kProc, kMiB, ev).intervals, 2u);
+}
+
+}  // namespace
+}  // namespace ooh::model

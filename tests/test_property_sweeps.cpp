@@ -1,0 +1,145 @@
+// Parameterized property sweeps across memory sizes: the tracker invariants
+// must hold at every scale, and the derived quantities (per-page costs,
+// interpolation) must behave monotonically across the calibrated range.
+#include <gtest/gtest.h>
+
+#include "base/cost_model.hpp"
+#include "ooh/experiment.hpp"
+#include "ooh/testbed.hpp"
+#include "ooh/trackers.hpp"
+
+namespace ooh {
+namespace {
+
+// ---- tracker completeness across sizes ---------------------------------------------
+
+class SizeSweep
+    : public ::testing::TestWithParam<std::tuple<lib::Technique, u64 /*pages*/>> {};
+
+TEST_P(SizeSweep, CompleteAtEveryScale) {
+  const auto [tech, pages] = GetParam();
+  lib::TestBed bed;
+  auto& k = bed.kernel();
+  auto& proc = k.create_process();
+  const Gva base = proc.mmap(pages * kPageSize);
+
+  auto tracker = lib::make_tracker(tech, k, proc);
+  lib::RunOptions opts;
+  opts.collect_period = msecs(1);
+  const lib::RunResult r = lib::run_tracked(
+      k, proc,
+      [&, p = pages](guest::Process& pr) {
+        for (u64 i = 0; i < p; ++i) pr.touch_write(base + i * kPageSize);
+        for (u64 i = 0; i < p; i += 2) pr.touch_write(base + i * kPageSize);
+      },
+      tracker.get(), opts);
+  tracker->shutdown();
+  EXPECT_EQ(r.captured_truth, r.truth_pages);
+  EXPECT_EQ(r.unique_pages, pages);
+  EXPECT_EQ(r.dropped, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TechniquesBySize, SizeSweep,
+    ::testing::Combine(::testing::Values(lib::Technique::kProc, lib::Technique::kUfd,
+                                         lib::Technique::kSpml, lib::Technique::kEpml),
+                       ::testing::Values(u64{16}, u64{512}, u64{4096})),
+    [](const auto& pinfo) {
+      std::string name{lib::technique_name(std::get<0>(pinfo.param))};
+      for (char& ch : name) {
+        if (ch == '/') ch = '_';
+      }
+      return name + "_" + std::to_string(std::get<1>(pinfo.param)) + "pages";
+    });
+
+// ---- cost-model monotonicity across the calibrated range ----------------------------
+
+TEST(CostSweep, SizeDependentTotalsGrowMonotonically) {
+  const CostModel cm = CostModel::paper_calibrated();
+  const LogLogInterp* metrics[] = {&cm.m5_pfh_kernel,  &cm.m6_pfh_user,
+                                   &cm.m15_clear_refs, &cm.m16_pt_walk_user,
+                                   &cm.m17_reverse_map, &cm.m18_rb_copy,
+                                   &cm.m14_disable_logging};
+  for (const LogLogInterp* f : metrics) {
+    double prev = 0.0;
+    for (u64 mem = kMiB / 2; mem <= 2 * kGiB; mem *= 2) {
+      const double total = f->at(static_cast<double>(mem));
+      EXPECT_GT(total, prev);
+      prev = total;
+    }
+  }
+}
+
+TEST(CostSweep, EpmlScalabilityClaimHoldsAcrossRange) {
+  // Table VI's punchline as a property: at every size in the calibrated
+  // range, EPML's per-interval size-dependent cost (M18) is orders of
+  // magnitude below every other technique's dominant term.
+  const CostModel cm = CostModel::paper_calibrated();
+  for (u64 mem = kMiB; mem <= kGiB; mem *= 4) {
+    const double x = static_cast<double>(mem);
+    const double epml = cm.m18_rb_copy.at(x);
+    EXPECT_LT(epml * 50, cm.m16_pt_walk_user.at(x)) << mem;   // /proc collect
+    EXPECT_LT(epml * 50, cm.m6_pfh_user.at(x)) << mem;        // ufd monitor
+    EXPECT_LT(epml * 100, cm.m17_reverse_map.at(x)) << mem;   // SPML collect
+  }
+}
+
+TEST(CostSweep, PerFaultCostsStayMicroscale) {
+  // Sanity envelope: per-event costs derived from the totals stay within
+  // physically plausible bounds across the sweep (guards against broken
+  // interpolation or unit slips).
+  const CostModel cm = CostModel::paper_calibrated();
+  for (u64 mem = kMiB; mem <= kGiB; mem *= 2) {
+    EXPECT_GT(cm.pfh_kernel_per_fault_us(mem), 0.005);
+    EXPECT_LT(cm.pfh_kernel_per_fault_us(mem), 5.0);
+    EXPECT_GT(cm.pfh_user_per_fault_us(mem), 1.0);
+    EXPECT_LT(cm.pfh_user_per_fault_us(mem), 50.0);
+    EXPECT_GT(cm.reverse_map_per_page_us(mem), 1.0);
+    EXPECT_LT(cm.reverse_map_per_page_us(mem), 200.0);
+    EXPECT_LT(cm.rb_copy_per_entry_us(mem), 0.05);
+  }
+}
+
+// ---- event-count invariants -----------------------------------------------------------
+
+TEST(EventInvariants, EpmlLogsEqualRingTraffic) {
+  lib::TestBed bed;
+  auto& k = bed.kernel();
+  auto& proc = k.create_process();
+  const u64 pages = 1000;
+  const Gva base = proc.mmap(pages * kPageSize);
+  auto tracker = lib::make_tracker(lib::Technique::kEpml, k, proc);
+  const lib::RunResult r = lib::run_tracked(
+      k, proc,
+      [&](guest::Process& p) {
+        for (u64 i = 0; i < pages; ++i) p.touch_write(base + i * kPageSize);
+      },
+      tracker.get());
+  tracker->shutdown();
+  EXPECT_EQ(r.events.get(Event::kPmlLogGvaGuest), pages);
+  EXPECT_EQ(r.events.get(Event::kRingBufCopyEntry), pages);
+  EXPECT_EQ(r.events.get(Event::kRingBufFetchEntry), pages);
+  EXPECT_EQ(r.events.get(Event::kSelfIpi), (pages - 1) / kPmlBufferEntries);
+}
+
+TEST(EventInvariants, SpmlExitCountMatchesBufferArithmetic) {
+  lib::TestBed bed;
+  auto& k = bed.kernel();
+  auto& proc = k.create_process();
+  const u64 pages = 2000;
+  const Gva base = proc.mmap(pages * kPageSize);
+  auto tracker = lib::make_tracker(lib::Technique::kSpml, k, proc);
+  const lib::RunResult r = lib::run_tracked(
+      k, proc,
+      [&](guest::Process& p) {
+        for (u64 i = 0; i < pages; ++i) p.touch_write(base + i * kPageSize);
+      },
+      tracker.get());
+  tracker->shutdown();
+  EXPECT_EQ(r.events.get(Event::kPmlLogGpa), pages);
+  // 2000 logs with a 512-entry buffer: exactly 3 full exits mid-run.
+  EXPECT_EQ(r.events.get(Event::kVmExitPmlFull), (pages - 1) / kPmlBufferEntries);
+}
+
+}  // namespace
+}  // namespace ooh

@@ -1,0 +1,177 @@
+// Swap daemon tests: the guest kernel's own dirty-tracking use (paper §I).
+// Clean victims evict for free; dirty victims pay a writeback; contents
+// round-trip through swap; the clock algorithm gives touched pages a second
+// chance; swapped pages interact correctly with the OoH trackers.
+#include <gtest/gtest.h>
+
+#include "guest/procfs.hpp"
+#include "guest/swap.hpp"
+#include "ooh/experiment.hpp"
+#include "ooh/testbed.hpp"
+#include "ooh/trackers.hpp"
+
+namespace ooh::guest {
+namespace {
+
+class SwapTest : public ::testing::Test {
+ protected:
+  SwapTest() : bed_(), kernel_(bed_.kernel()), proc_(kernel_.create_process()) {}
+
+  /// Map + touch `n` pages, then clear A and D bits so all are cold+clean.
+  Gva make_cold_clean(u64 n, bool data_backed = false) {
+    const Gva base = proc_.mmap(n * kPageSize, data_backed);
+    for (u64 i = 0; i < n; ++i) proc_.touch_write(base + i * kPageSize);
+    kernel_.page_table(proc_).for_each_present([](Gva, sim::Pte& pte) {
+      pte.accessed = false;
+      pte.dirty = false;
+    });
+    bed_.vm().vcpu().tlb().flush_pid(proc_.pid());
+    return base;
+  }
+
+  lib::TestBed bed_;
+  GuestKernel& kernel_;
+  Process& proc_;
+};
+
+TEST_F(SwapTest, CleanPagesEvictWithoutWriteback) {
+  (void)make_cold_clean(16);
+  const u64 writes_before = bed_.machine().counters.get(Event::kDiskPageWrite);
+  const SwapDaemon::EvictStats st = kernel_.swap().evict(proc_, 8);
+  EXPECT_EQ(st.evicted_clean, 8u);
+  EXPECT_EQ(st.evicted_dirty, 0u);
+  EXPECT_EQ(bed_.machine().counters.get(Event::kDiskPageWrite), writes_before)
+      << "clean evictions must not touch the disk";
+  EXPECT_EQ(kernel_.swap().swapped_out(proc_), 8u);
+  EXPECT_EQ(kernel_.page_table(proc_).present_pages(), 8u);
+}
+
+TEST_F(SwapTest, DirtyPagesPayWriteback) {
+  const Gva base = make_cold_clean(16);
+  // Re-dirty 4 pages (and re-clear their accessed bits so they are victims).
+  for (int i = 0; i < 4; ++i) proc_.touch_write(base + i * kPageSize);
+  kernel_.page_table(proc_).for_each_present(
+      [](Gva, sim::Pte& pte) { pte.accessed = false; });
+  bed_.vm().vcpu().tlb().flush_pid(proc_.pid());
+
+  const u64 writes_before = bed_.machine().counters.get(Event::kDiskPageWrite);
+  const SwapDaemon::EvictStats st = kernel_.swap().evict(proc_, 16);
+  EXPECT_EQ(st.evicted_dirty, 4u);
+  EXPECT_EQ(st.evicted_clean, 12u);
+  EXPECT_EQ(bed_.machine().counters.get(Event::kDiskPageWrite), writes_before + 4)
+      << "only the dirty victims were written back";
+}
+
+TEST_F(SwapTest, SecondChanceSparesRecentlyTouchedPages) {
+  const Gva base = make_cold_clean(8);
+  // Touch half: their accessed bits are set again.
+  for (int i = 0; i < 4; ++i) proc_.touch_read(base + i * kPageSize);
+  const SwapDaemon::EvictStats st = kernel_.swap().evict(proc_, 4);
+  EXPECT_EQ(st.evicted_clean + st.evicted_dirty, 4u);
+  // The cold half got evicted first.
+  for (int i = 4; i < 8; ++i) {
+    EXPECT_EQ(kernel_.page_table(proc_).pte(base + i * kPageSize)->present, false)
+        << "cold page " << i << " should be out";
+  }
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(kernel_.page_table(proc_).pte(base + i * kPageSize)->present)
+        << "recently-touched page " << i << " got evicted despite its second chance";
+  }
+}
+
+TEST_F(SwapTest, SwapInRestoresContentExactly) {
+  const Gva base = proc_.mmap(4 * kPageSize, /*data_backed=*/true);
+  for (u64 i = 0; i < 4; ++i) proc_.write_u64(base + i * kPageSize + 24, 0xAB00 + i);
+  kernel_.page_table(proc_).for_each_present(
+      [](Gva, sim::Pte& pte) { pte.accessed = false; });
+  bed_.vm().vcpu().tlb().flush_pid(proc_.pid());
+
+  ASSERT_EQ(kernel_.swap().evict(proc_, 4).evicted_dirty, 4u);
+  EXPECT_EQ(kernel_.page_table(proc_).present_pages(), 0u);
+  for (u64 i = 0; i < 4; ++i) {
+    EXPECT_EQ(proc_.read_u64(base + i * kPageSize + 24), 0xAB00 + i)
+        << "swap-in must restore the page bytes";
+  }
+  EXPECT_EQ(kernel_.swap().swapped_out(proc_), 0u);
+}
+
+TEST_F(SwapTest, SwapPreservesSoftDirtyForProcTracking) {
+  // A page dirtied since clear_refs stays reported dirty across swap-out/in.
+  const Gva base = proc_.mmap(2 * kPageSize);
+  proc_.touch_write(base);
+  proc_.touch_write(base + kPageSize);
+  kernel_.procfs().clear_refs(proc_);
+  proc_.touch_write(base);  // sets soft-dirty again
+  kernel_.page_table(proc_).for_each_present(
+      [](Gva, sim::Pte& pte) { pte.accessed = false; });
+  bed_.vm().vcpu().tlb().flush_pid(proc_.pid());
+  ASSERT_GE(kernel_.swap().evict(proc_, 2).scanned, 2u);
+
+  proc_.touch_read(base);  // swap both pages back in
+  proc_.touch_read(base + kPageSize);
+  const std::vector<Gva> dirty = kernel_.procfs().pagemap_dirty(proc_);
+  EXPECT_EQ(dirty, std::vector<Gva>{base})
+      << "soft-dirty state must survive the swap cycle";
+}
+
+TEST_F(SwapTest, EpmlSeesRedirtyAfterSwapIn) {
+  const Gva base = make_cold_clean(4);
+  auto tracker = lib::make_tracker(lib::Technique::kEpml, kernel_, proc_);
+  tracker->init();
+  tracker->begin_interval();
+  ASSERT_EQ(kernel_.swap().evict(proc_, 4).evicted_clean, 4u);
+
+  kernel_.scheduler().enter_process(proc_.pid());
+  proc_.touch_write(base + kPageSize);  // swap-in + write
+  kernel_.scheduler().exit_process(proc_.pid());
+  const std::vector<Gva> dirty = tracker->collect();
+  EXPECT_EQ(dirty, std::vector<Gva>{base + kPageSize});
+  tracker->shutdown();
+}
+
+TEST_F(SwapTest, EvictionRecyclesGuestFrames) {
+  lib::TestBedOptions opts;
+  opts.vm_mem_bytes = 32 * kPageSize;
+  lib::TestBed bed(opts);
+  auto& k = bed.kernel();
+  auto& proc = k.create_process();
+  // More virtual memory than guest RAM: only possible with eviction.
+  const Gva base = proc.mmap(64 * kPageSize);
+  for (u64 i = 0; i < 64; ++i) {
+    proc.touch_write(base + i * kPageSize);
+    if (k.page_table(proc).present_pages() >= 24) {
+      k.page_table(proc).for_each_present(
+          [](Gva, sim::Pte& pte) { pte.accessed = false; });
+      bed.vm().vcpu().tlb().flush_pid(proc.pid());
+      (void)k.swap().evict(proc, 16);
+    }
+  }
+  EXPECT_EQ(proc.truth_dirty().size() + k.swap().swapped_out(proc),
+            64u + k.swap().swapped_out(proc));  // all 64 pages were written
+  EXPECT_LE(k.page_table(proc).present_pages(), 24u);
+}
+
+TEST_F(SwapTest, RecycledFramesNeverLeakStaleBytes) {
+  // Evict a data-backed page; its freed guest frame gets recycled by a new
+  // mapping, which must read as zeros, not the evicted page's content.
+  const Gva secret = proc_.mmap(kPageSize, /*data_backed=*/true);
+  proc_.write_u64(secret, 0x5EC2E7ull);
+  kernel_.page_table(proc_).for_each_present(
+      [](Gva, sim::Pte& pte) { pte.accessed = false; });
+  bed_.vm().vcpu().tlb().flush_pid(proc_.pid());
+  ASSERT_GE(kernel_.swap().evict(proc_, 1).scanned, 1u);
+
+  const Gva fresh = proc_.mmap(kPageSize, /*data_backed=*/true);
+  EXPECT_EQ(proc_.read_u64(fresh), 0u) << "recycled frame leaked stale bytes";
+  // And the evicted page still swaps back in with its content.
+  EXPECT_EQ(proc_.read_u64(secret), 0x5EC2E7ull);
+}
+
+TEST_F(SwapTest, EvictNothingOnEmptyProcess) {
+  const SwapDaemon::EvictStats st = kernel_.swap().evict(proc_, 10);
+  EXPECT_EQ(st.scanned, 0u);
+  EXPECT_EQ(kernel_.swap().swapped_out(proc_), 0u);
+}
+
+}  // namespace
+}  // namespace ooh::guest

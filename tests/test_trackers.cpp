@@ -1,0 +1,229 @@
+// Property tests of the unified DirtyTracker API, parameterized over
+// (technique x write pattern): completeness (collected superset of truth),
+// exactness (no pages reported that were never written, modulo VMA scope),
+// interval semantics, and the paper's cost ordering.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "base/rng.hpp"
+#include "ooh/experiment.hpp"
+#include "ooh/testbed.hpp"
+#include "guest/ooh_module.hpp"
+#include "ooh/trackers.hpp"
+
+namespace ooh::lib {
+namespace {
+
+constexpr Technique kAll[] = {Technique::kProc, Technique::kUfd, Technique::kSpml,
+                              Technique::kEpml, Technique::kOracle};
+
+std::string tech_label(Technique t) {
+  switch (t) {
+    case Technique::kProc: return "proc";
+    case Technique::kUfd: return "ufd";
+    case Technique::kSpml: return "spml";
+    case Technique::kEpml: return "epml";
+    case Technique::kOracle: return "oracle";
+  }
+  return "?";
+}
+
+enum class Pattern { kSequential, kRandom, kHotCold, kSparse, kRewrites };
+
+std::string pattern_label(Pattern p) {
+  switch (p) {
+    case Pattern::kSequential: return "sequential";
+    case Pattern::kRandom: return "random";
+    case Pattern::kHotCold: return "hotcold";
+    case Pattern::kSparse: return "sparse";
+    case Pattern::kRewrites: return "rewrites";
+  }
+  return "?";
+}
+
+WorkloadFn make_pattern(Pattern p, Gva base, u64 pages) {
+  switch (p) {
+    case Pattern::kSequential:
+      return [=](guest::Process& proc) {
+        for (u64 i = 0; i < pages; ++i) proc.touch_write(base + i * kPageSize);
+      };
+    case Pattern::kRandom:
+      return [=](guest::Process& proc) {
+        Rng rng(1234);
+        for (u64 i = 0; i < pages * 2; ++i) {
+          proc.touch_write(base + rng.below(pages) * kPageSize);
+        }
+      };
+    case Pattern::kHotCold:
+      return [=](guest::Process& proc) {
+        for (int rep = 0; rep < 50; ++rep) {
+          proc.touch_write(base);  // hot page
+          proc.touch_write(base + (rep % pages) * kPageSize);
+        }
+      };
+    case Pattern::kSparse:
+      return [=](guest::Process& proc) {
+        for (u64 i = 0; i < pages; i += 7) proc.touch_write(base + i * kPageSize);
+      };
+    case Pattern::kRewrites:
+      return [=](guest::Process& proc) {
+        for (int rep = 0; rep < 3; ++rep) {
+          for (u64 i = 0; i < pages; ++i) proc.touch_write(base + i * kPageSize);
+        }
+      };
+  }
+  return {};
+}
+
+class TrackerProperty
+    : public ::testing::TestWithParam<std::tuple<Technique, Pattern>> {};
+
+TEST_P(TrackerProperty, CompleteAndExact) {
+  const auto [tech, pattern] = GetParam();
+  TestBed bed;
+  guest::GuestKernel& k = bed.kernel();
+  guest::Process& proc = k.create_process();
+  const u64 pages = 300;
+  const Gva base = proc.mmap(pages * kPageSize);
+
+  auto tracker = make_tracker(tech, k, proc);
+  RunOptions opts;
+  opts.collect_period = msecs(0.1);  // several intervals
+  const RunResult r =
+      run_tracked(k, proc, make_pattern(pattern, base, pages), tracker.get(), opts);
+
+  // Completeness: every truly dirtied page was reported.
+  EXPECT_EQ(r.captured_truth, r.truth_pages)
+      << tech_label(tech) << " missed " << (r.truth_pages - r.captured_truth)
+      << " of " << r.truth_pages << " dirty pages";
+  EXPECT_EQ(r.dropped, 0u);
+  // Exactness: nothing reported that was not actually written.
+  EXPECT_EQ(r.unique_pages, r.truth_pages)
+      << tech_label(tech) << " over-reported pages it should not have";
+  tracker->shutdown();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTechniquesAllPatterns, TrackerProperty,
+    ::testing::Combine(::testing::ValuesIn(kAll),
+                       ::testing::Values(Pattern::kSequential, Pattern::kRandom,
+                                         Pattern::kHotCold, Pattern::kSparse,
+                                         Pattern::kRewrites)),
+    [](const auto& pinfo) {
+      return tech_label(std::get<0>(pinfo.param)) + std::string("_") +
+             pattern_label(std::get<1>(pinfo.param));
+    });
+
+class TrackerIntervalTest : public ::testing::TestWithParam<Technique> {};
+
+TEST_P(TrackerIntervalTest, IntervalsAreDisjointWindows) {
+  // Pages dirtied in interval 1 but untouched in interval 2 must not appear
+  // in interval 2's collection; pages re-dirtied must reappear.
+  TestBed bed;
+  guest::GuestKernel& k = bed.kernel();
+  guest::Process& proc = k.create_process();
+  const Gva base = proc.mmap(16 * kPageSize);
+  for (int i = 0; i < 16; ++i) proc.touch_write(base + i * kPageSize);  // warm
+
+  auto tracker = make_tracker(GetParam(), k, proc);
+  tracker->init();
+  tracker->begin_interval();
+  guest::Scheduler& sched = k.scheduler();
+
+  sched.enter_process(proc.pid());
+  for (int i = 0; i < 16; ++i) proc.touch_write(base + i * kPageSize);
+  sched.exit_process(proc.pid());
+  std::vector<Gva> first = tracker->collect();
+  tracker->begin_interval();
+  EXPECT_EQ(first.size(), 16u);
+
+  sched.enter_process(proc.pid());
+  proc.touch_write(base + 3 * kPageSize);
+  proc.touch_write(base + 9 * kPageSize);
+  sched.exit_process(proc.pid());
+  std::vector<Gva> second = tracker->collect();
+  EXPECT_EQ(second, (std::vector<Gva>{base + 3 * kPageSize, base + 9 * kPageSize}));
+  tracker->shutdown();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTechniques, TrackerIntervalTest, ::testing::ValuesIn(kAll),
+                         [](const auto& pinfo) { return tech_label(pinfo.param); });
+
+TEST(TrackerPhases, SpmlCollectIsDominatedByReverseMapping) {
+  // Fig. 3: reverse mapping is the bottleneck of SPML collection.
+  TestBed bed;
+  guest::GuestKernel& k = bed.kernel();
+  guest::Process& proc = k.create_process();
+  const u64 pages = 2560;  // 10 MiB
+  const Gva base = proc.mmap(pages * kPageSize);
+  auto spml = make_tracker(Technique::kSpml, k, proc);
+  auto epml_bed = std::make_unique<TestBed>();
+
+  const RunResult r = run_tracked(
+      k, proc,
+      [&](guest::Process& p) {
+        for (u64 i = 0; i < pages; ++i) p.touch_write(base + i * kPageSize);
+      },
+      spml.get());
+  const double collect_us = r.phases.collect.count();
+  const double rmap_us =
+      bed.machine().cost.reverse_map_per_page_us(proc.mapped_bytes()) *
+      static_cast<double>(r.events.get(Event::kReverseMapLookup));
+  EXPECT_GT(rmap_us / collect_us, 0.5)
+      << "reverse mapping should dominate SPML collection";
+  spml->shutdown();
+}
+
+TEST(TrackerPhases, EpmlCollectFarCheaperThanSpmlAndProc) {
+  const u64 pages = 2560;
+  auto collect_time = [&](Technique t) {
+    TestBed bed;
+    guest::GuestKernel& k = bed.kernel();
+    guest::Process& proc = k.create_process();
+    const Gva base = proc.mmap(pages * kPageSize);
+    auto tracker = make_tracker(t, k, proc);
+    const RunResult r = run_tracked(
+        k, proc,
+        [&](guest::Process& p) {
+          for (u64 i = 0; i < pages; ++i) p.touch_write(base + i * kPageSize);
+        },
+        tracker.get());
+    tracker->shutdown();
+    return r.phases.collect.count();
+  };
+  const double epml = collect_time(Technique::kEpml);
+  const double spml = collect_time(Technique::kSpml);
+  const double proc = collect_time(Technique::kProc);
+  EXPECT_LT(epml * 10, spml);
+  EXPECT_LT(epml * 10, proc);
+}
+
+TEST(TrackerScope, SpmlAndEpmlRequireTheirModuleMode) {
+  TestBed bed;
+  guest::GuestKernel& k = bed.kernel();
+  guest::Process& p1 = k.create_process();
+  (void)p1.mmap(kPageSize);
+  auto spml = make_tracker(Technique::kSpml, k, p1);
+  spml->init();
+  EXPECT_EQ(k.ooh_module()->mode(), guest::OohMode::kSpml);
+  spml->shutdown();
+  // Switching technique reloads the module in the other mode.
+  guest::Process& p2 = k.create_process();
+  (void)p2.mmap(kPageSize);
+  auto epml = make_tracker(Technique::kEpml, k, p2);
+  epml->init();
+  EXPECT_EQ(k.ooh_module()->mode(), guest::OohMode::kEpml);
+  epml->shutdown();
+}
+
+TEST(TrackerNames, AreStable) {
+  EXPECT_EQ(technique_name(Technique::kProc), "/proc");
+  EXPECT_EQ(technique_name(Technique::kUfd), "ufd");
+  EXPECT_EQ(technique_name(Technique::kSpml), "SPML");
+  EXPECT_EQ(technique_name(Technique::kEpml), "EPML");
+  EXPECT_EQ(technique_name(Technique::kOracle), "oracle");
+}
+
+}  // namespace
+}  // namespace ooh::lib

@@ -1,0 +1,176 @@
+// Use-after-free quarantine tests: memory is never reused while a pointer
+// to it exists anywhere in the scanned arena; dirty tracking keeps re-scans
+// proportional to what changed; soundness holds under every technique.
+#include <gtest/gtest.h>
+
+#include "base/rng.hpp"
+#include "ooh/testbed.hpp"
+#include "trackers/uafguard/quarantine.hpp"
+
+namespace ooh::uaf {
+namespace {
+
+struct UafFixture {
+  explicit UafFixture(lib::Technique tech = lib::Technique::kEpml)
+      : bed(), kernel(bed.kernel()), proc(kernel.create_process()),
+        alloc(kernel, proc, 8 * kMiB, tech) {
+    kernel.scheduler().enter_process(proc.pid());
+  }
+  ~UafFixture() { kernel.scheduler().exit_process(proc.pid()); }
+  lib::TestBed bed;
+  guest::GuestKernel& kernel;
+  guest::Process& proc;
+  QuarantineAllocator alloc;
+};
+
+TEST(UafGuard, FreeQuarantinesUntilSweepProvesUnreferenced) {
+  UafFixture f;
+  const Gva a = f.alloc.alloc(64);
+  f.alloc.free(a);
+  EXPECT_EQ(f.alloc.quarantined_blocks(), 1u);
+  EXPECT_TRUE(f.alloc.block_pinned(a));
+  const auto st = f.alloc.sweep();
+  EXPECT_TRUE(st.full);
+  EXPECT_EQ(st.blocks_released, 1u);
+  EXPECT_FALSE(f.alloc.block_pinned(a));
+  // The freed slot is reusable now.
+  EXPECT_EQ(f.alloc.alloc(64), a);
+}
+
+TEST(UafGuard, DanglingPointerPinsTheBlock) {
+  UafFixture f;
+  const Gva holder = f.alloc.alloc(64);
+  const Gva victim = f.alloc.alloc(64);
+  f.proc.write_u64(holder + 16, victim);  // the dangling pointer-to-be
+  f.alloc.free(victim);
+
+  auto st = f.alloc.sweep();
+  EXPECT_EQ(st.blocks_released, 0u) << "a referenced block must stay quarantined";
+  EXPECT_EQ(st.blocks_held, 1u);
+  EXPECT_TRUE(f.alloc.block_pinned(victim));
+  // No reuse: a fresh allocation cannot land on the victim.
+  EXPECT_NE(f.alloc.alloc(64), victim);
+
+  // Clear the dangling pointer; the page becomes dirty, the next sweep
+  // rescans it and releases the block.
+  f.proc.write_u64(holder + 16, 0);
+  st = f.alloc.sweep();
+  EXPECT_FALSE(st.full);
+  EXPECT_EQ(st.blocks_released, 1u);
+  EXPECT_FALSE(f.alloc.block_pinned(victim));
+}
+
+TEST(UafGuard, InteriorPointersCountConservatively) {
+  UafFixture f;
+  const Gva holder = f.alloc.alloc(64);
+  const Gva victim = f.alloc.alloc(256);
+  f.proc.write_u64(holder + 24, victim + 200);  // points into the middle
+  f.alloc.free(victim);
+  const auto st = f.alloc.sweep();
+  EXPECT_EQ(st.blocks_released, 0u);
+  EXPECT_TRUE(f.alloc.block_pinned(victim));
+}
+
+TEST(UafGuard, PointerWrittenBeforeFreeOnCleanPageStillPins) {
+  // The subtle soundness case: the pointer was stored while the block was
+  // alive, its page went clean (scanned once), and only then was the block
+  // freed. The incremental sweep must still know about the reference.
+  UafFixture f;
+  const Gva holder = f.alloc.alloc(64);
+  const Gva victim = f.alloc.alloc(64);
+  f.proc.write_u64(holder + 16, victim);
+  (void)f.alloc.sweep();  // full sweep: records holder's reference, page now clean
+  f.alloc.free(victim);
+  const auto st = f.alloc.sweep();  // incremental; holder's page is clean
+  EXPECT_EQ(st.blocks_released, 0u)
+      << "reference recorded on a clean page must keep pinning";
+  EXPECT_TRUE(f.alloc.block_pinned(victim));
+}
+
+TEST(UafGuard, IncrementalSweepScansOnlyDirtyPages) {
+  UafFixture f;
+  // Fill many pages with allocations.
+  std::vector<Gva> blocks;
+  for (int i = 0; i < 512; ++i) blocks.push_back(f.alloc.alloc(240));
+  const auto full = f.alloc.sweep();
+  EXPECT_TRUE(full.full);
+  EXPECT_GT(full.pages_scanned, 25u);
+  // Touch a single page, then sweep again.
+  f.proc.write_u64(blocks[0] + 8, 0x1234);
+  const auto inc = f.alloc.sweep();
+  EXPECT_FALSE(inc.full);
+  EXPECT_LE(inc.pages_scanned, 2u) << "re-scan must be proportional to dirt";
+}
+
+TEST(UafGuard, DoubleFreeDetected) {
+  UafFixture f;
+  const Gva a = f.alloc.alloc(32);
+  f.alloc.free(a);
+  EXPECT_THROW(f.alloc.free(a), std::invalid_argument);
+  EXPECT_THROW(f.alloc.free(a + 8), std::invalid_argument) << "interior free";
+  EXPECT_THROW((void)f.alloc.alloc(0), std::invalid_argument);
+}
+
+class UafSoundness : public ::testing::TestWithParam<lib::Technique> {};
+
+TEST_P(UafSoundness, RandomChurnNeverReusesReferencedMemory) {
+  UafFixture f(GetParam());
+  Rng rng(777);
+  // slots: arena cells that hold pointers; owned[i] = the block they point to.
+  std::vector<Gva> cells;
+  const Gva cell_block = f.alloc.alloc(1024);  // 128 pointer cells
+  for (int i = 0; i < 128; ++i) cells.push_back(cell_block + i * 8);
+  std::vector<Gva> pointee(128, 0);
+  std::vector<bool> freed(128, false);
+
+  for (int round = 0; round < 6; ++round) {
+    for (int op = 0; op < 200; ++op) {
+      const u64 i = rng.below(cells.size());
+      const u64 dice = rng.below(10);
+      if (dice < 5) {
+        // Point the cell at a fresh block (the old pointee simply leaks or
+        // stays quarantined; its fate is no longer this cell's business).
+        const Gva b = f.alloc.alloc(48 + 16 * rng.below(4));
+        f.proc.write_u64(cells[i], b);
+        pointee[i] = b;
+        freed[i] = false;
+      } else if (dice < 8 && pointee[i] != 0 && !freed[i]) {
+        // Free while the pointer still dangles.
+        f.alloc.free(pointee[i]);
+        freed[i] = true;
+      } else if (pointee[i] != 0) {
+        // Clear the pointer (block may become releasable if freed).
+        f.proc.write_u64(cells[i], 0);
+        pointee[i] = 0;
+        freed[i] = false;
+      }
+    }
+    (void)f.alloc.sweep();
+    // Property: every block freed while its cell still points at it must be
+    // pinned as long as that cell was not overwritten.
+    for (u64 i = 0; i < cells.size(); ++i) {
+      if (pointee[i] != 0) {
+        EXPECT_TRUE(f.alloc.block_pinned(pointee[i]))
+            << "round " << round << ": referenced block released (UAF window)";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Techniques, UafSoundness,
+                         ::testing::Values(lib::Technique::kOracle,
+                                           lib::Technique::kProc,
+                                           lib::Technique::kEpml,
+                                           lib::Technique::kSpml),
+                         [](const auto& pinfo) {
+                           switch (pinfo.param) {
+                             case lib::Technique::kOracle: return "oracle";
+                             case lib::Technique::kProc: return "proc";
+                             case lib::Technique::kEpml: return "epml";
+                             case lib::Technique::kSpml: return "spml";
+                             default: return "other";
+                           }
+                         });
+
+}  // namespace
+}  // namespace ooh::uaf

@@ -1,0 +1,164 @@
+// Compute-fidelity tests: in data-backed mode, the Phoenix workloads run
+// their real algorithms over real bytes in guest memory; results must match
+// independently computed host references -- proving the whole data path
+// (MMU translation, EPT backing, page contents) end to end.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+
+#include "base/rng.hpp"
+#include "ooh/experiment.hpp"
+#include "ooh/testbed.hpp"
+#include "ooh/trackers.hpp"
+#include "trackers/criu/checkpoint.hpp"
+#include "workloads/phoenix.hpp"
+
+namespace ooh::wl {
+namespace {
+
+TEST(WorkloadCompute, HistogramMatchesHostReference) {
+  lib::TestBed bed;
+  auto& k = bed.kernel();
+  auto& proc = k.create_process();
+  const u64 bytes = 64 * kPageSize;
+  Histogram w(bytes, /*data_backed=*/true);
+  w.setup(proc);
+  w.run(proc);
+
+  // Host reference: regenerate the same synthetic image and bin it.
+  std::vector<u64> expect(3 * 256, 0);
+  Rng fill(0x1457);
+  std::vector<u8> page(kPageSize);
+  for (u64 off = 0; off < bytes; off += kPageSize) {
+    for (u64 i = 0; i < kPageSize; ++i) page[i] = static_cast<u8>(fill.next());
+    for (u64 i = 0; i + 2 < kPageSize; i += 3) {
+      for (unsigned c = 0; c < 3; ++c) ++expect[c * 256 + page[i + c]];
+    }
+  }
+  u64 total = 0;
+  for (unsigned c = 0; c < 3; ++c) {
+    for (unsigned v = 0; v < 256; ++v) {
+      ASSERT_EQ(w.bin(c, v), expect[c * 256 + v]) << "bin(" << c << "," << v << ")";
+      total += w.bin(c, v);
+    }
+  }
+  EXPECT_GT(total, 0u);
+}
+
+TEST(WorkloadCompute, MatrixMultiplyMatchesHostReference) {
+  lib::TestBed bed;
+  auto& k = bed.kernel();
+  auto& proc = k.create_process();
+  const u64 n = 48;
+  MatrixMultiply w(n, /*data_backed=*/true);
+  w.setup(proc);
+  w.run(proc);
+
+  for (u64 r = 0; r < n; r += 7) {
+    for (u64 c = 0; c < n; c += 5) {
+      u64 acc = 0;
+      for (u64 kk = 0; kk < n; ++kk) {
+        acc += static_cast<u64>(MatrixMultiply::a_value(r, kk)) *
+               MatrixMultiply::b_value(kk, c);
+      }
+      EXPECT_EQ(w.element(proc, r, c), static_cast<u32>(acc))
+          << "C[" << r << "][" << c << "]";
+    }
+  }
+}
+
+TEST(WorkloadCompute, WordCountMatchesHostReference) {
+  lib::TestBed bed;
+  auto& k = bed.kernel();
+  auto& proc = k.create_process();
+  const u64 bytes = 32 * kPageSize;
+  WordCount w(bytes, /*data_backed=*/true);
+  w.setup(proc);
+  w.run(proc);
+
+  // Host reference: tokenise the same synthetic text.
+  const std::vector<u8> text = WordCount::synth_text(bytes);
+  u64 expect = 0;
+  bool in_word = false;
+  for (const u8 ch : text) {
+    if (ch == ' ' || ch == 0) {
+      if (in_word) ++expect;
+      in_word = false;
+    } else {
+      in_word = true;
+    }
+  }
+  if (in_word) ++expect;
+  EXPECT_EQ(w.total_words(), expect);
+  EXPECT_GT(expect, bytes / 12) << "sanity: words average under 12 bytes";
+}
+
+TEST(WorkloadCompute, KmeansConvergesAndSeparatesClusters) {
+  lib::TestBed bed;
+  auto& k = bed.kernel();
+  auto& proc = k.create_process();
+  // 8 natural groups, 8 clusters: Lloyd must separate them perfectly.
+  Kmeans w(/*dims=*/8, /*clusters=*/8, /*points=*/256, /*iters=*/4,
+           /*data_backed=*/true);
+  w.setup(proc);
+  w.run(proc);
+
+  // Inertia is non-increasing across iterations (Lloyd's invariant).
+  const std::vector<double>& inertia = w.inertia_history();
+  ASSERT_EQ(inertia.size(), 4u);
+  for (std::size_t i = 1; i < inertia.size(); ++i) {
+    EXPECT_LE(inertia[i], inertia[i - 1] + 1e-6);
+  }
+  // Points of the same natural group end in the same cluster, and distinct
+  // groups in distinct clusters.
+  std::array<u64, 8> cluster_of_group{};
+  for (u64 g = 0; g < 8; ++g) cluster_of_group[g] = w.assignment_of(proc, g);
+  std::set<u64> distinct(cluster_of_group.begin(), cluster_of_group.end());
+  EXPECT_EQ(distinct.size(), 8u);
+  for (u64 p = 0; p < 256; ++p) {
+    EXPECT_EQ(w.assignment_of(proc, p), cluster_of_group[p % 8]) << "point " << p;
+  }
+}
+
+TEST(WorkloadCompute, DataBackedRunsAreTrackable) {
+  // The real-compute path produces the same complete dirty capture.
+  lib::TestBed bed;
+  auto& k = bed.kernel();
+  auto& proc = k.create_process();
+  MatrixMultiply w(32, /*data_backed=*/true);
+  w.setup(proc);
+  auto tracker = lib::make_tracker(lib::Technique::kEpml, k, proc);
+  const lib::RunResult r = lib::run_tracked(k, proc, w.runner(), tracker.get());
+  tracker->shutdown();
+  EXPECT_EQ(r.captured_truth, r.truth_pages);
+  EXPECT_GE(r.truth_pages, pages_for_bytes(32 * 32 * 4));
+}
+
+TEST(WorkloadCompute, CheckpointPreservesComputedResults) {
+  // Checkpoint the process after the computation; restore; the product must
+  // still verify from the restored memory.
+  lib::TestBed bed;
+  auto& k = bed.kernel();
+  auto& proc = k.create_process();
+  const u64 n = 32;
+  MatrixMultiply w(n, /*data_backed=*/true);
+  w.setup(proc);
+
+  criu::Checkpointer cp(k, lib::Technique::kEpml);
+  const criu::CheckpointResult res = cp.checkpoint_during(proc, w.runner());
+  guest::Process& restored = k.create_process();
+  criu::restore(restored, res.image);
+
+  for (u64 r = 0; r < n; r += 3) {
+    u64 acc = 0;
+    for (u64 kk = 0; kk < n; ++kk) {
+      acc += static_cast<u64>(MatrixMultiply::a_value(r, kk)) *
+             MatrixMultiply::b_value(kk, r);
+    }
+    EXPECT_EQ(w.element(restored, r, r), static_cast<u32>(acc));
+  }
+}
+
+}  // namespace
+}  // namespace ooh::wl

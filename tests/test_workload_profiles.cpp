@@ -1,0 +1,150 @@
+// Per-application dirty-profile tests: each engine/app must reproduce the
+// page-level write behaviour its real counterpart is known for, since that
+// is what makes the dirty-tracking benches meaningful.
+#include <gtest/gtest.h>
+
+#include "ooh/experiment.hpp"
+#include "ooh/testbed.hpp"
+#include "workloads/phoenix.hpp"
+#include "workloads/registry.hpp"
+#include "workloads/tkrzw.hpp"
+
+namespace ooh::wl {
+namespace {
+
+struct ProfileResult {
+  u64 dirty_pages = 0;
+  u64 mapped_pages = 0;
+  u64 reads = 0;
+  double time_us = 0.0;
+};
+
+ProfileResult profile(Workload& w) {
+  lib::TestBed bed;
+  auto& k = bed.kernel();
+  auto& proc = k.create_process();
+  w.setup(proc);
+  proc.truth_reset();
+  const u64 reads_before = bed.machine().counters.get(Event::kTlbHit) +
+                           bed.machine().counters.get(Event::kTlbMiss);
+  const VirtDuration start = bed.machine().clock.now();
+  w.run(proc);
+  ProfileResult r;
+  r.time_us = (bed.machine().clock.now() - start).count();
+  r.dirty_pages = proc.truth_dirty().size();
+  r.mapped_pages = pages_for_bytes(proc.mapped_bytes());
+  r.reads = bed.machine().counters.get(Event::kTlbHit) +
+            bed.machine().counters.get(Event::kTlbMiss) - reads_before;
+  return r;
+}
+
+// ---- tkrzw engines ---------------------------------------------------------------
+
+TEST(Profiles, BabyDirtiesArenaAndIndex) {
+  BabyEngine w(20'000, 80);
+  const ProfileResult r = profile(w);
+  // Records: 20k x 80B ~ 391 arena pages, plus index writes.
+  EXPECT_GT(r.dirty_pages, 390u);
+  EXPECT_GT(r.reads, 20'000u * 2) << "B-tree descent reads the index per set";
+}
+
+TEST(Profiles, CacheKeepsAHotHeadPage) {
+  CacheEngine w(10'000, 10'000, 64);
+  lib::TestBed bed;
+  auto& k = bed.kernel();
+  auto& proc = k.create_process();
+  w.setup(proc);
+  proc.truth_reset();
+  w.run(proc);
+  // The LRU head page is re-written on every set: its last-write sequence
+  // must be near the global maximum.
+  u64 max_seq = 0;
+  for (const auto& [page, seq] : proc.truth_dirty()) max_seq = std::max(max_seq, seq);
+  bool found_hot = false;
+  for (const auto& [page, seq] : proc.truth_dirty()) {
+    if (seq + 16 >= max_seq) found_hot = true;
+  }
+  EXPECT_TRUE(found_hot);
+  EXPECT_GT(proc.truth_dirty().size(), 100u);
+}
+
+TEST(Profiles, StdHashPaysCompressionCompute) {
+  // Same iteration count; the zlib-modelled engine must burn more time per
+  // set than the plain cache engine.
+  StdHashEngine zlib(5'000, 100'000, 120);
+  CacheEngine plain(5'000, 5'000, 120);
+  const ProfileResult rz = profile(zlib);
+  const ProfileResult rp = profile(plain);
+  EXPECT_GT(rz.time_us, rp.time_us + 5'000.0 * 1.0)
+      << "-record_comp zlib must cost extra CPU per record";
+}
+
+TEST(Profiles, StdTreeTouchesLogDepthPaths) {
+  StdTreeEngine w(10'000, 104);
+  const ProfileResult r = profile(w);
+  // Binary descent: >= log2(count) index reads per set on average by the end.
+  EXPECT_GT(r.reads, 10'000u * 6);
+  EXPECT_GT(r.dirty_pages, 250u);
+}
+
+TEST(Profiles, TinyDirtyFootprintScalesWithBuckets) {
+  TinyEngine small_buckets(20'000, 10'000, 32);
+  TinyEngine big_buckets(20'000, 1'000'000, 32);
+  const ProfileResult rs = profile(small_buckets);
+  const ProfileResult rb = profile(big_buckets);
+  EXPECT_GT(rb.dirty_pages, rs.dirty_pages * 3)
+      << "-buckets 30M is what spreads tiny's writes so widely";
+}
+
+// ---- Phoenix apps ----------------------------------------------------------------
+
+TEST(Profiles, MatrixMultiplyWritesExactlyTheOutputMatrix) {
+  MatrixMultiply w(256);  // 256x256 int32: C = 64 pages
+  const ProfileResult r = profile(w);
+  EXPECT_EQ(r.dirty_pages, pages_for_bytes(256 * 256 * 4));
+}
+
+TEST(Profiles, PcaWritesMeansAndCovOnly) {
+  Pca w(512, 512, 64);
+  const ProfileResult r = profile(w);
+  const u64 out_pages = pages_for_bytes(512 * 8) + pages_for_bytes(64 * 64 * 4);
+  EXPECT_LE(r.dirty_pages, out_pages + 2);
+  EXPECT_GT(r.reads, pages_for_bytes(512 * 512 * 4) * 2u - 10u)
+      << "pca reads the matrix twice (means pass + covariance pass)";
+}
+
+TEST(Profiles, StringMatchWritesSparsely) {
+  StringMatch w(8 * kMiB);
+  const ProfileResult r = profile(w);
+  EXPECT_LT(r.dirty_pages * 4, r.mapped_pages) << "output is a small fraction";
+}
+
+TEST(Profiles, WordCountScattersAcrossTheTable) {
+  WordCount w(8 * kMiB);
+  const ProfileResult r = profile(w);
+  // The hash table is half the input; scattered inserts should dirty most of it.
+  EXPECT_GT(r.dirty_pages, pages_for_bytes(4 * kMiB) / 2);
+}
+
+TEST(Profiles, HistogramRunTimeDominatedByReads) {
+  Histogram w(8 * kMiB);
+  const ProfileResult r = profile(w);
+  EXPECT_LT(r.dirty_pages, 8u);
+  EXPECT_GE(r.reads / std::max<u64>(r.dirty_pages, 1), 100u);
+}
+
+// ---- determinism -----------------------------------------------------------------
+
+TEST(Profiles, WorkloadsAreDeterministic) {
+  for (const std::string_view app : {"baby", "word-count", "kmeans"}) {
+    auto w1 = make_workload(app, ConfigSize::kSmall, 128);
+    auto w2 = make_workload(app, ConfigSize::kSmall, 128);
+    const ProfileResult a = profile(*w1);
+    const ProfileResult b = profile(*w2);
+    EXPECT_EQ(a.dirty_pages, b.dirty_pages) << app;
+    EXPECT_DOUBLE_EQ(a.time_us, b.time_us) << app;
+  }
+}
+
+}  // namespace
+}  // namespace ooh::wl

@@ -1,0 +1,190 @@
+// Workload tests: every Table III application instantiates, runs, dirties
+// memory with its expected shape, and lands near the paper's footprint.
+#include <gtest/gtest.h>
+
+#include "ooh/experiment.hpp"
+#include "ooh/testbed.hpp"
+#include "trackers/boehmgc/gc.hpp"
+#include "workloads/gcbench.hpp"
+#include "workloads/microbench.hpp"
+#include "workloads/phoenix.hpp"
+#include "workloads/registry.hpp"
+#include "workloads/tkrzw.hpp"
+
+namespace ooh::wl {
+namespace {
+
+struct Named {
+  std::string_view app;
+};
+
+class WorkloadRuns : public ::testing::TestWithParam<std::string_view> {};
+
+TEST_P(WorkloadRuns, SetupAndRunDirtiesMemory) {
+  lib::TestBed bed;
+  guest::GuestKernel& k = bed.kernel();
+  guest::Process& proc = k.create_process();
+
+  auto w = make_workload(GetParam(), ConfigSize::kSmall, /*scale_divisor=*/64);
+  std::unique_ptr<gc::GcHeap> heap;
+  if (GetParam() == "GCBench") {
+    heap = std::make_unique<gc::GcHeap>(k, proc, 64 * kMiB);
+    w->attach_gc(heap.get());
+  }
+  w->setup(proc);
+  proc.truth_reset();
+  w->run(proc);
+  EXPECT_GT(proc.truth_dirty().size(), 0u) << "workload must write memory";
+  EXPECT_GT(k.machine().clock.now().count(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, WorkloadRuns,
+                         ::testing::Values("array-parser", "GCBench", "histogram",
+                                           "kmeans", "matrix-multiply", "pca",
+                                           "string-match", "word-count", "baby",
+                                           "cache", "stdhash", "stdtree", "tiny"),
+                         [](const auto& pinfo) {
+                           std::string s(pinfo.param);
+                           for (char& c : s) {
+                             if (c == '-') c = '_';
+                           }
+                           return s;
+                         });
+
+TEST(Registry, Table3HasAll36Specs) {
+  EXPECT_EQ(table3_specs().size(), 36u);
+  EXPECT_EQ(phoenix_apps().size(), 6u);
+  EXPECT_EQ(tkrzw_apps().size(), 5u);
+  EXPECT_THROW((void)make_workload("nope", ConfigSize::kSmall), std::invalid_argument);
+  EXPECT_THROW((void)paper_footprint_bytes("nope", ConfigSize::kSmall),
+               std::invalid_argument);
+}
+
+TEST(Registry, FootprintsTrackTableIII) {
+  // At scale 1 the declared workload footprint should be within 2x of the
+  // paper's measured consumption (Table III) -- same order of magnitude,
+  // since the paper measures RSS including allocator overheads.
+  for (const WorkloadSpec& spec : table3_specs()) {
+    const auto w = make_workload(spec.app, spec.size, /*scale_divisor=*/1);
+    const double ours = static_cast<double>(w->footprint_bytes());
+    const double paper = static_cast<double>(spec.paper_footprint_bytes);
+    EXPECT_GT(ours, paper * 0.4) << spec.app << " " << static_cast<int>(spec.size);
+    EXPECT_LT(ours, paper * 2.5) << spec.app << " " << static_cast<int>(spec.size);
+  }
+}
+
+TEST(Registry, ScaleDivisorShrinksFootprint) {
+  const auto full = make_workload("histogram", ConfigSize::kSmall, 1);
+  const auto scaled = make_workload("histogram", ConfigSize::kSmall, 16);
+  EXPECT_LT(scaled->footprint_bytes() * 8, full->footprint_bytes());
+}
+
+TEST(ArrayParserTest, WritesOneWordPerPagePerPass) {
+  lib::TestBed bed;
+  guest::GuestKernel& k = bed.kernel();
+  guest::Process& proc = k.create_process();
+  ArrayParser w(64 * kPageSize, /*passes=*/2);
+  w.setup(proc);
+  proc.truth_reset();
+  w.run(proc);
+  EXPECT_EQ(proc.truth_dirty().size(), 64u);
+}
+
+TEST(DirtyProfiles, HistogramDirtiesFewPagesReadsMany) {
+  lib::TestBed bed;
+  guest::GuestKernel& k = bed.kernel();
+  guest::Process& proc = k.create_process();
+  auto w = make_workload("histogram", ConfigSize::kSmall, 16);
+  w->setup(proc);
+  proc.truth_reset();
+  w->run(proc);
+  // Bins are 2 pages; the multi-MB input is only read.
+  EXPECT_LT(proc.truth_dirty().size(), 8u);
+  EXPECT_GT(k.machine().counters.get(Event::kTlbHit) +
+                k.machine().counters.get(Event::kTlbMiss),
+            proc.truth_dirty().size() * 100);
+}
+
+TEST(DirtyProfiles, TinyScattersWritesWidely) {
+  lib::TestBed bed;
+  guest::GuestKernel& k = bed.kernel();
+  guest::Process& proc = k.create_process();
+  auto w = make_workload("tiny", ConfigSize::kSmall, 256);
+  w->setup(proc);
+  proc.truth_reset();
+  w->run(proc);
+  // The huge bucket array spreads dirty pages widely (>25% of footprint).
+  const u64 total_pages = pages_for_bytes(proc.mapped_bytes());
+  EXPECT_GT(proc.truth_dirty().size() * 4, total_pages);
+}
+
+TEST(DirtyProfiles, KmeansRedirtiesSamePagesEachIteration) {
+  lib::TestBed bed;
+  guest::GuestKernel& k = bed.kernel();
+  guest::Process& proc = k.create_process();
+  Kmeans w(/*dims=*/64, /*clusters=*/16, /*points=*/512, /*iters=*/3);
+  w.setup(proc);
+  proc.truth_reset();
+  w.run(proc);
+  // Dirty set bounded by assignments + centroids, regardless of iterations.
+  const u64 writable_pages =
+      pages_for_bytes(512 * 8) + pages_for_bytes(16 * 64 * 4) + 2;
+  EXPECT_LE(proc.truth_dirty().size(), writable_pages + 2);
+}
+
+TEST(GcBenchTest, RunsCollectionsAndFreesGarbage) {
+  lib::TestBed bed;
+  guest::GuestKernel& k = bed.kernel();
+  guest::Process& proc = k.create_process();
+  gc::GcHeap heap(k, proc, 128 * kMiB, /*threshold=*/64 * 1024);
+  GcBench bench(/*array_len=*/10'000, /*lived_depth=*/10, /*stretch_depth=*/12,
+                /*work_divisor=*/4);
+  bench.attach_gc(&heap);
+  k.scheduler().enter_process(proc.pid());
+  bench.run(proc);
+  k.scheduler().exit_process(proc.pid());
+  EXPECT_GT(heap.stats().cycle_count(), 2u);
+  u64 freed = 0;
+  for (const auto& c : heap.stats().cycles) freed += c.objects_freed;
+  EXPECT_GT(freed, 1000u) << "short-lived trees must have been collected";
+  bench.attach_gc(nullptr);
+  EXPECT_THROW(bench.run(proc), std::logic_error)
+      << "GCBench without a GC heap must refuse to run";
+}
+
+TEST(GcBenchTest, RequiresGcHeap) {
+  lib::TestBed bed;
+  guest::Process& proc = bed.kernel().create_process();
+  GcBench bench(1000, 6, 8);
+  EXPECT_THROW(bench.run(proc), std::logic_error);
+}
+
+TEST(KvEngines, RecordArenaGrowsWithIterations) {
+  lib::TestBed bed;
+  guest::GuestKernel& k = bed.kernel();
+  guest::Process& proc = k.create_process();
+  BabyEngine w(/*iterations=*/5000, /*record_bytes=*/80);
+  w.setup(proc);
+  proc.truth_reset();
+  w.run(proc);
+  // 5000 x 80B of appends dirty at least 80 arena pages.
+  EXPECT_GT(proc.truth_dirty().size(), 80u);
+  EXPECT_EQ(w.iterations(), 5000u);
+}
+
+TEST(KvEngines, TrackableUnderEpml) {
+  // End-to-end: a tkrzw engine tracked by EPML reports a complete dirty set.
+  lib::TestBed bed;
+  guest::GuestKernel& k = bed.kernel();
+  guest::Process& proc = k.create_process();
+  auto w = make_workload("cache", ConfigSize::kSmall, 512);
+  w->setup(proc);
+  auto tracker = lib::make_tracker(lib::Technique::kEpml, k, proc);
+  const lib::RunResult r = lib::run_tracked(k, proc, w->runner(), tracker.get());
+  tracker->shutdown();
+  EXPECT_EQ(r.captured_truth, r.truth_pages);
+  EXPECT_GT(r.truth_pages, 0u);
+}
+
+}  // namespace
+}  // namespace ooh::wl
