@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_collect_period"
+  "../bench/ablation_collect_period.pdb"
+  "CMakeFiles/ablation_collect_period.dir/ablation_collect_period.cpp.o"
+  "CMakeFiles/ablation_collect_period.dir/ablation_collect_period.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_collect_period.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_spp_guard"
+  "../bench/ablation_spp_guard.pdb"
+  "CMakeFiles/ablation_spp_guard.dir/ablation_spp_guard.cpp.o"
+  "CMakeFiles/ablation_spp_guard.dir/ablation_spp_guard.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_spp_guard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_swap_writeback"
+  "../bench/ablation_swap_writeback.pdb"
+  "CMakeFiles/ablation_swap_writeback.dir/ablation_swap_writeback.cpp.o"
+  "CMakeFiles/ablation_swap_writeback.dir/ablation_swap_writeback.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_swap_writeback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

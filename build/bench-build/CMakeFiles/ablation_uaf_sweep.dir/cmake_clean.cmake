@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_uaf_sweep"
+  "../bench/ablation_uaf_sweep.pdb"
+  "CMakeFiles/ablation_uaf_sweep.dir/ablation_uaf_sweep.cpp.o"
+  "CMakeFiles/ablation_uaf_sweep.dir/ablation_uaf_sweep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_uaf_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_wss"
+  "../bench/ablation_wss.pdb"
+  "CMakeFiles/ablation_wss.dir/ablation_wss.cpp.o"
+  "CMakeFiles/ablation_wss.dir/ablation_wss.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_wss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_scalability_tracker"
+  "../bench/fig10_scalability_tracker.pdb"
+  "CMakeFiles/fig10_scalability_tracker.dir/fig10_scalability_tracker.cpp.o"
+  "CMakeFiles/fig10_scalability_tracker.dir/fig10_scalability_tracker.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_scalability_tracker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_scalability_tracked"
+  "../bench/fig11_scalability_tracked.pdb"
+  "CMakeFiles/fig11_scalability_tracked.dir/fig11_scalability_tracked.cpp.o"
+  "CMakeFiles/fig11_scalability_tracked.dir/fig11_scalability_tracked.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_scalability_tracked.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

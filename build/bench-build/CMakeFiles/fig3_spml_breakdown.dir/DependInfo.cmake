@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig3_spml_breakdown.cpp" "bench-build/CMakeFiles/fig3_spml_breakdown.dir/fig3_spml_breakdown.cpp.o" "gcc" "bench-build/CMakeFiles/fig3_spml_breakdown.dir/fig3_spml_breakdown.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ooh/CMakeFiles/ooh_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/ooh_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/trackers/criu/CMakeFiles/ooh_criu.dir/DependInfo.cmake"
+  "/root/repo/build/src/trackers/boehmgc/CMakeFiles/ooh_boehmgc.dir/DependInfo.cmake"
+  "/root/repo/build/src/trackers/uafguard/CMakeFiles/ooh_uafguard.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/ooh_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/guest/CMakeFiles/ooh_guest.dir/DependInfo.cmake"
+  "/root/repo/build/src/hypervisor/CMakeFiles/ooh_hypervisor.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ooh_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/ooh_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

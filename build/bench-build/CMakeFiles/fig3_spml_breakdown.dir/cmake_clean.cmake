@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_spml_breakdown"
+  "../bench/fig3_spml_breakdown.pdb"
+  "CMakeFiles/fig3_spml_breakdown.dir/fig3_spml_breakdown.cpp.o"
+  "CMakeFiles/fig3_spml_breakdown.dir/fig3_spml_breakdown.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_spml_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

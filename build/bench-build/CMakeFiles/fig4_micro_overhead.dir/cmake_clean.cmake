@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_micro_overhead"
+  "../bench/fig4_micro_overhead.pdb"
+  "CMakeFiles/fig4_micro_overhead.dir/fig4_micro_overhead.cpp.o"
+  "CMakeFiles/fig4_micro_overhead.dir/fig4_micro_overhead.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_micro_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_boehm_tracker"
+  "../bench/fig5_boehm_tracker.pdb"
+  "CMakeFiles/fig5_boehm_tracker.dir/fig5_boehm_tracker.cpp.o"
+  "CMakeFiles/fig5_boehm_tracker.dir/fig5_boehm_tracker.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_boehm_tracker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

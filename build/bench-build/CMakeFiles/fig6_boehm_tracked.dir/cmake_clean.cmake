@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_boehm_tracked"
+  "../bench/fig6_boehm_tracked.pdb"
+  "CMakeFiles/fig6_boehm_tracked.dir/fig6_boehm_tracked.cpp.o"
+  "CMakeFiles/fig6_boehm_tracked.dir/fig6_boehm_tracked.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_boehm_tracked.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_criu_mw"
+  "../bench/fig7_criu_mw.pdb"
+  "CMakeFiles/fig7_criu_mw.dir/fig7_criu_mw.cpp.o"
+  "CMakeFiles/fig7_criu_mw.dir/fig7_criu_mw.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_criu_mw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_criu_checkpoint"
+  "../bench/fig8_criu_checkpoint.pdb"
+  "CMakeFiles/fig8_criu_checkpoint.dir/fig8_criu_checkpoint.cpp.o"
+  "CMakeFiles/fig8_criu_checkpoint.dir/fig8_criu_checkpoint.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_criu_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

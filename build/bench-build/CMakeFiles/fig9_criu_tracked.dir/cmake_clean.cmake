@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_criu_tracked"
+  "../bench/fig9_criu_tracked.pdb"
+  "CMakeFiles/fig9_criu_tracked.dir/fig9_criu_tracked.cpp.o"
+  "CMakeFiles/fig9_criu_tracked.dir/fig9_criu_tracked.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_criu_tracked.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/gbench_sim_primitives"
+  "../bench/gbench_sim_primitives.pdb"
+  "CMakeFiles/gbench_sim_primitives.dir/gbench_sim_primitives.cpp.o"
+  "CMakeFiles/gbench_sim_primitives.dir/gbench_sim_primitives.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbench_sim_primitives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

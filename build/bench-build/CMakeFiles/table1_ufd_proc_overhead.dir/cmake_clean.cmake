@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_ufd_proc_overhead"
+  "../bench/table1_ufd_proc_overhead.pdb"
+  "CMakeFiles/table1_ufd_proc_overhead.dir/table1_ufd_proc_overhead.cpp.o"
+  "CMakeFiles/table1_ufd_proc_overhead.dir/table1_ufd_proc_overhead.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_ufd_proc_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_workload_footprints"
+  "../bench/table3_workload_footprints.pdb"
+  "CMakeFiles/table3_workload_footprints.dir/table3_workload_footprints.cpp.o"
+  "CMakeFiles/table3_workload_footprints.dir/table3_workload_footprints.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_workload_footprints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_formula_validation"
+  "../bench/table4_formula_validation.pdb"
+  "CMakeFiles/table4_formula_validation.dir/table4_formula_validation.cpp.o"
+  "CMakeFiles/table4_formula_validation.dir/table4_formula_validation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_formula_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

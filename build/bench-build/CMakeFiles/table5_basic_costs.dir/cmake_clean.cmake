@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table5_basic_costs"
+  "../bench/table5_basic_costs.pdb"
+  "CMakeFiles/table5_basic_costs.dir/table5_basic_costs.cpp.o"
+  "CMakeFiles/table5_basic_costs.dir/table5_basic_costs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_basic_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table6_metric_influence"
+  "../bench/table6_metric_influence.pdb"
+  "CMakeFiles/table6_metric_influence.dir/table6_metric_influence.cpp.o"
+  "CMakeFiles/table6_metric_influence.dir/table6_metric_influence.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_metric_influence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

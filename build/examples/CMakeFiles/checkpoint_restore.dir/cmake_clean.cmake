@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkpoint_restore.dir/checkpoint_restore.cpp.o"
+  "CMakeFiles/checkpoint_restore.dir/checkpoint_restore.cpp.o.d"
+  "checkpoint_restore"
+  "checkpoint_restore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkpoint_restore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

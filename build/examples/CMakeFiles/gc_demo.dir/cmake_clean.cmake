@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_demo.dir/gc_demo.cpp.o"
+  "CMakeFiles/gc_demo.dir/gc_demo.cpp.o.d"
+  "gc_demo"
+  "gc_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

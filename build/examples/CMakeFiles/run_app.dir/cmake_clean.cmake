@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/run_app.dir/run_app.cpp.o"
+  "CMakeFiles/run_app.dir/run_app.cpp.o.d"
+  "run_app"
+  "run_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/run_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

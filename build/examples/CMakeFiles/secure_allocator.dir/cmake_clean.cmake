@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_allocator.dir/secure_allocator.cpp.o"
+  "CMakeFiles/secure_allocator.dir/secure_allocator.cpp.o.d"
+  "secure_allocator"
+  "secure_allocator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_allocator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

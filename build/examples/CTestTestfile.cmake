@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[example_quickstart]=] "/root/repo/build/examples/quickstart")
+set_tests_properties([=[example_quickstart]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_checkpoint_restore]=] "/root/repo/build/examples/checkpoint_restore")
+set_tests_properties([=[example_checkpoint_restore]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_gc_demo]=] "/root/repo/build/examples/gc_demo")
+set_tests_properties([=[example_gc_demo]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_live_migration]=] "/root/repo/build/examples/live_migration")
+set_tests_properties([=[example_live_migration]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_secure_allocator]=] "/root/repo/build/examples/secure_allocator")
+set_tests_properties([=[example_secure_allocator]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_run_app]=] "/root/repo/build/examples/run_app")
+set_tests_properties([=[example_run_app]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_run_app_cli]=] "/root/repo/build/examples/run_app" "--app" "cache" "--size" "small" "--tech" "epml" "--scale" "512")
+set_tests_properties([=[example_run_app_cli]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/base/cost_model.cpp" "src/base/CMakeFiles/ooh_base.dir/cost_model.cpp.o" "gcc" "src/base/CMakeFiles/ooh_base.dir/cost_model.cpp.o.d"
+  "/root/repo/src/base/counters.cpp" "src/base/CMakeFiles/ooh_base.dir/counters.cpp.o" "gcc" "src/base/CMakeFiles/ooh_base.dir/counters.cpp.o.d"
+  "/root/repo/src/base/interp.cpp" "src/base/CMakeFiles/ooh_base.dir/interp.cpp.o" "gcc" "src/base/CMakeFiles/ooh_base.dir/interp.cpp.o.d"
+  "/root/repo/src/base/stats.cpp" "src/base/CMakeFiles/ooh_base.dir/stats.cpp.o" "gcc" "src/base/CMakeFiles/ooh_base.dir/stats.cpp.o.d"
+  "/root/repo/src/base/table.cpp" "src/base/CMakeFiles/ooh_base.dir/table.cpp.o" "gcc" "src/base/CMakeFiles/ooh_base.dir/table.cpp.o.d"
+  "/root/repo/src/base/vtime.cpp" "src/base/CMakeFiles/ooh_base.dir/vtime.cpp.o" "gcc" "src/base/CMakeFiles/ooh_base.dir/vtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

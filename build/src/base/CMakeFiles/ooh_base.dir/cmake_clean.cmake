@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ooh_base.dir/cost_model.cpp.o"
+  "CMakeFiles/ooh_base.dir/cost_model.cpp.o.d"
+  "CMakeFiles/ooh_base.dir/counters.cpp.o"
+  "CMakeFiles/ooh_base.dir/counters.cpp.o.d"
+  "CMakeFiles/ooh_base.dir/interp.cpp.o"
+  "CMakeFiles/ooh_base.dir/interp.cpp.o.d"
+  "CMakeFiles/ooh_base.dir/stats.cpp.o"
+  "CMakeFiles/ooh_base.dir/stats.cpp.o.d"
+  "CMakeFiles/ooh_base.dir/table.cpp.o"
+  "CMakeFiles/ooh_base.dir/table.cpp.o.d"
+  "CMakeFiles/ooh_base.dir/vtime.cpp.o"
+  "CMakeFiles/ooh_base.dir/vtime.cpp.o.d"
+  "libooh_base.a"
+  "libooh_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ooh_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/guest/kernel.cpp" "src/guest/CMakeFiles/ooh_guest.dir/kernel.cpp.o" "gcc" "src/guest/CMakeFiles/ooh_guest.dir/kernel.cpp.o.d"
+  "/root/repo/src/guest/ooh_module.cpp" "src/guest/CMakeFiles/ooh_guest.dir/ooh_module.cpp.o" "gcc" "src/guest/CMakeFiles/ooh_guest.dir/ooh_module.cpp.o.d"
+  "/root/repo/src/guest/process.cpp" "src/guest/CMakeFiles/ooh_guest.dir/process.cpp.o" "gcc" "src/guest/CMakeFiles/ooh_guest.dir/process.cpp.o.d"
+  "/root/repo/src/guest/procfs.cpp" "src/guest/CMakeFiles/ooh_guest.dir/procfs.cpp.o" "gcc" "src/guest/CMakeFiles/ooh_guest.dir/procfs.cpp.o.d"
+  "/root/repo/src/guest/scheduler.cpp" "src/guest/CMakeFiles/ooh_guest.dir/scheduler.cpp.o" "gcc" "src/guest/CMakeFiles/ooh_guest.dir/scheduler.cpp.o.d"
+  "/root/repo/src/guest/swap.cpp" "src/guest/CMakeFiles/ooh_guest.dir/swap.cpp.o" "gcc" "src/guest/CMakeFiles/ooh_guest.dir/swap.cpp.o.d"
+  "/root/repo/src/guest/uffd.cpp" "src/guest/CMakeFiles/ooh_guest.dir/uffd.cpp.o" "gcc" "src/guest/CMakeFiles/ooh_guest.dir/uffd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hypervisor/CMakeFiles/ooh_hypervisor.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ooh_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/ooh_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ooh_guest.dir/kernel.cpp.o"
+  "CMakeFiles/ooh_guest.dir/kernel.cpp.o.d"
+  "CMakeFiles/ooh_guest.dir/ooh_module.cpp.o"
+  "CMakeFiles/ooh_guest.dir/ooh_module.cpp.o.d"
+  "CMakeFiles/ooh_guest.dir/process.cpp.o"
+  "CMakeFiles/ooh_guest.dir/process.cpp.o.d"
+  "CMakeFiles/ooh_guest.dir/procfs.cpp.o"
+  "CMakeFiles/ooh_guest.dir/procfs.cpp.o.d"
+  "CMakeFiles/ooh_guest.dir/scheduler.cpp.o"
+  "CMakeFiles/ooh_guest.dir/scheduler.cpp.o.d"
+  "CMakeFiles/ooh_guest.dir/swap.cpp.o"
+  "CMakeFiles/ooh_guest.dir/swap.cpp.o.d"
+  "CMakeFiles/ooh_guest.dir/uffd.cpp.o"
+  "CMakeFiles/ooh_guest.dir/uffd.cpp.o.d"
+  "libooh_guest.a"
+  "libooh_guest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ooh_guest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

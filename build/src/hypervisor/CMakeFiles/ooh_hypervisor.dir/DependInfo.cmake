@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hypervisor/hypervisor.cpp" "src/hypervisor/CMakeFiles/ooh_hypervisor.dir/hypervisor.cpp.o" "gcc" "src/hypervisor/CMakeFiles/ooh_hypervisor.dir/hypervisor.cpp.o.d"
+  "/root/repo/src/hypervisor/migration.cpp" "src/hypervisor/CMakeFiles/ooh_hypervisor.dir/migration.cpp.o" "gcc" "src/hypervisor/CMakeFiles/ooh_hypervisor.dir/migration.cpp.o.d"
+  "/root/repo/src/hypervisor/vm.cpp" "src/hypervisor/CMakeFiles/ooh_hypervisor.dir/vm.cpp.o" "gcc" "src/hypervisor/CMakeFiles/ooh_hypervisor.dir/vm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ooh_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/ooh_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

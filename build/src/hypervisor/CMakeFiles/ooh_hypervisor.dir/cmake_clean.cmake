@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ooh_hypervisor.dir/hypervisor.cpp.o"
+  "CMakeFiles/ooh_hypervisor.dir/hypervisor.cpp.o.d"
+  "CMakeFiles/ooh_hypervisor.dir/migration.cpp.o"
+  "CMakeFiles/ooh_hypervisor.dir/migration.cpp.o.d"
+  "CMakeFiles/ooh_hypervisor.dir/vm.cpp.o"
+  "CMakeFiles/ooh_hypervisor.dir/vm.cpp.o.d"
+  "libooh_hypervisor.a"
+  "libooh_hypervisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ooh_hypervisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ooh_model.dir/formulas.cpp.o"
+  "CMakeFiles/ooh_model.dir/formulas.cpp.o.d"
+  "libooh_model.a"
+  "libooh_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ooh_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

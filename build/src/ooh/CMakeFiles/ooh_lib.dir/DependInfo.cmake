@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ooh/experiment.cpp" "src/ooh/CMakeFiles/ooh_lib.dir/experiment.cpp.o" "gcc" "src/ooh/CMakeFiles/ooh_lib.dir/experiment.cpp.o.d"
+  "/root/repo/src/ooh/guard_alloc.cpp" "src/ooh/CMakeFiles/ooh_lib.dir/guard_alloc.cpp.o" "gcc" "src/ooh/CMakeFiles/ooh_lib.dir/guard_alloc.cpp.o.d"
+  "/root/repo/src/ooh/testbed.cpp" "src/ooh/CMakeFiles/ooh_lib.dir/testbed.cpp.o" "gcc" "src/ooh/CMakeFiles/ooh_lib.dir/testbed.cpp.o.d"
+  "/root/repo/src/ooh/tracker.cpp" "src/ooh/CMakeFiles/ooh_lib.dir/tracker.cpp.o" "gcc" "src/ooh/CMakeFiles/ooh_lib.dir/tracker.cpp.o.d"
+  "/root/repo/src/ooh/trackers.cpp" "src/ooh/CMakeFiles/ooh_lib.dir/trackers.cpp.o" "gcc" "src/ooh/CMakeFiles/ooh_lib.dir/trackers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/guest/CMakeFiles/ooh_guest.dir/DependInfo.cmake"
+  "/root/repo/build/src/hypervisor/CMakeFiles/ooh_hypervisor.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ooh_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/ooh_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

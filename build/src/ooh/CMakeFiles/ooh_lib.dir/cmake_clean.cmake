@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ooh_lib.dir/experiment.cpp.o"
+  "CMakeFiles/ooh_lib.dir/experiment.cpp.o.d"
+  "CMakeFiles/ooh_lib.dir/guard_alloc.cpp.o"
+  "CMakeFiles/ooh_lib.dir/guard_alloc.cpp.o.d"
+  "CMakeFiles/ooh_lib.dir/testbed.cpp.o"
+  "CMakeFiles/ooh_lib.dir/testbed.cpp.o.d"
+  "CMakeFiles/ooh_lib.dir/tracker.cpp.o"
+  "CMakeFiles/ooh_lib.dir/tracker.cpp.o.d"
+  "CMakeFiles/ooh_lib.dir/trackers.cpp.o"
+  "CMakeFiles/ooh_lib.dir/trackers.cpp.o.d"
+  "libooh_lib.a"
+  "libooh_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ooh_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

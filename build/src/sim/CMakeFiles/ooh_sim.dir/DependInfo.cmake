@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/ept.cpp" "src/sim/CMakeFiles/ooh_sim.dir/ept.cpp.o" "gcc" "src/sim/CMakeFiles/ooh_sim.dir/ept.cpp.o.d"
+  "/root/repo/src/sim/mmu.cpp" "src/sim/CMakeFiles/ooh_sim.dir/mmu.cpp.o" "gcc" "src/sim/CMakeFiles/ooh_sim.dir/mmu.cpp.o.d"
+  "/root/repo/src/sim/page_table.cpp" "src/sim/CMakeFiles/ooh_sim.dir/page_table.cpp.o" "gcc" "src/sim/CMakeFiles/ooh_sim.dir/page_table.cpp.o.d"
+  "/root/repo/src/sim/phys_mem.cpp" "src/sim/CMakeFiles/ooh_sim.dir/phys_mem.cpp.o" "gcc" "src/sim/CMakeFiles/ooh_sim.dir/phys_mem.cpp.o.d"
+  "/root/repo/src/sim/tlb.cpp" "src/sim/CMakeFiles/ooh_sim.dir/tlb.cpp.o" "gcc" "src/sim/CMakeFiles/ooh_sim.dir/tlb.cpp.o.d"
+  "/root/repo/src/sim/vcpu.cpp" "src/sim/CMakeFiles/ooh_sim.dir/vcpu.cpp.o" "gcc" "src/sim/CMakeFiles/ooh_sim.dir/vcpu.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/ooh_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

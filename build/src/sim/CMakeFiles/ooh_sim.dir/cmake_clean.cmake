@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ooh_sim.dir/ept.cpp.o"
+  "CMakeFiles/ooh_sim.dir/ept.cpp.o.d"
+  "CMakeFiles/ooh_sim.dir/mmu.cpp.o"
+  "CMakeFiles/ooh_sim.dir/mmu.cpp.o.d"
+  "CMakeFiles/ooh_sim.dir/page_table.cpp.o"
+  "CMakeFiles/ooh_sim.dir/page_table.cpp.o.d"
+  "CMakeFiles/ooh_sim.dir/phys_mem.cpp.o"
+  "CMakeFiles/ooh_sim.dir/phys_mem.cpp.o.d"
+  "CMakeFiles/ooh_sim.dir/tlb.cpp.o"
+  "CMakeFiles/ooh_sim.dir/tlb.cpp.o.d"
+  "CMakeFiles/ooh_sim.dir/vcpu.cpp.o"
+  "CMakeFiles/ooh_sim.dir/vcpu.cpp.o.d"
+  "libooh_sim.a"
+  "libooh_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ooh_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ooh_boehmgc.dir/gc.cpp.o"
+  "CMakeFiles/ooh_boehmgc.dir/gc.cpp.o.d"
+  "libooh_boehmgc.a"
+  "libooh_boehmgc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ooh_boehmgc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ooh_criu.dir/checkpoint.cpp.o"
+  "CMakeFiles/ooh_criu.dir/checkpoint.cpp.o.d"
+  "libooh_criu.a"
+  "libooh_criu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ooh_criu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

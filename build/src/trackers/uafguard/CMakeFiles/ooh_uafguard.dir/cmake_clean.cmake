@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ooh_uafguard.dir/quarantine.cpp.o"
+  "CMakeFiles/ooh_uafguard.dir/quarantine.cpp.o.d"
+  "libooh_uafguard.a"
+  "libooh_uafguard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ooh_uafguard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/gcbench.cpp" "src/workloads/CMakeFiles/ooh_workloads.dir/gcbench.cpp.o" "gcc" "src/workloads/CMakeFiles/ooh_workloads.dir/gcbench.cpp.o.d"
+  "/root/repo/src/workloads/phoenix.cpp" "src/workloads/CMakeFiles/ooh_workloads.dir/phoenix.cpp.o" "gcc" "src/workloads/CMakeFiles/ooh_workloads.dir/phoenix.cpp.o.d"
+  "/root/repo/src/workloads/registry.cpp" "src/workloads/CMakeFiles/ooh_workloads.dir/registry.cpp.o" "gcc" "src/workloads/CMakeFiles/ooh_workloads.dir/registry.cpp.o.d"
+  "/root/repo/src/workloads/tkrzw.cpp" "src/workloads/CMakeFiles/ooh_workloads.dir/tkrzw.cpp.o" "gcc" "src/workloads/CMakeFiles/ooh_workloads.dir/tkrzw.cpp.o.d"
+  "/root/repo/src/workloads/workload.cpp" "src/workloads/CMakeFiles/ooh_workloads.dir/workload.cpp.o" "gcc" "src/workloads/CMakeFiles/ooh_workloads.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ooh/CMakeFiles/ooh_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/trackers/boehmgc/CMakeFiles/ooh_boehmgc.dir/DependInfo.cmake"
+  "/root/repo/build/src/guest/CMakeFiles/ooh_guest.dir/DependInfo.cmake"
+  "/root/repo/build/src/hypervisor/CMakeFiles/ooh_hypervisor.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ooh_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/ooh_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ooh_workloads.dir/gcbench.cpp.o"
+  "CMakeFiles/ooh_workloads.dir/gcbench.cpp.o.d"
+  "CMakeFiles/ooh_workloads.dir/phoenix.cpp.o"
+  "CMakeFiles/ooh_workloads.dir/phoenix.cpp.o.d"
+  "CMakeFiles/ooh_workloads.dir/registry.cpp.o"
+  "CMakeFiles/ooh_workloads.dir/registry.cpp.o.d"
+  "CMakeFiles/ooh_workloads.dir/tkrzw.cpp.o"
+  "CMakeFiles/ooh_workloads.dir/tkrzw.cpp.o.d"
+  "CMakeFiles/ooh_workloads.dir/workload.cpp.o"
+  "CMakeFiles/ooh_workloads.dir/workload.cpp.o.d"
+  "libooh_workloads.a"
+  "libooh_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ooh_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_base.cpp" "tests/CMakeFiles/ooh_tests.dir/test_base.cpp.o" "gcc" "tests/CMakeFiles/ooh_tests.dir/test_base.cpp.o.d"
+  "/root/repo/tests/test_consistency.cpp" "tests/CMakeFiles/ooh_tests.dir/test_consistency.cpp.o" "gcc" "tests/CMakeFiles/ooh_tests.dir/test_consistency.cpp.o.d"
+  "/root/repo/tests/test_criu.cpp" "tests/CMakeFiles/ooh_tests.dir/test_criu.cpp.o" "gcc" "tests/CMakeFiles/ooh_tests.dir/test_criu.cpp.o.d"
+  "/root/repo/tests/test_experiment.cpp" "tests/CMakeFiles/ooh_tests.dir/test_experiment.cpp.o" "gcc" "tests/CMakeFiles/ooh_tests.dir/test_experiment.cpp.o.d"
+  "/root/repo/tests/test_failures.cpp" "tests/CMakeFiles/ooh_tests.dir/test_failures.cpp.o" "gcc" "tests/CMakeFiles/ooh_tests.dir/test_failures.cpp.o.d"
+  "/root/repo/tests/test_gc.cpp" "tests/CMakeFiles/ooh_tests.dir/test_gc.cpp.o" "gcc" "tests/CMakeFiles/ooh_tests.dir/test_gc.cpp.o.d"
+  "/root/repo/tests/test_gc_stress.cpp" "tests/CMakeFiles/ooh_tests.dir/test_gc_stress.cpp.o" "gcc" "tests/CMakeFiles/ooh_tests.dir/test_gc_stress.cpp.o.d"
+  "/root/repo/tests/test_guest.cpp" "tests/CMakeFiles/ooh_tests.dir/test_guest.cpp.o" "gcc" "tests/CMakeFiles/ooh_tests.dir/test_guest.cpp.o.d"
+  "/root/repo/tests/test_hypervisor.cpp" "tests/CMakeFiles/ooh_tests.dir/test_hypervisor.cpp.o" "gcc" "tests/CMakeFiles/ooh_tests.dir/test_hypervisor.cpp.o.d"
+  "/root/repo/tests/test_kv_store.cpp" "tests/CMakeFiles/ooh_tests.dir/test_kv_store.cpp.o" "gcc" "tests/CMakeFiles/ooh_tests.dir/test_kv_store.cpp.o.d"
+  "/root/repo/tests/test_lifecycle.cpp" "tests/CMakeFiles/ooh_tests.dir/test_lifecycle.cpp.o" "gcc" "tests/CMakeFiles/ooh_tests.dir/test_lifecycle.cpp.o.d"
+  "/root/repo/tests/test_migration.cpp" "tests/CMakeFiles/ooh_tests.dir/test_migration.cpp.o" "gcc" "tests/CMakeFiles/ooh_tests.dir/test_migration.cpp.o.d"
+  "/root/repo/tests/test_model.cpp" "tests/CMakeFiles/ooh_tests.dir/test_model.cpp.o" "gcc" "tests/CMakeFiles/ooh_tests.dir/test_model.cpp.o.d"
+  "/root/repo/tests/test_ooh_module.cpp" "tests/CMakeFiles/ooh_tests.dir/test_ooh_module.cpp.o" "gcc" "tests/CMakeFiles/ooh_tests.dir/test_ooh_module.cpp.o.d"
+  "/root/repo/tests/test_property_sweeps.cpp" "tests/CMakeFiles/ooh_tests.dir/test_property_sweeps.cpp.o" "gcc" "tests/CMakeFiles/ooh_tests.dir/test_property_sweeps.cpp.o.d"
+  "/root/repo/tests/test_security.cpp" "tests/CMakeFiles/ooh_tests.dir/test_security.cpp.o" "gcc" "tests/CMakeFiles/ooh_tests.dir/test_security.cpp.o.d"
+  "/root/repo/tests/test_sim_paging.cpp" "tests/CMakeFiles/ooh_tests.dir/test_sim_paging.cpp.o" "gcc" "tests/CMakeFiles/ooh_tests.dir/test_sim_paging.cpp.o.d"
+  "/root/repo/tests/test_sim_pml.cpp" "tests/CMakeFiles/ooh_tests.dir/test_sim_pml.cpp.o" "gcc" "tests/CMakeFiles/ooh_tests.dir/test_sim_pml.cpp.o.d"
+  "/root/repo/tests/test_smoke.cpp" "tests/CMakeFiles/ooh_tests.dir/test_smoke.cpp.o" "gcc" "tests/CMakeFiles/ooh_tests.dir/test_smoke.cpp.o.d"
+  "/root/repo/tests/test_spp.cpp" "tests/CMakeFiles/ooh_tests.dir/test_spp.cpp.o" "gcc" "tests/CMakeFiles/ooh_tests.dir/test_spp.cpp.o.d"
+  "/root/repo/tests/test_swap.cpp" "tests/CMakeFiles/ooh_tests.dir/test_swap.cpp.o" "gcc" "tests/CMakeFiles/ooh_tests.dir/test_swap.cpp.o.d"
+  "/root/repo/tests/test_trackers.cpp" "tests/CMakeFiles/ooh_tests.dir/test_trackers.cpp.o" "gcc" "tests/CMakeFiles/ooh_tests.dir/test_trackers.cpp.o.d"
+  "/root/repo/tests/test_uafguard.cpp" "tests/CMakeFiles/ooh_tests.dir/test_uafguard.cpp.o" "gcc" "tests/CMakeFiles/ooh_tests.dir/test_uafguard.cpp.o.d"
+  "/root/repo/tests/test_workload_compute.cpp" "tests/CMakeFiles/ooh_tests.dir/test_workload_compute.cpp.o" "gcc" "tests/CMakeFiles/ooh_tests.dir/test_workload_compute.cpp.o.d"
+  "/root/repo/tests/test_workload_profiles.cpp" "tests/CMakeFiles/ooh_tests.dir/test_workload_profiles.cpp.o" "gcc" "tests/CMakeFiles/ooh_tests.dir/test_workload_profiles.cpp.o.d"
+  "/root/repo/tests/test_workloads.cpp" "tests/CMakeFiles/ooh_tests.dir/test_workloads.cpp.o" "gcc" "tests/CMakeFiles/ooh_tests.dir/test_workloads.cpp.o.d"
+  "/root/repo/tests/test_wss.cpp" "tests/CMakeFiles/ooh_tests.dir/test_wss.cpp.o" "gcc" "tests/CMakeFiles/ooh_tests.dir/test_wss.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ooh/CMakeFiles/ooh_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/ooh_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/trackers/criu/CMakeFiles/ooh_criu.dir/DependInfo.cmake"
+  "/root/repo/build/src/trackers/boehmgc/CMakeFiles/ooh_boehmgc.dir/DependInfo.cmake"
+  "/root/repo/build/src/trackers/uafguard/CMakeFiles/ooh_uafguard.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/ooh_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/guest/CMakeFiles/ooh_guest.dir/DependInfo.cmake"
+  "/root/repo/build/src/hypervisor/CMakeFiles/ooh_hypervisor.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ooh_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/ooh_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
