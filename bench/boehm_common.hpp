@@ -3,6 +3,8 @@
 // tracking technique, all inside one tenant VM of a TestBed.
 #pragma once
 
+#include <chrono>
+
 #include "common.hpp"
 #include "trackers/boehmgc/gc.hpp"
 #include "workloads/registry.hpp"
@@ -31,7 +33,7 @@ inline BoehmRun run_boehm_in(guest::GuestKernel& k, std::string_view app,
   w->attach_gc(&heap);
   w->setup(proc);
 
-  sim::Machine& m = k.machine();
+  sim::ExecContext& m = k.ctx();
   const VirtDuration start = m.clock.now();
   k.scheduler().enter_process(proc.pid());
   w->run(proc);
@@ -60,6 +62,36 @@ inline BoehmRun run_boehm(std::string_view app, wl::ConfigSize size, u64 scale,
                           lib::Technique tech) {
   lib::TestBed bed;
   return run_boehm_in(bed.kernel(), app, size, scale, tech);
+}
+
+/// One scalability-study configuration (Figs. 10-11): `vms` tenant VMs each
+/// running the same Boehm+histogram workload, timelines executed by the
+/// TestBed worker pool. Per-VM virtual-time results are independent of
+/// `workers` (bit-identical serial vs. parallel); only the host wall clock
+/// changes.
+struct FleetResult {
+  std::vector<BoehmRun> runs;  ///< indexed by VM.
+  double wall_ms = 0.0;        ///< host wall-clock for the whole fleet.
+};
+
+inline FleetResult run_boehm_fleet(unsigned vms, u64 scale, lib::Technique tech,
+                                   unsigned workers) {
+  lib::TestBedOptions opts;
+  opts.tenant_vms = vms;
+  lib::TestBed bed(opts);
+  FleetResult out;
+  out.runs.resize(vms);
+  const auto start = std::chrono::steady_clock::now();
+  bed.run_tenants(
+      [&](unsigned i) {
+        out.runs[i] = run_boehm_in(bed.kernel(i), "histogram", wl::ConfigSize::kLarge,
+                                   scale, tech);
+      },
+      workers);
+  out.wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+          .count();
+  return out;
 }
 
 }  // namespace ooh::bench

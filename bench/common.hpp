@@ -25,6 +25,8 @@ struct Args {
   bool full = false;
   /// Workload scale divisor: 1 at --full, else a bench-chosen default.
   u64 scale = 32;
+  /// Worker threads for multi-VM benches (0 = auto-size to the host).
+  unsigned threads = 0;
 
   static Args parse(int argc, char** argv, u64 default_scale = 32) {
     Args a;
@@ -33,6 +35,8 @@ struct Args {
       if (std::strcmp(argv[i], "--full") == 0) {
         a.full = true;
         a.scale = 1;
+      } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+        a.threads = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
       }
     }
     return a;

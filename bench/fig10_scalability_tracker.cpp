@@ -3,6 +3,12 @@
 //
 // Paper's finding: per-VM GC time matches the single-VM results and stays
 // ~constant as VMs are added (PML state is per-VM; no cross-VM coupling).
+// The tenant timelines are independent per-vCPU contexts, so the bench
+// executes them on a worker pool of real threads (--threads N, default
+// auto) — the per-VM virtual-time results are bit-identical to a serial
+// run, only the host wall clock shrinks.
+#include <algorithm>
+
 #include "boehm_common.hpp"
 
 using namespace ooh;
@@ -10,25 +16,38 @@ using namespace ooh;
 int main(int argc, char** argv) {
   const bench::Args args = bench::Args::parse(argc, argv, /*default_scale=*/128);
   bench::print_header("Figure 10", "Per-VM Boehm GC time with 1..5 tenant VMs");
+  const unsigned threads =
+      args.threads != 0 ? args.threads : std::max(2u, lib::TestBed::default_workers());
+  std::printf("tenant timelines on up to %u worker threads (--threads N to change)\n",
+              threads);
 
-  TextTable t({"VMs + technique", "min GC (ms)", "max GC (ms)", "spread (%)"});
+  TextTable t({"VMs + technique", "min GC (ms)", "max GC (ms)", "spread (%)", "wall (ms)"});
   for (unsigned vms = 1; vms <= 5; ++vms) {
     for (const lib::Technique tech : {lib::Technique::kSpml, lib::Technique::kEpml}) {
-      lib::TestBedOptions opts;
-      opts.tenant_vms = vms;
-      lib::TestBed bed(opts);
+      const bench::FleetResult fleet = bench::run_boehm_fleet(vms, args.scale, tech, threads);
       double min_gc = 1e300, max_gc = 0.0;
-      for (unsigned i = 0; i < vms; ++i) {
-        const bench::BoehmRun r = bench::run_boehm_in(
-            bed.kernel(i), "histogram", wl::ConfigSize::kLarge, args.scale, tech);
+      for (const bench::BoehmRun& r : fleet.runs) {
         min_gc = std::min(min_gc, r.gc_total_us);
         max_gc = std::max(max_gc, r.gc_total_us);
       }
+      // Tiny --scale values can finish without a single timed collection;
+      // report zero spread instead of dividing by a zero max.
+      const double spread = max_gc > 0.0 ? (max_gc - min_gc) / max_gc * 100.0 : 0.0;
       t.add_row(std::to_string(vms) + " " + std::string(lib::technique_name(tech)),
-                {min_gc / 1e3, max_gc / 1e3, (max_gc - min_gc) / max_gc * 100.0}, 2);
+                {min_gc / 1e3, max_gc / 1e3, spread, fleet.wall_ms}, 2);
     }
   }
   t.print(std::cout);
-  std::printf("\nShape check: per-VM GC time is flat in the VM count (spread ~0%%).\n");
+
+  // Wall-clock scaling check at 5 VMs: same fleet serial vs. worker pool.
+  const bench::FleetResult serial =
+      bench::run_boehm_fleet(5, args.scale, lib::Technique::kEpml, 1);
+  const bench::FleetResult parallel =
+      bench::run_boehm_fleet(5, args.scale, lib::Technique::kEpml, threads);
+  std::printf("\n5-VM EPML fleet wall clock: serial %.1f ms, %u workers %.1f ms "
+              "(speedup %.2fx)\n",
+              serial.wall_ms, threads, parallel.wall_ms,
+              parallel.wall_ms > 0.0 ? serial.wall_ms / parallel.wall_ms : 0.0);
+  std::printf("Shape check: per-VM GC time is flat in the VM count (spread ~0%%).\n");
   return 0;
 }

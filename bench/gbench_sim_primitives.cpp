@@ -21,7 +21,7 @@ struct MmuFixture {
       : machine(2 * kGiB, CostModel::unit()),
         hv(machine),
         vm(hv.create_vm(kGiB)),
-        mmu(machine, vm.vcpu(), vm.ept()) {
+        mmu(vm.vcpu(), vm.ept()) {
     for (u64 i = 0; i < kPages; ++i) {
       pt.map(0x100000 + i * kPageSize, kPageSize + i * kPageSize, true);
     }

@@ -12,7 +12,7 @@ using namespace ooh;
 
 namespace {
 
-double measure_us(sim::Machine& m, const std::function<void()>& op) {
+double measure_us(sim::ExecContext& m, const std::function<void()>& op) {
   return m.clock.measure(op).count();
 }
 
@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
   auto& k = bed.kernel();
   auto& proc = k.create_process();
   (void)proc.mmap(kMiB);
-  sim::Machine& m = bed.machine();
+  sim::ExecContext& m = bed.ctx();
   sim::Vcpu& vcpu = bed.vm().vcpu();
 
   TextTable a({"metric", "calibrated (us)", "measured (us)", "technique"});
@@ -96,7 +96,7 @@ int main(int argc, char** argv) {
     const Gva base = p2.mmap(mem);
     for (u64 off = 0; off < mem; off += kPageSize) p2.touch_write(base + off);
     const double clear_us =
-        bed2.machine().clock.measure([&] { k2.procfs().clear_refs(p2); }).count();
+        bed2.ctx().clock.measure([&] { k2.procfs().clear_refs(p2); }).count();
     std::printf("\ncross-check: clear_refs(10MB) measured %.1f us, calibrated %.1f us "
                 "(+%.1f us syscall/TLB overhead)\n",
                 clear_us, cm.clear_refs_us(mem),

@@ -61,6 +61,15 @@ class EventCounters {
   [[nodiscard]] u64 get(Event e) const noexcept { return counts_[idx(e)]; }
   void reset() noexcept { counts_.fill(0); }
 
+  /// Accumulate another counter set into this one (per-vCPU -> machine-wide).
+  void merge(const EventCounters& other) noexcept {
+    for (std::size_t i = 0; i < kEventCount; ++i) counts_[i] += other.counts_[i];
+  }
+
+  [[nodiscard]] bool operator==(const EventCounters& other) const noexcept {
+    return counts_ == other.counts_;
+  }
+
   /// Per-event difference `*this - since` (callers snapshot by value).
   [[nodiscard]] EventCounters diff(const EventCounters& since) const noexcept;
 

@@ -14,9 +14,9 @@ namespace ooh::guest {
 GuestKernel::GuestKernel(hv::Hypervisor& hypervisor, hv::Vm& vm)
     : hypervisor_(hypervisor),
       vm_(vm),
-      machine_(hypervisor.machine()),
-      mmu_(machine_, vm.vcpu(), vm.ept(), &vm.spp_table()),
-      sched_(machine_) {
+      ctx_(vm.ctx()),
+      mmu_(vm.vcpu(), vm.ept(), &vm.spp_table()),
+      sched_(ctx_) {
   procfs_ = std::make_unique<ProcFs>(*this);
   uffd_ = std::make_unique<Uffd>(*this);
   swap_ = std::make_unique<SwapDaemon>(*this);
@@ -82,7 +82,7 @@ void GuestKernel::free_gpa_frame(Gpa gpa) {
 void GuestKernel::ensure_ept_mapped(Gpa gpa) {
   sim::EptEntry* e = vm_.ept().entry(gpa);
   if (e != nullptr && e->present) return;
-  machine_.charge_us(machine_.cost.ept_violation_us);
+  ctx_.charge_us(ctx_.cost.ept_violation_us);
   vm_.vcpu().vmexit_to_root(Event::kVmExitEptViolation, [&] {
     vm_.vcpu().exits()->on_ept_violation(vm_.vcpu(), gpa, /*is_write=*/true);
   });
@@ -184,9 +184,9 @@ void GuestKernel::handle_not_present(Process& proc, Gva gva, bool /*is_write*/) 
   }
 
   // Demand paging: minor fault, two world switches, map a fresh frame.
-  machine_.count(Event::kPageFaultDemand);
-  machine_.count(Event::kContextSwitch, 2);
-  machine_.charge_us(machine_.cost.demand_fault_us + 2 * machine_.cost.ctx_switch_us);
+  ctx_.count(Event::kPageFaultDemand);
+  ctx_.count(Event::kContextSwitch, 2);
+  ctx_.charge_us(ctx_.cost.demand_fault_us + 2 * ctx_.cost.ctx_switch_us);
 
   sim::GuestPageTable& pt = page_table(proc);
   pt.map(page, alloc_gpa_frame(), vma->writable);
@@ -198,7 +198,7 @@ void GuestKernel::handle_not_present(Process& proc, Gva gva, bool /*is_write*/) 
     ensure_ept_mapped(pte->gpa_page);
     Hpa hpa = 0;
     if (vm_.ept().translate(pte->gpa_page, hpa)) {
-      std::memset(machine_.pmem.frame_data(hpa), 0, kPageSize);
+      std::memset(ctx_.pmem.frame_data(hpa), 0, kPageSize);
     }
   }
   // Linux marks freshly mapped pages soft-dirty so /proc does not miss them.
@@ -228,10 +228,10 @@ void GuestKernel::handle_not_writable(Process& proc, Gva gva) {
 
   // Soft-dirty write-protect fault (/proc technique): set the bit, restore
   // write access (Table V metric M5 per fault, plus two world switches).
-  machine_.count(Event::kPageFaultSoftDirty);
-  machine_.count(Event::kContextSwitch, 2);
-  machine_.charge_us(machine_.cost.pfh_kernel_per_fault_us(proc.mapped_bytes()) +
-                     2 * machine_.cost.ctx_switch_us);
+  ctx_.count(Event::kPageFaultSoftDirty);
+  ctx_.count(Event::kContextSwitch, 2);
+  ctx_.charge_us(ctx_.cost.pfh_kernel_per_fault_us(proc.mapped_bytes()) +
+                     2 * ctx_.cost.ctx_switch_us);
   pte->soft_dirty = true;
   pte->writable = true;
   vm_.vcpu().tlb().invalidate_page(proc.pid(), page);

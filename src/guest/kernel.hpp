@@ -16,7 +16,7 @@
 #include "guest/process.hpp"
 #include "guest/scheduler.hpp"
 #include "hypervisor/vm.hpp"
-#include "sim/machine.hpp"
+#include "sim/exec_context.hpp"
 #include "sim/mmu.hpp"
 #include "sim/page_table.hpp"
 
@@ -50,7 +50,8 @@ class GuestKernel final : public sim::GuestIrqSink {
   Process& create_process();
   [[nodiscard]] Process* find(u32 pid) noexcept;
 
-  [[nodiscard]] sim::Machine& machine() noexcept { return machine_; }
+  /// This VM's execution context (private clock, counters, TLB).
+  [[nodiscard]] sim::ExecContext& ctx() noexcept { return ctx_; }
   [[nodiscard]] hv::Vm& vm() noexcept { return vm_; }
   [[nodiscard]] hv::Hypervisor& hypervisor() noexcept { return hypervisor_; }
   [[nodiscard]] Scheduler& scheduler() noexcept { return sched_; }
@@ -108,7 +109,7 @@ class GuestKernel final : public sim::GuestIrqSink {
 
   hv::Hypervisor& hypervisor_;
   hv::Vm& vm_;
-  sim::Machine& machine_;
+  sim::ExecContext& ctx_;
   sim::Mmu mmu_;
   Scheduler sched_;
   std::unique_ptr<ProcFs> procfs_;

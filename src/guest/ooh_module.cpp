@@ -31,7 +31,7 @@ OohModule::Tracked* OohModule::active_tracked() noexcept {
 
 void OohModule::track(Process& proc) {
   if (tracking(proc)) throw std::logic_error("process already tracked");
-  sim::Machine& m = kernel_.machine();
+  sim::ExecContext& m = kernel_.ctx();
   sim::Vcpu& vcpu = kernel_.vm().vcpu();
 
   // The userspace ioctl into the module (Table V metric M3).
@@ -75,7 +75,7 @@ void OohModule::track(Process& proc) {
 void OohModule::untrack(Process& proc) {
   const auto it = tracked_.find(proc.pid());
   if (it == tracked_.end()) throw std::logic_error("process not tracked");
-  sim::Machine& m = kernel_.machine();
+  sim::ExecContext& m = kernel_.ctx();
   sim::Vcpu& vcpu = kernel_.vm().vcpu();
 
   if (active_pid_ == proc.pid()) on_schedule_out(proc.pid());
@@ -111,7 +111,7 @@ void OohModule::on_schedule_out(u32 pid) {
   const auto it = tracked_.find(pid);
   if (it == tracked_.end()) return;
   Tracked& t = it->second;
-  sim::Machine& m = kernel_.machine();
+  sim::ExecContext& m = kernel_.ctx();
   sim::Vcpu& vcpu = kernel_.vm().vcpu();
   if (mode_ == OohMode::kSpml) {
     // disable_logging flushes the in-flight PML buffer into the shared ring
@@ -132,7 +132,7 @@ void OohModule::on_schedule_out(u32 pid) {
 }
 
 void OohModule::epml_drain_guest_buffer(Tracked& t) {
-  sim::Machine& m = kernel_.machine();
+  sim::ExecContext& m = kernel_.ctx();
   sim::Vcpu& vcpu = kernel_.vm().vcpu();
   const u16 idx = static_cast<u16>(vcpu.guest_vmread(sim::VmcsField::kGuestPmlIndex));
   const u64 count =
@@ -172,7 +172,7 @@ std::vector<u64> OohModule::fetch(Process& proc) {
   const auto it = tracked_.find(proc.pid());
   if (it == tracked_.end()) throw std::logic_error("process not tracked");
   Tracked& t = it->second;
-  sim::Machine& m = kernel_.machine();
+  sim::ExecContext& m = kernel_.ctx();
 
   m.count(Event::kContextSwitch, 2);  // the fetch ioctl
   m.charge_us(2 * m.cost.ctx_switch_us);

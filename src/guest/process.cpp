@@ -27,7 +27,7 @@ void Process::munmap(Gva base) {
                                [base](const Vma& v) { return v.start == base; });
   if (it == vmas_.end()) throw std::invalid_argument("munmap: no VMA at this base");
   sim::GuestPageTable& pt = kernel_.page_table(*this);
-  sim::Machine& m = kernel_.machine();
+  sim::ExecContext& m = kernel_.ctx();
   for (Gva page = it->start; page < it->end; page += kPageSize) {
     pt.unmap(page);
     kernel_.vm().vcpu().tlb().invalidate_page(pid_, page);
@@ -48,7 +48,7 @@ Vma* Process::vma_of(Gva gva) noexcept {
 
 void Process::write_u64(Gva gva, u64 value) {
   const Hpa hpa = kernel_.access(*this, gva, /*is_write=*/true);
-  sim::Machine& m = kernel_.machine();
+  sim::ExecContext& m = kernel_.ctx();
   m.charge_ns(m.cost.workload_write_ns);
   const Vma* vma = vma_of(gva);
   if (vma != nullptr && vma->data_backed) m.pmem.write_u64(hpa, value);
@@ -56,7 +56,7 @@ void Process::write_u64(Gva gva, u64 value) {
 
 u64 Process::read_u64(Gva gva) {
   const Hpa hpa = kernel_.access(*this, gva, /*is_write=*/false);
-  sim::Machine& m = kernel_.machine();
+  sim::ExecContext& m = kernel_.ctx();
   m.charge_ns(m.cost.workload_write_ns);
   const Vma* vma = vma_of(gva);
   return (vma != nullptr && vma->data_backed) ? m.pmem.read_u64(hpa) : 0;
@@ -64,20 +64,20 @@ u64 Process::read_u64(Gva gva) {
 
 void Process::touch_write(Gva gva) {
   (void)kernel_.access(*this, gva, /*is_write=*/true);
-  sim::Machine& m = kernel_.machine();
+  sim::ExecContext& m = kernel_.ctx();
   m.charge_ns(m.cost.workload_write_ns);
 }
 
 void Process::touch_read(Gva gva) {
   (void)kernel_.access(*this, gva, /*is_write=*/false);
-  sim::Machine& m = kernel_.machine();
+  sim::ExecContext& m = kernel_.ctx();
   m.charge_ns(m.cost.workload_write_ns);
 }
 
 void Process::write_bytes(Gva gva, std::span<const u8> data) {
   // One translation per page chunk (sequential stores share the TLB entry);
   // compute cost scales with the words moved.
-  sim::Machine& m = kernel_.machine();
+  sim::ExecContext& m = kernel_.ctx();
   std::size_t off = 0;
   while (off < data.size()) {
     const Gva addr = gva + off;
@@ -95,7 +95,7 @@ void Process::write_bytes(Gva gva, std::span<const u8> data) {
 }
 
 void Process::read_bytes(Gva gva, std::span<u8> out) {
-  sim::Machine& m = kernel_.machine();
+  sim::ExecContext& m = kernel_.ctx();
   std::size_t off = 0;
   while (off < out.size()) {
     const Gva addr = gva + off;

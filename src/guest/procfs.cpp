@@ -7,7 +7,7 @@
 namespace ooh::guest {
 
 void ProcFs::clear_refs(Process& proc) {
-  sim::Machine& m = kernel_.machine();
+  sim::ExecContext& m = kernel_.ctx();
   m.count(Event::kClearRefs);
   m.count(Event::kContextSwitch, 2);  // the write() syscall's world switches
   m.charge_us(m.cost.clear_refs_us(proc.mapped_bytes()) + 2 * m.cost.ctx_switch_us);
@@ -24,7 +24,7 @@ void ProcFs::clear_refs(Process& proc) {
 }
 
 std::vector<Gva> ProcFs::pagemap_dirty(Process& proc) {
-  sim::Machine& m = kernel_.machine();
+  sim::ExecContext& m = kernel_.ctx();
   m.count(Event::kPagemapScan);
   m.count(Event::kContextSwitch, 2);
   m.charge_us(m.cost.pagemap_scan_us(proc.mapped_bytes()) + 2 * m.cost.ctx_switch_us);

@@ -14,7 +14,7 @@
 
 #include "base/types.hpp"
 #include "base/vtime.hpp"
-#include "sim/machine.hpp"
+#include "sim/exec_context.hpp"
 
 namespace ooh::guest {
 
@@ -27,7 +27,7 @@ class SchedHook {
 
 class Scheduler {
  public:
-  explicit Scheduler(sim::Machine& machine) : machine_(machine) {}
+  explicit Scheduler(sim::ExecContext& ctx) : ctx_(ctx) {}
 
   void set_quantum(VirtDuration q) noexcept { quantum_ = q; }
   [[nodiscard]] VirtDuration quantum() const noexcept { return quantum_; }
@@ -71,8 +71,9 @@ class Scheduler {
   void switch_out(u32 pid);
   void switch_in(u32 pid);
   void rearm_deadlines();
+  void fire_quantum(u32 pid);
 
-  sim::Machine& machine_;
+  sim::ExecContext& ctx_;
   std::vector<SchedHook*> hooks_;
   VirtDuration quantum_{secs(1.0)};
   VirtDuration next_quantum_{secs(1.0)};

@@ -7,7 +7,7 @@
 namespace ooh::guest {
 
 SwapDaemon::EvictStats SwapDaemon::evict(Process& proc, u64 target_pages) {
-  sim::Machine& m = kernel_.machine();
+  sim::ExecContext& m = kernel_.ctx();
   sim::GuestPageTable& pt = kernel_.page_table(proc);
   EvictStats stats;
   const VirtDuration start = m.clock.now();
@@ -89,7 +89,7 @@ u64 SwapDaemon::swapped_out(const Process& proc) const {
 bool SwapDaemon::swap_in_if_needed(Process& proc, Gva gva_page) {
   const auto it = slots_.find(key(proc.pid(), gva_page));
   if (it == slots_.end()) return false;
-  sim::Machine& m = kernel_.machine();
+  sim::ExecContext& m = kernel_.ctx();
 
   // Major fault: read the page back from the swap device.
   m.count(Event::kPageFaultDemand);

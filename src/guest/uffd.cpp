@@ -21,7 +21,7 @@ void Uffd::register_missing(Process& proc, Handler on_fault) {
   for (Vma& vma : proc.vmas_mut()) {
     vma.uffd = Vma::Uffd::kMissing;
   }
-  sim::Machine& m = kernel_.machine();
+  sim::ExecContext& m = kernel_.ctx();
   m.count(Event::kContextSwitch, 2);  // the register ioctl
   m.charge_us(2 * m.cost.ctx_switch_us);
 }
@@ -29,7 +29,7 @@ void Uffd::register_missing(Process& proc, Handler on_fault) {
 void Uffd::rearm_wp(Process& proc) {
   // ioctl write-protect over the whole registered range (Table V metric M2,
   // modelled as one clear_refs-shaped PTE pass; see CostModel).
-  sim::Machine& m = kernel_.machine();
+  sim::ExecContext& m = kernel_.ctx();
   m.count(Event::kContextSwitch, 2);
   m.charge_us(m.cost.ufd_write_protect_us(proc.mapped_bytes()) + 2 * m.cost.ctx_switch_us);
   kernel_.page_table(proc).for_each_present(
@@ -60,7 +60,7 @@ bool Uffd::missing_registered(const Process& proc) const {
 }
 
 void Uffd::deliver_wp_fault(Process& proc, Gva gva_page) {
-  sim::Machine& m = kernel_.machine();
+  sim::ExecContext& m = kernel_.ctx();
   // The faulting thread is suspended: the kernel part of the fault, the
   // handoff to the Tracker, its userspace handling (metric M6, the ufd
   // bottleneck), and the write-unprotect ioctl all run on its clock.
@@ -85,7 +85,7 @@ void Uffd::deliver_wp_fault(Process& proc, Gva gva_page) {
 }
 
 void Uffd::deliver_missing_fault(Process& proc, Gva gva_page) {
-  sim::Machine& m = kernel_.machine();
+  sim::ExecContext& m = kernel_.ctx();
   m.count(Event::kPageFaultUffd);
   m.count(Event::kContextSwitch, 2);
   const u64 mem = proc.mapped_bytes();

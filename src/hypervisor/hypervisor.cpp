@@ -34,6 +34,7 @@ void Hypervisor::update_pml_enable(Vm& vm) {
 }
 
 void Hypervisor::clear_all_ept_dirty(Vm& vm) {
+  sim::ExecContext& ctx = vm.ctx();
   u64 cleared = 0;
   vm.ept().for_each_present([&](Gpa, sim::EptEntry& e) {
     if (e.dirty) {
@@ -41,13 +42,14 @@ void Hypervisor::clear_all_ept_dirty(Vm& vm) {
       ++cleared;
     }
   });
-  machine_.charge_ns(machine_.cost.dbit_clear_ns * static_cast<double>(cleared));
+  ctx.charge_ns(ctx.cost.dbit_clear_ns * static_cast<double>(cleared));
   vm.vcpu().tlb().flush_all();
-  machine_.count(Event::kTlbFlush);
-  machine_.charge_us(machine_.cost.tlb_flush_us);
+  ctx.count(Event::kTlbFlush);
+  ctx.charge_us(ctx.cost.tlb_flush_us);
 }
 
 void Hypervisor::drain_pml_buffer(Vm& vm) {
+  sim::ExecContext& ctx = vm.ctx();
   sim::Vmcs& vmcs = vm.vcpu().vmcs();
   if (vm.pml_buffer == 0) return;
   const u16 idx = static_cast<u16>(vmcs.read(sim::VmcsField::kPmlIndex));
@@ -60,8 +62,8 @@ void Hypervisor::drain_pml_buffer(Vm& vm) {
   // last so consumers see logging order.
   const u64 first_slot = kPmlBufferEntries - count;
   for (u64 slot = kPmlBufferEntries; slot-- > first_slot;) {
-    const Gpa gpa_page = machine_.pmem.read_u64(vm.pml_buffer + slot * 8);
-    machine_.charge_ns(machine_.cost.drain_entry_ns);
+    const Gpa gpa_page = ctx.pmem.read_u64(vm.pml_buffer + slot * 8);
+    ctx.charge_ns(ctx.cost.drain_entry_ns);
     // Coexistence routing (paper §IV-C item 3): each consumer gets the GPA
     // only if its flag is set. Dirty flags stay set until the consumer's
     // interval boundary (collect/harvest), so an already-logged page does
@@ -70,13 +72,14 @@ void Hypervisor::drain_pml_buffer(Vm& vm) {
     if (vm.pml_enabled_by_guest && vm.guest_logging_on) {
       vm.spml_ring().push(gpa_page);
       vm.spml_interval_log().push_back(gpa_page);
-      machine_.count(Event::kRingBufCopyEntry);
+      ctx.count(Event::kRingBufCopyEntry);
     }
   }
   vmcs.write(sim::VmcsField::kPmlIndex, kPmlIndexStart);
 }
 
 void Hypervisor::reset_dirty_for(Vm& vm, std::span<const Gpa> gpa_pages) {
+  sim::ExecContext& ctx = vm.ctx();
   u64 cleared = 0;
   for (const Gpa gpa : gpa_pages) {
     if (sim::EptEntry* e = vm.ept().entry(gpa); e != nullptr && e->dirty) {
@@ -84,11 +87,11 @@ void Hypervisor::reset_dirty_for(Vm& vm, std::span<const Gpa> gpa_pages) {
       ++cleared;
     }
   }
-  machine_.charge_ns(machine_.cost.dbit_clear_ns * static_cast<double>(cleared));
+  ctx.charge_ns(ctx.cost.dbit_clear_ns * static_cast<double>(cleared));
   // Cleared dirty flags require invalidating cached translations (INVEPT).
   vm.vcpu().tlb().flush_all();
-  machine_.count(Event::kTlbFlush);
-  machine_.charge_us(machine_.cost.tlb_flush_us);
+  ctx.count(Event::kTlbFlush);
+  ctx.charge_us(ctx.cost.tlb_flush_us);
 }
 
 void Hypervisor::on_pml_full(sim::Vcpu& vcpu) {
@@ -106,28 +109,29 @@ void Hypervisor::on_ept_violation(sim::Vcpu& vcpu, Gpa gpa, bool /*is_write*/) {
 
 u64 Hypervisor::on_hypercall(sim::Vcpu& vcpu, sim::Hypercall nr, u64 a0, u64 a1) {
   Vm& vm = vm_of(vcpu);
-  auto& cost = machine_.cost;
+  sim::ExecContext& ctx = vcpu.ctx();
+  const CostModel& cost = ctx.cost;
   switch (nr) {
     case sim::Hypercall::kOohInitPml:
       // SPML setup (M9): allocate the PML buffer and reset dirty state so
       // the first tracking interval starts from a clean slate. The guest may
       // not start while the hypervisor is tearing down, and vice versa --
       // the flags arbitrate (§IV-C item 3).
-      machine_.charge_us(cost.hc_init_pml_us);
+      ctx.charge_us(cost.hc_init_pml_us);
       ensure_pml_buffer(vm);
       clear_all_ept_dirty(vm);
       vm.pml_enabled_by_guest = true;
       vm.spml_tracked_mem_bytes = a0;
       return 0;
     case sim::Hypercall::kOohDeactivatePml:
-      machine_.charge_us(cost.hc_deact_pml_us);
+      ctx.charge_us(cost.hc_deact_pml_us);
       drain_pml_buffer(vm);
       vm.pml_enabled_by_guest = false;
       vm.guest_logging_on = false;
       update_pml_enable(vm);
       return 0;
     case sim::Hypercall::kOohEnableLogging:
-      machine_.charge_us(cost.hc_enable_logging_us);
+      ctx.charge_us(cost.hc_enable_logging_us);
       if (!vm.pml_enabled_by_guest) return u64(-1);
       vm.guest_logging_on = true;
       update_pml_enable(vm);
@@ -135,7 +139,7 @@ u64 Hypervisor::on_hypercall(sim::Vcpu& vcpu, sim::Hypercall nr, u64 a0, u64 a1)
     case sim::Hypercall::kOohDisableLogging:
       // M14: cost depends on the tracked process's memory size because the
       // in-flight buffer is flushed to the ring on the way out.
-      machine_.charge_us(cost.spml_disable_logging_us(
+      ctx.charge_us(cost.spml_disable_logging_us(
           a0 != 0 ? a0 : vm.spml_tracked_mem_bytes));
       drain_pml_buffer(vm);
       vm.guest_logging_on = false;
@@ -144,7 +148,7 @@ u64 Hypervisor::on_hypercall(sim::Vcpu& vcpu, sim::Hypercall nr, u64 a0, u64 a1)
     case sim::Hypercall::kOohInitEpml: {
       // EPML setup (M10): VMCS shadowing plus the new guest PML fields. This
       // is the *only* hypercall EPML performs (§IV-D).
-      machine_.charge_us(cost.hc_init_pml_shadow_us);
+      ctx.charge_us(cost.hc_init_pml_shadow_us);
       sim::Vmcs& shadow = vcpu.create_shadow_vmcs();
       shadow.write(sim::VmcsField::kGuestPmlIndex, kPmlIndexStart);
       // Shadowing permission bitmaps: the guest may touch exactly the three
@@ -160,7 +164,7 @@ u64 Hypervisor::on_hypercall(sim::Vcpu& vcpu, sim::Hypercall nr, u64 a0, u64 a1)
       return 0;
     }
     case sim::Hypercall::kOohDeactivateEpml:
-      machine_.charge_us(cost.hc_deact_pml_shadow_us);
+      ctx.charge_us(cost.hc_deact_pml_shadow_us);
       vcpu.vmcs().set_control(sim::kEnableGuestPml, false);
       vcpu.destroy_shadow_vmcs();
       return 0;
@@ -168,7 +172,7 @@ u64 Hypervisor::on_hypercall(sim::Vcpu& vcpu, sim::Hypercall nr, u64 a0, u64 a1)
       // OoH-SPP (§III-D): the guest installs a 32-bit sub-page write mask
       // for one of its pages. The hypervisor owns the SPP table; the guest
       // only ever names GPAs it was given (no HPA exposure, as in §V).
-      machine_.charge_us(cost.hc_spp_protect_us);
+      ctx.charge_us(cost.hc_spp_protect_us);
       const Gpa gpa_page = page_floor(a0);
       if (gpa_page >= vm.mem_bytes()) return u64(-1);
       sim::EptEntry* e = vm.ept().entry(gpa_page);
@@ -180,24 +184,24 @@ u64 Hypervisor::on_hypercall(sim::Vcpu& vcpu, sim::Hypercall nr, u64 a0, u64 a1)
       e->spp = static_cast<u32>(a1) != sim::kSppAllWritable;
       // Cached translations may still claim page-level write permission.
       vm.vcpu().tlb().flush_all();
-      machine_.count(Event::kTlbFlush);
-      machine_.charge_us(cost.tlb_flush_us);
+      ctx.count(Event::kTlbFlush);
+      ctx.charge_us(cost.tlb_flush_us);
       return 0;
     }
     case sim::Hypercall::kOohSppClear: {
-      machine_.charge_us(cost.hc_spp_protect_us);
+      ctx.charge_us(cost.hc_spp_protect_us);
       const Gpa gpa_page = page_floor(a0);
       vm.spp_table().clear(gpa_page);
       if (sim::EptEntry* e = vm.ept().entry(gpa_page); e != nullptr) e->spp = false;
       vm.vcpu().tlb().flush_all();
-      machine_.count(Event::kTlbFlush);
-      machine_.charge_us(cost.tlb_flush_us);
+      ctx.count(Event::kTlbFlush);
+      ctx.charge_us(cost.tlb_flush_us);
       return 0;
     }
     case sim::Hypercall::kOohIntervalReset: {
       // End of an SPML tracking interval: re-arm logging for every page the
       // guest consumed this interval (their next write must re-log).
-      machine_.charge_us(cost.hc_enable_logging_us);
+      ctx.charge_us(cost.hc_enable_logging_us);
       drain_pml_buffer(vm);
       reset_dirty_for(vm, vm.spml_interval_log());
       vm.spml_interval_log().clear();
@@ -231,6 +235,7 @@ std::vector<Gpa> Hypervisor::harvest_hyp_dirty(Vm& vm) {
 }
 
 void Hypervisor::enable_wss_sampling(Vm& vm) {
+  sim::ExecContext& ctx = vm.ctx();
   if (vm.pml_enabled_by_guest) {
     throw std::logic_error(
         "WSS sampling and a guest SPML session cannot share the PML buffer");
@@ -243,10 +248,10 @@ void Hypervisor::enable_wss_sampling(Vm& vm) {
     e.accessed = false;
     e.dirty = false;
   });
-  machine_.charge_ns(machine_.cost.dbit_clear_ns * static_cast<double>(cleared));
+  ctx.charge_ns(ctx.cost.dbit_clear_ns * static_cast<double>(cleared));
   vm.vcpu().tlb().flush_all();
-  machine_.count(Event::kTlbFlush);
-  machine_.charge_us(machine_.cost.tlb_flush_us);
+  ctx.count(Event::kTlbFlush);
+  ctx.charge_us(ctx.cost.tlb_flush_us);
   vm.pml_enabled_by_hyp = true;
   vm.vcpu().vmcs().set_control(sim::kEnablePmlReadLog, true);
   update_pml_enable(vm);
@@ -261,6 +266,7 @@ void Hypervisor::disable_wss_sampling(Vm& vm) {
 }
 
 std::vector<Gpa> Hypervisor::harvest_wss(Vm& vm) {
+  sim::ExecContext& ctx = vm.ctx();
   drain_pml_buffer(vm);
   std::vector<Gpa> out(vm.hyp_dirty_log().begin(), vm.hyp_dirty_log().end());
   vm.hyp_dirty_log().clear();
@@ -273,10 +279,10 @@ std::vector<Gpa> Hypervisor::harvest_wss(Vm& vm) {
       e->dirty = false;
     }
   }
-  machine_.charge_ns(machine_.cost.dbit_clear_ns * static_cast<double>(cleared));
+  ctx.charge_ns(ctx.cost.dbit_clear_ns * static_cast<double>(cleared));
   vm.vcpu().tlb().flush_all();
-  machine_.count(Event::kTlbFlush);
-  machine_.charge_us(machine_.cost.tlb_flush_us);
+  ctx.count(Event::kTlbFlush);
+  ctx.charge_us(ctx.cost.tlb_flush_us);
   return out;
 }
 

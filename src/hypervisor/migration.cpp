@@ -2,8 +2,7 @@
 
 namespace ooh::hv {
 
-u64 MigrationEngine::send_pages(u64 count) {
-  sim::Machine& m = hv_.machine();
+u64 MigrationEngine::send_pages(sim::ExecContext& m, u64 count) {
   m.count(Event::kMigrationPageSent, count);
   m.charge_us(m.cost.migration_send_page_us * static_cast<double>(count));
   return count;
@@ -12,7 +11,7 @@ u64 MigrationEngine::send_pages(u64 count) {
 MigrationReport MigrationEngine::migrate(Vm& vm,
                                          const std::function<void()>& run_guest_quantum,
                                          const MigrationOptions& opts) {
-  sim::Machine& m = hv_.machine();
+  sim::ExecContext& m = vm.ctx();
   MigrationReport rep;
   const VirtDuration start = m.clock.now();
 
@@ -20,7 +19,7 @@ MigrationReport MigrationEngine::migrate(Vm& vm,
 
   // Round 0: full copy of every mapped guest page while the guest runs.
   rep.initial_pages = vm.ept().present_pages();
-  rep.pages_sent += send_pages(rep.initial_pages);
+  rep.pages_sent += send_pages(m, rep.initial_pages);
 
   u64 last_dirty = rep.initial_pages;
   for (unsigned round = 0; round < opts.max_rounds; ++round) {
@@ -32,12 +31,12 @@ MigrationReport MigrationEngine::migrate(Vm& vm,
       // Converged: pause the guest and send the remainder (downtime).
       const VirtDuration pause_start = m.clock.now();
       rep.stop_copy_pages = dirty.size();
-      rep.pages_sent += send_pages(dirty.size());
+      rep.pages_sent += send_pages(m, dirty.size());
       rep.downtime = m.clock.now() - pause_start;
       rep.converged = true;
       break;
     }
-    rep.pages_sent += send_pages(dirty.size());
+    rep.pages_sent += send_pages(m, dirty.size());
     last_dirty = dirty.size();
   }
   if (!rep.converged) {
@@ -46,7 +45,7 @@ MigrationReport MigrationEngine::migrate(Vm& vm,
     const std::vector<Gpa> dirty = hv_.harvest_hyp_dirty(vm);
     const VirtDuration pause_start = m.clock.now();
     rep.stop_copy_pages = dirty.size();
-    rep.pages_sent += send_pages(dirty.size());
+    rep.pages_sent += send_pages(m, dirty.size());
     rep.downtime = m.clock.now() - pause_start;
   }
   (void)last_dirty;

@@ -41,7 +41,7 @@ class MigrationEngine {
                           const MigrationOptions& opts = {});
 
  private:
-  u64 send_pages(u64 count);
+  u64 send_pages(sim::ExecContext& ctx, u64 count);
 
   Hypervisor& hv_;
 };

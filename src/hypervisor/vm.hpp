@@ -28,6 +28,10 @@ class Vm {
   [[nodiscard]] sim::Ept& ept() noexcept { return ept_; }
   [[nodiscard]] sim::Vcpu& vcpu() noexcept { return vcpu_; }
 
+  /// The vCPU's execution context: this VM's private clock and counters
+  /// (one vCPU per VM, the paper's evaluation setup).
+  [[nodiscard]] sim::ExecContext& ctx() noexcept { return vcpu_.ctx(); }
+
   /// The ring shared between hypervisor and guest OS (SPML design). It is
   /// allocated in the guest's address space conceptually; the hypervisor
   /// only writes logged GPAs into it (§V isolation argument).

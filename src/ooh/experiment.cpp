@@ -7,7 +7,7 @@ namespace ooh::lib {
 RunResult run_tracked(guest::GuestKernel& kernel, guest::Process& proc,
                       const WorkloadFn& workload, DirtyTracker* tracker,
                       const RunOptions& opts) {
-  sim::Machine& m = kernel.machine();
+  sim::ExecContext& m = kernel.ctx();
   guest::Scheduler& sched = kernel.scheduler();
 
   RunResult res;

@@ -1,5 +1,11 @@
 #include "ooh/testbed.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
 namespace ooh::lib {
 
 TestBed::TestBed(const TestBedOptions& opts) {
@@ -11,6 +17,46 @@ TestBed::TestBed(const TestBedOptions& opts) {
     kernels_.push_back(std::make_unique<guest::GuestKernel>(*hypervisor_, vm));
     kernels_.back()->scheduler().set_quantum(opts.sched_quantum);
   }
+}
+
+unsigned TestBed::default_workers() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw != 0 ? hw : 2;
+}
+
+void TestBed::run_tenants(const std::function<void(unsigned)>& body, unsigned threads) {
+  const unsigned n = tenant_count();
+  if (threads == 0) threads = default_workers();
+  const unsigned workers = std::min(threads, n);
+  if (workers <= 1) {
+    for (unsigned i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  // Worker pool: each worker claims whole VM indices off a shared cursor,
+  // so one timeline runs start-to-finish on a single thread. Tenants share
+  // no mutable state except the machine's sharded frame allocator, which
+  // is why this needs no further synchronisation.
+  std::atomic<unsigned> cursor{0};
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+  const auto worker = [&] {
+    for (;;) {
+      const unsigned i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(err_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned t = 0; t < workers; ++t) pool.emplace_back(worker);
+  for (std::thread& th : pool) th.join();
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace ooh::lib

@@ -1,8 +1,14 @@
 // TestBed: one Machine + hypervisor + N tenant VMs, each with a guest
 // kernel -- the paper's experimental environment (§VI-A: one dedicated vCPU
 // per VM, 5GB of guest memory, 1..5 tenant VMs for the scalability study).
+//
+// Tenant timelines are independent by construction (per-vCPU ExecContext,
+// no shared mutable state except the thread-safe frame allocator), so
+// run_tenants() can execute them on a worker pool of real threads and still
+// produce bit-identical per-VM virtual-time results to a serial run.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -35,6 +41,22 @@ class TestBed {
   }
   [[nodiscard]] hv::Vm& vm(unsigned i = 0) { return hypervisor_->vm(i); }
   [[nodiscard]] guest::GuestKernel& kernel(unsigned i = 0) { return *kernels_.at(i); }
+  /// Tenant i's execution context (its private clock and counters).
+  [[nodiscard]] sim::ExecContext& ctx(unsigned i = 0) { return kernels_.at(i)->ctx(); }
+
+  /// Execute `body(i)` once for every tenant VM.
+  ///
+  /// `threads <= 1`: plain serial loop on the calling thread.
+  /// `threads  > 1`: worker-pool mode — up to that many host threads, each
+  /// claiming whole tenant timelines (one VM runs on exactly one thread;
+  /// VMs are never split across threads). `threads == 0` auto-sizes to the
+  /// hardware concurrency. The first exception a timeline throws is
+  /// rethrown on the caller after all workers join.
+  void run_tenants(const std::function<void(unsigned vm_index)>& body,
+                   unsigned threads = 1);
+
+  /// The worker count run_tenants() would use for `threads == 0`.
+  [[nodiscard]] static unsigned default_workers() noexcept;
 
  private:
   std::unique_ptr<sim::Machine> machine_;

@@ -18,18 +18,18 @@ std::string_view technique_name(Technique t) noexcept {
 }
 
 void DirtyTracker::init() {
-  VirtualClock::Scope s(kernel_.machine().clock, phases_.init);
+  VirtualClock::Scope s(kernel_.ctx().clock, phases_.init);
   do_init();
 }
 
 void DirtyTracker::begin_interval() {
-  VirtualClock::Scope s(kernel_.machine().clock, phases_.arm);
+  VirtualClock::Scope s(kernel_.ctx().clock, phases_.arm);
   do_begin_interval();
 }
 
 std::vector<Gva> DirtyTracker::collect() {
-  kernel_.machine().count(Event::kTrackerCollect);
-  VirtualClock::Scope s(kernel_.machine().clock, phases_.collect);
+  kernel_.ctx().count(Event::kTrackerCollect);
+  VirtualClock::Scope s(kernel_.ctx().clock, phases_.collect);
   std::vector<Gva> pages = do_collect();
   std::sort(pages.begin(), pages.end());
   pages.erase(std::unique(pages.begin(), pages.end()), pages.end());

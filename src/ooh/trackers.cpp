@@ -67,7 +67,7 @@ void SpmlTracker::do_init() {
 }
 
 std::vector<Gva> SpmlTracker::do_collect() {
-  sim::Machine& m = kernel_.machine();
+  sim::ExecContext& m = kernel_.ctx();
   std::vector<u64> gpas = module_->fetch(proc_);  // GPAs; charges the RB copy
 
   // Deduplicate: a page drained more than once re-logs within the interval.

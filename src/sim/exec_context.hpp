@@ -1,0 +1,45 @@
+// Per-vCPU execution context: the mutable state one virtual CPU timeline
+// owns exclusively — its virtual clock, event counters and TLB — plus
+// references to the machine-wide read-only cost model and the (thread-safe)
+// frame allocator.
+//
+// The paper's scalability argument (Figs. 10-11) is that PML state is
+// per-vCPU with no cross-VM coupling; this type is that argument in code.
+// Because no two contexts share mutable state, independent tenant-VM
+// timelines may run on different host threads and still produce bit-
+// identical virtual-time results to a serial run.
+#pragma once
+
+#include "base/clock.hpp"
+#include "base/cost_model.hpp"
+#include "base/counters.hpp"
+#include "sim/phys_mem.hpp"
+#include "sim/tlb.hpp"
+
+namespace ooh::sim {
+
+class ExecContext {
+ public:
+  ExecContext(u32 id, const CostModel& cost_model, PhysicalMemory& phys)
+      : cost(cost_model), pmem(phys), id_(id) {}
+
+  ExecContext(const ExecContext&) = delete;
+  ExecContext& operator=(const ExecContext&) = delete;
+
+  [[nodiscard]] u32 id() const noexcept { return id_; }
+
+  void charge_us(double us) { clock.advance(usecs(us)); }
+  void charge_ns(double ns) { clock.advance(nsecs(ns)); }
+  void count(Event e, u64 n = 1) noexcept { counters.add(e, n); }
+
+  VirtualClock clock;
+  EventCounters counters;
+  Tlb tlb;
+  const CostModel& cost;
+  PhysicalMemory& pmem;
+
+ private:
+  u32 id_;
+};
+
+}  // namespace ooh::sim

@@ -1,10 +1,21 @@
-// The physical machine: RAM + the experiment-wide clock, counters and cost
-// model. One Machine hosts one hypervisor and any number of VMs.
+// The physical machine: the state all vCPUs *share*. One Machine hosts one
+// hypervisor and any number of VMs.
+//
+// After the execution-context split, the Machine carries only read-only or
+// thread-safe members: the cost model (immutable after construction) and
+// host RAM (internally sharded frame allocator). Everything a single vCPU
+// timeline mutates — virtual clock, event counters, TLB — lives in the
+// per-vCPU ExecContext the Machine creates and owns. Machine-wide views
+// (total event counts, latest virtual time) are aggregations over contexts.
 #pragma once
 
-#include "base/clock.hpp"
+#include <memory>
+#include <mutex>
+#include <vector>
+
 #include "base/cost_model.hpp"
 #include "base/counters.hpp"
+#include "sim/exec_context.hpp"
 #include "sim/phys_mem.hpp"
 
 namespace ooh::sim {
@@ -17,14 +28,52 @@ class Machine {
   Machine(const Machine&) = delete;
   Machine& operator=(const Machine&) = delete;
 
-  void charge_us(double us) { clock.advance(usecs(us)); }
-  void charge_ns(double ns) { clock.advance(nsecs(ns)); }
-  void count(Event e, u64 n = 1) noexcept { counters.add(e, n); }
+  /// Mint the execution context for a new vCPU. Called at VM setup; the
+  /// Machine keeps ownership so machine-wide aggregation stays possible.
+  ExecContext& create_context() {
+    std::lock_guard<std::mutex> lock(ctx_mu_);
+    contexts_.push_back(std::make_unique<ExecContext>(
+        static_cast<u32>(contexts_.size()), cost, pmem));
+    return *contexts_.back();
+  }
 
-  VirtualClock clock;
-  EventCounters counters;
-  CostModel cost;
+  [[nodiscard]] std::size_t context_count() const {
+    std::lock_guard<std::mutex> lock(ctx_mu_);
+    return contexts_.size();
+  }
+
+  [[nodiscard]] ExecContext& context(std::size_t i) {
+    std::lock_guard<std::mutex> lock(ctx_mu_);
+    return *contexts_.at(i);
+  }
+
+  /// Machine-wide event totals: the per-vCPU counters merged. Only
+  /// meaningful while no context is concurrently mutating its counters
+  /// (i.e. between parallel runs, not during one).
+  [[nodiscard]] EventCounters total_counters() const {
+    std::lock_guard<std::mutex> lock(ctx_mu_);
+    EventCounters total;
+    for (const auto& ctx : contexts_) total.merge(ctx->counters);
+    return total;
+  }
+
+  /// The most-advanced per-vCPU virtual clock — "how long the experiment
+  /// took" when timelines run independently.
+  [[nodiscard]] VirtDuration max_clock() const {
+    std::lock_guard<std::mutex> lock(ctx_mu_);
+    VirtDuration latest{0};
+    for (const auto& ctx : contexts_) {
+      if (ctx->clock.now() > latest) latest = ctx->clock.now();
+    }
+    return latest;
+  }
+
+  const CostModel cost;
   PhysicalMemory pmem;
+
+ private:
+  mutable std::mutex ctx_mu_;
+  std::vector<std::unique_ptr<ExecContext>> contexts_;
 };
 
 }  // namespace ooh::sim

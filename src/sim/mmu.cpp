@@ -2,13 +2,13 @@
 
 #include <stdexcept>
 
-#include "sim/machine.hpp"
+#include "sim/exec_context.hpp"
 #include "sim/vcpu.hpp"
 
 namespace ooh::sim {
 
-Mmu::Mmu(Machine& machine, Vcpu& vcpu, Ept& ept, SppTable* spp)
-    : machine_(machine), vcpu_(vcpu), ept_(ept), spp_(spp) {}
+Mmu::Mmu(Vcpu& vcpu, Ept& ept, SppTable* spp)
+    : ctx_(vcpu.ctx()), vcpu_(vcpu), ept_(ept), spp_(spp) {}
 
 bool Mmu::read_log_active() const noexcept {
   const Vmcs& v = vcpu_.vmcs();
@@ -42,10 +42,10 @@ void Mmu::log_gpa(Gpa gpa_page) {
     }
   }
   const Hpa buf = v.read(VmcsField::kPmlAddress);
-  machine_.pmem.write_u64(buf + u64{idx} * 8, gpa_page);
+  ctx_.pmem.write_u64(buf + u64{idx} * 8, gpa_page);
   v.write(VmcsField::kPmlIndex, static_cast<u16>(idx - 1));  // wraps past 0
-  machine_.count(Event::kPmlLogGpa);
-  machine_.charge_ns(machine_.cost.pml_log_ns);
+  ctx_.count(Event::kPmlLogGpa);
+  ctx_.charge_ns(ctx_.cost.pml_log_ns);
 }
 
 void Mmu::log_gva(Gva gva_page) {
@@ -54,8 +54,8 @@ void Mmu::log_gva(Gva gva_page) {
   if (idx > kPmlIndexStart) {
     // Guest-level buffer full: posted self-IPI into the OoH module; the
     // module drains the buffer and resets the index. No VM-exit (EPML).
-    machine_.count(Event::kSelfIpi);
-    machine_.charge_us(machine_.cost.self_ipi_us + machine_.cost.irq_dispatch_us);
+    ctx_.count(Event::kSelfIpi);
+    ctx_.charge_us(ctx_.cost.self_ipi_us + ctx_.cost.irq_dispatch_us);
     vcpu_.irq_sink()->on_guest_pml_full(vcpu_);
     idx = static_cast<u16>(shadow.read(VmcsField::kGuestPmlIndex));
     if (idx > kPmlIndexStart) {
@@ -63,10 +63,10 @@ void Mmu::log_gva(Gva gva_page) {
     }
   }
   const Hpa buf = shadow.read(VmcsField::kGuestPmlAddress);
-  machine_.pmem.write_u64(buf + u64{idx} * 8, gva_page);
+  ctx_.pmem.write_u64(buf + u64{idx} * 8, gva_page);
   shadow.write(VmcsField::kGuestPmlIndex, static_cast<u16>(idx - 1));
-  machine_.count(Event::kPmlLogGvaGuest);
-  machine_.charge_ns(machine_.cost.pml_log_ns);
+  ctx_.count(Event::kPmlLogGvaGuest);
+  ctx_.charge_ns(ctx_.cost.pml_log_ns);
 }
 
 Mmu::Result Mmu::access(u32 pid, GuestPageTable& pt, Gva gva, bool is_write) {
@@ -77,18 +77,18 @@ Mmu::Result Mmu::access(u32 pid, GuestPageTable& pt, Gva gva, bool is_write) {
     // A cached translation can serve reads always, and writes when the
     // dirty state is already established (no flag transition => no logging).
     if (!is_write || (te->writable && te->dirty)) {
-      machine_.count(Event::kTlbHit);
-      machine_.charge_ns(machine_.cost.tlb_hit_ns);
+      ctx_.count(Event::kTlbHit);
+      ctx_.charge_ns(ctx_.cost.tlb_hit_ns);
       return {Status::kOk, te->hpa_page | page_offset(gva)};
     }
     // Write through a clean/RO cached entry: hardware re-walks to set flags.
     tlb.invalidate_page(pid, gva_page);
   }
-  machine_.count(Event::kTlbMiss);
+  ctx_.count(Event::kTlbMiss);
 
   // ---- guest page-table walk ----------------------------------------------
-  machine_.count(Event::kGuestPtWalk);
-  machine_.charge_ns(machine_.cost.guest_walk_ns);
+  ctx_.count(Event::kGuestPtWalk);
+  ctx_.charge_ns(ctx_.cost.guest_walk_ns);
   Pte* pte = pt.pte(gva_page);
   if (pte == nullptr || !pte->present) return {Status::kFaultNotPresent, 0};
   if (is_write && (!pte->writable || pte->uffd_wp)) return {Status::kFaultNotWritable, 0};
@@ -100,12 +100,12 @@ Mmu::Result Mmu::access(u32 pid, GuestPageTable& pt, Gva gva, bool is_write) {
   const Gpa gpa = pte->gpa_page | page_offset(gva);
 
   // ---- EPT walk ------------------------------------------------------------
-  machine_.count(Event::kEptWalk);
-  machine_.charge_ns(machine_.cost.ept_walk_ns);
+  ctx_.count(Event::kEptWalk);
+  ctx_.charge_ns(ctx_.cost.ept_walk_ns);
   EptEntry* epte = ept_.entry(gpa);
   if (epte == nullptr || !epte->present) {
     // EPT violation: exit to the hypervisor, which back-fills the mapping.
-    machine_.charge_us(machine_.cost.ept_violation_us);
+    ctx_.charge_us(ctx_.cost.ept_violation_us);
     vcpu_.vmexit_to_root(Event::kVmExitEptViolation, [&] {
       vcpu_.exits()->on_ept_violation(vcpu_, gpa, is_write);
     });
@@ -117,9 +117,9 @@ Mmu::Result Mmu::access(u32 pid, GuestPageTable& pt, Gva gva, bool is_write) {
   // SPP: writes to a sub-page whose permission bit is clear raise an
   // SPP-violation exit before any dirty state changes (guard semantics).
   if (is_write && epte->spp && spp_ != nullptr && !spp_->write_allowed(gpa)) {
-    machine_.count(Event::kSppViolation);
-    machine_.count(Event::kVmExit);
-    machine_.charge_us(machine_.cost.spp_violation_us);
+    ctx_.count(Event::kSppViolation);
+    ctx_.count(Event::kVmExit);
+    ctx_.charge_us(ctx_.cost.spp_violation_us);
     return {Status::kFaultSubPage, 0};
   }
 
@@ -129,13 +129,13 @@ Mmu::Result Mmu::access(u32 pid, GuestPageTable& pt, Gva gva, bool is_write) {
     // hypervisor can estimate the working set (touched pages, not just
     // dirtied ones).
     if (read_log_active()) {
-      machine_.count(Event::kPmlLogRead);
+      ctx_.count(Event::kPmlLogRead);
       log_gpa(pte->gpa_page);
     }
   }
   if (is_write && !epte->dirty) {
     epte->dirty = true;
-    machine_.count(Event::kEptDirtySet);
+    ctx_.count(Event::kEptDirtySet);
     if (hyp_pml_active() && !read_log_active()) log_gpa(pte->gpa_page);
   }
 

@@ -21,14 +21,16 @@
 
 namespace ooh::sim {
 
-class Machine;
+class ExecContext;
 class Vcpu;
 
 class Mmu {
  public:
-  /// `spp` is the sub-page permission table the hardware consults for EPT
-  /// entries with the spp flag (nullptr = SPP absent from this machine).
-  Mmu(Machine& machine, Vcpu& vcpu, Ept& ept, SppTable* spp = nullptr);
+  /// All time and events the walk circuit charges go to `vcpu`'s own
+  /// execution context. `spp` is the sub-page permission table the hardware
+  /// consults for EPT entries with the spp flag (nullptr = SPP absent from
+  /// this machine).
+  Mmu(Vcpu& vcpu, Ept& ept, SppTable* spp = nullptr);
 
   enum class Status {
     kOk,
@@ -54,7 +56,7 @@ class Mmu {
   void log_gpa(Gpa gpa_page);
   void log_gva(Gva gva_page);
 
-  Machine& machine_;
+  ExecContext& ctx_;
   Vcpu& vcpu_;
   Ept& ept_;
   SppTable* spp_;

@@ -10,36 +10,63 @@ namespace ooh::sim {
 PhysicalMemory::PhysicalMemory(u64 bytes) : total_frames_(pages_for_bytes(bytes)) {
   // Frame 0 is reserved (HPA 0 doubles as "not configured" in VMCS fields,
   // as firmware does on real machines).
-  next_frame_ = 1;
+  next_frame_.store(1, std::memory_order_relaxed);
 }
 
 Hpa PhysicalMemory::alloc_frame() {
-  u64 fn;
-  if (!free_list_.empty()) {
-    fn = free_list_.back();
-    free_list_.pop_back();
-  } else if (next_frame_ < total_frames_) {
-    fn = next_frame_++;
-  } else {
-    throw std::bad_alloc{};
+  // Recycled frames first. The starting shard rotates so concurrent
+  // allocators do not all contend on shard 0; which shard a frame comes
+  // from only changes HPA values, never any virtual-time result.
+  static std::atomic<std::size_t> rotor{0};
+  const std::size_t home = rotor.fetch_add(1, std::memory_order_relaxed);
+  for (std::size_t i = 0; i < kShards; ++i) {
+    Shard& s = shards_[(home + i) % kShards];
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (!s.free_list.empty()) {
+      const u64 fn = s.free_list.back();
+      s.free_list.pop_back();
+      used_frames_.fetch_add(1, std::memory_order_relaxed);
+      return fn << kPageShift;
+    }
   }
-  ++used_frames_;
+  // Fresh frame from the bump pointer.
+  u64 fn = next_frame_.load(std::memory_order_relaxed);
+  while (fn < total_frames_ &&
+         !next_frame_.compare_exchange_weak(fn, fn + 1, std::memory_order_relaxed)) {
+  }
+  if (fn >= total_frames_) throw std::bad_alloc{};
+  used_frames_.fetch_add(1, std::memory_order_relaxed);
   return fn << kPageShift;
 }
 
 void PhysicalMemory::free_frame(Hpa frame) {
   assert(is_page_aligned(frame));
   const u64 fn = page_index(frame);
-  assert(fn < next_frame_);
-  data_.erase(fn);
-  free_list_.push_back(fn);
-  assert(used_frames_ > 0);
-  --used_frames_;
+  assert(fn < next_frame_.load(std::memory_order_relaxed));
+  Shard& s = shard_of(fn);
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.data.erase(fn);
+    s.free_list.push_back(fn);
+  }
+  assert(used_frames_.load(std::memory_order_relaxed) > 0);
+  used_frames_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+u64 PhysicalMemory::backed_frames() const {
+  u64 total = 0;
+  for (const Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    total += s.data.size();
+  }
+  return total;
 }
 
 u8* PhysicalMemory::frame_data(Hpa frame) {
   const u64 fn = page_index(frame);
-  auto& slot = data_[fn];
+  Shard& s = shard_of(fn);
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto& slot = s.data[fn];
   if (!slot) {
     slot = std::make_unique<Frame>();
     slot->fill(0);
@@ -48,8 +75,11 @@ u8* PhysicalMemory::frame_data(Hpa frame) {
 }
 
 const u8* PhysicalMemory::frame_data_if_present(Hpa frame) const {
-  const auto it = data_.find(page_index(frame));
-  return it == data_.end() ? nullptr : it->second->data();
+  const u64 fn = page_index(frame);
+  const Shard& s = shard_of(fn);
+  std::lock_guard<std::mutex> lock(s.mu);
+  const auto it = s.data.find(fn);
+  return it == s.data.end() ? nullptr : it->second->data();
 }
 
 u64 PhysicalMemory::read_u64(Hpa addr) const {

@@ -4,10 +4,19 @@
 // something actually stores data (PML hardware writes, data-backed workloads,
 // CRIU image verification); metadata-only workloads touch translations
 // without allocating backing bytes, which keeps GB-scale sweeps cheap.
+//
+// This is the one mutable structure shared between concurrently running
+// per-vCPU timelines, so it is thread-safe: the free list and the backing-
+// page map are sharded by frame number, each shard behind its own mutex,
+// and the bump pointer is a lock-free CAS. Frame *contents* need no lock
+// beyond the map shard — no two VMs ever share a frame, so cross-thread
+// access to the same frame's bytes does not happen by construction.
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -19,15 +28,21 @@ class PhysicalMemory {
  public:
   explicit PhysicalMemory(u64 bytes);
 
+  PhysicalMemory(const PhysicalMemory&) = delete;
+  PhysicalMemory& operator=(const PhysicalMemory&) = delete;
+
   /// Allocate one free frame; throws std::bad_alloc when exhausted.
   [[nodiscard]] Hpa alloc_frame();
   void free_frame(Hpa frame);
 
   [[nodiscard]] u64 total_frames() const noexcept { return total_frames_; }
-  [[nodiscard]] u64 used_frames() const noexcept { return used_frames_; }
-  [[nodiscard]] u64 backed_frames() const noexcept { return data_.size(); }
+  [[nodiscard]] u64 used_frames() const noexcept {
+    return used_frames_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] u64 backed_frames() const;
 
   /// Mutable view of a frame's 4KiB contents, materialising them on demand.
+  /// The pointer stays valid until the frame is freed.
   [[nodiscard]] u8* frame_data(Hpa frame);
   /// Read-only view; nullptr when the frame was never written (all-zero).
   [[nodiscard]] const u8* frame_data_if_present(Hpa frame) const;
@@ -38,11 +53,22 @@ class PhysicalMemory {
 
  private:
   using Frame = std::array<u8, kPageSize>;
+  static constexpr std::size_t kShards = 16;
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::vector<u64> free_list;                             // recycled frame numbers
+    std::unordered_map<u64, std::unique_ptr<Frame>> data;   // keyed by frame number
+  };
+
+  [[nodiscard]] Shard& shard_of(u64 frame_number) const noexcept {
+    return shards_[frame_number % kShards];
+  }
+
   u64 total_frames_;
-  u64 used_frames_ = 0;
-  u64 next_frame_ = 0;  // bump pointer, in frame numbers
-  std::vector<u64> free_list_;
-  std::unordered_map<u64, std::unique_ptr<Frame>> data_;  // keyed by frame number
+  std::atomic<u64> used_frames_{0};
+  std::atomic<u64> next_frame_{0};  // bump pointer, in frame numbers
+  mutable std::array<Shard, kShards> shards_;
 };
 
 }  // namespace ooh::sim

@@ -7,7 +7,7 @@
 
 namespace ooh::sim {
 
-Vcpu::Vcpu(Machine& machine, u32 id) : machine_(machine), id_(id) {}
+Vcpu::Vcpu(Machine& machine, u32 id) : ctx_(machine.create_context()), id_(id) {}
 
 Vmcs& Vcpu::create_shadow_vmcs() {
   if (!shadow_) {
@@ -37,8 +37,8 @@ u64 Vcpu::guest_vmread(VmcsField f) {
   if (!shadow_readable_.contains(f)) {
     throw std::logic_error("vmread of a field outside the shadowing read bitmap");
   }
-  machine_.count(Event::kVmread);
-  machine_.charge_us(machine_.cost.vmread_us);
+  ctx_.count(Event::kVmread);
+  ctx_.charge_us(ctx_.cost.vmread_us);
   return shadow_->read(f);
 }
 
@@ -52,8 +52,8 @@ void Vcpu::guest_vmwrite(VmcsField f, u64 value) {
   if (!shadow_writable_.contains(f)) {
     throw std::logic_error("vmwrite of a field outside the shadowing write bitmap");
   }
-  machine_.count(Event::kVmwrite);
-  machine_.charge_us(machine_.cost.vmwrite_us);
+  ctx_.count(Event::kVmwrite);
+  ctx_.charge_us(ctx_.cost.vmwrite_us);
   if (f == VmcsField::kGuestPmlAddress) {
     // EPML ISA extension: the guest supplies a GPA; hardware translates it
     // through the EPT before storing so logging hits the right RAM page.
@@ -75,11 +75,11 @@ u64 Vcpu::hypercall(Hypercall nr, u64 a0, u64 a1) {
 }
 
 void Vcpu::begin_exit(Event reason) {
-  machine_.count(Event::kVmExit);
-  if (reason != Event::kVmExit) machine_.count(reason);
+  ctx_.count(Event::kVmExit);
+  if (reason != Event::kVmExit) ctx_.count(reason);
   // Hypercall round-trip latency is folded into the per-hypercall constants
   // (Table V(a) M9..M14); other exits charge the bare transition here.
-  if (reason != Event::kHypercall) machine_.charge_us(machine_.cost.vmexit_us);
+  if (reason != Event::kHypercall) ctx_.charge_us(ctx_.cost.vmexit_us);
   mode_ = CpuMode::kVmxRoot;
 }
 

@@ -1,11 +1,16 @@
-// Virtual CPU: VMX mode, VMCS pointers, TLB, and the instruction-level
+// Virtual CPU: VMX mode, VMCS pointers, and the instruction-level
 // operations the OoH designs use (vmread/vmwrite from guest mode, vmcall).
+//
+// Each vCPU runs on its own ExecContext (clock, counters, TLB), minted by
+// the Machine at construction; nothing a vCPU charges or counts touches
+// another vCPU's timeline.
 #pragma once
 
 #include <memory>
 
 #include "base/counters.hpp"
 #include "base/types.hpp"
+#include "sim/exec_context.hpp"
 #include "sim/hw_if.hpp"
 #include "sim/tlb.hpp"
 #include "sim/vmcs.hpp"
@@ -23,7 +28,10 @@ class Vcpu {
 
   [[nodiscard]] u32 id() const noexcept { return id_; }
   [[nodiscard]] CpuMode mode() const noexcept { return mode_; }
-  [[nodiscard]] Machine& machine() noexcept { return machine_; }
+
+  /// This vCPU's private execution context (clock, counters, TLB).
+  [[nodiscard]] ExecContext& ctx() noexcept { return ctx_; }
+  [[nodiscard]] const ExecContext& ctx() const noexcept { return ctx_; }
 
   [[nodiscard]] Vmcs& vmcs() noexcept { return vmcs_; }
   [[nodiscard]] const Vmcs& vmcs() const noexcept { return vmcs_; }
@@ -39,7 +47,7 @@ class Vcpu {
   [[nodiscard]] VmcsFieldSet& shadow_readable() noexcept { return shadow_readable_; }
   [[nodiscard]] VmcsFieldSet& shadow_writable() noexcept { return shadow_writable_; }
 
-  [[nodiscard]] Tlb& tlb() noexcept { return tlb_; }
+  [[nodiscard]] Tlb& tlb() noexcept { return ctx_.tlb; }
 
   // -- wiring (done by the hypervisor / platform at VM setup) --------------
   void attach(VmExitHandler* exits, GuestIrqSink* irq, Ept* ept) noexcept {
@@ -80,14 +88,13 @@ class Vcpu {
  private:
   void begin_exit(Event reason);
 
-  Machine& machine_;
+  ExecContext& ctx_;
   u32 id_;
   CpuMode mode_ = CpuMode::kVmxNonRoot;
   Vmcs vmcs_{false};
   std::unique_ptr<Vmcs> shadow_;
   VmcsFieldSet shadow_readable_;
   VmcsFieldSet shadow_writable_;
-  Tlb tlb_;
   VmExitHandler* exits_ = nullptr;
   GuestIrqSink* irq_ = nullptr;
   Ept* ept_ = nullptr;

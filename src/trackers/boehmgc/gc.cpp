@@ -120,7 +120,7 @@ void GcHeap::maybe_collect() {
 }
 
 std::vector<Gva> GcHeap::acquire_dirty_pages(GcCycleStats& st) {
-  sim::Machine& m = kernel_.machine();
+  sim::ExecContext& m = kernel_.ctx();
   VirtualClock::Scope s(m.clock, st.dirty_query);
   std::vector<Gva> dirty = tracker_->collect();
   tracker_->begin_interval();
@@ -128,7 +128,7 @@ std::vector<Gva> GcHeap::acquire_dirty_pages(GcCycleStats& st) {
 }
 
 GcCycleStats GcHeap::collect() {
-  sim::Machine& m = kernel_.machine();
+  sim::ExecContext& m = kernel_.ctx();
   GcCycleStats st;
   st.cycle = static_cast<unsigned>(stats_.cycles.size()) + 1;
   const VirtDuration start = m.clock.now();

@@ -8,7 +8,7 @@ namespace ooh::criu {
 
 void Checkpointer::dump_pages(guest::Process& proc, const std::vector<Gva>& pages,
                               CheckpointImage& image) {
-  sim::Machine& m = kernel_.machine();
+  sim::ExecContext& m = kernel_.ctx();
   sim::GuestPageTable& pt = kernel_.page_table(proc);
   for (const Gva gva : pages) {
     const sim::Pte* pte = pt.pte(gva);
@@ -45,7 +45,7 @@ CheckpointImage Checkpointer::full_checkpoint(guest::Process& proc) {
 CheckpointResult Checkpointer::checkpoint_during(guest::Process& proc,
                                                  const lib::WorkloadFn& workload,
                                                  const CheckpointOptions& opts) {
-  sim::Machine& m = kernel_.machine();
+  sim::ExecContext& m = kernel_.ctx();
   CheckpointResult res;
   for (const guest::Vma& vma : proc.vmas()) {
     res.image.vmas.push_back({vma.start, vma.bytes(), vma.data_backed});
@@ -120,7 +120,7 @@ IncrementalSession::~IncrementalSession() {
 }
 
 IncrementalSession::StepResult IncrementalSession::step(const lib::WorkloadFn& slice) {
-  sim::Machine& m = kernel_.machine();
+  sim::ExecContext& m = kernel_.ctx();
   StepResult res;
   guest::Scheduler& sched = kernel_.scheduler();
 

@@ -68,7 +68,7 @@ bool QuarantineAllocator::block_pinned(Gva block) const {
 }
 
 void QuarantineAllocator::scan_page(Gva page) {
-  sim::Machine& m = kernel_.machine();
+  sim::ExecContext& m = kernel_.ctx();
   m.charge_ns(kScanWordNs * static_cast<double>(kPageSize / 8));
 
   // Drop this page's old contribution to the reference map.
@@ -119,7 +119,7 @@ void QuarantineAllocator::release_unreferenced() {
 }
 
 QuarantineAllocator::SweepStats QuarantineAllocator::sweep() {
-  sim::Machine& m = kernel_.machine();
+  sim::ExecContext& m = kernel_.ctx();
   SweepStats st;
   const VirtDuration start = m.clock.now();
 

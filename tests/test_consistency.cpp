@@ -117,14 +117,14 @@ TEST(Consistency, ClockMonotoneAndBucketsBounded) {
   auto tracker = lib::make_tracker(lib::Technique::kSpml, k, proc);
   lib::RunOptions opts;
   opts.collect_period = usecs(200);
-  const VirtDuration before = bed.machine().clock.now();
+  const VirtDuration before = bed.ctx().clock.now();
   const lib::RunResult r = lib::run_tracked(
       k, proc,
       [&](guest::Process& p) {
         for (u64 i = 0; i < 512; ++i) p.touch_write(base + i * kPageSize);
       },
       tracker.get(), opts);
-  const VirtDuration after = bed.machine().clock.now();
+  const VirtDuration after = bed.ctx().clock.now();
   tracker->shutdown();
 
   EXPECT_GT(after.count(), before.count());
@@ -141,11 +141,11 @@ TEST(Consistency, CountersNeverDecrease) {
   auto& k = bed.kernel();
   auto& proc = k.create_process();
   const Gva base = proc.mmap(64 * kPageSize);
-  EventCounters prev = bed.machine().counters;
+  EventCounters prev = bed.ctx().counters;
   for (int round = 0; round < 10; ++round) {
     for (u64 i = 0; i < 64; ++i) proc.touch_write(base + i * kPageSize);
     k.procfs().clear_refs(proc);
-    const EventCounters now = bed.machine().counters;
+    const EventCounters now = bed.ctx().counters;
     for (std::size_t e = 0; e < kEventCount; ++e) {
       ASSERT_GE(now.get(static_cast<Event>(e)), prev.get(static_cast<Event>(e)));
     }

@@ -1,0 +1,208 @@
+// Execution-context tests: per-vCPU counters merge into machine-wide
+// totals, the sharded frame allocator is safe under concurrent tenants,
+// serial and parallel TestBed runs produce bit-identical per-VM virtual
+// timelines (the refactor's core invariant), and the scheduler delivers a
+// quantum tick whose deadline expired inside a periodic service window.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "ooh/experiment.hpp"
+#include "ooh/testbed.hpp"
+#include "ooh/trackers.hpp"
+#include "sim/machine.hpp"
+
+namespace ooh {
+namespace {
+
+TEST(ExecContext, CountersMergeIntoMachineTotals) {
+  sim::Machine m(64 * kMiB, CostModel::unit());
+  sim::ExecContext& a = m.create_context();
+  sim::ExecContext& b = m.create_context();
+  a.count(Event::kVmExit, 3);
+  a.count(Event::kTlbMiss, 7);
+  b.count(Event::kVmExit, 5);
+  b.count(Event::kHypercall, 11);
+
+  const EventCounters total = m.total_counters();
+  EXPECT_EQ(total.get(Event::kVmExit), 8u);
+  EXPECT_EQ(total.get(Event::kTlbMiss), 7u);
+  EXPECT_EQ(total.get(Event::kHypercall), 11u);
+  EXPECT_EQ(total.get(Event::kPmlLogGpa), 0u);
+  EXPECT_EQ(m.context_count(), 2u);
+}
+
+TEST(ExecContext, MergeIsPlainPerEventAddition) {
+  EventCounters x, y;
+  x.add(Event::kTlbHit, 2);
+  y.add(Event::kTlbHit, 40);
+  y.add(Event::kEptWalk, 1);
+  x.merge(y);
+  EXPECT_EQ(x.get(Event::kTlbHit), 42u);
+  EXPECT_EQ(x.get(Event::kEptWalk), 1u);
+  EXPECT_EQ(y.get(Event::kTlbHit), 40u) << "merge must not mutate its source";
+}
+
+TEST(ExecContext, ClocksAreIndependentPerContext) {
+  sim::Machine m(64 * kMiB, CostModel::unit());
+  sim::ExecContext& a = m.create_context();
+  sim::ExecContext& b = m.create_context();
+  a.charge_us(10.0);
+  b.charge_us(3.0);
+  EXPECT_DOUBLE_EQ(a.clock.now().count(), 10.0);
+  EXPECT_DOUBLE_EQ(b.clock.now().count(), 3.0);
+  EXPECT_DOUBLE_EQ(m.max_clock().count(), 10.0);
+}
+
+TEST(PhysicalMemoryParallel, ConcurrentAllocFreeStaysConsistent) {
+  sim::PhysicalMemory pmem(64 * kMiB);  // 16k frames
+  constexpr unsigned kThreads = 8;
+  constexpr unsigned kPerThread = 512;
+  std::vector<std::vector<Hpa>> got(kThreads);
+  {
+    std::vector<std::thread> pool;
+    for (unsigned t = 0; t < kThreads; ++t) {
+      pool.emplace_back([&, t] {
+        for (unsigned i = 0; i < kPerThread; ++i) {
+          const Hpa f = pmem.alloc_frame();
+          pmem.write_u64(f, t * 1000003ull + i);
+          got[t].push_back(f);
+        }
+        // Free half back, so shard free lists see cross-thread recycling.
+        for (unsigned i = 0; i < kPerThread / 2; ++i) {
+          pmem.free_frame(got[t][i]);
+        }
+      });
+    }
+    for (std::thread& th : pool) th.join();
+  }
+  EXPECT_EQ(pmem.used_frames(), u64{kThreads} * (kPerThread / 2));
+  // Every surviving frame still holds the value its owner wrote.
+  std::set<Hpa> live;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    for (unsigned i = kPerThread / 2; i < kPerThread; ++i) {
+      EXPECT_EQ(pmem.read_u64(got[t][i]), t * 1000003ull + i);
+      live.insert(got[t][i]);
+    }
+  }
+  EXPECT_EQ(live.size(), std::size_t{kThreads} * (kPerThread / 2))
+      << "no frame was handed out twice";
+}
+
+// ---- serial vs. parallel determinism ----------------------------------------
+
+struct TenantOutcome {
+  double clock_us = 0.0;
+  EventCounters counters;
+  std::vector<Gva> dirty;
+  u64 truth_pages = 0;
+};
+
+/// The same multi-tenant experiment either serially or on a worker pool:
+/// every VM runs an EPML-tracked writer workload with periodic collections.
+std::vector<TenantOutcome> run_fleet(unsigned vms, unsigned threads) {
+  lib::TestBedOptions opts;
+  opts.tenant_vms = vms;
+  opts.vm_mem_bytes = 64 * kMiB;
+  opts.host_mem_bytes = 2 * kGiB;
+  lib::TestBed bed(opts);
+  std::vector<TenantOutcome> out(vms);
+  bed.run_tenants(
+      [&](unsigned i) {
+        guest::GuestKernel& k = bed.kernel(i);
+        guest::Process& proc = k.create_process();
+        const u64 pages = 96 + i * 16;  // distinct per-VM working sets
+        const Gva base = proc.mmap(pages * kPageSize);
+        auto tracker = lib::make_tracker(lib::Technique::kEpml, k, proc);
+        lib::RunOptions ropts;
+        ropts.collect_period = msecs(1);
+        std::vector<Gva> dirty;
+        ropts.on_collected = [&](const std::vector<Gva>& pages_seen) {
+          dirty.insert(dirty.end(), pages_seen.begin(), pages_seen.end());
+        };
+        const lib::RunResult r = lib::run_tracked(
+            k, proc,
+            [&](guest::Process& p) {
+              for (int pass = 0; pass < 3; ++pass) {
+                for (u64 j = 0; j < pages; ++j) p.touch_write(base + j * kPageSize);
+              }
+            },
+            tracker.get(), ropts);
+        tracker->shutdown();
+        std::sort(dirty.begin(), dirty.end());
+        dirty.erase(std::unique(dirty.begin(), dirty.end()), dirty.end());
+        out[i].clock_us = k.ctx().clock.now().count();
+        out[i].counters = k.ctx().counters;
+        out[i].dirty = std::move(dirty);
+        out[i].truth_pages = r.truth_pages;
+      },
+      threads);
+  return out;
+}
+
+TEST(ParallelTenants, SerialAndParallelRunsAreBitIdentical) {
+  constexpr unsigned kVms = 4;
+  const std::vector<TenantOutcome> serial = run_fleet(kVms, 1);
+  const std::vector<TenantOutcome> parallel = run_fleet(kVms, kVms);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (unsigned i = 0; i < kVms; ++i) {
+    SCOPED_TRACE("vm " + std::to_string(i));
+    // Bit-identical virtual clocks: not approximate — the timelines share
+    // no mutable state, so the interleaving cannot influence them.
+    EXPECT_EQ(serial[i].clock_us, parallel[i].clock_us);
+    EXPECT_TRUE(serial[i].counters == parallel[i].counters);
+    EXPECT_EQ(serial[i].dirty, parallel[i].dirty);
+    EXPECT_EQ(serial[i].truth_pages, parallel[i].truth_pages);
+    EXPECT_GT(serial[i].dirty.size(), 0u);
+  }
+  // Different working-set sizes must yield different timelines — guard
+  // against the comparison passing because everything is trivially zero.
+  EXPECT_NE(serial[0].clock_us, serial[kVms - 1].clock_us);
+}
+
+TEST(ParallelTenants, PerVmTimelineIndependentOfFleetSize) {
+  // The paper's Figs. 10-11 claim: adding tenants does not change a VM's
+  // own cost. After the context split this is structural — VM 0's timeline
+  // is the same whether it is alone or one of four.
+  const std::vector<TenantOutcome> alone = run_fleet(1, 1);
+  const std::vector<TenantOutcome> crowd = run_fleet(4, 4);
+  EXPECT_EQ(alone[0].clock_us, crowd[0].clock_us);
+  EXPECT_TRUE(alone[0].counters == crowd[0].counters);
+  EXPECT_EQ(alone[0].dirty, crowd[0].dirty);
+}
+
+// ---- scheduler quantum-after-service fix ------------------------------------
+
+TEST(SchedulerQuantum, DeadlineExpiringDuringServiceStillTicks) {
+  lib::TestBed bed;
+  guest::GuestKernel& k = bed.kernel();
+  guest::Process& proc = k.create_process();
+  const Gva base = proc.mmap(8 * kPageSize);
+  guest::Scheduler& sched = k.scheduler();
+  sim::ExecContext& ctx = k.ctx();
+
+  // Quantum 10ms; a 1ms-period service that burns 20ms of virtual time, so
+  // the quantum deadline always expires inside the service window.
+  sched.set_quantum(msecs(10));
+  bool fired = false;
+  sched.set_periodic(msecs(1), [&] {
+    fired = true;
+    ctx.charge_us(20'000);
+  });
+  sched.enter_process(proc.pid());
+  for (int i = 0; i < 100000 && !fired; ++i) {
+    proc.touch_write(base + (i % 8) * kPageSize);
+  }
+  ASSERT_TRUE(fired) << "periodic service never ran";
+  EXPECT_GE(ctx.counters.get(Event::kSchedQuantum), 1u)
+      << "a quantum expiring during the service window must still count "
+         "(Formula 4's N term)";
+  sched.clear_periodic();
+  sched.exit_process(proc.pid());
+}
+
+}  // namespace
+}  // namespace ooh

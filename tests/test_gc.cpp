@@ -91,7 +91,7 @@ TEST(GcHeap, AllocationTriggersCollectionAtThreshold) {
   GcHeap& h = f.heap;
   for (int i = 0; i < 5000; ++i) (void)h.alloc(0, 64);
   EXPECT_GT(h.stats().cycle_count(), 1u);
-  EXPECT_GT(f.bed.machine().counters.get(Event::kGcCycle), 1u);
+  EXPECT_GT(f.bed.ctx().counters.get(Event::kGcCycle), 1u);
 }
 
 TEST(GcHeap, RefSlotAndDataBoundsChecked) {

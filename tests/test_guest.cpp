@@ -47,9 +47,9 @@ TEST_F(GuestTest, DemandPagingMapsOnFirstTouch) {
   p.touch_write(a);
   p.touch_write(a + kPageSize);
   EXPECT_EQ(kernel_.page_table(p).present_pages(), 2u);
-  EXPECT_EQ(machine_.counters.get(Event::kPageFaultDemand), 2u);
+  EXPECT_EQ(vm_.ctx().counters.get(Event::kPageFaultDemand), 2u);
   p.touch_write(a);  // no further fault
-  EXPECT_EQ(machine_.counters.get(Event::kPageFaultDemand), 2u);
+  EXPECT_EQ(vm_.ctx().counters.get(Event::kPageFaultDemand), 2u);
 }
 
 TEST_F(GuestTest, FreshPagesAreSoftDirty) {
@@ -116,13 +116,13 @@ TEST_F(GuestTest, ClearRefsThenWriteSetsSoftDirtyViaFault) {
   EXPECT_TRUE(kernel_.procfs().pagemap_dirty(p).empty());
 
   p.touch_write(a + kPageSize);
-  EXPECT_EQ(machine_.counters.get(Event::kPageFaultSoftDirty), 1u);
+  EXPECT_EQ(vm_.ctx().counters.get(Event::kPageFaultSoftDirty), 1u);
   const std::vector<Gva> dirty = kernel_.procfs().pagemap_dirty(p);
   ASSERT_EQ(dirty.size(), 1u);
   EXPECT_EQ(dirty[0], a + kPageSize);
   // The faulted page is writable again; a second write does not re-fault.
   p.touch_write(a + kPageSize);
-  EXPECT_EQ(machine_.counters.get(Event::kPageFaultSoftDirty), 1u);
+  EXPECT_EQ(vm_.ctx().counters.get(Event::kPageFaultSoftDirty), 1u);
 }
 
 TEST_F(GuestTest, ReadsDoNotSetSoftDirty) {
@@ -159,8 +159,8 @@ TEST_F(GuestTest, UffdWpFaultsOncePerProtectRound) {
   p.touch_write(a);  // unprotected now: no second event
   p.touch_write(a + 2 * kPageSize);
   EXPECT_EQ(seen, (std::vector<Gva>{a, a + 2 * kPageSize}));
-  EXPECT_EQ(machine_.counters.get(Event::kPageFaultUffd), 2u);
-  EXPECT_EQ(machine_.counters.get(Event::kUffdWriteUnprotect), 2u);
+  EXPECT_EQ(vm_.ctx().counters.get(Event::kPageFaultUffd), 2u);
+  EXPECT_EQ(vm_.ctx().counters.get(Event::kUffdWriteUnprotect), 2u);
 
   kernel_.uffd().rearm_wp(p);
   p.touch_write(a);
@@ -218,7 +218,7 @@ TEST_F(GuestTest, QuantumTickFiresHooksAndCounts) {
   sched.exit_process(p.pid());
 
   EXPECT_GT(sched.quantum_switches(), 0u);
-  EXPECT_GT(machine_.counters.get(Event::kSchedQuantum), 0u);
+  EXPECT_GT(vm_.ctx().counters.get(Event::kSchedQuantum), 0u);
   // enter + each tick fires in; each tick + exit fires out.
   EXPECT_EQ(hook.ins.size(), 1 + sched.quantum_switches());
   EXPECT_EQ(hook.outs.size(), sched.quantum_switches() + 1);
@@ -260,11 +260,11 @@ TEST_F(GuestTest, ServiceWindowsDoNotRecurse) {
 
 TEST_F(GuestTest, RunServiceChargesContextSwitches) {
   Process& p = kernel_.create_process();
-  const u64 before = machine_.counters.get(Event::kContextSwitch);
+  const u64 before = vm_.ctx().counters.get(Event::kContextSwitch);
   bool ran = false;
   kernel_.scheduler().run_service(p.pid(), [&] { ran = true; });
   EXPECT_TRUE(ran);
-  EXPECT_EQ(machine_.counters.get(Event::kContextSwitch), before + 2);
+  EXPECT_EQ(vm_.ctx().counters.get(Event::kContextSwitch), before + 2);
 }
 
 }  // namespace

@@ -18,7 +18,7 @@ class HypervisorTest : public ::testing::Test {
 
   /// A bare-metal guest surrogate: page table + MMU writes, no guest kernel.
   struct MiniGuest {
-    MiniGuest(sim::Machine& m, Vm& vm) : vm_(vm), mmu_(m, vm.vcpu(), vm.ept()) {}
+    MiniGuest(Vm& vm) : vm_(vm), mmu_(vm.vcpu(), vm.ept()) {}
     void map(Gva gva, Gpa gpa) { pt_.map(gva, gpa, true); }
     void write(Gva gva) {
       ASSERT_EQ(mmu_.access(1, pt_, gva, true).status, sim::Mmu::Status::kOk);
@@ -44,7 +44,7 @@ TEST_F(HypervisorTest, CreateVmWiresVcpu) {
 
 TEST_F(HypervisorTest, EptViolationAllocatesHostFrame) {
   Vm& vm = hv_.create_vm(64 * kMiB);
-  MiniGuest g(machine_, vm);
+  MiniGuest g(vm);
   g.map(0x10000, 0x4000);
   const u64 used_before = machine_.pmem.used_frames();
   g.write(0x10000);
@@ -55,7 +55,7 @@ TEST_F(HypervisorTest, EptViolationAllocatesHostFrame) {
 
 TEST_F(HypervisorTest, EptViolationBeyondVmMemoryThrows) {
   Vm& vm = hv_.create_vm(1 * kMiB);
-  MiniGuest g(machine_, vm);
+  MiniGuest g(vm);
   g.map(0x10000, 64 * kMiB);  // GPA beyond the 1MiB VM
   EXPECT_THROW(
       { (void)g.mmu_.access(1, g.pt_, 0x10000, true); }, std::runtime_error);
@@ -63,7 +63,7 @@ TEST_F(HypervisorTest, EptViolationBeyondVmMemoryThrows) {
 
 TEST_F(HypervisorTest, SpmlHypercallFlowRoutesGpasToRing) {
   Vm& vm = hv_.create_vm(64 * kMiB);
-  MiniGuest g(machine_, vm);
+  MiniGuest g(vm);
   for (int i = 0; i < 8; ++i) g.map(0x10000 + i * kPageSize, 0x4000 + i * kPageSize);
 
   sim::Vcpu& vcpu = vm.vcpu();
@@ -95,7 +95,7 @@ TEST_F(HypervisorTest, CoexistenceBothConsumersGetDirtyPages) {
   // §IV-C item 3: guest SPML session and hypervisor migration logging run
   // simultaneously on one PML buffer; routing respects both flags.
   Vm& vm = hv_.create_vm(64 * kMiB);
-  MiniGuest g(machine_, vm);
+  MiniGuest g(vm);
   for (int i = 0; i < 4; ++i) g.map(0x10000 + i * kPageSize, 0x4000 + i * kPageSize);
 
   hv_.enable_pml_for_hyp(vm);
@@ -114,7 +114,7 @@ TEST_F(HypervisorTest, CoexistenceBothConsumersGetDirtyPages) {
 
 TEST_F(HypervisorTest, GuestOnlyLoggingDoesNotFillHypervisorLog) {
   Vm& vm = hv_.create_vm(64 * kMiB);
-  MiniGuest g(machine_, vm);
+  MiniGuest g(vm);
   g.map(0x10000, 0x4000);
   vm.vcpu().hypercall(sim::Hypercall::kOohInitPml, kPageSize);
   vm.vcpu().hypercall(sim::Hypercall::kOohEnableLogging);
@@ -125,7 +125,7 @@ TEST_F(HypervisorTest, GuestOnlyLoggingDoesNotFillHypervisorLog) {
 
 TEST_F(HypervisorTest, HypOnlyLoggingDoesNotFillGuestRing) {
   Vm& vm = hv_.create_vm(64 * kMiB);
-  MiniGuest g(machine_, vm);
+  MiniGuest g(vm);
   g.map(0x10000, 0x4000);
   hv_.enable_pml_for_hyp(vm);
   g.write(0x10000);
@@ -135,7 +135,7 @@ TEST_F(HypervisorTest, HypOnlyLoggingDoesNotFillGuestRing) {
 
 TEST_F(HypervisorTest, IntervalResetRearmsLogging) {
   Vm& vm = hv_.create_vm(64 * kMiB);
-  MiniGuest g(machine_, vm);
+  MiniGuest g(vm);
   g.map(0x10000, 0x4000);
   vm.vcpu().hypercall(sim::Hypercall::kOohInitPml, kPageSize);
   vm.vcpu().hypercall(sim::Hypercall::kOohEnableLogging);
@@ -153,7 +153,7 @@ TEST_F(HypervisorTest, IntervalResetRearmsLogging) {
 
 TEST_F(HypervisorTest, HarvestResetsDirtySoNextRoundRelogs) {
   Vm& vm = hv_.create_vm(64 * kMiB);
-  MiniGuest g(machine_, vm);
+  MiniGuest g(vm);
   g.map(0x10000, 0x4000);
   hv_.enable_pml_for_hyp(vm);
   g.write(0x10000);
@@ -165,7 +165,7 @@ TEST_F(HypervisorTest, HarvestResetsDirtySoNextRoundRelogs) {
 
 TEST_F(HypervisorTest, MigrationConvergesOnIdleGuest) {
   Vm& vm = hv_.create_vm(64 * kMiB);
-  MiniGuest g(machine_, vm);
+  MiniGuest g(vm);
   for (int i = 0; i < 32; ++i) g.map(0x10000 + i * kPageSize, 0x4000 + i * kPageSize);
   for (int i = 0; i < 32; ++i) g.write(0x10000 + i * kPageSize);
 
@@ -187,7 +187,7 @@ TEST_F(HypervisorTest, MigrationConvergesOnIdleGuest) {
 
 TEST_F(HypervisorTest, MigrationForcedStopCopyOnHotGuest) {
   Vm& vm = hv_.create_vm(64 * kMiB);
-  MiniGuest g(machine_, vm);
+  MiniGuest g(vm);
   const int pages = 256;
   for (int i = 0; i < pages; ++i) g.map(0x10000 + i * kPageSize, 0x4000 + i * kPageSize);
   for (int i = 0; i < pages; ++i) g.write(0x10000 + i * kPageSize);

@@ -91,8 +91,8 @@ TEST_F(OohModuleTest, EpmlSelfIpiDrainsOnBufferFull) {
   const Gva base = p.mmap(pages * kPageSize);
   mod.track(p);
   run_writes(p, base, pages);
-  EXPECT_GE(machine_.counters.get(Event::kSelfIpi), 2u);
-  EXPECT_EQ(machine_.counters.get(Event::kVmExitPmlFull), 0u)
+  EXPECT_GE(vm_.ctx().counters.get(Event::kSelfIpi), 2u);
+  EXPECT_EQ(vm_.ctx().counters.get(Event::kVmExitPmlFull), 0u)
       << "EPML never exits for its guest-level buffer";
   EXPECT_EQ(mod.fetch(p).size(), pages);
   mod.untrack(p);
@@ -105,7 +105,7 @@ TEST_F(OohModuleTest, SpmlBufferFullExitsToHypervisor) {
   const Gva base = p.mmap(pages * kPageSize);
   mod.track(p);
   run_writes(p, base, pages);
-  EXPECT_GE(machine_.counters.get(Event::kVmExitPmlFull), 2u);
+  EXPECT_GE(vm_.ctx().counters.get(Event::kVmExitPmlFull), 2u);
   EXPECT_EQ(mod.fetch(p).size(), pages);
   mod.untrack(p);
 }
@@ -170,9 +170,9 @@ TEST_F(OohModuleTest, EpmlTogglesLoggingAtContextSwitch) {
   mod.track(p);
   // Not scheduled in: writes must not log.
   p.touch_write(base);
-  EXPECT_EQ(machine_.counters.get(Event::kPmlLogGvaGuest), 0u);
+  EXPECT_EQ(vm_.ctx().counters.get(Event::kPmlLogGvaGuest), 0u);
   run_writes(p, base + kPageSize, 1);
-  EXPECT_EQ(machine_.counters.get(Event::kPmlLogGvaGuest), 1u);
+  EXPECT_EQ(vm_.ctx().counters.get(Event::kPmlLogGvaGuest), 1u);
   mod.untrack(p);
 }
 
@@ -181,11 +181,11 @@ TEST_F(OohModuleTest, SpmlSchedHooksIssueHypercalls) {
   Process& p = kernel_.create_process();
   (void)p.mmap(kPageSize);
   mod.track(p);
-  const u64 before = machine_.counters.get(Event::kHypercall);
+  const u64 before = vm_.ctx().counters.get(Event::kHypercall);
   kernel_.scheduler().enter_process(p.pid());
   kernel_.scheduler().exit_process(p.pid());
   // enable_logging at schedule-in, disable_logging at schedule-out.
-  EXPECT_EQ(machine_.counters.get(Event::kHypercall), before + 2);
+  EXPECT_EQ(vm_.ctx().counters.get(Event::kHypercall), before + 2);
   mod.untrack(p);
 }
 
@@ -194,13 +194,13 @@ TEST_F(OohModuleTest, EpmlSchedHooksUseVmwritesNotHypercalls) {
   Process& p = kernel_.create_process();
   (void)p.mmap(kPageSize);
   mod.track(p);
-  const u64 hc_before = machine_.counters.get(Event::kHypercall);
-  const u64 vw_before = machine_.counters.get(Event::kVmwrite);
+  const u64 hc_before = vm_.ctx().counters.get(Event::kHypercall);
+  const u64 vw_before = vm_.ctx().counters.get(Event::kVmwrite);
   kernel_.scheduler().enter_process(p.pid());
   kernel_.scheduler().exit_process(p.pid());
-  EXPECT_EQ(machine_.counters.get(Event::kHypercall), hc_before)
+  EXPECT_EQ(vm_.ctx().counters.get(Event::kHypercall), hc_before)
       << "EPML's only hypercall is the one-time init (§IV-D)";
-  EXPECT_GE(machine_.counters.get(Event::kVmwrite), vw_before + 3);
+  EXPECT_GE(vm_.ctx().counters.get(Event::kVmwrite), vw_before + 3);
   mod.untrack(p);
 }
 
@@ -226,7 +226,7 @@ TEST_F(OohModuleTest, UntrackWhileScheduledInIsSafe) {
   mod.untrack(p);  // schedules the logging off first
   p.touch_write(base + kPageSize);  // must not log into a dead buffer
   kernel_.scheduler().exit_process(p.pid());
-  EXPECT_EQ(machine_.counters.get(Event::kPmlLogGvaGuest), 1u);
+  EXPECT_EQ(vm_.ctx().counters.get(Event::kPmlLogGvaGuest), 1u);
 }
 
 }  // namespace

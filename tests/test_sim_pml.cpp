@@ -64,7 +64,7 @@ class PmlCircuitTest : public ::testing::Test {
       : machine_(64 * kMiB, CostModel::unit()),
         vcpu_(machine_, 0),
         handler_(machine_),
-        mmu_(machine_, vcpu_, ept_) {
+        mmu_(vcpu_, ept_) {
     vcpu_.attach(&handler_, &handler_, &ept_);
   }
 
@@ -124,7 +124,7 @@ TEST_F(PmlCircuitTest, LogsGpaOnEptDirtyTransitionOnly) {
   write(0x10000);
   write(0x10000);  // second write: dirty already set, no new log
   write(0x11000);
-  EXPECT_EQ(machine_.counters.get(Event::kPmlLogGpa), 2u);
+  EXPECT_EQ(vcpu_.ctx().counters.get(Event::kPmlLogGpa), 2u);
   // Index counted down from 511 by two.
   EXPECT_EQ(vcpu_.vmcs().read(VmcsField::kPmlIndex), u64{kPmlIndexStart - 2});
   // Logged entries are at slots 511 and 510.
@@ -139,7 +139,7 @@ TEST_F(PmlCircuitTest, ReadsNeverLog) {
   enable_hyp_pml();
   const Mmu::Result r = mmu_.access(1, pt_, 0x10000, /*is_write=*/false);
   EXPECT_EQ(r.status, Mmu::Status::kOk);
-  EXPECT_EQ(machine_.counters.get(Event::kPmlLogGpa), 0u);
+  EXPECT_EQ(vcpu_.ctx().counters.get(Event::kPmlLogGpa), 0u);
   EXPECT_FALSE(pt_.pte(0x10000)->dirty);
 }
 
@@ -149,26 +149,26 @@ TEST_F(PmlCircuitTest, BufferFullRaisesVmExitAndContinues) {
   for (u64 i = 0; i < 600; ++i) write(0x100000 + i * kPageSize);
   // 512 entries fill the buffer; the 513th write triggers the exit first.
   EXPECT_EQ(handler_.pml_full, 1);
-  EXPECT_EQ(machine_.counters.get(Event::kVmExitPmlFull), 1u);
-  EXPECT_EQ(machine_.counters.get(Event::kPmlLogGpa), 600u);
+  EXPECT_EQ(vcpu_.ctx().counters.get(Event::kVmExitPmlFull), 1u);
+  EXPECT_EQ(vcpu_.ctx().counters.get(Event::kPmlLogGpa), 600u);
   EXPECT_EQ(handler_.drained_gpas.size(), kPmlBufferEntries);
 }
 
 TEST_F(PmlCircuitTest, DisabledPmlLogsNothing) {
   map_range(0x10000, 8);
   for (u64 i = 0; i < 8; ++i) write(0x10000 + i * kPageSize);
-  EXPECT_EQ(machine_.counters.get(Event::kPmlLogGpa), 0u);
-  EXPECT_EQ(machine_.counters.get(Event::kEptDirtySet), 8u) << "dirty still set";
+  EXPECT_EQ(vcpu_.ctx().counters.get(Event::kPmlLogGpa), 0u);
+  EXPECT_EQ(vcpu_.ctx().counters.get(Event::kEptDirtySet), 8u) << "dirty still set";
 }
 
 TEST_F(PmlCircuitTest, GuestPmlLogsGvaAndRaisesSelfIpi) {
   map_range(0x200000, 600);
   enable_guest_pml();
   for (u64 i = 0; i < 600; ++i) write(0x200000 + i * kPageSize);
-  EXPECT_EQ(machine_.counters.get(Event::kPmlLogGvaGuest), 600u);
+  EXPECT_EQ(vcpu_.ctx().counters.get(Event::kPmlLogGvaGuest), 600u);
   EXPECT_EQ(handler_.self_ipis, 1);
-  EXPECT_EQ(machine_.counters.get(Event::kSelfIpi), 1u);
-  EXPECT_EQ(machine_.counters.get(Event::kVmExit), 0u)
+  EXPECT_EQ(vcpu_.ctx().counters.get(Event::kSelfIpi), 1u);
+  EXPECT_EQ(vcpu_.ctx().counters.get(Event::kVmExit), 0u)
       << "EPML guest buffer handling must not exit to the hypervisor";
   // The guest-level buffer received GVAs, not GPAs. Logging starts at slot
   // 511 and counts down, so the first logged GVA is the last drained.
@@ -180,8 +180,8 @@ TEST_F(PmlCircuitTest, DualLoggingFillsBothBuffers) {
   enable_hyp_pml();
   enable_guest_pml();
   for (u64 i = 0; i < 10; ++i) write(0x300000 + i * kPageSize);
-  EXPECT_EQ(machine_.counters.get(Event::kPmlLogGpa), 10u);
-  EXPECT_EQ(machine_.counters.get(Event::kPmlLogGvaGuest), 10u);
+  EXPECT_EQ(vcpu_.ctx().counters.get(Event::kPmlLogGpa), 10u);
+  EXPECT_EQ(vcpu_.ctx().counters.get(Event::kPmlLogGvaGuest), 10u);
   // Hypervisor buffer holds GPAs, guest buffer holds GVAs (paper §IV-D).
   const Gpa hyp_entry = machine_.pmem.read_u64(pml_buf_ + 511 * 8);
   Hpa guest_buf_hpa = 0;
@@ -195,11 +195,11 @@ TEST_F(PmlCircuitTest, TlbCachedDirtyWriteSkipsLogging) {
   map_range(0x10000, 1);
   enable_hyp_pml();
   write(0x10000);
-  const u64 misses = machine_.counters.get(Event::kTlbMiss);
+  const u64 misses = vcpu_.ctx().counters.get(Event::kTlbMiss);
   write(0x10000);  // served from the TLB: no walk, no log
-  EXPECT_EQ(machine_.counters.get(Event::kTlbMiss), misses);
-  EXPECT_EQ(machine_.counters.get(Event::kTlbHit), 1u);
-  EXPECT_EQ(machine_.counters.get(Event::kPmlLogGpa), 1u);
+  EXPECT_EQ(vcpu_.ctx().counters.get(Event::kTlbMiss), misses);
+  EXPECT_EQ(vcpu_.ctx().counters.get(Event::kTlbHit), 1u);
+  EXPECT_EQ(vcpu_.ctx().counters.get(Event::kPmlLogGpa), 1u);
 }
 
 TEST_F(PmlCircuitTest, ClearedDirtyFlagRearmsLogging) {
@@ -210,14 +210,14 @@ TEST_F(PmlCircuitTest, ClearedDirtyFlagRearmsLogging) {
   ept_.entry(pt_.pte(0x10000)->gpa_page)->dirty = false;
   vcpu_.tlb().flush_all();
   write(0x10000);
-  EXPECT_EQ(machine_.counters.get(Event::kPmlLogGpa), 2u);
+  EXPECT_EQ(vcpu_.ctx().counters.get(Event::kPmlLogGpa), 2u);
 }
 
 TEST_F(PmlCircuitTest, EptViolationBackfillsAndRetries) {
   pt_.map(0x50000, 0x8000, true);  // no EPT mapping for 0x8000 yet
   write(0x50000);
   EXPECT_EQ(handler_.ept_violations, 1);
-  EXPECT_EQ(machine_.counters.get(Event::kVmExitEptViolation), 1u);
+  EXPECT_EQ(vcpu_.ctx().counters.get(Event::kVmExitEptViolation), 1u);
   Hpa hpa = 0;
   EXPECT_TRUE(ept_.translate(0x8000, hpa));
 }
@@ -298,8 +298,8 @@ TEST(VcpuTest, EpmlVmwriteTranslatesGpaThroughEpt) {
   // Other fields pass through untranslated.
   vcpu.guest_vmwrite(VmcsField::kGuestPmlEnable, 1);
   EXPECT_EQ(vcpu.guest_vmread(VmcsField::kGuestPmlEnable), 1u);
-  EXPECT_EQ(m.counters.get(Event::kVmwrite), 3u);
-  EXPECT_EQ(m.counters.get(Event::kVmread), 1u);
+  EXPECT_EQ(vcpu.ctx().counters.get(Event::kVmwrite), 3u);
+  EXPECT_EQ(vcpu.ctx().counters.get(Event::kVmread), 1u);
 }
 
 TEST(VcpuTest, HypercallTransitionsModes) {
@@ -319,8 +319,8 @@ TEST(VcpuTest, HypercallTransitionsModes) {
   EXPECT_EQ(vcpu.hypercall(Hypercall::kOohInitPml, 41), 42u);
   EXPECT_EQ(handler.seen, CpuMode::kVmxRoot) << "handler runs in VMX root mode";
   EXPECT_EQ(vcpu.mode(), CpuMode::kVmxNonRoot) << "vCPU resumes non-root";
-  EXPECT_EQ(m.counters.get(Event::kHypercall), 1u);
-  EXPECT_EQ(m.counters.get(Event::kVmExit), 1u);
+  EXPECT_EQ(vcpu.ctx().counters.get(Event::kHypercall), 1u);
+  EXPECT_EQ(vcpu.ctx().counters.get(Event::kVmExit), 1u);
 }
 
 }  // namespace

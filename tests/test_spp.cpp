@@ -62,7 +62,7 @@ TEST_F(SppKernelTest, ProtectedSubPageFaultsOthersProceed) {
   proc_.touch_write(base_);          // sub-page 0: fine
   proc_.touch_write(base_ + 384);    // sub-page 3: fine
   EXPECT_THROW(proc_.touch_write(base_ + 2 * 128), guest::GuestSegfault);
-  EXPECT_EQ(bed_.machine().counters.get(Event::kSppViolation), 1u);
+  EXPECT_EQ(bed_.ctx().counters.get(Event::kSppViolation), 1u);
   EXPECT_EQ(kernel_.spp_violations(), 1u);
   // Reads are never blocked by SPP.
   proc_.touch_read(base_ + 2 * 128);

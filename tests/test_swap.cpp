@@ -36,11 +36,11 @@ class SwapTest : public ::testing::Test {
 
 TEST_F(SwapTest, CleanPagesEvictWithoutWriteback) {
   (void)make_cold_clean(16);
-  const u64 writes_before = bed_.machine().counters.get(Event::kDiskPageWrite);
+  const u64 writes_before = bed_.ctx().counters.get(Event::kDiskPageWrite);
   const SwapDaemon::EvictStats st = kernel_.swap().evict(proc_, 8);
   EXPECT_EQ(st.evicted_clean, 8u);
   EXPECT_EQ(st.evicted_dirty, 0u);
-  EXPECT_EQ(bed_.machine().counters.get(Event::kDiskPageWrite), writes_before)
+  EXPECT_EQ(bed_.ctx().counters.get(Event::kDiskPageWrite), writes_before)
       << "clean evictions must not touch the disk";
   EXPECT_EQ(kernel_.swap().swapped_out(proc_), 8u);
   EXPECT_EQ(kernel_.page_table(proc_).present_pages(), 8u);
@@ -54,11 +54,11 @@ TEST_F(SwapTest, DirtyPagesPayWriteback) {
       [](Gva, sim::Pte& pte) { pte.accessed = false; });
   bed_.vm().vcpu().tlb().flush_pid(proc_.pid());
 
-  const u64 writes_before = bed_.machine().counters.get(Event::kDiskPageWrite);
+  const u64 writes_before = bed_.ctx().counters.get(Event::kDiskPageWrite);
   const SwapDaemon::EvictStats st = kernel_.swap().evict(proc_, 16);
   EXPECT_EQ(st.evicted_dirty, 4u);
   EXPECT_EQ(st.evicted_clean, 12u);
-  EXPECT_EQ(bed_.machine().counters.get(Event::kDiskPageWrite), writes_before + 4)
+  EXPECT_EQ(bed_.ctx().counters.get(Event::kDiskPageWrite), writes_before + 4)
       << "only the dirty victims were written back";
 }
 

@@ -25,16 +25,16 @@ ProfileResult profile(Workload& w) {
   auto& proc = k.create_process();
   w.setup(proc);
   proc.truth_reset();
-  const u64 reads_before = bed.machine().counters.get(Event::kTlbHit) +
-                           bed.machine().counters.get(Event::kTlbMiss);
-  const VirtDuration start = bed.machine().clock.now();
+  const u64 reads_before = bed.ctx().counters.get(Event::kTlbHit) +
+                           bed.ctx().counters.get(Event::kTlbMiss);
+  const VirtDuration start = bed.ctx().clock.now();
   w.run(proc);
   ProfileResult r;
-  r.time_us = (bed.machine().clock.now() - start).count();
+  r.time_us = (bed.ctx().clock.now() - start).count();
   r.dirty_pages = proc.truth_dirty().size();
   r.mapped_pages = pages_for_bytes(proc.mapped_bytes());
-  r.reads = bed.machine().counters.get(Event::kTlbHit) +
-            bed.machine().counters.get(Event::kTlbMiss) - reads_before;
+  r.reads = bed.ctx().counters.get(Event::kTlbHit) +
+            bed.ctx().counters.get(Event::kTlbMiss) - reads_before;
   return r;
 }
 

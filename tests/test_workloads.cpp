@@ -35,7 +35,7 @@ TEST_P(WorkloadRuns, SetupAndRunDirtiesMemory) {
   proc.truth_reset();
   w->run(proc);
   EXPECT_GT(proc.truth_dirty().size(), 0u) << "workload must write memory";
-  EXPECT_GT(k.machine().clock.now().count(), 0.0);
+  EXPECT_GT(k.ctx().clock.now().count(), 0.0);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllApps, WorkloadRuns,
@@ -100,8 +100,8 @@ TEST(DirtyProfiles, HistogramDirtiesFewPagesReadsMany) {
   w->run(proc);
   // Bins are 2 pages; the multi-MB input is only read.
   EXPECT_LT(proc.truth_dirty().size(), 8u);
-  EXPECT_GT(k.machine().counters.get(Event::kTlbHit) +
-                k.machine().counters.get(Event::kTlbMiss),
+  EXPECT_GT(k.ctx().counters.get(Event::kTlbHit) +
+                k.ctx().counters.get(Event::kTlbMiss),
             proc.truth_dirty().size() * 100);
 }
 

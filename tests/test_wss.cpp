@@ -30,7 +30,7 @@ TEST_F(WssTest, CountsReadAndWrittenPages) {
   for (int i = 60; i < 100; ++i) proc_.touch_write(base_ + i * kPageSize);
   const std::vector<Gpa> wss = hv.harvest_wss(bed_.vm());
   EXPECT_EQ(wss.size(), 100u) << "reads must count toward the working set";
-  EXPECT_GT(bed_.machine().counters.get(Event::kPmlLogRead), 0u);
+  EXPECT_GT(bed_.ctx().counters.get(Event::kPmlLogRead), 0u);
   hv.disable_wss_sampling(bed_.vm());
 }
 
