@@ -23,7 +23,8 @@ int main(int argc, char** argv) {
 
   TextTable t({"VMs + technique", "min GC (ms)", "max GC (ms)", "spread (%)", "wall (ms)"});
   for (unsigned vms = 1; vms <= 5; ++vms) {
-    for (const lib::Technique tech : {lib::Technique::kSpml, lib::Technique::kEpml}) {
+    for (const lib::Technique tech :
+         {lib::Technique::kSpml, lib::Technique::kEpml, lib::Technique::kWp}) {
       const bench::FleetResult fleet = bench::run_boehm_fleet(vms, args.scale, tech, threads);
       double min_gc = 1e300, max_gc = 0.0;
       for (const bench::BoehmRun& r : fleet.runs) {

@@ -22,7 +22,8 @@ int main(int argc, char** argv) {
   TextTable t({"VMs + technique", "min app (ms)", "max app (ms)", "spread (%)", "wall (ms)"});
   for (unsigned vms = 1; vms <= 5; ++vms) {
     for (const lib::Technique tech :
-         {lib::Technique::kProc, lib::Technique::kSpml, lib::Technique::kEpml}) {
+         {lib::Technique::kProc, lib::Technique::kSpml, lib::Technique::kEpml,
+          lib::Technique::kWp}) {
       const bench::FleetResult fleet = bench::run_boehm_fleet(vms, args.scale, tech, threads);
       double min_t = 1e300, max_t = 0.0;
       for (const bench::BoehmRun& r : fleet.runs) {

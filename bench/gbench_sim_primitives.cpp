@@ -7,6 +7,7 @@
 #include "hypervisor/hypervisor.hpp"
 #include "sim/machine.hpp"
 #include "sim/mmu.hpp"
+#include "sim/page_track.hpp"
 #include "sim/radix.hpp"
 #include "ooh/testbed.hpp"
 #include "ooh/trackers.hpp"
@@ -68,6 +69,32 @@ void BM_MmuWriteWithPmlLogging(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MmuWriteWithPmlLogging);
+
+// Every guest write funnels through WriteTrackRegistry::dispatch, so its
+// per-event overhead must stay at a few ns even with several consumers.
+struct NullNotifier final : sim::PageTrackNotifier {
+  bool on_track(sim::TrackLayer, const sim::TrackEvent&) override {
+    ++seen;
+    return true;
+  }
+  u64 seen = 0;
+};
+
+void BM_PageTrackDispatch(benchmark::State& state) {
+  sim::WriteTrackRegistry reg;
+  std::vector<NullNotifier> notifiers(static_cast<std::size_t>(state.range(0)));
+  for (NullNotifier& n : notifiers) {
+    reg.register_notifier(sim::TrackLayer::kEptDirty, &n);
+  }
+  const sim::TrackEvent ev{nullptr, 1, 0x100000, 0x5000};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reg.dispatch(sim::TrackLayer::kEptDirty, ev));
+  }
+  for (NullNotifier& n : notifiers) {
+    reg.unregister_notifier(sim::TrackLayer::kEptDirty, &n);
+  }
+}
+BENCHMARK(BM_PageTrackDispatch)->Arg(0)->Arg(1)->Arg(4);
 
 void BM_RadixEnsureFind(benchmark::State& state) {
   sim::RadixTable4<u64> t;

@@ -33,7 +33,7 @@ int main() {
   tracker->init();
   tracker->begin_interval();
   std::printf("SPML session active (enabled_by_guest=%d)\n",
-              static_cast<int>(vm.pml_enabled_by_guest));
+              static_cast<int>(vm.pml_enabled_by_guest()));
 
   // Hypervisor-side pre-copy migration; the guest keeps dirtying its hot
   // half between rounds.
@@ -64,8 +64,8 @@ int main() {
   std::printf("\nguest SPML session still intact: collected %llu dirty GVAs\n",
               static_cast<unsigned long long>(dirty.size()));
   std::printf("hypervisor flag now: enabled_by_hyp=%d, guest flag: enabled_by_guest=%d\n",
-              static_cast<int>(vm.pml_enabled_by_hyp),
-              static_cast<int>(vm.pml_enabled_by_guest));
+              static_cast<int>(vm.pml_enabled_by_hyp()),
+              static_cast<int>(vm.pml_enabled_by_guest()));
   tracker->shutdown();
   std::printf("\nCoexistence held: neither consumer lost events nor disabled the other.\n");
   return 0;

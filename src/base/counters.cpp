@@ -33,6 +33,7 @@ constexpr std::array<std::string_view, kEventCount> kNames = {
     "guest_pt_walk",
     "ept_walk",
     "ept_dirty_set",
+    "ept_wp_fault",
     "disk_page_write",
     "uffd_write_unprotect",
     "sched_quantum",

@@ -41,6 +41,7 @@ enum class Event : std::size_t {
   kGuestPtWalk,           ///< 4-level guest page-table walk.
   kEptWalk,               ///< 4-level EPT walk.
   kEptDirtySet,           ///< a write set an EPT dirty flag (PML trigger point).
+  kEptWpFault,            ///< write hit a write-protected EPT entry (page_track).
   kDiskPageWrite,         ///< CRIU image page written.
   kUffdWriteUnprotect,    ///< tracker resolved a ufd write-protect fault.
   kSchedQuantum,          ///< timer-driven quantum expiry.

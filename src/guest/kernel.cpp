@@ -22,10 +22,17 @@ GuestKernel::GuestKernel(hv::Hypervisor& hypervisor, hv::Vm& vm)
   swap_ = std::make_unique<SwapDaemon>(*this);
   // Install the kernel as the posted-interrupt sink (EPML self-IPI vector).
   vm_.vcpu().attach(vm_.vcpu().exits(), this, vm_.vcpu().ept());
+  // Guest write-protect fault policy as a notifier chain: userfaultfd gets
+  // first claim (it checks the PTE's uffd_wp marker), soft-dirty is the
+  // fallback — the dispatch order Linux's own fault handler hard-codes.
+  vm_.track().register_notifier(sim::TrackLayer::kGuestWpFault, uffd_.get());
+  vm_.track().register_notifier(sim::TrackLayer::kGuestWpFault, procfs_.get());
 }
 
 GuestKernel::~GuestKernel() {
   ooh_module_.reset();
+  vm_.track().unregister_notifier(sim::TrackLayer::kGuestWpFault, procfs_.get());
+  vm_.track().unregister_notifier(sim::TrackLayer::kGuestWpFault, uffd_.get());
 }
 
 Process& GuestKernel::create_process() {
@@ -216,25 +223,12 @@ void GuestKernel::handle_not_writable(Process& proc, Gva gva) {
   Vma* vma = proc.vma_of(gva);
   if (vma == nullptr || !vma->writable) throw GuestSegfault(gva);
 
-  if (pte->uffd_wp) {
-    if (uffd_->wp_registered(proc)) {
-      uffd_->deliver_wp_fault(proc, page);
-      return;
-    }
-    pte->uffd_wp = false;  // stale marker from a torn-down registration
-    vm_.vcpu().tlb().invalidate_page(proc.pid(), page);
-    return;
+  // Fault policy lives in the kGuestWpFault chain: userfaultfd claims
+  // uffd_wp-marked PTEs, the soft-dirty handler takes the rest.
+  if (!vm_.track().dispatch(sim::TrackLayer::kGuestWpFault,
+                            {&vm_.vcpu(), proc.pid(), page, pte->gpa_page})) {
+    throw std::logic_error("guest write-protect fault with no handler");
   }
-
-  // Soft-dirty write-protect fault (/proc technique): set the bit, restore
-  // write access (Table V metric M5 per fault, plus two world switches).
-  ctx_.count(Event::kPageFaultSoftDirty);
-  ctx_.count(Event::kContextSwitch, 2);
-  ctx_.charge_us(ctx_.cost.pfh_kernel_per_fault_us(proc.mapped_bytes()) +
-                     2 * ctx_.cost.ctx_switch_us);
-  pte->soft_dirty = true;
-  pte->writable = true;
-  vm_.vcpu().tlb().invalidate_page(proc.pid(), page);
 }
 
 }  // namespace ooh::guest

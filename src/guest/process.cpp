@@ -29,6 +29,17 @@ void Process::munmap(Gva base) {
   sim::GuestPageTable& pt = kernel_.page_table(*this);
   sim::ExecContext& m = kernel_.ctx();
   for (Gva page = it->start; page < it->end; page += kPageSize) {
+    // Anonymous memory: the guest frame is freed (and later recycled into
+    // other mappings), and the hypervisor's stale EPT entry is zapped so
+    // the recycled frame starts with fresh accessed/dirty state.
+    if (const sim::Pte* pte = pt.pte(page); pte != nullptr && pte->present) {
+      Hpa hpa = 0;
+      if (kernel_.vm().ept().translate(pte->gpa_page, hpa)) {
+        m.pmem.free_frame(page_floor(hpa));
+      }
+      kernel_.vm().ept().unmap(pte->gpa_page);
+      kernel_.free_gpa_frame(pte->gpa_page);
+    }
     pt.unmap(page);
     kernel_.vm().vcpu().tlb().invalidate_page(pid_, page);
     truth_.erase(page);
@@ -36,6 +47,10 @@ void Process::munmap(Gva base) {
   m.count(Event::kContextSwitch, 2);  // the munmap syscall
   m.charge_us(2 * m.cost.ctx_switch_us);
   mapped_bytes_ -= it->bytes();
+  // Tell page-track consumers the range is gone so they drop derived state
+  // (e.g. SPML's GPA->GVA reverse-map cache); mirrors KVM's
+  // track_flush_slot on memslot teardown.
+  kernel_.vm().track().notify_flush(pid_, it->start, it->end);
   vmas_.erase(it);
 }
 

@@ -37,6 +37,25 @@ std::vector<Gva> ProcFs::pagemap_dirty(Process& proc) {
   return dirty;
 }
 
+bool ProcFs::on_track(sim::TrackLayer /*layer*/, const sim::TrackEvent& ev) {
+  Process* proc = kernel_.find(ev.pid);
+  if (proc == nullptr) return false;
+  sim::Pte* pte = kernel_.page_table(*proc).pte(ev.gva_page);
+  if (pte == nullptr || !pte->present) return false;
+
+  // Soft-dirty write-protect fault (/proc technique): set the bit, restore
+  // write access (Table V metric M5 per fault, plus two world switches).
+  sim::ExecContext& m = kernel_.ctx();
+  m.count(Event::kPageFaultSoftDirty);
+  m.count(Event::kContextSwitch, 2);
+  m.charge_us(m.cost.pfh_kernel_per_fault_us(proc->mapped_bytes()) +
+              2 * m.cost.ctx_switch_us);
+  pte->soft_dirty = true;
+  pte->writable = true;
+  ev.vcpu->tlb().invalidate_page(ev.pid, ev.gva_page);
+  return true;
+}
+
 std::vector<std::pair<Gva, Gpa>> ProcFs::pagemap_entries(Process& proc) {
   std::vector<std::pair<Gva, Gpa>> out;
   kernel_.page_table(proc).for_each_present(

@@ -11,12 +11,16 @@
 
 #include "base/types.hpp"
 #include "guest/process.hpp"
+#include "sim/page_track.hpp"
 
 namespace ooh::guest {
 
 class GuestKernel;
 
-class ProcFs {
+/// Registered on the kGuestWpFault layer after the userfaultfd notifier:
+/// the soft-dirty fault handler is the fallback for write-protect faults no
+/// earlier consumer claimed (Linux's own write-protect fault policy).
+class ProcFs final : public sim::PageTrackNotifier {
  public:
   explicit ProcFs(GuestKernel& kernel) : kernel_(kernel) {}
 
@@ -29,6 +33,11 @@ class ProcFs {
   /// All present GVA -> GPA translations, as pagemap exposes them. The cost
   /// is charged by the caller (SPML charges it as reverse-mapping, M17).
   [[nodiscard]] std::vector<std::pair<Gva, Gpa>> pagemap_entries(Process& proc);
+
+  // ---- sim::PageTrackNotifier (kGuestWpFault) -------------------------------
+  /// Soft-dirty fault: set the bit, restore write access, invalidate the
+  /// cached translation (Table V metric M5 plus two world switches).
+  bool on_track(sim::TrackLayer layer, const sim::TrackEvent& ev) override;
 
  private:
   GuestKernel& kernel_;

@@ -84,6 +84,20 @@ void Uffd::deliver_wp_fault(Process& proc, Gva gva_page) {
   m.count(Event::kUffdWriteUnprotect);
 }
 
+bool Uffd::on_track(sim::TrackLayer /*layer*/, const sim::TrackEvent& ev) {
+  Process* proc = kernel_.find(ev.pid);
+  if (proc == nullptr) return false;
+  sim::Pte* pte = kernel_.page_table(*proc).pte(ev.gva_page);
+  if (pte == nullptr || !pte->present || !pte->uffd_wp) return false;
+  if (wp_registered(*proc)) {
+    deliver_wp_fault(*proc, ev.gva_page);
+    return true;
+  }
+  pte->uffd_wp = false;  // stale marker from a torn-down registration
+  ev.vcpu->tlb().invalidate_page(ev.pid, ev.gva_page);
+  return true;
+}
+
 void Uffd::deliver_missing_fault(Process& proc, Gva gva_page) {
   sim::ExecContext& m = kernel_.ctx();
   m.count(Event::kPageFaultUffd);

@@ -11,12 +11,15 @@
 #include "base/types.hpp"
 #include "base/vtime.hpp"
 #include "guest/process.hpp"
+#include "sim/page_track.hpp"
 
 namespace ooh::guest {
 
 class GuestKernel;
 
-class Uffd {
+/// Registered on the kGuestWpFault layer (ahead of the soft-dirty handler):
+/// it claims exactly the faults whose PTE carries the uffd_wp marker.
+class Uffd final : public sim::PageTrackNotifier {
  public:
   explicit Uffd(GuestKernel& kernel) : kernel_(kernel) {}
 
@@ -45,6 +48,12 @@ class Uffd {
   void deliver_wp_fault(Process& proc, Gva gva_page);
   /// Deliver a missing fault (before the kernel maps the page).
   void deliver_missing_fault(Process& proc, Gva gva_page);
+
+  // ---- sim::PageTrackNotifier (kGuestWpFault) -------------------------------
+  /// Handles the fault iff the PTE carries the uffd_wp marker: deliver to
+  /// the registered tracker, or clear a marker left by a torn-down
+  /// registration. Returns false (unhandled) otherwise.
+  bool on_track(sim::TrackLayer layer, const sim::TrackEvent& ev) override;
 
  private:
   struct Registration {

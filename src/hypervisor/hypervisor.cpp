@@ -29,7 +29,10 @@ void Hypervisor::ensure_pml_buffer(Vm& vm) {
 }
 
 void Hypervisor::update_pml_enable(Vm& vm) {
-  const bool on = vm.pml_enabled_by_hyp || vm.guest_logging_on;
+  // Hardware PML runs iff some drain consumer wants events right now: the
+  // hypervisor's own consumer whenever registered, the guest's SPML
+  // consumer only while logging is on. N consumers, one control bit.
+  const bool on = vm.track().any_enabled(sim::TrackLayer::kPmlDrain);
   vm.vcpu().vmcs().set_control(sim::kEnablePml, on);
 }
 
@@ -64,16 +67,13 @@ void Hypervisor::drain_pml_buffer(Vm& vm) {
   for (u64 slot = kPmlBufferEntries; slot-- > first_slot;) {
     const Gpa gpa_page = ctx.pmem.read_u64(vm.pml_buffer + slot * 8);
     ctx.charge_ns(ctx.cost.drain_entry_ns);
-    // Coexistence routing (paper §IV-C item 3): each consumer gets the GPA
-    // only if its flag is set. Dirty flags stay set until the consumer's
-    // interval boundary (collect/harvest), so an already-logged page does
-    // not re-log on every later write -- matching how Xen harvests PML.
-    if (vm.pml_enabled_by_hyp) vm.hyp_dirty_log().insert(gpa_page);
-    if (vm.pml_enabled_by_guest && vm.guest_logging_on) {
-      vm.spml_ring().push(gpa_page);
-      vm.spml_interval_log().push_back(gpa_page);
-      ctx.count(Event::kRingBufCopyEntry);
-    }
+    // Coexistence routing (paper §IV-C item 3), generalized: every enabled
+    // kPmlDrain consumer gets the GPA. Dirty flags stay set until the
+    // consumer's interval boundary (collect/harvest), so an already-logged
+    // page does not re-log on every later write -- matching how Xen
+    // harvests PML.
+    vm.track().dispatch(sim::TrackLayer::kPmlDrain,
+                        {&vm.vcpu(), /*pid=*/0, /*gva_page=*/0, gpa_page});
   }
   vmcs.write(sim::VmcsField::kPmlIndex, kPmlIndexStart);
 }
@@ -120,20 +120,28 @@ u64 Hypervisor::on_hypercall(sim::Vcpu& vcpu, sim::Hypercall nr, u64 a0, u64 a1)
       ctx.charge_us(cost.hc_init_pml_us);
       ensure_pml_buffer(vm);
       clear_all_ept_dirty(vm);
-      vm.pml_enabled_by_guest = true;
+      // Session start == consumer registration; it joins the drain chain
+      // disabled (no logging until the tracked process is scheduled in).
+      if (!vm.pml_enabled_by_guest()) {
+        vm.track().register_notifier(sim::TrackLayer::kPmlDrain,
+                                     &vm.spml_drain_consumer(), /*enabled=*/false);
+      }
       vm.spml_tracked_mem_bytes = a0;
       return 0;
     case sim::Hypercall::kOohDeactivatePml:
       ctx.charge_us(cost.hc_deact_pml_us);
       drain_pml_buffer(vm);
-      vm.pml_enabled_by_guest = false;
-      vm.guest_logging_on = false;
+      if (vm.pml_enabled_by_guest()) {
+        vm.track().unregister_notifier(sim::TrackLayer::kPmlDrain,
+                                       &vm.spml_drain_consumer());
+      }
       update_pml_enable(vm);
       return 0;
     case sim::Hypercall::kOohEnableLogging:
       ctx.charge_us(cost.hc_enable_logging_us);
-      if (!vm.pml_enabled_by_guest) return u64(-1);
-      vm.guest_logging_on = true;
+      if (!vm.pml_enabled_by_guest()) return u64(-1);
+      vm.track().set_enabled(sim::TrackLayer::kPmlDrain,
+                             &vm.spml_drain_consumer(), true);
       update_pml_enable(vm);
       return 0;
     case sim::Hypercall::kOohDisableLogging:
@@ -142,7 +150,10 @@ u64 Hypervisor::on_hypercall(sim::Vcpu& vcpu, sim::Hypercall nr, u64 a0, u64 a1)
       ctx.charge_us(cost.spml_disable_logging_us(
           a0 != 0 ? a0 : vm.spml_tracked_mem_bytes));
       drain_pml_buffer(vm);
-      vm.guest_logging_on = false;
+      if (vm.pml_enabled_by_guest()) {
+        vm.track().set_enabled(sim::TrackLayer::kPmlDrain,
+                               &vm.spml_drain_consumer(), false);
+      }
       update_pml_enable(vm);
       return 0;
     case sim::Hypercall::kOohInitEpml: {
@@ -212,16 +223,21 @@ u64 Hypervisor::on_hypercall(sim::Vcpu& vcpu, sim::Hypercall nr, u64 a0, u64 a1)
 }
 
 void Hypervisor::enable_pml_for_hyp(Vm& vm) {
-  // Guard ordering from §IV-C: check the other side's flag before toggling.
   ensure_pml_buffer(vm);
   clear_all_ept_dirty(vm);
-  vm.pml_enabled_by_hyp = true;
+  if (!vm.pml_enabled_by_hyp()) {
+    vm.track().register_notifier(sim::TrackLayer::kPmlDrain,
+                                 &vm.hyp_drain_consumer());
+  }
   update_pml_enable(vm);
 }
 
 void Hypervisor::disable_pml_for_hyp(Vm& vm) {
   drain_pml_buffer(vm);
-  vm.pml_enabled_by_hyp = false;
+  if (vm.pml_enabled_by_hyp()) {
+    vm.track().unregister_notifier(sim::TrackLayer::kPmlDrain,
+                                   &vm.hyp_drain_consumer());
+  }
   update_pml_enable(vm);
 }
 
@@ -236,7 +252,7 @@ std::vector<Gpa> Hypervisor::harvest_hyp_dirty(Vm& vm) {
 
 void Hypervisor::enable_wss_sampling(Vm& vm) {
   sim::ExecContext& ctx = vm.ctx();
-  if (vm.pml_enabled_by_guest) {
+  if (vm.pml_enabled_by_guest()) {
     throw std::logic_error(
         "WSS sampling and a guest SPML session cannot share the PML buffer");
   }
@@ -252,7 +268,10 @@ void Hypervisor::enable_wss_sampling(Vm& vm) {
   vm.vcpu().tlb().flush_all();
   ctx.count(Event::kTlbFlush);
   ctx.charge_us(ctx.cost.tlb_flush_us);
-  vm.pml_enabled_by_hyp = true;
+  if (!vm.pml_enabled_by_hyp()) {
+    vm.track().register_notifier(sim::TrackLayer::kPmlDrain,
+                                 &vm.hyp_drain_consumer());
+  }
   vm.vcpu().vmcs().set_control(sim::kEnablePmlReadLog, true);
   update_pml_enable(vm);
 }
@@ -261,7 +280,10 @@ void Hypervisor::disable_wss_sampling(Vm& vm) {
   drain_pml_buffer(vm);
   vm.hyp_dirty_log().clear();
   vm.vcpu().vmcs().set_control(sim::kEnablePmlReadLog, false);
-  vm.pml_enabled_by_hyp = false;
+  if (vm.pml_enabled_by_hyp()) {
+    vm.track().unregister_notifier(sim::TrackLayer::kPmlDrain,
+                                   &vm.hyp_drain_consumer());
+  }
   update_pml_enable(vm);
 }
 

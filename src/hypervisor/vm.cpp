@@ -1,10 +1,25 @@
 #include "hypervisor/vm.hpp"
 
+#include "sim/exec_context.hpp"
 #include "sim/machine.hpp"
 
 namespace ooh::hv {
 
 Vm::Vm(sim::Machine& machine, u32 id, u64 mem_bytes, std::size_t spml_ring_entries)
     : id_(id), mem_bytes_(mem_bytes), vcpu_(machine, id), spml_ring_(spml_ring_entries) {}
+
+bool HypDirtyLogConsumer::on_track(sim::TrackLayer /*layer*/,
+                                   const sim::TrackEvent& ev) {
+  vm_.hyp_dirty_log().insert(ev.gpa_page);
+  return true;
+}
+
+bool SpmlRingConsumer::on_track(sim::TrackLayer /*layer*/,
+                                const sim::TrackEvent& ev) {
+  vm_.spml_ring().push(ev.gpa_page);
+  vm_.spml_interval_log().push_back(ev.gpa_page);
+  ev.vcpu->ctx().count(Event::kRingBufCopyEntry);
+  return true;
+}
 
 }  // namespace ooh::hv

@@ -1,7 +1,8 @@
 // A virtual machine as the hypervisor sees it: EPT, one vCPU (the paper's
-// evaluation setup), the hypervisor-level PML state, and the coexistence
-// flags that let the guest's OoH use of PML and the hypervisor's own use
-// (live migration) share one buffer without stepping on each other (§IV-C).
+// evaluation setup), the hypervisor-level PML state, and the kPmlDrain
+// consumers that let the guest's OoH use of PML and the hypervisor's own
+// use (live migration, WSS sampling) share one buffer without stepping on
+// each other (§IV-C, generalized from two flags to N registered consumers).
 #pragma once
 
 #include <memory>
@@ -11,10 +12,40 @@
 #include "base/ring_buffer.hpp"
 #include "base/types.hpp"
 #include "sim/ept.hpp"
+#include "sim/page_track.hpp"
 #include "sim/spp.hpp"
 #include "sim/vcpu.hpp"
 
 namespace ooh::hv {
+
+class Vm;
+
+/// kPmlDrain consumer: GPAs drained from the PML buffer are retained in the
+/// VM's hyp_dirty_log for the hypervisor's own use (live-migration pre-copy
+/// rounds, WSS harvests). Registered while a hypervisor logging session is
+/// active — the generalization of the paper's enabled_by_hyp flag.
+class HypDirtyLogConsumer final : public sim::PageTrackNotifier {
+ public:
+  explicit HypDirtyLogConsumer(Vm& vm) noexcept : vm_(vm) {}
+  bool on_track(sim::TrackLayer layer, const sim::TrackEvent& ev) override;
+
+ private:
+  Vm& vm_;
+};
+
+/// kPmlDrain consumer: GPAs drained from the PML buffer are copied into the
+/// guest-shared SPML ring (and the interval log used to re-arm dirty flags
+/// at the interval boundary). Registered while a guest SPML session is
+/// active (enabled_by_guest); its per-consumer enable state is the paper's
+/// guest_logging_on — set while the tracked process is scheduled in.
+class SpmlRingConsumer final : public sim::PageTrackNotifier {
+ public:
+  explicit SpmlRingConsumer(Vm& vm) noexcept : vm_(vm) {}
+  bool on_track(sim::TrackLayer layer, const sim::TrackEvent& ev) override;
+
+ private:
+  Vm& vm_;
+};
 
 class Vm {
  public:
@@ -31,6 +62,11 @@ class Vm {
   /// The vCPU's execution context: this VM's private clock and counters
   /// (one vCPU per VM, the paper's evaluation setup).
   [[nodiscard]] sim::ExecContext& ctx() noexcept { return vcpu_.ctx(); }
+
+  /// The vCPU's page-track notifier chain (shorthand; see sim/page_track.hpp).
+  [[nodiscard]] sim::WriteTrackRegistry& track() noexcept {
+    return vcpu_.track_registry();
+  }
 
   /// The ring shared between hypervisor and guest OS (SPML design). It is
   /// allocated in the guest's address space conceptually; the hypervisor
@@ -49,12 +85,32 @@ class Vm {
   /// circuit for EPT entries flagged spp.
   [[nodiscard]] sim::SppTable& spp_table() noexcept { return spp_table_; }
 
+  // -- kPmlDrain consumers -----------------------------------------------------
+  [[nodiscard]] sim::PageTrackNotifier& hyp_drain_consumer() noexcept {
+    return hyp_drain_consumer_;
+  }
+  [[nodiscard]] sim::PageTrackNotifier& spml_drain_consumer() noexcept {
+    return spml_drain_consumer_;
+  }
+
+  // The §IV-C coexistence state, derived from the drain chain instead of
+  // stored as bespoke two-party flags:
+  //   enabled_by_hyp   == the hypervisor's consumer is registered;
+  //   enabled_by_guest == the guest's SPML consumer is registered;
+  //   guest_logging_on == the SPML consumer's per-consumer enable state.
+  [[nodiscard]] bool pml_enabled_by_hyp() noexcept {
+    return track().registered(sim::TrackLayer::kPmlDrain, &hyp_drain_consumer_);
+  }
+  [[nodiscard]] bool pml_enabled_by_guest() noexcept {
+    return track().registered(sim::TrackLayer::kPmlDrain, &spml_drain_consumer_);
+  }
+  [[nodiscard]] bool guest_logging_on() noexcept {
+    return track().enabled(sim::TrackLayer::kPmlDrain, &spml_drain_consumer_);
+  }
+
   // -- PML state -------------------------------------------------------------
   Hpa pml_buffer = 0;             ///< hypervisor-level 4KiB PML buffer (HPA).
-  bool pml_enabled_by_guest = false;  ///< enabled_by_guest flag (§IV-C item 3).
-  bool pml_enabled_by_hyp = false;    ///< enabled_by_hyp flag.
-  bool guest_logging_on = false;      ///< SPML: tracked process currently scheduled in.
-  u64 spml_tracked_mem_bytes = 0;     ///< tracked process size, for M14 scaling.
+  u64 spml_tracked_mem_bytes = 0; ///< tracked process size, for M14 scaling.
 
  private:
   u32 id_;
@@ -65,6 +121,8 @@ class Vm {
   std::unordered_set<Gpa> hyp_dirty_log_;
   std::vector<Gpa> spml_interval_log_;
   sim::SppTable spp_table_;
+  HypDirtyLogConsumer hyp_drain_consumer_{*this};
+  SpmlRingConsumer spml_drain_consumer_{*this};
 };
 
 }  // namespace ooh::hv

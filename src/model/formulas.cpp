@@ -76,6 +76,15 @@ Estimate estimate(lib::Technique t, const ModelParams& p, const CostModel& cost)
                kPmlBufferEntries * cost.drain_entry_ns * 1e-3);
       break;
 
+    case lib::Technique::kWp:
+      // E(C_wp) = per-interval re-protect pass (EPT entry updates + TLB
+      // shootdown + the collect ioctl's world switches).
+      e.technique_us = intervals * (cost.tlb_flush_us + 2 * cost.ctx_switch_us) +
+                       dirty * cost.dbit_clear_ns * 1e-3;
+      // I(C_wp, C_tked) = one EPT-violation VM-exit per first write.
+      e.impact_us = faults * (cost.ept_violation_us + cost.vmexit_us);
+      break;
+
     case lib::Technique::kOracle:
       break;  // E(C_oracle) = 0 by definition (§VI-B).
   }
@@ -102,6 +111,10 @@ ModelParams params_from_events(lib::Technique t, u64 mem_bytes,
     case lib::Technique::kSpml:
       p.dirty_pages = events.get(Event::kReverseMapLookup);
       p.rmap_scans = events.get(Event::kPagemapScan);
+      break;
+    case lib::Technique::kWp:
+      p.faults = events.get(Event::kEptWpFault);
+      p.dirty_pages = p.faults;
       break;
     default:
       break;

@@ -12,6 +12,7 @@ std::string_view technique_name(Technique t) noexcept {
     case Technique::kUfd: return "ufd";
     case Technique::kSpml: return "SPML";
     case Technique::kEpml: return "EPML";
+    case Technique::kWp: return "wp";
     case Technique::kOracle: return "oracle";
   }
   return "?";

@@ -1,6 +1,7 @@
 // The OoH userspace library: a unified dirty-page tracker API over the four
-// techniques the paper compares (/proc, userfaultfd, SPML, EPML) plus an
-// oracle (zero-cost ground truth, the hypothetical technique of §VI-B).
+// techniques the paper compares (/proc, userfaultfd, SPML, EPML), a
+// KVM-page_track-style write-protection backend (wp), and an oracle
+// (zero-cost ground truth, the hypothetical technique of §VI-B).
 //
 // Tracker lifecycle:
 //     init()            one-time setup (ufd registration, OoH PML init)
@@ -24,7 +25,7 @@
 
 namespace ooh::lib {
 
-enum class Technique { kProc, kUfd, kSpml, kEpml, kOracle };
+enum class Technique { kProc, kUfd, kSpml, kEpml, kWp, kOracle };
 
 [[nodiscard]] std::string_view technique_name(Technique t) noexcept;
 

@@ -2,6 +2,7 @@
 
 #include <unordered_map>
 
+#include "base/clock.hpp"
 #include "guest/ooh_module.hpp"
 #include "guest/procfs.hpp"
 #include "guest/uffd.hpp"
@@ -61,9 +62,31 @@ void UfdTracker::do_shutdown() {
 
 // ---- SpmlTracker -------------------------------------------------------------
 
+SpmlTracker::~SpmlTracker() {
+  if (flush_registered_) kernel_.vm().track().unregister_flush(this);
+}
+
+bool SpmlTracker::on_track(sim::TrackLayer /*layer*/, const sim::TrackEvent& /*ev*/) {
+  return false;  // SPML only listens on the flush chain.
+}
+
+void SpmlTracker::on_track_flush(u32 pid, Gva start, Gva end) {
+  if (pid != proc_.pid()) return;
+  // The unmapped range's translations are dead; its guest frames can be
+  // recycled into other VMAs, where a cached entry would reverse-map the
+  // new GPA hit to the old address (mirrors KVM's track_flush_slot).
+  std::erase_if(rmap_cache_, [start, end](const auto& kv) {
+    return kv.second >= start && kv.second < end;
+  });
+}
+
 void SpmlTracker::do_init() {
   module_ = &ensure_module(kernel_, guest::OohMode::kSpml);
   module_->track(proc_);
+  if (!flush_registered_) {
+    kernel_.vm().track().register_flush(this);
+    flush_registered_ = true;
+  }
 }
 
 std::vector<Gva> SpmlTracker::do_collect() {
@@ -111,6 +134,10 @@ std::vector<Gva> SpmlTracker::do_collect() {
 
 void SpmlTracker::do_shutdown() {
   if (module_ != nullptr && module_->tracking(proc_)) module_->untrack(proc_);
+  if (flush_registered_) {
+    kernel_.vm().track().unregister_flush(this);
+    flush_registered_ = false;
+  }
 }
 
 u64 SpmlTracker::dropped() const {
@@ -139,6 +166,115 @@ u64 EpmlTracker::dropped() const {
                                                         : 0;
 }
 
+// ---- WpTracker ---------------------------------------------------------------
+
+WpTracker::~WpTracker() {
+  if (registered_) {
+    sim::WriteTrackRegistry& track = kernel_.vm().track();
+    track.unregister_notifier(sim::TrackLayer::kEptDirty, this);
+    track.unregister_notifier(sim::TrackLayer::kEptWpFault, this);
+  }
+}
+
+bool WpTracker::on_track(sim::TrackLayer layer, const sim::TrackEvent& ev) {
+  if (layer == sim::TrackLayer::kEptDirty) {
+    // A write dirtied an entry the protect pass never saw (page mapped
+    // after it, e.g. by demand paging): no permission fault will fire for
+    // it this interval, so record it here. collect() re-protects it.
+    if (ev.pid != proc_.pid()) return false;
+    pending_.insert(ev.gva_page);
+    return true;
+  }
+  // kEptWpFault: a write hit an entry we protected. On real hardware this
+  // is an EPT violation; the root-mode handler records the page, restores
+  // write access, and invalidates the stale translation before resuming.
+  if (!protected_.contains(ev.gpa_page)) return false;
+  sim::Vcpu& vcpu = *ev.vcpu;
+  sim::ExecContext& m = vcpu.ctx();
+  VirtualClock::Scope attributed(m.clock, phases_.monitor);
+  m.charge_us(m.cost.ept_violation_us);
+  vcpu.vmexit_to_root(Event::kVmExitEptViolation, [&] {
+    sim::EptEntry* e = vcpu.ept()->entry(ev.gpa_page);
+    if (e != nullptr) e->writable = true;
+    protected_.erase(ev.gpa_page);
+    vcpu.tlb().invalidate_page(ev.pid, ev.gva_page);
+  });
+  if (ev.pid == proc_.pid()) pending_.insert(ev.gva_page);
+  return true;
+}
+
+void WpTracker::protect_pages(const std::vector<Gva>& pages) {
+  sim::ExecContext& m = kernel_.ctx();
+  sim::Ept& ept = kernel_.vm().ept();
+  sim::GuestPageTable& pt = kernel_.page_table(proc_);
+  u64 protected_count = 0;
+  for (const Gva page : pages) {
+    const sim::Pte* pte = pt.pte(page);
+    if (pte == nullptr || !pte->present) continue;
+    sim::EptEntry* e = ept.entry(pte->gpa_page);
+    if (e == nullptr || !e->present || !e->writable) continue;
+    e->writable = false;
+    protected_.insert(pte->gpa_page);
+    ++protected_count;
+  }
+  m.charge_ns(m.cost.dbit_clear_ns * static_cast<double>(protected_count));
+  // Cached translations may still claim write permission for the protected
+  // pages; without this shootdown their writes would bypass the fault.
+  kernel_.vm().vcpu().tlb().flush_pid(proc_.pid());
+  m.count(Event::kTlbFlush);
+  m.charge_us(m.cost.tlb_flush_us);
+}
+
+void WpTracker::do_init() {
+  sim::WriteTrackRegistry& track = kernel_.vm().track();
+  track.register_notifier(sim::TrackLayer::kEptWpFault, this);
+  track.register_notifier(sim::TrackLayer::kEptDirty, this);
+  registered_ = true;
+  // Initial protect pass over everything currently mapped (one ioctl-shaped
+  // syscall), like KVM's page_track write-protecting a whole memslot.
+  sim::ExecContext& m = kernel_.ctx();
+  m.count(Event::kContextSwitch, 2);
+  m.charge_us(2 * m.cost.ctx_switch_us);
+  std::vector<Gva> present;
+  kernel_.page_table(proc_).for_each_present(
+      [&](Gva gva, sim::Pte&) { present.push_back(gva); });
+  protect_pages(present);
+}
+
+std::vector<Gva> WpTracker::do_collect() {
+  std::vector<Gva> out(pending_.begin(), pending_.end());
+  pending_.clear();
+  // Interval boundary: re-protect the harvested pages so their next write
+  // faults (and re-logs) again.
+  sim::ExecContext& m = kernel_.ctx();
+  m.count(Event::kContextSwitch, 2);
+  m.charge_us(2 * m.cost.ctx_switch_us);
+  protect_pages(out);
+  return out;
+}
+
+void WpTracker::do_shutdown() {
+  sim::ExecContext& m = kernel_.ctx();
+  sim::Ept& ept = kernel_.vm().ept();
+  u64 unprotected = 0;
+  for (const Gpa gpa : protected_) {
+    if (sim::EptEntry* e = ept.entry(gpa); e != nullptr && !e->writable) {
+      e->writable = true;
+      ++unprotected;
+    }
+  }
+  protected_.clear();
+  pending_.clear();
+  m.charge_ns(m.cost.dbit_clear_ns * static_cast<double>(unprotected));
+  kernel_.vm().vcpu().tlb().flush_pid(proc_.pid());
+  m.count(Event::kTlbFlush);
+  m.charge_us(m.cost.tlb_flush_us);
+  sim::WriteTrackRegistry& track = kernel_.vm().track();
+  track.unregister_notifier(sim::TrackLayer::kEptDirty, this);
+  track.unregister_notifier(sim::TrackLayer::kEptWpFault, this);
+  registered_ = false;
+}
+
 // ---- OracleTracker -----------------------------------------------------------
 
 void OracleTracker::do_begin_interval() {
@@ -162,6 +298,7 @@ std::unique_ptr<DirtyTracker> make_tracker(Technique t, guest::GuestKernel& kern
     case Technique::kUfd: return std::make_unique<UfdTracker>(kernel, proc);
     case Technique::kSpml: return std::make_unique<SpmlTracker>(kernel, proc);
     case Technique::kEpml: return std::make_unique<EpmlTracker>(kernel, proc);
+    case Technique::kWp: return std::make_unique<WpTracker>(kernel, proc);
     case Technique::kOracle: return std::make_unique<OracleTracker>(kernel, proc);
   }
   throw std::invalid_argument("unknown technique");

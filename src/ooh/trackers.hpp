@@ -1,10 +1,13 @@
-// The five DirtyTracker backends (paper §III and §IV).
+// The six DirtyTracker backends (paper §III and §IV, plus the
+// KVM-page_track-style write-protection backend built on the page-track
+// notifier chain).
 #pragma once
 
 #include <unordered_map>
 #include <unordered_set>
 
 #include "ooh/tracker.hpp"
+#include "sim/page_track.hpp"
 
 namespace ooh::guest {
 class OohModule;
@@ -48,11 +51,18 @@ class UfdTracker final : public DirtyTracker {
 /// enable/disable_logging hypercalls; the library reverse-maps logged GPAs
 /// to GVAs by parsing the page table through /proc -- the measured
 /// bottleneck (Fig. 3).
-class SpmlTracker final : public DirtyTracker {
+class SpmlTracker final : public DirtyTracker, public sim::PageTrackNotifier {
  public:
   using DirtyTracker::DirtyTracker;
+  ~SpmlTracker() override;
   [[nodiscard]] Technique technique() const noexcept override { return Technique::kSpml; }
   [[nodiscard]] u64 dropped() const override;
+
+  // ---- sim::PageTrackNotifier (flush chain only) ----------------------------
+  bool on_track(sim::TrackLayer layer, const sim::TrackEvent& ev) override;
+  /// munmap of a tracked range: drop the range's GPA -> GVA cache entries —
+  /// a recycled frame would otherwise reverse-map to the old address.
+  void on_track_flush(u32 pid, Gva start, Gva end) override;
 
  protected:
   void do_init() override;
@@ -66,6 +76,7 @@ class SpmlTracker final : public DirtyTracker {
   /// integration reuses first-cycle addresses (§VI-E footnote), so lookups
   /// only pay M16/M17 for GPAs not yet in the cache.
   std::unordered_map<Gpa, Gva> rmap_cache_;
+  bool flush_registered_ = false;
 };
 
 /// Extended PML (§IV-D): the hardware logs GVAs straight into a guest-level
@@ -84,6 +95,37 @@ class EpmlTracker final : public DirtyTracker {
 
  private:
   guest::OohModule* module_ = nullptr;
+};
+
+/// KVM-page_track-style write-protection tracking, built on the kEptWpFault
+/// layer of the page-track notifier chain: init write-protects every EPT
+/// entry backing the tracked process; a first write raises an EPT
+/// permission fault that records the GVA and un-protects the entry (one
+/// VM-exit per dirty page); collect() re-protects the harvested pages.
+/// Pages demand-mapped after the protect pass are caught at their EPT
+/// dirty-flag transition (kEptDirty), so no dirty page is missed.
+class WpTracker final : public DirtyTracker, public sim::PageTrackNotifier {
+ public:
+  using DirtyTracker::DirtyTracker;
+  ~WpTracker() override;
+  [[nodiscard]] Technique technique() const noexcept override { return Technique::kWp; }
+
+  // ---- sim::PageTrackNotifier (kEptWpFault + kEptDirty) ---------------------
+  bool on_track(sim::TrackLayer layer, const sim::TrackEvent& ev) override;
+
+ protected:
+  void do_init() override;
+  void do_begin_interval() override {}
+  [[nodiscard]] std::vector<Gva> do_collect() override;
+  void do_shutdown() override;
+
+ private:
+  /// Write-protect the EPT entries backing `pages` (batch: one TLB shootdown).
+  void protect_pages(const std::vector<Gva>& pages);
+
+  std::unordered_set<Gva> pending_;    ///< dirty GVAs since the last collect.
+  std::unordered_set<Gpa> protected_;  ///< GPAs whose EPT entry we un-writabled.
+  bool registered_ = false;
 };
 
 /// The hypothetical zero-cost technique of §VI-B ("oracle"): perfect dirty

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "sim/exec_context.hpp"
+#include "sim/page_track.hpp"
 #include "sim/vcpu.hpp"
 
 namespace ooh::sim {
@@ -10,68 +11,10 @@ namespace ooh::sim {
 Mmu::Mmu(Vcpu& vcpu, Ept& ept, SppTable* spp)
     : ctx_(vcpu.ctx()), vcpu_(vcpu), ept_(ept), spp_(spp) {}
 
-bool Mmu::read_log_active() const noexcept {
-  const Vmcs& v = vcpu_.vmcs();
-  return v.control(kEnablePml) && v.control(kEnablePmlReadLog) &&
-         v.read(VmcsField::kPmlAddress) != 0;
-}
-
-bool Mmu::hyp_pml_active() const noexcept {
-  const Vmcs& v = vcpu_.vmcs();
-  return v.control(kEnablePml) && v.read(VmcsField::kPmlAddress) != 0;
-}
-
-bool Mmu::guest_pml_active() const noexcept {
-  const Vmcs& v = vcpu_.vmcs();
-  if (!v.control(kEnableGuestPml)) return false;
-  const Vmcs* shadow = const_cast<Vcpu&>(vcpu_).shadow_vmcs();
-  return shadow != nullptr && shadow->read(VmcsField::kGuestPmlEnable) != 0 &&
-         shadow->read(VmcsField::kGuestPmlAddress) != 0;
-}
-
-void Mmu::log_gpa(Gpa gpa_page) {
-  Vmcs& v = vcpu_.vmcs();
-  u16 idx = static_cast<u16>(v.read(VmcsField::kPmlIndex));
-  if (idx > kPmlIndexStart) {
-    // Index underflowed past entry 0: PML-full VM-exit before logging (SDM).
-    vcpu_.vmexit_to_root(Event::kVmExitPmlFull,
-                         [&] { vcpu_.exits()->on_pml_full(vcpu_); });
-    idx = static_cast<u16>(v.read(VmcsField::kPmlIndex));
-    if (idx > kPmlIndexStart) {
-      throw std::logic_error("PML-full handler did not reset the PML index");
-    }
-  }
-  const Hpa buf = v.read(VmcsField::kPmlAddress);
-  ctx_.pmem.write_u64(buf + u64{idx} * 8, gpa_page);
-  v.write(VmcsField::kPmlIndex, static_cast<u16>(idx - 1));  // wraps past 0
-  ctx_.count(Event::kPmlLogGpa);
-  ctx_.charge_ns(ctx_.cost.pml_log_ns);
-}
-
-void Mmu::log_gva(Gva gva_page) {
-  Vmcs& shadow = *vcpu_.shadow_vmcs();
-  u16 idx = static_cast<u16>(shadow.read(VmcsField::kGuestPmlIndex));
-  if (idx > kPmlIndexStart) {
-    // Guest-level buffer full: posted self-IPI into the OoH module; the
-    // module drains the buffer and resets the index. No VM-exit (EPML).
-    ctx_.count(Event::kSelfIpi);
-    ctx_.charge_us(ctx_.cost.self_ipi_us + ctx_.cost.irq_dispatch_us);
-    vcpu_.irq_sink()->on_guest_pml_full(vcpu_);
-    idx = static_cast<u16>(shadow.read(VmcsField::kGuestPmlIndex));
-    if (idx > kPmlIndexStart) {
-      throw std::logic_error("self-IPI handler did not reset the guest PML index");
-    }
-  }
-  const Hpa buf = shadow.read(VmcsField::kGuestPmlAddress);
-  ctx_.pmem.write_u64(buf + u64{idx} * 8, gva_page);
-  shadow.write(VmcsField::kGuestPmlIndex, static_cast<u16>(idx - 1));
-  ctx_.count(Event::kPmlLogGvaGuest);
-  ctx_.charge_ns(ctx_.cost.pml_log_ns);
-}
-
 Mmu::Result Mmu::access(u32 pid, GuestPageTable& pt, Gva gva, bool is_write) {
   const Gva gva_page = page_floor(gva);
   Tlb& tlb = vcpu_.tlb();
+  WriteTrackRegistry& track = vcpu_.track_registry();
 
   if (TlbEntry* te = tlb.lookup(pid, gva_page); te != nullptr) {
     // A cached translation can serve reads always, and writes when the
@@ -95,7 +38,8 @@ Mmu::Result Mmu::access(u32 pid, GuestPageTable& pt, Gva gva, bool is_write) {
   pte->accessed = true;
   if (is_write && !pte->dirty) {
     pte->dirty = true;
-    if (guest_pml_active()) log_gva(gva_page);
+    track.dispatch(TrackLayer::kGuestPtDirty,
+                   {&vcpu_, pid, gva_page, pte->gpa_page});
   }
   const Gpa gpa = pte->gpa_page | page_offset(gva);
 
@@ -114,6 +58,18 @@ Mmu::Result Mmu::access(u32 pid, GuestPageTable& pt, Gva gva, bool is_write) {
       throw std::logic_error("EPT violation handler did not map the GPA");
     }
   }
+  if (is_write && !epte->writable) {
+    // Write to a write-protected EPT entry: an EPT violation the page-track
+    // fault chain must resolve (KVM-page_track-style write interception).
+    // Unlike the not-present case the hypervisor has no generic fix-up, so
+    // an unhandled fault is a configuration error.
+    ctx_.count(Event::kEptWpFault);
+    if (!track.dispatch(TrackLayer::kEptWpFault,
+                        {&vcpu_, pid, gva_page, pte->gpa_page}) ||
+        !epte->writable) {
+      throw std::logic_error("write to a write-protected EPT entry with no handler");
+    }
+  }
   // SPP: writes to a sub-page whose permission bit is clear raise an
   // SPP-violation exit before any dirty state changes (guard semantics).
   if (is_write && epte->spp && spp_ != nullptr && !spp_->write_allowed(gpa)) {
@@ -125,18 +81,14 @@ Mmu::Result Mmu::access(u32 pid, GuestPageTable& pt, Gva gva, bool is_write) {
 
   if (!epte->accessed) {
     epte->accessed = true;
-    // Read-logging extension: accessed-flag transitions log the GPA so the
-    // hypervisor can estimate the working set (touched pages, not just
-    // dirtied ones).
-    if (read_log_active()) {
-      ctx_.count(Event::kPmlLogRead);
-      log_gpa(pte->gpa_page);
-    }
+    track.dispatch(TrackLayer::kEptAccessed,
+                   {&vcpu_, pid, gva_page, pte->gpa_page});
   }
   if (is_write && !epte->dirty) {
     epte->dirty = true;
     ctx_.count(Event::kEptDirtySet);
-    if (hyp_pml_active() && !read_log_active()) log_gpa(pte->gpa_page);
+    track.dispatch(TrackLayer::kEptDirty,
+                   {&vcpu_, pid, gva_page, pte->gpa_page});
   }
 
   TlbEntry te;

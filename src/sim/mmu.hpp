@@ -1,17 +1,18 @@
-// The MMU write path: TLB -> guest page-table walk -> EPT walk, with the
-// PML logging circuit at the two dirty-flag transition points.
+// The MMU write path: TLB -> guest page-table walk -> EPT walk.
 //
-// This is where the paper's central hardware mechanism lives:
-//   * hypervisor-level PML (original Intel PML): a write that sets an EPT
-//     dirty flag logs the GPA into the buffer at VMCS.PML_ADDRESS; when the
-//     index underflows, a PML-full VM-exit is raised *before* logging.
-//   * guest-level PML (the EPML extension): a write that sets a guest-PTE
-//     dirty flag logs the GVA into the buffer at VMCS.GUEST_PML_ADDRESS
-//     (shadow VMCS); a full buffer raises a posted self-IPI handled by the
-//     guest OoH module with no VM-exit.
+// Every dirty-producing transition the walk observes is dispatched through
+// the vCPU's page-track notifier chain (sim/page_track.hpp) at the layer
+// where it originates:
+//   * a guest-PTE dirty-flag transition -> kGuestPtDirty (the EPML circuit
+//     logs the GVA if armed);
+//   * an EPT accessed-flag transition  -> kEptAccessed (read-logging);
+//   * an EPT dirty-flag transition     -> kEptDirty (the Intel PML circuit
+//     logs the GPA if armed);
+//   * a write to a write-protected EPT entry -> kEptWpFault (KVM
+//     page_track-style write interception; must be handled).
 //
-// Faults are *returned*, not handled: the guest kernel owns fault policy
-// (demand paging, soft-dirty, userfaultfd) and retries the access.
+// Guest-level faults are *returned*, not handled: the guest kernel owns
+// fault policy (demand paging, soft-dirty, userfaultfd) and retries.
 #pragma once
 
 #include "base/types.hpp"
@@ -50,12 +51,6 @@ class Mmu {
   [[nodiscard]] Ept& ept() noexcept { return ept_; }
 
  private:
-  [[nodiscard]] bool hyp_pml_active() const noexcept;
-  [[nodiscard]] bool guest_pml_active() const noexcept;
-  [[nodiscard]] bool read_log_active() const noexcept;
-  void log_gpa(Gpa gpa_page);
-  void log_gva(Gva gva_page);
-
   ExecContext& ctx_;
   Vcpu& vcpu_;
   Ept& ept_;

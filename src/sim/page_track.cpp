@@ -1,0 +1,220 @@
+#include "sim/page_track.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sim/exec_context.hpp"
+#include "sim/vcpu.hpp"
+
+namespace ooh::sim {
+
+std::string_view track_layer_name(TrackLayer layer) noexcept {
+  switch (layer) {
+    case TrackLayer::kGuestPtDirty: return "guest-pt-dirty";
+    case TrackLayer::kEptDirty: return "ept-dirty";
+    case TrackLayer::kEptAccessed: return "ept-accessed";
+    case TrackLayer::kEptWpFault: return "ept-wp-fault";
+    case TrackLayer::kGuestWpFault: return "guest-wp-fault";
+    case TrackLayer::kPmlDrain: return "pml-drain";
+    case TrackLayer::kCount: break;
+  }
+  return "?";
+}
+
+void WriteTrackRegistry::register_notifier(TrackLayer layer, PageTrackNotifier* n,
+                                           bool is_enabled) {
+  if (n == nullptr) throw std::invalid_argument("null page-track notifier");
+  if (registered(layer, n)) {
+    throw std::logic_error("notifier already registered on this layer");
+  }
+  chain(layer).push_back(Registration{n, is_enabled, 0});
+}
+
+void WriteTrackRegistry::unregister_notifier(TrackLayer layer, PageTrackNotifier* n) {
+  auto& regs = chain(layer);
+  const auto it = std::find_if(regs.begin(), regs.end(),
+                               [n](const Registration& r) { return r.notifier == n; });
+  if (it == regs.end()) {
+    throw std::logic_error("notifier not registered on this layer");
+  }
+  regs.erase(it);
+}
+
+bool WriteTrackRegistry::registered(TrackLayer layer,
+                                    const PageTrackNotifier* n) const noexcept {
+  const auto& regs = chain(layer);
+  return std::any_of(regs.begin(), regs.end(),
+                     [n](const Registration& r) { return r.notifier == n; });
+}
+
+void WriteTrackRegistry::set_enabled(TrackLayer layer, PageTrackNotifier* n,
+                                     bool is_enabled) {
+  for (Registration& r : chain(layer)) {
+    if (r.notifier == n) {
+      r.enabled = is_enabled;
+      return;
+    }
+  }
+  throw std::logic_error("set_enabled on a notifier not registered on this layer");
+}
+
+bool WriteTrackRegistry::enabled(TrackLayer layer,
+                                 const PageTrackNotifier* n) const noexcept {
+  for (const Registration& r : chain(layer)) {
+    if (r.notifier == n) return r.enabled;
+  }
+  return false;
+}
+
+bool WriteTrackRegistry::any_enabled(TrackLayer layer) const noexcept {
+  const auto& regs = chain(layer);
+  return std::any_of(regs.begin(), regs.end(),
+                     [](const Registration& r) { return r.enabled; });
+}
+
+bool WriteTrackRegistry::dispatch(TrackLayer layer, const TrackEvent& ev) {
+  Chain& c = chains_[static_cast<std::size_t>(layer)];
+  ++c.dispatched;
+  bool handled = false;
+  // Index loop, not iterators: a notifier may register or unregister
+  // notifiers on this layer — including itself — while handling an event
+  // (e.g. a tracker tearing down).
+  for (std::size_t i = 0; i < c.regs.size();) {
+    if (!c.regs[i].enabled) {
+      ++i;
+      continue;
+    }
+    PageTrackNotifier* n = c.regs[i].notifier;
+    ++c.regs[i].delivered;
+    if (n->on_track(layer, ev)) {
+      handled = true;
+      if (stops_at_first_handler(layer)) break;
+    }
+    // Unregistration during the callback shifts the chain left; advance
+    // only if slot i still holds the notifier that just ran.
+    if (i < c.regs.size() && c.regs[i].notifier == n) ++i;
+  }
+  return handled;
+}
+
+void WriteTrackRegistry::register_flush(PageTrackNotifier* n) {
+  if (n == nullptr) throw std::invalid_argument("null page-track flush notifier");
+  if (std::find(flush_chain_.begin(), flush_chain_.end(), n) != flush_chain_.end()) {
+    throw std::logic_error("flush notifier already registered");
+  }
+  flush_chain_.push_back(n);
+}
+
+void WriteTrackRegistry::unregister_flush(PageTrackNotifier* n) {
+  const auto it = std::find(flush_chain_.begin(), flush_chain_.end(), n);
+  if (it == flush_chain_.end()) throw std::logic_error("flush notifier not registered");
+  flush_chain_.erase(it);
+}
+
+void WriteTrackRegistry::notify_flush(u32 pid, Gva start, Gva end) {
+  for (std::size_t i = 0; i < flush_chain_.size(); ++i) {
+    flush_chain_[i]->on_track_flush(pid, start, end);
+  }
+}
+
+u64 WriteTrackRegistry::events_delivered(TrackLayer layer,
+                                         const PageTrackNotifier* n) const noexcept {
+  for (const Registration& r : chain(layer)) {
+    if (r.notifier == n) return r.delivered;
+  }
+  return 0;
+}
+
+u64 WriteTrackRegistry::events_dispatched(TrackLayer layer) const noexcept {
+  return chains_[static_cast<std::size_t>(layer)].dispatched;
+}
+
+// ---- HypPmlLogger -----------------------------------------------------------
+
+namespace {
+
+bool hyp_pml_active(const Vcpu& vcpu) noexcept {
+  const Vmcs& v = vcpu.vmcs();
+  return v.control(kEnablePml) && v.read(VmcsField::kPmlAddress) != 0;
+}
+
+bool read_log_active(const Vcpu& vcpu) noexcept {
+  const Vmcs& v = vcpu.vmcs();
+  return v.control(kEnablePml) && v.control(kEnablePmlReadLog) &&
+         v.read(VmcsField::kPmlAddress) != 0;
+}
+
+bool guest_pml_active(Vcpu& vcpu) noexcept {
+  const Vmcs& v = vcpu.vmcs();
+  if (!v.control(kEnableGuestPml)) return false;
+  const Vmcs* shadow = vcpu.shadow_vmcs();
+  return shadow != nullptr && shadow->read(VmcsField::kGuestPmlEnable) != 0 &&
+         shadow->read(VmcsField::kGuestPmlAddress) != 0;
+}
+
+}  // namespace
+
+void HypPmlLogger::log_gpa(Vcpu& vcpu, Gpa gpa_page) {
+  ExecContext& ctx = vcpu.ctx();
+  Vmcs& v = vcpu.vmcs();
+  u16 idx = static_cast<u16>(v.read(VmcsField::kPmlIndex));
+  if (idx > kPmlIndexStart) {
+    // Index underflowed past entry 0: PML-full VM-exit before logging (SDM).
+    vcpu.vmexit_to_root(Event::kVmExitPmlFull, [&] { vcpu.exits()->on_pml_full(vcpu); });
+    idx = static_cast<u16>(v.read(VmcsField::kPmlIndex));
+    if (idx > kPmlIndexStart) {
+      throw std::logic_error("PML-full handler did not reset the PML index");
+    }
+  }
+  const Hpa buf = v.read(VmcsField::kPmlAddress);
+  ctx.pmem.write_u64(buf + u64{idx} * 8, gpa_page);
+  v.write(VmcsField::kPmlIndex, static_cast<u16>(idx - 1));  // wraps past 0
+  ctx.count(Event::kPmlLogGpa);
+  ctx.charge_ns(ctx.cost.pml_log_ns);
+}
+
+bool HypPmlLogger::on_track(TrackLayer layer, const TrackEvent& ev) {
+  Vcpu& vcpu = *ev.vcpu;
+  if (layer == TrackLayer::kEptAccessed) {
+    // Read-logging extension: accessed-flag transitions log the GPA so the
+    // hypervisor can estimate the working set (touched, not just dirtied).
+    if (!read_log_active(vcpu)) return false;
+    vcpu.ctx().count(Event::kPmlLogRead);
+    log_gpa(vcpu, ev.gpa_page);
+    return true;
+  }
+  // kEptDirty. Under read-logging the accessed transition already logged
+  // this page; logging the dirty transition too would double-count it.
+  if (!hyp_pml_active(vcpu) || read_log_active(vcpu)) return false;
+  log_gpa(vcpu, ev.gpa_page);
+  return true;
+}
+
+// ---- GuestPmlLogger ---------------------------------------------------------
+
+bool GuestPmlLogger::on_track(TrackLayer /*layer*/, const TrackEvent& ev) {
+  Vcpu& vcpu = *ev.vcpu;
+  if (!guest_pml_active(vcpu)) return false;
+  ExecContext& ctx = vcpu.ctx();
+  Vmcs& shadow = *vcpu.shadow_vmcs();
+  u16 idx = static_cast<u16>(shadow.read(VmcsField::kGuestPmlIndex));
+  if (idx > kPmlIndexStart) {
+    // Guest-level buffer full: posted self-IPI into the OoH module; the
+    // module drains the buffer and resets the index. No VM-exit (EPML).
+    ctx.count(Event::kSelfIpi);
+    ctx.charge_us(ctx.cost.self_ipi_us + ctx.cost.irq_dispatch_us);
+    vcpu.irq_sink()->on_guest_pml_full(vcpu);
+    idx = static_cast<u16>(shadow.read(VmcsField::kGuestPmlIndex));
+    if (idx > kPmlIndexStart) {
+      throw std::logic_error("self-IPI handler did not reset the guest PML index");
+    }
+  }
+  const Hpa buf = shadow.read(VmcsField::kGuestPmlAddress);
+  ctx.pmem.write_u64(buf + u64{idx} * 8, ev.gva_page);
+  shadow.write(VmcsField::kGuestPmlIndex, static_cast<u16>(idx - 1));
+  ctx.count(Event::kPmlLogGvaGuest);
+  ctx.charge_ns(ctx.cost.pml_log_ns);
+  return true;
+}
+
+}  // namespace ooh::sim

@@ -7,7 +7,14 @@
 
 namespace ooh::sim {
 
-Vcpu::Vcpu(Machine& machine, u32 id) : ctx_(machine.create_context()), id_(id) {}
+Vcpu::Vcpu(Machine& machine, u32 id) : ctx_(machine.create_context()), id_(id) {
+  // The hardware logging circuits are permanent chain members, first in
+  // dispatch order; each checks its own VMCS arming per event, so an
+  // unconfigured circuit is a no-op exactly like the un-enabled hardware.
+  track_.register_notifier(TrackLayer::kGuestPtDirty, &guest_pml_circuit_);
+  track_.register_notifier(TrackLayer::kEptAccessed, &hyp_pml_circuit_);
+  track_.register_notifier(TrackLayer::kEptDirty, &hyp_pml_circuit_);
+}
 
 Vmcs& Vcpu::create_shadow_vmcs() {
   if (!shadow_) {

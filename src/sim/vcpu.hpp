@@ -12,6 +12,7 @@
 #include "base/types.hpp"
 #include "sim/exec_context.hpp"
 #include "sim/hw_if.hpp"
+#include "sim/page_track.hpp"
 #include "sim/tlb.hpp"
 #include "sim/vmcs.hpp"
 
@@ -59,6 +60,11 @@ class Vcpu {
   [[nodiscard]] GuestIrqSink* irq_sink() noexcept { return irq_; }
   [[nodiscard]] Ept* ept() noexcept { return ept_; }
 
+  /// This vCPU's page-track notifier chain. The hardware PML logging
+  /// circuits are registered first (at construction), so software consumers
+  /// added later always observe events after the hardware logged them.
+  [[nodiscard]] WriteTrackRegistry& track_registry() noexcept { return track_; }
+
   // -- guest-mode instructions ----------------------------------------------
   /// vmread executed in VMX non-root mode. Requires VMCS shadowing; reads
   /// the shadow VMCS without a VM-exit. Charges Table V(a) M7.
@@ -98,6 +104,9 @@ class Vcpu {
   VmExitHandler* exits_ = nullptr;
   GuestIrqSink* irq_ = nullptr;
   Ept* ept_ = nullptr;
+  WriteTrackRegistry track_;
+  HypPmlLogger hyp_pml_circuit_;
+  GuestPmlLogger guest_pml_circuit_;
 };
 
 }  // namespace ooh::sim

@@ -14,7 +14,7 @@ namespace {
 using lib::Technique;
 
 constexpr Technique kAll[] = {Technique::kProc, Technique::kUfd, Technique::kSpml,
-                              Technique::kEpml, Technique::kOracle};
+                              Technique::kEpml, Technique::kWp, Technique::kOracle};
 
 std::string tech_label(Technique t) {
   switch (t) {
@@ -22,6 +22,7 @@ std::string tech_label(Technique t) {
     case Technique::kUfd: return "ufd";
     case Technique::kSpml: return "spml";
     case Technique::kEpml: return "epml";
+    case Technique::kWp: return "wp";
     case Technique::kOracle: return "oracle";
   }
   return "?";

@@ -102,8 +102,9 @@ struct TenantOutcome {
 };
 
 /// The same multi-tenant experiment either serially or on a worker pool:
-/// every VM runs an EPML-tracked writer workload with periodic collections.
-std::vector<TenantOutcome> run_fleet(unsigned vms, unsigned threads) {
+/// every VM runs a tracked writer workload with periodic collections.
+std::vector<TenantOutcome> run_fleet(unsigned vms, unsigned threads,
+                                     lib::Technique tech = lib::Technique::kEpml) {
   lib::TestBedOptions opts;
   opts.tenant_vms = vms;
   opts.vm_mem_bytes = 64 * kMiB;
@@ -116,7 +117,7 @@ std::vector<TenantOutcome> run_fleet(unsigned vms, unsigned threads) {
         guest::Process& proc = k.create_process();
         const u64 pages = 96 + i * 16;  // distinct per-VM working sets
         const Gva base = proc.mmap(pages * kPageSize);
-        auto tracker = lib::make_tracker(lib::Technique::kEpml, k, proc);
+        auto tracker = lib::make_tracker(tech, k, proc);
         lib::RunOptions ropts;
         ropts.collect_period = msecs(1);
         std::vector<Gva> dirty;
@@ -161,6 +162,29 @@ TEST(ParallelTenants, SerialAndParallelRunsAreBitIdentical) {
   // Different working-set sizes must yield different timelines — guard
   // against the comparison passing because everything is trivially zero.
   EXPECT_NE(serial[0].clock_us, serial[kVms - 1].clock_us);
+}
+
+TEST(ParallelTenants, EveryTrackerBackendIsDeterministic) {
+  // The page-track refactor's pinning test: for every DirtyTracker backend
+  // the per-VM virtual timeline — clock, counters, dirty set — must be
+  // bit-identical between serial and parallel execution. Any notifier whose
+  // dispatch order or cost attribution depended on host-side state would
+  // break this.
+  for (const lib::Technique tech :
+       {lib::Technique::kProc, lib::Technique::kUfd, lib::Technique::kSpml,
+        lib::Technique::kEpml, lib::Technique::kWp, lib::Technique::kOracle}) {
+    SCOPED_TRACE(std::string(lib::technique_name(tech)));
+    const std::vector<TenantOutcome> serial = run_fleet(2, 1, tech);
+    const std::vector<TenantOutcome> parallel = run_fleet(2, 2, tech);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (unsigned i = 0; i < serial.size(); ++i) {
+      SCOPED_TRACE("vm " + std::to_string(i));
+      EXPECT_EQ(serial[i].clock_us, parallel[i].clock_us);
+      EXPECT_TRUE(serial[i].counters == parallel[i].counters);
+      EXPECT_EQ(serial[i].dirty, parallel[i].dirty);
+      EXPECT_GT(serial[i].dirty.size(), 0u);
+    }
+  }
 }
 
 TEST(ParallelTenants, PerVmTimelineIndependentOfFleetSize) {

@@ -73,7 +73,7 @@ TEST(Failures, ModuleUnloadUntracksEverything) {
   mod.track(p1);
   mod.track(p2);
   k.unload_ooh_module();  // must untrack both and release PML cleanly
-  EXPECT_FALSE(bed.vm().pml_enabled_by_guest);
+  EXPECT_FALSE(bed.vm().pml_enabled_by_guest());
   EXPECT_FALSE(bed.vm().vcpu().vmcs().control(sim::kEnablePml));
   // Fresh module works afterwards.
   guest::OohModule& mod2 = k.load_ooh_module(guest::OohMode::kEpml);

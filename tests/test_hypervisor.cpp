@@ -68,7 +68,7 @@ TEST_F(HypervisorTest, SpmlHypercallFlowRoutesGpasToRing) {
 
   sim::Vcpu& vcpu = vm.vcpu();
   vcpu.hypercall(sim::Hypercall::kOohInitPml, 8 * kPageSize);
-  EXPECT_TRUE(vm.pml_enabled_by_guest);
+  EXPECT_TRUE(vm.pml_enabled_by_guest());
   EXPECT_FALSE(vcpu.vmcs().control(sim::kEnablePml)) << "init does not start logging";
 
   vcpu.hypercall(sim::Hypercall::kOohEnableLogging);
@@ -82,7 +82,7 @@ TEST_F(HypervisorTest, SpmlHypercallFlowRoutesGpasToRing) {
   EXPECT_EQ(gpas.front(), 0x4000u);
 
   vcpu.hypercall(sim::Hypercall::kOohDeactivatePml);
-  EXPECT_FALSE(vm.pml_enabled_by_guest);
+  EXPECT_FALSE(vm.pml_enabled_by_guest());
 }
 
 TEST_F(HypervisorTest, EnableLoggingWithoutInitFails) {
@@ -182,7 +182,7 @@ TEST_F(HypervisorTest, MigrationConvergesOnIdleGuest) {
   EXPECT_GE(rep.initial_pages, 32u);
   EXPECT_GT(rep.pages_sent, rep.initial_pages) << "pre-copy resent dirty pages";
   EXPECT_LE(rep.downtime.count(), rep.total_time.count());
-  EXPECT_FALSE(vm.pml_enabled_by_hyp) << "migration tears its PML use down";
+  EXPECT_FALSE(vm.pml_enabled_by_hyp()) << "migration tears its PML use down";
 }
 
 TEST_F(HypervisorTest, MigrationForcedStopCopyOnHotGuest) {

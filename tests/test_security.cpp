@@ -155,7 +155,7 @@ TEST(Security, DeactivationOrderingRespectsTheOtherSide) {
   auto tracker = lib::make_tracker(lib::Technique::kSpml, k, proc);
   tracker->init();
   tracker->shutdown();  // guest side gone
-  EXPECT_TRUE(bed.vm().pml_enabled_by_hyp);
+  EXPECT_TRUE(bed.vm().pml_enabled_by_hyp());
   EXPECT_TRUE(bed.vm().vcpu().vmcs().control(sim::kEnablePml))
       << "hypervisor logging survives guest deactivation";
   bed.hypervisor().disable_pml_for_hyp(bed.vm());

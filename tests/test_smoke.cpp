@@ -42,13 +42,14 @@ TEST_P(SmokeTest, CapturesAllDirtyPages) {
 INSTANTIATE_TEST_SUITE_P(AllTechniques, SmokeTest,
                          ::testing::Values(lib::Technique::kProc, lib::Technique::kUfd,
                                            lib::Technique::kSpml, lib::Technique::kEpml,
-                                           lib::Technique::kOracle),
+                                           lib::Technique::kWp, lib::Technique::kOracle),
                          [](const auto& pinfo) {
                            switch (pinfo.param) {
                              case lib::Technique::kProc: return "proc";
                              case lib::Technique::kUfd: return "ufd";
                              case lib::Technique::kSpml: return "spml";
                              case lib::Technique::kEpml: return "epml";
+                             case lib::Technique::kWp: return "wp";
                              case lib::Technique::kOracle: return "oracle";
                            }
                            return "unknown";

@@ -16,7 +16,7 @@ namespace ooh::lib {
 namespace {
 
 constexpr Technique kAll[] = {Technique::kProc, Technique::kUfd, Technique::kSpml,
-                              Technique::kEpml, Technique::kOracle};
+                              Technique::kEpml, Technique::kWp, Technique::kOracle};
 
 std::string tech_label(Technique t) {
   switch (t) {
@@ -24,6 +24,7 @@ std::string tech_label(Technique t) {
     case Technique::kUfd: return "ufd";
     case Technique::kSpml: return "spml";
     case Technique::kEpml: return "epml";
+    case Technique::kWp: return "wp";
     case Technique::kOracle: return "oracle";
   }
   return "?";
