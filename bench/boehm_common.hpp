@@ -86,6 +86,10 @@ inline FleetResult run_boehm_fleet(unsigned vms, u64 scale, lib::Technique tech,
       [&](unsigned i) {
         out.runs[i] = run_boehm_in(bed.kernel(i), "histogram", wl::ConfigSize::kLarge,
                                    scale, tech);
+        // Per-VM coherence audit from the worker thread itself (audit builds
+        // only): tenants audit concurrently, the global frame pass runs
+        // after the pool joins inside run_tenants().
+        bed.hypervisor().audit_now(bed.vm(i).id());
       },
       workers);
   out.wall_ms =

@@ -9,6 +9,7 @@
 // so completeness tests can distinguish "missed" from "not dirtied".
 #pragma once
 
+#include <cassert>
 #include <cstddef>
 #include <vector>
 
@@ -18,10 +19,14 @@ namespace ooh {
 
 class RingBuffer {
  public:
-  explicit RingBuffer(std::size_t capacity) : buf_(capacity) {}
+  explicit RingBuffer(std::size_t capacity) : buf_(capacity) {
+    // A zero-capacity ring divides by zero on the first push.
+    assert(capacity > 0 && "RingBuffer capacity must be nonzero");
+  }
 
   /// Push one entry; returns false (and counts a drop) when full.
   bool push(u64 value) noexcept {
+    assert(size_ <= buf_.size() && head_ < buf_.size());
     if (size_ == buf_.size()) {
       ++dropped_;
       return false;
@@ -33,6 +38,7 @@ class RingBuffer {
 
   /// Pop the oldest entry into `out`; false when empty.
   bool pop(u64& out) noexcept {
+    assert(size_ <= buf_.size() && head_ < buf_.size());
     if (size_ == 0) return false;
     out = buf_[head_];
     head_ = (head_ + 1) % buf_.size();

@@ -50,6 +50,13 @@ class GuestKernel final : public sim::GuestIrqSink {
   Process& create_process();
   [[nodiscard]] Process* find(u32 pid) noexcept;
 
+  /// Visit every live process as fn(Process&, sim::GuestPageTable&); the
+  /// coherence oracle re-derives TLB entries and GPA ownership through this.
+  template <typename Fn>
+  void for_each_process(Fn&& fn) {
+    for (auto& e : procs_) fn(*e.proc, *e.pt);
+  }
+
   /// This VM's execution context (private clock, counters, TLB).
   [[nodiscard]] sim::ExecContext& ctx() noexcept { return ctx_; }
   [[nodiscard]] hv::Vm& vm() noexcept { return vm_; }

@@ -3,6 +3,7 @@
 // PML (SPML) and the hypervisor's own (live migration).
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <span>
 #include <vector>
@@ -49,6 +50,20 @@ class Hypervisor final : public sim::VmExitHandler {
 
   [[nodiscard]] sim::Machine& machine() noexcept { return machine_; }
 
+  // ---- coherence-oracle seam -------------------------------------------------
+  /// The environment (TestBed) may install a hook that audits one VM's
+  /// cross-layer state; lower layers then request audits at their natural
+  /// boundaries (collection intervals, migration rounds) without depending
+  /// on the checker. The hook must be per-VM-scoped: tenants audit
+  /// concurrently from worker threads.
+  void set_audit_hook(std::function<void(u32 vm_index)> hook) {
+    audit_hook_ = std::move(hook);
+  }
+  /// Run the installed audit hook over `vm_index` (no-op when absent).
+  void audit_now(u32 vm_index) {
+    if (audit_hook_) audit_hook_(vm_index);
+  }
+
  private:
   [[nodiscard]] Vm& vm_of(const sim::Vcpu& vcpu);
   void ensure_pml_buffer(Vm& vm);
@@ -63,6 +78,7 @@ class Hypervisor final : public sim::VmExitHandler {
 
   sim::Machine& machine_;
   std::vector<std::unique_ptr<Vm>> vms_;
+  std::function<void(u32)> audit_hook_;
 };
 
 }  // namespace ooh::hv

@@ -25,6 +25,9 @@ MigrationReport MigrationEngine::migrate(Vm& vm,
   for (unsigned round = 0; round < opts.max_rounds; ++round) {
     run_guest_quantum();
     const std::vector<Gpa> dirty = hv_.harvest_hyp_dirty(vm);
+    // Pre-copy round boundary: let an installed coherence hook audit this
+    // VM (no-op outside audit builds; see Hypervisor::set_audit_hook).
+    hv_.audit_now(vm.id());
     m.count(Event::kMigrationRound);
     ++rep.rounds;
     if (dirty.size() <= opts.stop_copy_threshold_pages) {
@@ -51,6 +54,7 @@ MigrationReport MigrationEngine::migrate(Vm& vm,
   (void)last_dirty;
 
   hv_.disable_pml_for_hyp(vm);
+  hv_.audit_now(vm.id());
   rep.total_time = m.clock.now() - start;
   return rep;
 }

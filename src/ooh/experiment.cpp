@@ -2,6 +2,9 @@
 
 #include <unordered_set>
 
+#include "hypervisor/hypervisor.hpp"
+#include "sim/check/coherence.hpp"
+
 namespace ooh::lib {
 
 RunResult run_tracked(guest::GuestKernel& kernel, guest::Process& proc,
@@ -20,6 +23,11 @@ RunResult run_tracked(guest::GuestKernel& kernel, guest::Process& proc,
     reported.insert(pages.begin(), pages.end());
     if (opts.on_collected) opts.on_collected(pages);
     tracker->begin_interval();
+    // Collection interval == a natural cross-layer quiescent point: audit
+    // this VM's coherence (no-op unless an audit build installed the hook).
+    if constexpr (check::kCoherenceAuditsEnabled) {
+      kernel.hypervisor().audit_now(kernel.vm().id());
+    }
     ++in_run_collections;
     if (opts.max_collections != 0 && in_run_collections >= opts.max_collections) {
       sched.clear_periodic();
@@ -60,6 +68,9 @@ RunResult run_tracked(guest::GuestKernel& kernel, guest::Process& proc,
     }
     res.phases = tracker->phases();
     res.dropped = tracker->dropped();
+  }
+  if constexpr (check::kCoherenceAuditsEnabled) {
+    kernel.hypervisor().audit_now(kernel.vm().id());
   }
 
   res.unique_pages = reported.size();

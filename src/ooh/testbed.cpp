@@ -17,6 +17,21 @@ TestBed::TestBed(const TestBedOptions& opts) {
     kernels_.push_back(std::make_unique<guest::GuestKernel>(*hypervisor_, vm));
     kernels_.back()->scheduler().set_quantum(opts.sched_quantum);
   }
+  checker_ = std::make_unique<check::CoherenceChecker>(*machine_, *hypervisor_);
+  for (unsigned i = 0; i < opts.tenant_vms; ++i) {
+    checker_->attach_kernel(kernels_[i]->vm().id(), *kernels_[i]);
+  }
+  if (check::kCoherenceAuditsEnabled) {
+    // Lower layers (run_tracked collection intervals, migration rounds)
+    // request audits through the hypervisor's hook; the hook is per-VM so
+    // tenant worker threads can audit their own timelines concurrently.
+    hypervisor_->set_audit_hook(
+        [this](u32 vm_index) { checker_->audit_vm(vm_index); });
+  }
+}
+
+void TestBed::audit() {
+  if (check::kCoherenceAuditsEnabled) checker_->audit_all();
 }
 
 unsigned TestBed::default_workers() noexcept {
@@ -30,6 +45,7 @@ void TestBed::run_tenants(const std::function<void(unsigned)>& body, unsigned th
   const unsigned workers = std::min(threads, n);
   if (workers <= 1) {
     for (unsigned i = 0; i < n; ++i) body(i);
+    audit();
     return;
   }
 
@@ -57,6 +73,9 @@ void TestBed::run_tenants(const std::function<void(unsigned)>& body, unsigned th
   for (unsigned t = 0; t < workers; ++t) pool.emplace_back(worker);
   for (std::thread& th : pool) th.join();
   if (first_error) std::rethrow_exception(first_error);
+  // Global passes (frame-ownership exclusivity) walk every VM's EPT, so
+  // they only run once the workers have joined.
+  audit();
 }
 
 }  // namespace ooh::lib

@@ -15,6 +15,7 @@
 #include "base/cost_model.hpp"
 #include "guest/kernel.hpp"
 #include "hypervisor/hypervisor.hpp"
+#include "sim/check/coherence.hpp"
 #include "sim/machine.hpp"
 
 namespace ooh::lib {
@@ -58,10 +59,21 @@ class TestBed {
   /// The worker count run_tenants() would use for `threads == 0`.
   [[nodiscard]] static unsigned default_workers() noexcept;
 
+  /// The machine-state coherence oracle, wired over every tenant. In audit
+  /// builds (check::kCoherenceAuditsEnabled) it also runs automatically at
+  /// collection intervals, migration rounds and after run_tenants().
+  [[nodiscard]] check::CoherenceChecker& checker() noexcept { return *checker_; }
+
+  /// Full coherence audit of the machine: every tenant VM plus the global
+  /// frame-ownership pass. No-op unless this is an audit build — callable
+  /// unconditionally from figure drivers without perturbing Release runs.
+  void audit();
+
  private:
   std::unique_ptr<sim::Machine> machine_;
   std::unique_ptr<hv::Hypervisor> hypervisor_;
   std::vector<std::unique_ptr<guest::GuestKernel>> kernels_;
+  std::unique_ptr<check::CoherenceChecker> checker_;
 };
 
 }  // namespace ooh::lib

@@ -1,0 +1,451 @@
+#include "sim/check/coherence.hpp"
+
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "guest/kernel.hpp"
+#include "guest/process.hpp"
+#include "hypervisor/hypervisor.hpp"
+#include "hypervisor/vm.hpp"
+#include "sim/machine.hpp"
+
+namespace ooh::check {
+
+namespace {
+
+std::string hex(u64 v) {
+  std::ostringstream os;
+  os << "0x" << std::hex << v;
+  return os.str();
+}
+
+/// The in-flight entries of one PML buffer, decoded from its count-down
+/// index. Legal raw index values are 0..511 (next free slot) and 0xFFFF
+/// (the u16 wrap after slot 0 was filled: all 512 slots in flight); the
+/// in-flight slots are [512 - count, 512).
+std::vector<u64> read_in_flight(const char* index_id, Layer layer, u32 vm_id,
+                                const sim::PhysicalMemory& pmem, Hpa buf,
+                                u64 raw_index) {
+  if (raw_index > kPmlIndexStart && raw_index != 0xFFFF) {
+    throw InvariantViolation(index_id, layer, vm_id, kNoAddr, kNoAddr,
+                             "PML index in [0, 511] or 0xFFFF (wrapped)",
+                             "index " + hex(raw_index));
+  }
+  const u64 count = raw_index == 0xFFFF
+                        ? kPmlBufferEntries
+                        : static_cast<u64>(kPmlIndexStart) - raw_index;
+  std::vector<u64> entries;
+  entries.reserve(count);
+  for (u64 slot = kPmlBufferEntries - count; slot < kPmlBufferEntries; ++slot) {
+    entries.push_back(pmem.read_u64(buf + slot * 8));
+  }
+  return entries;
+}
+
+}  // namespace
+
+void CoherenceChecker::attach_kernel(u32 vm_index, guest::GuestKernel& kernel) {
+  if (kernels_.size() <= vm_index) kernels_.resize(vm_index + 1, nullptr);
+  kernels_[vm_index] = &kernel;
+}
+
+guest::GuestKernel* CoherenceChecker::kernel_of(u32 vm_index) const noexcept {
+  return vm_index < kernels_.size() ? kernels_[vm_index] : nullptr;
+}
+
+void CoherenceChecker::audit_vm(u32 vm_index) {
+  hv::Vm& vm = hypervisor_.vm(vm_index);
+  audit_tlb(vm);
+  audit_guest_tables(vm);
+  audit_pml_buffers(vm);
+  audit_dirty_accounting(vm);
+  audit_registry(vm);
+  audit_clock(vm);
+  audits_run_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void CoherenceChecker::audit_machine() {
+  audit_frames();
+  audits_run_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void CoherenceChecker::audit_all() {
+  for (std::size_t i = 0; i < hypervisor_.vm_count(); ++i) {
+    audit_vm(static_cast<u32>(i));
+  }
+  audit_machine();
+}
+
+// ---- TLB-* ------------------------------------------------------------------
+
+void CoherenceChecker::audit_tlb(hv::Vm& vm) {
+  const sim::Tlb& tlb = vm.vcpu().tlb();
+  if (tlb.size() > tlb.capacity()) {
+    throw InvariantViolation(
+        "TLB-4", Layer::kTlb, vm.id(), kNoAddr, kNoAddr,
+        "at most " + std::to_string(tlb.capacity()) + " cached translations",
+        std::to_string(tlb.size()) + " cached translations");
+  }
+  guest::GuestKernel* kernel = kernel_of(vm.id());
+  if (kernel == nullptr) return;  // no guest PT to re-derive against
+
+  std::unordered_map<u32, sim::GuestPageTable*> tables;
+  kernel->for_each_process([&](guest::Process& p, sim::GuestPageTable& pt) {
+    tables.emplace(p.pid(), &pt);
+  });
+
+  tlb.for_each([&](u32 pid, Gva gva_page, const sim::TlbEntry& te) {
+    const auto it = tables.find(pid);
+    if (it == tables.end()) {
+      throw InvariantViolation("TLB-1", Layer::kTlb, vm.id(), gva_page,
+                               te.gpa_page, "a live process owning the ASID tag",
+                               "cached translation for unknown pid " +
+                                   std::to_string(pid));
+    }
+    const sim::Pte* pte = it->second->pte(gva_page);
+    if (pte == nullptr || !pte->present) {
+      throw InvariantViolation(
+          "TLB-1", Layer::kTlb, vm.id(), gva_page, te.gpa_page,
+          "a present guest PTE backing the cached translation",
+          "no present PTE (stale entry survived an unmap)");
+    }
+    if (te.gpa_page != pte->gpa_page) {
+      throw InvariantViolation("TLB-1", Layer::kTlb, vm.id(), gva_page,
+                               te.gpa_page,
+                               "cached GPA == guest PTE GPA " + hex(pte->gpa_page),
+                               "cached GPA " + hex(te.gpa_page));
+    }
+    const sim::EptEntry* epte = vm.ept().entry(pte->gpa_page);
+    if (epte == nullptr || !epte->present) {
+      throw InvariantViolation(
+          "TLB-1", Layer::kTlb, vm.id(), gva_page, pte->gpa_page,
+          "a present EPT entry backing the cached translation",
+          "no present EPT entry (stale entry survived an EPT unmap)");
+    }
+    if (te.hpa_page != epte->hpa_page) {
+      throw InvariantViolation("TLB-1", Layer::kTlb, vm.id(), gva_page,
+                               pte->gpa_page,
+                               "cached HPA == EPT HPA " + hex(epte->hpa_page),
+                               "cached HPA " + hex(te.hpa_page));
+    }
+    // Permission/dirty checks are directional: a cached entry may be *more*
+    // restrictive than the tables (stale-conservative is harmless; the next
+    // write re-walks), but never more permissive — a cached writable+dirty
+    // entry lets stores skip the walk, so if the tables disagree, writes
+    // bypass dirty logging. That is the OoH-fatal direction.
+    const bool derivable_writable =
+        pte->writable && !pte->uffd_wp && epte->writable && !epte->spp;
+    if (te.writable && !derivable_writable) {
+      throw InvariantViolation(
+          "TLB-2", Layer::kTlb, vm.id(), gva_page, pte->gpa_page,
+          "cached write permission re-derivable from guest PTE + EPT "
+          "(pte.writable && !pte.uffd_wp && epte.writable && !epte.spp)",
+          "cached writable=1 but the tables deny writes");
+    }
+    const bool derivable_dirty = pte->dirty && epte->dirty;
+    if (te.dirty && !derivable_dirty) {
+      throw InvariantViolation(
+          "TLB-3", Layer::kTlb, vm.id(), gva_page, pte->gpa_page,
+          "cached dirty state re-derivable (pte.dirty && epte.dirty)",
+          std::string("cached dirty=1 but pte.dirty=") +
+              (pte->dirty ? "1" : "0") + " epte.dirty=" +
+              (epte->dirty ? "1" : "0"));
+    }
+  });
+}
+
+// ---- PML-* / EPML-* ---------------------------------------------------------
+
+void CoherenceChecker::audit_pml_buffers(hv::Vm& vm) {
+  sim::Vcpu& vcpu = vm.vcpu();
+  const sim::Vmcs& vmcs = vcpu.vmcs();
+
+  const Hpa buf = vmcs.read(sim::VmcsField::kPmlAddress);
+  if (buf != vm.pml_buffer) {
+    throw InvariantViolation("PML-4", Layer::kPmlBuffer, vm.id(), kNoAddr,
+                             kNoAddr,
+                             "VMCS PML_ADDRESS == the VM's recorded buffer " +
+                                 hex(vm.pml_buffer),
+                             "VMCS PML_ADDRESS " + hex(buf));
+  }
+  if (buf != 0) {
+    if (!is_page_aligned(buf) ||
+        page_index(buf) >= machine_.pmem.total_frames()) {
+      throw InvariantViolation("PML-4", Layer::kPmlBuffer, vm.id(), kNoAddr,
+                               kNoAddr,
+                               "a page-aligned PML buffer frame within host RAM",
+                               "buffer HPA " + hex(buf));
+    }
+    const std::vector<u64> entries =
+        read_in_flight("PML-1", Layer::kPmlBuffer, vm.id(), machine_.pmem, buf,
+                       vmcs.read(sim::VmcsField::kPmlIndex));
+    std::unordered_set<u64> seen;
+    for (const u64 e : entries) {
+      if (!is_page_aligned(e) || e >= vm.mem_bytes()) {
+        throw InvariantViolation(
+            "PML-2", Layer::kPmlBuffer, vm.id(), kNoAddr, e,
+            "a 4K-aligned GPA within the VM's " + hex(vm.mem_bytes()) +
+                "-byte guest-physical space",
+            "logged entry " + hex(e));
+      }
+      if (!seen.insert(e).second) {
+        throw InvariantViolation(
+            "PML-3", Layer::kPmlBuffer, vm.id(), kNoAddr, e,
+            "each in-flight GPA logged at most once "
+            "(the dirty flag stays set until the drain boundary)",
+            "duplicate in-flight entry " + hex(e));
+      }
+    }
+  }
+
+  // EPML: the guest-level buffer named by the shadow VMCS.
+  const bool guest_pml_ctl = vmcs.control(sim::kEnableGuestPml);
+  const sim::Vmcs* shadow = vcpu.shadow_vmcs();
+  if (guest_pml_ctl && shadow == nullptr) {
+    throw InvariantViolation("EPML-3", Layer::kEpmlBuffer, vm.id(), kNoAddr,
+                             kNoAddr,
+                             "a linked shadow VMCS while ENABLE_GUEST_PML is set",
+                             "no shadow VMCS");
+  }
+  if (shadow == nullptr) return;
+  const Hpa gbuf = shadow->read(sim::VmcsField::kGuestPmlAddress);
+  if (gbuf == 0) return;
+  // The stored address is the EPT-translated HPA of a guest-owned frame, so
+  // it must still be backed by a present EPT mapping of this VM.
+  bool backed = is_page_aligned(gbuf);
+  if (backed) {
+    backed = false;
+    vm.ept().for_each_present([&](Gpa, sim::EptEntry& e) {
+      if (e.hpa_page == gbuf) backed = true;
+    });
+  }
+  if (!backed) {
+    throw InvariantViolation(
+        "EPML-4", Layer::kEpmlBuffer, vm.id(), kNoAddr, kNoAddr,
+        "a page-aligned guest PML buffer HPA backed by a present EPT mapping",
+        "buffer HPA " + hex(gbuf));
+  }
+  const std::vector<u64> gentries =
+      read_in_flight("EPML-1", Layer::kEpmlBuffer, vm.id(), machine_.pmem, gbuf,
+                     shadow->read(sim::VmcsField::kGuestPmlIndex));
+  for (const u64 e : gentries) {
+    if (!is_page_aligned(e)) {
+      throw InvariantViolation("EPML-2", Layer::kEpmlBuffer, vm.id(), e,
+                               kNoAddr, "a 4K-aligned logged GVA",
+                               "logged entry " + hex(e));
+    }
+  }
+}
+
+// ---- ACC-* ------------------------------------------------------------------
+
+void CoherenceChecker::audit_dirty_accounting(hv::Vm& vm) {
+  // Accounting is only a closed system while the hypervisor is the sole
+  // kPmlDrain consumer: SPML coexistence deliberately multi-routes drained
+  // GPAs and gates logging off while the tracked process is scheduled out,
+  // so flags legally outrun any single consumer's records there.
+  if (!vm.pml_enabled_by_hyp() || vm.pml_enabled_by_guest()) return;
+  if (vm.pml_buffer == 0) return;
+  const sim::Vmcs& vmcs = vm.vcpu().vmcs();
+  // Under the read-logging extension (WSS sampling) the logged transition is
+  // the accessed flag; dirty transitions deliberately do not re-log.
+  const bool wss = vmcs.control(sim::kEnablePmlReadLog);
+
+  const std::vector<u64> entries =
+      read_in_flight("PML-1", Layer::kPmlBuffer, vm.id(), machine_.pmem,
+                     vm.pml_buffer, vmcs.read(sim::VmcsField::kPmlIndex));
+  const std::unordered_set<Gpa> buffered(entries.begin(), entries.end());
+  const std::unordered_set<Gpa>& log = vm.hyp_dirty_log();
+
+  for (const Gpa gpa : buffered) {
+    if (log.count(gpa) != 0) {
+      throw InvariantViolation(
+          "ACC-2", Layer::kDirtyLog, vm.id(), kNoAddr, gpa,
+          "each logged GPA accounted for by exactly one consumer stage",
+          "GPA both in-flight in the PML buffer and in the drained dirty log");
+    }
+  }
+  const char* flag_name = wss ? "accessed" : "dirty";
+  vm.ept().for_each_present([&](Gpa gpa, sim::EptEntry& e) {
+    const bool flagged = wss ? e.accessed : e.dirty;
+    if (flagged && buffered.count(gpa) == 0 && log.count(gpa) == 0) {
+      throw InvariantViolation(
+          "ACC-1", Layer::kEpt, vm.id(), kNoAddr, gpa,
+          std::string("every set EPT ") + flag_name +
+              " flag accounted for by a consumer "
+              "(in-flight PML buffer or drained dirty log)",
+          std::string("EPT ") + flag_name + " flag set with no consumer record");
+    }
+  });
+}
+
+// ---- PT-* -------------------------------------------------------------------
+
+void CoherenceChecker::audit_guest_tables(hv::Vm& vm) {
+  guest::GuestKernel* kernel = kernel_of(vm.id());
+  if (kernel == nullptr) return;
+  std::unordered_map<Gpa, std::pair<u32, Gva>> owner;  // gpa -> first owner
+  kernel->for_each_process([&](guest::Process& p, sim::GuestPageTable& pt) {
+    pt.for_each_present([&](Gva gva_page, sim::Pte& pte) {
+      if (!is_page_aligned(pte.gpa_page) || pte.gpa_page >= vm.mem_bytes()) {
+        throw InvariantViolation(
+            "PT-1", Layer::kGuestPageTable, vm.id(), gva_page, pte.gpa_page,
+            "a 4K-aligned GPA within the VM's " + hex(vm.mem_bytes()) +
+                "-byte guest-physical space",
+            "PTE maps " + hex(pte.gpa_page));
+      }
+      const auto [it, fresh] =
+          owner.try_emplace(pte.gpa_page, p.pid(), gva_page);
+      if (!fresh) {
+        throw InvariantViolation(
+            "PT-2", Layer::kGuestPageTable, vm.id(), gva_page, pte.gpa_page,
+            "each guest frame owned by at most one present PTE (first owner: "
+            "pid " + std::to_string(it->second.first) + " gva " +
+                hex(it->second.second) + ")",
+            "also mapped by pid " + std::to_string(p.pid()) + " gva " +
+                hex(gva_page));
+      }
+    });
+  });
+}
+
+// ---- REG-* ------------------------------------------------------------------
+
+void CoherenceChecker::audit_registry(hv::Vm& vm) {
+  const sim::Vcpu& vcpu = vm.vcpu();
+  const sim::WriteTrackRegistry& reg = vcpu.track_registry();
+  for (std::size_t li = 0; li < sim::kTrackLayerCount; ++li) {
+    const auto layer = static_cast<sim::TrackLayer>(li);
+    const u64 dispatched = reg.events_dispatched(layer);
+    std::unordered_set<const sim::PageTrackNotifier*> seen;
+    std::vector<const sim::PageTrackNotifier*> order;
+    reg.for_each_registration(
+        layer, [&](const sim::PageTrackNotifier* n, bool, u64 delivered) {
+          const std::string where(sim::track_layer_name(layer));
+          if (n == nullptr) {
+            throw InvariantViolation("REG-1", Layer::kNotifierChain, vm.id(),
+                                     kNoAddr, kNoAddr,
+                                     "no null notifier on layer " + where,
+                                     "null registration");
+          }
+          if (!seen.insert(n).second) {
+            throw InvariantViolation(
+                "REG-1", Layer::kNotifierChain, vm.id(), kNoAddr, kNoAddr,
+                "each notifier registered at most once on layer " + where,
+                "duplicate registration (double-dispatch)");
+          }
+          order.push_back(n);
+          if (delivered > dispatched) {
+            throw InvariantViolation(
+                "REG-3", Layer::kNotifierChain, vm.id(), kNoAddr, kNoAddr,
+                "per-consumer deliveries <= " + std::to_string(dispatched) +
+                    " events dispatched on layer " + where,
+                std::to_string(delivered) + " deliveries");
+          }
+        });
+    // The permanent hardware circuits must head their chains: software
+    // consumers added later observe events only after the hardware logged
+    // them, as on a real machine.
+    const sim::PageTrackNotifier* expected_head = nullptr;
+    if (layer == sim::TrackLayer::kGuestPtDirty) {
+      expected_head = vcpu.guest_pml_circuit();
+    } else if (layer == sim::TrackLayer::kEptDirty ||
+               layer == sim::TrackLayer::kEptAccessed) {
+      expected_head = vcpu.hyp_pml_circuit();
+    }
+    if (expected_head != nullptr &&
+        (order.empty() || order.front() != expected_head)) {
+      throw InvariantViolation(
+          "REG-2", Layer::kNotifierChain, vm.id(), kNoAddr, kNoAddr,
+          std::string("the hardware PML circuit first in the ") +
+              std::string(sim::track_layer_name(layer)) + " chain",
+          order.empty() ? "empty chain" : "another notifier heads the chain");
+    }
+  }
+  std::unordered_set<const sim::PageTrackNotifier*> flush_seen;
+  reg.for_each_flush([&](const sim::PageTrackNotifier* n) {
+    if (n == nullptr) {
+      throw InvariantViolation("REG-1", Layer::kNotifierChain, vm.id(), kNoAddr,
+                               kNoAddr, "no null notifier on the flush chain",
+                               "null registration");
+    }
+    if (!flush_seen.insert(n).second) {
+      throw InvariantViolation(
+          "REG-1", Layer::kNotifierChain, vm.id(), kNoAddr, kNoAddr,
+          "each notifier registered at most once on the flush chain",
+          "duplicate registration");
+    }
+  });
+}
+
+// ---- CLK-* ------------------------------------------------------------------
+
+void CoherenceChecker::audit_clock(hv::Vm& vm) {
+  const VirtDuration now = vm.ctx().clock.now();
+  std::lock_guard<std::mutex> lock(clock_mu_);
+  if (clock_snapshots_.size() <= vm.id()) {
+    clock_snapshots_.resize(vm.id() + 1, VirtDuration{0});
+  }
+  VirtDuration& last = clock_snapshots_[vm.id()];
+  if (now < VirtDuration{0} || now < last) {
+    throw InvariantViolation(
+        "CLK-1", Layer::kClock, vm.id(), kNoAddr, kNoAddr,
+        "virtual time monotone (last audit saw " +
+            std::to_string(to_us(last)) + " us)",
+        std::to_string(to_us(now)) + " us");
+  }
+  last = now;
+}
+
+// ---- FRAME-* ----------------------------------------------------------------
+
+void CoherenceChecker::audit_frames() {
+  // frame number -> (owning VM, GPA mapping it; kNoAddr for a PML buffer)
+  std::unordered_map<u64, std::pair<u32, Gpa>> owner;
+  const u64 total = machine_.pmem.total_frames();
+  const auto claim = [&](u32 vm_id, Gpa gpa, Hpa hpa, const char* what) {
+    if (hpa == 0 || !is_page_aligned(hpa) || page_index(hpa) >= total) {
+      throw InvariantViolation(
+          "FRAME-3", Layer::kFrameAllocator, vm_id, kNoAddr, gpa,
+          std::string(what) + " naming a page-aligned frame in (0, " +
+              hex(total * kPageSize) + ")",
+          "HPA " + hex(hpa));
+    }
+    const auto [it, fresh] = owner.try_emplace(page_index(hpa), vm_id, gpa);
+    if (!fresh) {
+      throw InvariantViolation(
+          "FRAME-1", Layer::kFrameAllocator, vm_id, kNoAddr, gpa,
+          "exclusive frame ownership (frame " + hex(hpa) +
+              " already owned by vm " + std::to_string(it->second.first) +
+              (it->second.second == kNoAddr
+                   ? std::string(" as a PML buffer")
+                   : " at gpa " + hex(it->second.second)) +
+              ")",
+          std::string("also claimed by this ") + what);
+    }
+  };
+  for (std::size_t i = 0; i < hypervisor_.vm_count(); ++i) {
+    hv::Vm& vm = hypervisor_.vm(i);
+    vm.ept().for_each_present([&](Gpa gpa, sim::EptEntry& e) {
+      claim(vm.id(), gpa, e.hpa_page, "EPT mapping");
+    });
+    if (vm.pml_buffer != 0) {
+      claim(vm.id(), kNoAddr, vm.pml_buffer, "PML buffer");
+    }
+  }
+  const u64 used = machine_.pmem.used_frames();
+  if (owner.size() != used) {
+    const char* direction =
+        used > owner.size() ? " (leaked frames)" : " (double-accounted frames)";
+    throw InvariantViolation(
+        "FRAME-2", Layer::kFrameAllocator, 0, kNoAddr, kNoAddr,
+        "allocator used_frames == " + std::to_string(owner.size()) +
+            " frames accounted for by EPT mappings + PML buffers",
+        std::to_string(used) + " frames allocated" + direction);
+  }
+}
+
+}  // namespace ooh::check

@@ -124,6 +124,20 @@ class WriteTrackRegistry {
     return chain(layer).size();
   }
 
+  /// Read-only visit of `layer`'s chain in dispatch order as
+  /// fn(const PageTrackNotifier*, enabled, delivered); the coherence oracle
+  /// uses this to audit the registry without a mutation path.
+  template <typename Fn>
+  void for_each_registration(TrackLayer layer, Fn&& fn) const {
+    for (const Registration& r : chain(layer)) fn(r.notifier, r.enabled, r.delivered);
+  }
+
+  /// Read-only visit of the flush chain as fn(const PageTrackNotifier*).
+  template <typename Fn>
+  void for_each_flush(Fn&& fn) const {
+    for (const PageTrackNotifier* n : flush_chain_) fn(n);
+  }
+
  private:
   struct Registration {
     PageTrackNotifier* notifier = nullptr;

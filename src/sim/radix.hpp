@@ -7,6 +7,7 @@
 #pragma once
 
 #include <array>
+#include <cassert>
 #include <cstddef>
 #include <memory>
 
@@ -16,6 +17,12 @@ namespace ooh::sim {
 
 inline constexpr unsigned kRadixBits = 9;
 inline constexpr std::size_t kRadixFanout = std::size_t{1} << kRadixBits;  // 512
+
+/// Only bits 47:12 participate in the 9+9+9+9 split: an address with bits
+/// set above 47 would silently alias a canonical one.
+[[nodiscard]] constexpr bool radix_canonical(u64 addr) noexcept {
+  return (addr >> 48) == 0;
+}
 
 [[nodiscard]] constexpr std::size_t radix_index(u64 addr, unsigned level) noexcept {
   // level 3 = top (bits 47:39) ... level 0 = leaf (bits 20:12).
@@ -28,6 +35,7 @@ class RadixTable4 {
   /// Pointer to the leaf entry for `addr`, or nullptr if any interior node
   /// on the path is absent. Never allocates.
   [[nodiscard]] EntryT* find(u64 addr) noexcept {
+    assert(radix_canonical(addr) && "address beyond the 48-bit split aliases");
     L2* l2 = root_.children[radix_index(addr, 3)].get();
     if (l2 == nullptr) return nullptr;
     L1* l1 = l2->children[radix_index(addr, 2)].get();
@@ -42,6 +50,7 @@ class RadixTable4 {
 
   /// Leaf entry for `addr`, allocating interior nodes as needed.
   [[nodiscard]] EntryT& ensure(u64 addr) {
+    assert(radix_canonical(addr) && "address beyond the 48-bit split aliases");
     auto& l2 = root_.children[radix_index(addr, 3)];
     if (!l2) l2 = std::make_unique<L2>();
     auto& l1 = l2->children[radix_index(addr, 2)];

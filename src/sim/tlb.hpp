@@ -39,6 +39,17 @@ class Tlb {
   [[nodiscard]] std::size_t size() const noexcept { return map_.size(); }
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
 
+  /// Read-only visit of every cached translation as
+  /// fn(pid, gva_page, const TlbEntry&); used by the coherence oracle to
+  /// re-derive each entry from the authoritative tables.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& [k, slot] : map_) {
+      fn(static_cast<u32>(k >> 40), (k & ((u64{1} << 40) - 1)) << kPageShift,
+         slot.entry);
+    }
+  }
+
  private:
   static constexpr u64 key(u32 pid, Gva gva_page) noexcept {
     return (static_cast<u64>(pid) << 40) | page_index(gva_page);

@@ -64,6 +64,18 @@ class Vcpu {
   /// circuits are registered first (at construction), so software consumers
   /// added later always observe events after the hardware logged them.
   [[nodiscard]] WriteTrackRegistry& track_registry() noexcept { return track_; }
+  [[nodiscard]] const WriteTrackRegistry& track_registry() const noexcept {
+    return track_;
+  }
+
+  /// The permanent hardware logging circuits (identity only; the coherence
+  /// oracle verifies they head their chains).
+  [[nodiscard]] const PageTrackNotifier* hyp_pml_circuit() const noexcept {
+    return &hyp_pml_circuit_;
+  }
+  [[nodiscard]] const PageTrackNotifier* guest_pml_circuit() const noexcept {
+    return &guest_pml_circuit_;
+  }
 
   // -- guest-mode instructions ----------------------------------------------
   /// vmread executed in VMX non-root mode. Requires VMCS shadowing; reads

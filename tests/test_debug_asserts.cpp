@@ -1,0 +1,64 @@
+// Regression tests for the debug-build guard rails in base/ring_buffer.hpp
+// and sim/radix.hpp: zero-capacity rings and non-canonical (>= 2^48)
+// addresses used to slip through silently (division by zero on first push,
+// aliased radix slots). The guards are plain asserts, so these use
+// EXPECT_DEBUG_DEATH — they check the death in -DNDEBUG-less builds and the
+// (harmless) fallthrough in release builds.
+#include <gtest/gtest.h>
+
+#include "base/ring_buffer.hpp"
+#include "sim/radix.hpp"
+
+namespace ooh {
+namespace {
+
+TEST(RingBufferAsserts, ZeroCapacityTripsDebugAssert) {
+  EXPECT_DEBUG_DEATH({ RingBuffer ring(0); }, "capacity must be nonzero");
+}
+
+TEST(RingBufferAsserts, WrapAroundKeepsFifoOrder) {
+  RingBuffer ring(4);
+  for (u64 v = 0; v < 4; ++v) EXPECT_TRUE(ring.push(v));
+  EXPECT_TRUE(ring.full());
+  EXPECT_FALSE(ring.push(99));  // overflow drops the newest entry
+  EXPECT_EQ(ring.dropped(), 1u);
+  u64 out = 0;
+  EXPECT_TRUE(ring.pop(out));
+  EXPECT_EQ(out, 0u);
+  EXPECT_TRUE(ring.push(4));  // head has advanced: exercises the wrap
+  const std::vector<u64> rest = ring.drain();
+  EXPECT_EQ(rest, (std::vector<u64>{1, 2, 3, 4}));
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(RadixAsserts, CanonicalPredicateMatchesTheSplit) {
+  EXPECT_TRUE(sim::radix_canonical(0));
+  EXPECT_TRUE(sim::radix_canonical((u64{1} << 48) - kPageSize));
+  EXPECT_FALSE(sim::radix_canonical(u64{1} << 48));
+  EXPECT_FALSE(sim::radix_canonical(~u64{0}));
+}
+
+TEST(RadixAsserts, NonCanonicalFindTripsDebugAssert) {
+  sim::RadixTable4<int> table;
+  EXPECT_DEBUG_DEATH({ (void)table.find(u64{1} << 48); },
+                     "beyond the 48-bit split");
+}
+
+TEST(RadixAsserts, NonCanonicalEnsureTripsDebugAssert) {
+  sim::RadixTable4<int> table;
+  EXPECT_DEBUG_DEATH({ (void)table.ensure(u64{1} << 48); },
+                     "beyond the 48-bit split");
+}
+
+TEST(RadixAsserts, CanonicalAddressesStillResolve) {
+  sim::RadixTable4<int> table;
+  const u64 addr = (u64{0x7fff} << 32) | 0x1234'5000;
+  ASSERT_TRUE(sim::radix_canonical(addr));
+  EXPECT_EQ(table.find(addr), nullptr);
+  table.ensure(addr) = 42;
+  ASSERT_NE(table.find(addr), nullptr);
+  EXPECT_EQ(*table.find(addr), 42);
+}
+
+}  // namespace
+}  // namespace ooh

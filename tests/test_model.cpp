@@ -161,7 +161,7 @@ TEST(Formulas, AccuracyPctBehaves) {
   EXPECT_DOUBLE_EQ(accuracy_pct(100.0, 100.0), 100.0);
   EXPECT_DOUBLE_EQ(accuracy_pct(90.0, 100.0), 90.0);
   EXPECT_DOUBLE_EQ(accuracy_pct(110.0, 100.0), 90.0);
-  EXPECT_THROW(accuracy_pct(1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)accuracy_pct(1.0, 0.0), std::invalid_argument);
 }
 
 TEST(Formulas, ParamsFromEventsPicksTechniqueFaults) {

@@ -32,7 +32,7 @@ TEST(PhysicalMemory, ExhaustionThrowsAndFreeRecycles) {
   const Hpa c = pm.alloc_frame();
   (void)b;
   (void)c;
-  EXPECT_THROW(pm.alloc_frame(), std::bad_alloc);
+  EXPECT_THROW((void)pm.alloc_frame(), std::bad_alloc);
   pm.free_frame(a);
   EXPECT_EQ(pm.alloc_frame(), a);
 }

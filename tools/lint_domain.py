@@ -1,0 +1,179 @@
+#!/usr/bin/env python3
+"""Domain lint for the OoH simulator: machine-state mutation discipline.
+
+The coherence oracle (src/sim/check/) can only vouch for invariants if
+machine state is mutated through the sanctioned paths it audits. This lint
+freezes those paths: each rule names a pattern that mutates hardware-visible
+state (EPT/PTE flags, TLB fills, VMCS fields, event counters, the virtual
+clock, the page-track notifier chain) and the closed set of files allowed
+to contain it. New code must either route through an existing mutator or
+extend the whitelist in the same change that documents the new invariant
+(docs/invariants.md).
+
+Scans src/ only — tests deliberately corrupt state to exercise the oracle,
+and bench/ is read-only by construction.
+
+Exit status: 0 clean, 1 violations (one per line: path:lineno: rule: text).
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+
+@dataclass(frozen=True)
+class Rule:
+    name: str
+    pattern: re.Pattern
+    allowed: frozenset[str]  # repo-relative files allowed to match
+    why: str
+
+
+def rule(name: str, pattern: str, allowed: list[str], why: str) -> Rule:
+    return Rule(name, re.compile(pattern), frozenset(allowed), why)
+
+
+RULES: list[Rule] = [
+    rule(
+        "ept-pte-flag-write",
+        r"->\s*(dirty|accessed|writable|present|spp)\s*=",
+        [
+            # The walk circuit and the subsystems modelling real hardware /
+            # kernel behaviour (dirty-flag re-arm, WP, swap-out, CoW).
+            "src/sim/mmu.cpp",
+            "src/sim/ept.cpp",
+            "src/sim/page_table.cpp",
+            "src/hypervisor/hypervisor.cpp",
+            "src/guest/swap.cpp",
+            "src/guest/ooh_module.cpp",
+            "src/guest/procfs.cpp",
+            "src/ooh/trackers.cpp",  # wp backend flips EPT write permission
+        ],
+        "EPT/PTE permission and dirty/accessed flags may only change in the "
+        "page-walk circuit and the whitelisted re-arm paths; anywhere else "
+        "bypasses TLB shootdown and breaks TLB-2/TLB-3/ACC-1.",
+    ),
+    rule(
+        "tlb-fill",
+        r"\btlb\b[^\n]*\.insert\s*\(",
+        ["src/sim/mmu.cpp"],
+        "Only the MMU walk may install translations; a fill anywhere else "
+        "caches state never derived from the tables (TLB-1).",
+    ),
+    rule(
+        "vmcs-field-write",
+        r"\.write\s*\(\s*(sim::)?VmcsField::",
+        [
+            "src/sim/vcpu.cpp",
+            "src/sim/page_track.cpp",
+            "src/hypervisor/hypervisor.cpp",
+        ],
+        "PML/EPML VMCS fields (buffer address, index, controls) are owned by "
+        "the logging circuits and the hypervisor session code; stray writes "
+        "desynchronise PML-1/PML-4/EPML-1.",
+    ),
+    rule(
+        "direct-counter-bump",
+        r"\bcounters\.add\s*\(",
+        ["src/sim/exec_context.hpp"],
+        "Event accounting must go through ExecContext::count() so counters "
+        "stay attributable to the owning vCPU timeline.",
+    ),
+    rule(
+        "direct-clock-advance",
+        r"\bclock\.(advance|reset)\s*\(",
+        ["src/sim/exec_context.hpp"],
+        "Virtual time must be charged via ExecContext::charge_us/charge_ns; "
+        "direct clock manipulation breaks monotonicity auditing (CLK-1).",
+    ),
+    rule(
+        "notifier-registration",
+        r"\b(un)?register_notifier\s*\(",
+        [
+            "src/sim/page_track.hpp",
+            "src/sim/page_track.cpp",
+            "src/sim/vcpu.cpp",
+            "src/hypervisor/hypervisor.cpp",
+            "src/guest/kernel.cpp",
+            "src/ooh/trackers.cpp",
+        ],
+        "Page-track consumers may only (un)register through the subsystems "
+        "the registry audit knows about; others corrupt chain-order "
+        "guarantees (REG-1/REG-2).",
+    ),
+]
+
+LINE_COMMENT = re.compile(r"//.*$")
+
+
+def strip_comment(line: str) -> str:
+    return LINE_COMMENT.sub("", line)
+
+
+@dataclass
+class Report:
+    violations: list[str] = field(default_factory=list)
+
+    def add(self, path: Path, lineno: int, r: Rule, text: str) -> None:
+        self.violations.append(f"{path}:{lineno}: [{r.name}] {text.strip()}")
+
+
+def lint_file(path: Path, rel: str, report: Report) -> None:
+    try:
+        lines = path.read_text(encoding="utf-8").splitlines()
+    except (OSError, UnicodeDecodeError) as err:
+        report.violations.append(f"{path}: unreadable: {err}")
+        return
+    for lineno, raw in enumerate(lines, start=1):
+        line = strip_comment(raw)
+        for r in RULES:
+            if r.pattern.search(line) and rel not in r.allowed:
+                report.add(path, lineno, r, raw)
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root", type=Path, default=Path(__file__).resolve().parent.parent,
+        help="repository root (default: the tree containing this script)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule table and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for r in RULES:
+            print(f"{r.name}:\n  pattern: {r.pattern.pattern}")
+            print("  allowed:", ", ".join(sorted(r.allowed)) or "(nowhere)")
+            print(f"  why: {r.why}\n")
+        return 0
+
+    src = args.root / "src"
+    if not src.is_dir():
+        print(f"lint_domain: no src/ under {args.root}", file=sys.stderr)
+        return 2
+
+    report = Report()
+    for path in sorted(src.rglob("*")):
+        if path.suffix not in {".cpp", ".hpp"}:
+            continue
+        rel = path.relative_to(args.root).as_posix()
+        lint_file(path, rel, report)
+
+    if report.violations:
+        print(f"lint_domain: {len(report.violations)} violation(s):")
+        for v in report.violations:
+            print("  " + v)
+        print("\nEither route the mutation through an existing sanctioned "
+              "mutator, or extend the whitelist in tools/lint_domain.py and "
+              "document the new invariant in docs/invariants.md.")
+        return 1
+    print(f"lint_domain: clean ({len(RULES)} rules over src/)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
