@@ -1,7 +1,25 @@
 // google-benchmark microbenches of the simulator itself (host wall-clock,
 // not virtual time): MMU fast/slow paths, TLB, PML logging circuit, radix
 // tables, ring buffer. These bound how big a --full experiment can get.
+//
+// This binary doubles as the perf-regression harness: CI runs it in Release
+// with --benchmark_format=json and tools/check_bench_regression.py compares
+// cpu_time against the committed baseline (bench/BENCH_PR4.json), failing on
+// >2x regressions. Hot-path benches additionally export an `allocs_per_op`
+// counter (via the replaced global operator new below) that the checker
+// pins to zero — the steady-state hit path must never touch the heap.
 #include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+// The replaced operator new below is malloc-backed; GCC pairs the inlined
+// malloc with the matching operator delete (also free-backed) and warns
+// spuriously at every call site.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
 
 #include "base/ring_buffer.hpp"
 #include "hypervisor/hypervisor.hpp"
@@ -14,8 +32,46 @@
 #include "trackers/boehmgc/gc.hpp"
 #include "trackers/criu/checkpoint.hpp"
 
+// ---- heap-allocation instrumentation ----------------------------------------
+// Counts every scalar/array heap allocation in the process. Benchmarks that
+// claim an allocation-free steady state snapshot the counter around their
+// timing loop and export the per-iteration delta as `allocs_per_op`.
+namespace {
+std::atomic<std::uint64_t> g_heap_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc{};
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+
 namespace ooh {
 namespace {
+
+/// RAII exporter: measures heap allocations across the timing loop and
+/// attaches the per-iteration average to the benchmark's counter set.
+class AllocCounter {
+ public:
+  explicit AllocCounter(benchmark::State& state)
+      : state_(state), before_(g_heap_allocs.load(std::memory_order_relaxed)) {}
+  ~AllocCounter() {
+    const std::uint64_t delta =
+        g_heap_allocs.load(std::memory_order_relaxed) - before_;
+    state_.counters["allocs_per_op"] = benchmark::Counter(
+        static_cast<double>(delta) /
+        static_cast<double>(state_.iterations() > 0 ? state_.iterations() : 1));
+  }
+  AllocCounter(const AllocCounter&) = delete;
+  AllocCounter& operator=(const AllocCounter&) = delete;
+
+ private:
+  benchmark::State& state_;
+  std::uint64_t before_;
+};
 
 struct MmuFixture {
   MmuFixture()
@@ -38,6 +94,7 @@ struct MmuFixture {
 void BM_MmuWriteTlbHit(benchmark::State& state) {
   MmuFixture f;
   (void)f.mmu.access(1, f.pt, 0x100000, true);  // prime
+  AllocCounter allocs(state);
   for (auto _ : state) {
     benchmark::DoNotOptimize(f.mmu.access(1, f.pt, 0x100000, true));
   }
@@ -69,6 +126,38 @@ void BM_MmuWriteWithPmlLogging(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MmuWriteWithPmlLogging);
+
+// Minimal kEptWpFault consumer: restores write permission like the wp
+// tracker backend does, so the faulting walk can complete.
+struct WpResolver final : sim::PageTrackNotifier {
+  sim::EptEntry* e = nullptr;
+  bool on_track(sim::TrackLayer, const sim::TrackEvent&) override {
+    e->writable = true;
+    return true;
+  }
+};
+
+void BM_MmuWriteWpFault(benchmark::State& state) {
+  // The wp-tracker hot loop: write hits a write-protected EPT entry, the
+  // registered consumer resolves it, and the page is re-protected for the
+  // next iteration. Every iteration pays the full walk plus the fault
+  // dispatch — the cost wp-based tracking charges per first-touch.
+  MmuFixture f;
+  (void)f.mmu.access(1, f.pt, 0x100000, true);  // demand-allocate the frame
+  WpResolver resolver;
+  resolver.e = f.vm.ept().entry(kPageSize);
+  f.vm.vcpu().track_registry().register_notifier(sim::TrackLayer::kEptWpFault,
+                                                 &resolver);
+  AllocCounter allocs(state);
+  for (auto _ : state) {
+    resolver.e->writable = false;
+    f.vm.vcpu().tlb().flush_all();
+    benchmark::DoNotOptimize(f.mmu.access(1, f.pt, 0x100000, true));
+  }
+  f.vm.vcpu().track_registry().unregister_notifier(
+      sim::TrackLayer::kEptWpFault, &resolver);
+}
+BENCHMARK(BM_MmuWriteWpFault);
 
 // Every guest write funnels through WriteTrackRegistry::dispatch, so its
 // per-event overhead must stay at a few ns even with several consumers.
@@ -118,6 +207,58 @@ void BM_TlbLookupInsert(benchmark::State& state) {
 }
 BENCHMARK(BM_TlbLookupInsert);
 
+void BM_TlbSteadyStateHit(benchmark::State& state) {
+  // The pure hit path: fully warmed working set, no misses, no evictions.
+  // allocs_per_op must read 0 — the array TLB is fixed-size by construction.
+  sim::Tlb tlb(1536);
+  for (u64 p = 0; p < 1024; ++p) tlb.insert(1, p * kPageSize, {});
+  u64 i = 0;
+  AllocCounter allocs(state);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tlb.lookup(1, (i++ % 1024) * kPageSize));
+  }
+}
+BENCHMARK(BM_TlbSteadyStateHit);
+
+void BM_TlbLookupMiss(benchmark::State& state) {
+  // Probe cost for an absent key with a realistically loaded index.
+  sim::Tlb tlb(1536);
+  for (u64 p = 0; p < 1024; ++p) tlb.insert(1, p * kPageSize, {});
+  u64 i = 0;
+  AllocCounter allocs(state);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tlb.lookup(2, (i++ % 1024) * kPageSize));
+  }
+}
+BENCHMARK(BM_TlbLookupMiss);
+
+void BM_RadixFindWalkCacheHit(benchmark::State& state) {
+  // All lookups land in one 2 MiB region, so every find after the first is
+  // answered by the MRU-leaf memo without descending the tree.
+  sim::RadixTable4<u64> t;
+  for (u64 p = 0; p < 512; ++p) t.ensure(p * kPageSize) = p;
+  u64 i = 0;
+  AllocCounter allocs(state);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.find((i++ % 512) * kPageSize));
+  }
+}
+BENCHMARK(BM_RadixFindWalkCacheHit);
+
+void BM_RadixFindWalkCacheMiss(benchmark::State& state) {
+  // Alternate between two 2 MiB regions so the MRU tag misses every find
+  // and the full 4-level descent runs.
+  sim::RadixTable4<u64> t;
+  t.ensure(0) = 1;
+  t.ensure(512 * kPageSize) = 2;
+  u64 i = 0;
+  AllocCounter allocs(state);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.find((i++ % 2) * 512 * kPageSize));
+  }
+}
+BENCHMARK(BM_RadixFindWalkCacheMiss);
+
 void BM_RingBufferPushPop(benchmark::State& state) {
   RingBuffer rb(4096);
   u64 v = 0;
@@ -140,6 +281,48 @@ void BM_GuestProcessTouchWrite(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GuestProcessTouchWrite);
+
+void BM_TouchLoopPerPage(benchmark::State& state) {
+  // Per-element loop over a warmed 4096-page region: the pre-PR4 shape of
+  // every workload touch loop. Compare against BM_TouchRangePerPage.
+  lib::TestBed bed;
+  auto& proc = bed.kernel().create_process();
+  const Gva base = proc.mmap(4096 * kPageSize);
+  proc.touch_range_write(base, 4096 * kPageSize);  // prefault
+  for (auto _ : state) {
+    for (u64 p = 0; p < 4096; ++p) proc.touch_write(base + p * kPageSize);
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_TouchLoopPerPage)->Unit(benchmark::kMicrosecond);
+
+void BM_TouchRangePerPage(benchmark::State& state) {
+  // Same access stream through the batched API: one TLB lookup per run of
+  // same-page accesses, memoised entry pointer, identical virtual time.
+  lib::TestBed bed;
+  auto& proc = bed.kernel().create_process();
+  const Gva base = proc.mmap(4096 * kPageSize);
+  proc.touch_range_write(base, 4096 * kPageSize);  // prefault
+  for (auto _ : state) {
+    proc.touch_range_write(base, 4096 * kPageSize);
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_TouchRangePerPage)->Unit(benchmark::kMicrosecond);
+
+void BM_TouchRangeSubPageStride(benchmark::State& state) {
+  // Sub-page stride (8 accesses per page) is where batching pays most: the
+  // memoised entry pointer answers 7 of every 8 accesses.
+  lib::TestBed bed;
+  auto& proc = bed.kernel().create_process();
+  const Gva base = proc.mmap(512 * kPageSize);
+  proc.touch_range_write(base, 512 * kPageSize);  // prefault
+  for (auto _ : state) {
+    proc.touch_range_write(base, 512 * kPageSize, /*stride=*/512);
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_TouchRangeSubPageStride)->Unit(benchmark::kMicrosecond);
 
 void BM_EpmlTrackedWrite(benchmark::State& state) {
   // The full OoH hot path: tracked process write with guest-level logging on.

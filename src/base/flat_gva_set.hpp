@@ -1,0 +1,72 @@
+// Open-addressed set of guest virtual addresses, built to be cleared and
+// refilled many times (the GC's per-cycle reachable set): capacity is kept
+// across clear(), so steady-state cycles insert with no heap allocation,
+// where a fresh unordered_set per cycle pays a node allocation per element
+// plus rehashes. Host-side bookkeeping only — nothing observes iteration
+// order, so membership structure cannot influence virtual time.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "base/types.hpp"
+
+namespace ooh {
+
+class FlatGvaSet {
+ public:
+  [[nodiscard]] std::size_t size() const noexcept { return items_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return items_.empty(); }
+
+  [[nodiscard]] bool contains(Gva v) const noexcept {
+    return !index_.empty() && index_[locate(v)] != kEmpty;
+  }
+
+  /// Returns true when `v` was newly inserted.
+  bool insert(Gva v) {
+    if (index_.empty() || (items_.size() + 1) * 4 > index_.size() * 3) grow();
+    const std::size_t b = locate(v);
+    if (index_[b] != kEmpty) return false;
+    items_.push_back(v);
+    index_[b] = static_cast<u32>(items_.size());
+    return true;
+  }
+
+  /// Empties the set but keeps the capacity for the next fill.
+  void clear() noexcept {
+    items_.clear();
+    std::fill(index_.begin(), index_.end(), kEmpty);
+  }
+
+ private:
+  static constexpr u32 kEmpty = 0;  ///< index_ stores item pos + 1.
+
+  [[nodiscard]] static u64 hash(Gva v) noexcept {
+    const u64 h = (v >> 4) * 0x9E3779B97F4A7C15ULL;  // GC objects are 16-aligned
+    return h ^ (h >> 29);
+  }
+
+  [[nodiscard]] std::size_t locate(Gva v) const noexcept {
+    const std::size_t mask = index_.size() - 1;
+    std::size_t b = static_cast<std::size_t>(hash(v)) & mask;
+    while (index_[b] != kEmpty && items_[index_[b] - 1] != v) b = (b + 1) & mask;
+    return b;
+  }
+
+  void grow() {
+    const std::size_t n = std::max<std::size_t>(64, index_.size() * 2);
+    index_.assign(n, kEmpty);
+    const std::size_t mask = n - 1;
+    for (std::size_t i = 0; i < items_.size(); ++i) {
+      std::size_t b = static_cast<std::size_t>(hash(items_[i])) & mask;
+      while (index_[b] != kEmpty) b = (b + 1) & mask;
+      index_[b] = static_cast<u32>(i) + 1;
+    }
+  }
+
+  std::vector<Gva> items_;
+  std::vector<u32> index_;
+};
+
+}  // namespace ooh

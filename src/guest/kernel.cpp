@@ -39,6 +39,10 @@ Process& GuestKernel::create_process() {
   ProcEntry e;
   e.proc = std::make_unique<Process>(*this, next_pid_);
   e.pt = std::make_unique<sim::GuestPageTable>();
+  // Both sides of the entry are heap-owned, so the cached pointer stays
+  // valid for the process's whole life (procs_ growth moves only the
+  // unique_ptrs).
+  e.proc->pt_ = e.pt.get();
   ++next_pid_;
   procs_.push_back(std::move(e));
   return *procs_.back().proc;
@@ -52,10 +56,10 @@ Process* GuestKernel::find(u32 pid) noexcept {
 }
 
 sim::GuestPageTable& GuestKernel::page_table(Process& proc) {
-  for (auto& e : procs_) {
-    if (e.proc.get() == &proc) return *e.pt;
+  if (&proc.kernel_ != this || proc.pt_ == nullptr) {
+    throw std::logic_error("process does not belong to this kernel");
   }
-  throw std::logic_error("process does not belong to this kernel");
+  return *proc.pt_;
 }
 
 OohModule& GuestKernel::load_ooh_module(OohMode mode) {
@@ -124,6 +128,31 @@ Hpa GuestKernel::access(Process& proc, Gva gva, bool is_write) {
     }
   }
   throw std::logic_error("fault retry loop did not converge");
+}
+
+void GuestKernel::touch_run(Process& proc, Gva base, u64 stride, u64 n,
+                            bool is_write) {
+  const u32 pid = proc.pid();
+  u64 i = 0;
+  while (i < n) {
+    // Fast path: serve as many accesses as cached translations allow. The
+    // lambda replays exactly what the kOk arm of access() plus the caller's
+    // touch_write/touch_read would have done after the MMU hit.
+    i += mmu_.access_run(pid, base + i * stride, stride, n - i, is_write,
+                         [&](Gva page) {
+                           if (is_write) proc.truth_record(page);
+                           sched_.on_progress(pid);
+                           ctx_.charge_ns(ctx_.cost.workload_write_ns);
+                         });
+    if (i < n) {
+      // The next access needs the full pipeline (TLB miss, fault, or a
+      // dirty-flag transition); route it through access() like the
+      // per-access loop would, then resume the run.
+      (void)access(proc, base + i * stride, is_write);
+      ctx_.charge_ns(ctx_.cost.workload_write_ns);
+      ++i;
+    }
+  }
 }
 
 Gpa GuestKernel::translate_gva(Process& proc, Gva gva_page) {

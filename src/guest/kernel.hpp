@@ -75,7 +75,15 @@ class GuestKernel final : public sim::GuestIrqSink {
   /// give the scheduler a chance to tick. Returns the HPA.
   Hpa access(Process& proc, Gva gva, bool is_write);
 
-  /// Per-process page table (kernel-owned, like mm_struct).
+  /// Batched equivalent of n accesses at base, base+stride, ...: accesses a
+  /// cached translation can serve run through Mmu::access_run (same charges,
+  /// same truth/scheduler side effects per access); any access it cannot
+  /// serve falls back to the full access() pipeline, then the run resumes.
+  /// Virtual time is bit-identical to the per-access loop this replaces.
+  void touch_run(Process& proc, Gva base, u64 stride, u64 n, bool is_write);
+
+  /// Per-process page table (kernel-owned, like mm_struct). O(1): reads the
+  /// pointer cached on the process at create_process() time.
   [[nodiscard]] sim::GuestPageTable& page_table(Process& proc);
 
   // ---- guest-physical memory -----------------------------------------------

@@ -52,11 +52,20 @@ void Process::munmap(Gva base) {
   // track_flush_slot on memslot teardown.
   kernel_.vm().track().notify_flush(pid_, it->start, it->end);
   vmas_.erase(it);
+  vma_mru_ = 0;  // indices shifted
 }
 
 Vma* Process::vma_of(Gva gva) noexcept {
-  for (Vma& v : vmas_) {
-    if (v.contains(gva)) return &v;
+  // Accesses cluster heavily within one VMA, so try the last hit first
+  // (index-based: push_back may reallocate the vector under a pointer).
+  if (vma_mru_ < vmas_.size() && vmas_[vma_mru_].contains(gva)) {
+    return &vmas_[vma_mru_];
+  }
+  for (std::size_t i = 0; i < vmas_.size(); ++i) {
+    if (vmas_[i].contains(gva)) {
+      vma_mru_ = i;
+      return &vmas_[i];
+    }
   }
   return nullptr;
 }
@@ -87,6 +96,13 @@ void Process::touch_read(Gva gva) {
   (void)kernel_.access(*this, gva, /*is_write=*/false);
   sim::ExecContext& m = kernel_.ctx();
   m.charge_ns(m.cost.workload_write_ns);
+}
+
+void Process::touch_range(Gva gva, u64 bytes, bool is_write, u64 stride) {
+  if (bytes == 0) return;
+  if (stride == 0) throw std::invalid_argument("touch_range: zero stride");
+  const u64 n = (bytes + stride - 1) / stride;
+  kernel_.touch_run(*this, gva, stride, n, is_write);
 }
 
 void Process::write_bytes(Gva gva, std::span<const u8> data) {

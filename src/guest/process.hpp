@@ -9,10 +9,14 @@
 
 #include <span>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "base/flat_page_map.hpp"
 #include "base/types.hpp"
+
+namespace ooh::sim {
+class GuestPageTable;
+}
 
 namespace ooh::guest {
 
@@ -53,6 +57,17 @@ class Process {
   /// Metadata-only store: full translation/dirty semantics, no data bytes.
   void touch_write(Gva gva);
   void touch_read(Gva gva);
+  /// Batched metadata touches: one access every `stride` bytes over
+  /// [gva, gva+bytes), equivalent to (and bit-identical in virtual time
+  /// with) calling touch_write/touch_read in a loop, but runs of accesses
+  /// the TLB can serve skip the per-access pipeline on the host.
+  void touch_range(Gva gva, u64 bytes, bool is_write, u64 stride = kPageSize);
+  void touch_range_write(Gva gva, u64 bytes, u64 stride = kPageSize) {
+    touch_range(gva, bytes, /*is_write=*/true, stride);
+  }
+  void touch_range_read(Gva gva, u64 bytes, u64 stride = kPageSize) {
+    touch_range(gva, bytes, /*is_write=*/false, stride);
+  }
   void write_bytes(Gva gva, std::span<const u8> data);
   void read_bytes(Gva gva, std::span<u8> out);
 
@@ -66,12 +81,12 @@ class Process {
   /// Pages written since truth_reset(), each tagged with the global write
   /// sequence of its *last* write -- so interval consumers (oracle tracker)
   /// can tell re-dirtied pages apart from stale ones.
-  [[nodiscard]] const std::unordered_map<Gva, u64>& truth_dirty() const noexcept {
+  [[nodiscard]] const FlatPageMap& truth_dirty() const noexcept {
     return truth_;
   }
   [[nodiscard]] u64 truth_seq() const noexcept { return truth_seq_; }
   void truth_reset() { truth_.clear(); }
-  void truth_record(Gva gva_page) { truth_[gva_page] = ++truth_seq_; }
+  void truth_record(Gva gva_page) { truth_.insert_or_assign(gva_page, ++truth_seq_); }
 
  private:
   friend class GuestKernel;
@@ -79,9 +94,14 @@ class Process {
   GuestKernel& kernel_;
   u32 pid_;
   std::vector<Vma> vmas_;
+  std::size_t vma_mru_ = 0;  ///< index of the last VMA vma_of resolved to.
+  /// The kernel-owned page table for this process, cached at creation so
+  /// GuestKernel::page_table needs no scan (the table is heap-allocated and
+  /// lives as long as the process).
+  sim::GuestPageTable* pt_ = nullptr;
   Gva next_mmap_ = 0x1000'0000;  // grows upward, one guard page between VMAs
   u64 mapped_bytes_ = 0;
-  std::unordered_map<Gva, u64> truth_;
+  FlatPageMap truth_;
   u64 truth_seq_ = 0;
 };
 

@@ -59,6 +59,7 @@ guest::GuestKernel* CoherenceChecker::kernel_of(u32 vm_index) const noexcept {
 void CoherenceChecker::audit_vm(u32 vm_index) {
   hv::Vm& vm = hypervisor_.vm(vm_index);
   audit_tlb(vm);
+  audit_walk_caches(vm);
   audit_guest_tables(vm);
   audit_pml_buffers(vm);
   audit_dirty_accounting(vm);
@@ -153,6 +154,33 @@ void CoherenceChecker::audit_tlb(hv::Vm& vm) {
           std::string("cached dirty=1 but pte.dirty=") +
               (pte->dirty ? "1" : "0") + " epte.dirty=" +
               (epte->dirty ? "1" : "0"));
+    }
+  });
+}
+
+// ---- WALK-1 -----------------------------------------------------------------
+
+void CoherenceChecker::audit_walk_caches(hv::Vm& vm) {
+  // The MRU walk cache memoises only the leaf-table pointer chase; flags are
+  // re-read through the leaf on every walk. The memo must therefore always
+  // agree with a fresh top-down walk of the same region — a skewed memo
+  // would route accesses through the wrong leaf, silently detaching walks
+  // from the PTEs that dirty logging observes.
+  if (!vm.ept().walk_cache_coherent()) {
+    throw InvariantViolation(
+        "WALK-1", Layer::kEpt, vm.id(), kNoAddr, kNoAddr,
+        "EPT walk-cache memo re-derivable by a fresh top-down walk",
+        "memoised leaf disagrees with the radix walk");
+  }
+  guest::GuestKernel* kernel = kernel_of(vm.id());
+  if (kernel == nullptr) return;
+  kernel->for_each_process([&](guest::Process& p, sim::GuestPageTable& pt) {
+    if (!pt.walk_cache_coherent()) {
+      throw InvariantViolation(
+          "WALK-1", Layer::kGuestPageTable, vm.id(), kNoAddr, kNoAddr,
+          "guest PT walk-cache memo re-derivable by a fresh top-down walk "
+          "(pid " + std::to_string(p.pid()) + ")",
+          "memoised leaf disagrees with the radix walk");
     }
   });
 }

@@ -100,6 +100,7 @@ class CoherenceChecker {
   // Individual invariant families, public so the mutation self-test can
   // target one at a time. All throw InvariantViolation on disagreement.
   void audit_tlb(hv::Vm& vm);
+  void audit_walk_caches(hv::Vm& vm);
   void audit_pml_buffers(hv::Vm& vm);
   void audit_dirty_accounting(hv::Vm& vm);
   void audit_guest_tables(hv::Vm& vm);

@@ -19,6 +19,8 @@ void Ept::unmap(Gpa gpa_page) {
   if (e != nullptr && e->present) {
     *e = EptEntry{};
     --present_pages_;
+    // Structural invalidation point, mirroring the EPT-side TLB shootdown.
+    table_.invalidate_walk_cache();
   }
 }
 

@@ -43,6 +43,15 @@ class Ept {
 
   [[nodiscard]] u64 present_pages() const noexcept { return present_pages_; }
 
+  // ---- paging-structure walk cache (see RadixTable4) -------------------------
+  void invalidate_walk_cache() const noexcept { table_.invalidate_walk_cache(); }
+  [[nodiscard]] bool walk_cache_coherent() const noexcept {
+    return table_.walk_cache_coherent();
+  }
+  /// Test-only: corrupt the walk cache so WALK-1 mutation tests can prove
+  /// the coherence oracle notices.
+  void debug_skew_walk_cache() noexcept { table_.debug_skew_walk_cache(); }
+
  private:
   RadixTable4<EptEntry> table_;
   u64 present_pages_ = 0;

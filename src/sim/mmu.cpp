@@ -9,11 +9,11 @@
 namespace ooh::sim {
 
 Mmu::Mmu(Vcpu& vcpu, Ept& ept, SppTable* spp)
-    : ctx_(vcpu.ctx()), vcpu_(vcpu), ept_(ept), spp_(spp) {}
+    : ctx_(vcpu.ctx()), vcpu_(vcpu), tlb_(vcpu.tlb()), ept_(ept), spp_(spp) {}
 
 Mmu::Result Mmu::access(u32 pid, GuestPageTable& pt, Gva gva, bool is_write) {
   const Gva gva_page = page_floor(gva);
-  Tlb& tlb = vcpu_.tlb();
+  Tlb& tlb = tlb_;
   WriteTrackRegistry& track = vcpu_.track_registry();
 
   if (TlbEntry* te = tlb.lookup(pid, gva_page); te != nullptr) {

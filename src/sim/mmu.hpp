@@ -17,12 +17,12 @@
 
 #include "base/types.hpp"
 #include "sim/ept.hpp"
+#include "sim/exec_context.hpp"
 #include "sim/page_table.hpp"
 #include "sim/spp.hpp"
 
 namespace ooh::sim {
 
-class ExecContext;
 class Vcpu;
 
 class Mmu {
@@ -48,11 +48,53 @@ class Mmu {
   /// Perform one access at `gva` for guest process `pid` through `pt`.
   [[nodiscard]] Result access(u32 pid, GuestPageTable& pt, Gva gva, bool is_write);
 
+  /// Batched fast path: serve up to `n` stride-spaced accesses starting at
+  /// `gva` entirely from cached translations, without re-entering the full
+  /// per-access pipeline. For each access served, the *exact* per-access
+  /// sequence of the TLB-hit branch of access() runs — count(kTlbHit) then
+  /// charge_ns(tlb_hit_ns) — followed by `post(gva_page)`, where the caller
+  /// performs whatever it would have done after a kOk access (truth
+  /// recording, scheduler progress, the workload's own charge). Virtual
+  /// time is therefore bit-identical to the loop this replaces; only host
+  /// overhead (repeated hash probes and call layers) is removed.
+  ///
+  /// Stops at the first access a cached translation cannot serve (TLB miss,
+  /// or a write through a clean/RO entry — both need the full walk and its
+  /// fault/logging side effects) and returns the number of accesses
+  /// completed; the caller routes the next access through access() and may
+  /// then resume. `post` may mutate the TLB indirectly (a scheduler service
+  /// can flush or fill it); the memoised entry is revalidated through
+  /// Tlb::generation() whenever that happens.
+  template <typename PostFn>
+  [[nodiscard]] u64 access_run(u32 pid, Gva gva, u64 stride, u64 n, bool is_write,
+                               PostFn&& post) {
+    u64 done = 0;
+    Gva memo_page = ~u64{0};
+    const TlbEntry* te = nullptr;
+    u64 memo_gen = 0;
+    while (done < n) {
+      const Gva page = page_floor(gva + done * stride);
+      if (te == nullptr || page != memo_page || tlb_.generation() != memo_gen) {
+        te = tlb_.lookup(pid, page);
+        if (te == nullptr) break;
+        memo_page = page;
+        memo_gen = tlb_.generation();
+      }
+      if (is_write && !(te->writable && te->dirty)) break;
+      ctx_.count(Event::kTlbHit);
+      ctx_.charge_ns(ctx_.cost.tlb_hit_ns);
+      post(page);
+      ++done;
+    }
+    return done;
+  }
+
   [[nodiscard]] Ept& ept() noexcept { return ept_; }
 
  private:
   ExecContext& ctx_;
   Vcpu& vcpu_;
+  Tlb& tlb_;
   Ept& ept_;
   SppTable* spp_;
 };

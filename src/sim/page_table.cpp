@@ -20,6 +20,10 @@ void GuestPageTable::unmap(Gva gva_page) {
   if (e != nullptr && e->present) {
     *e = Pte{};
     --present_pages_;
+    // Structural invalidation point: mirrors the TLB shootdown the unmap
+    // path performs (leaves are zeroed in place, so this is discipline, not
+    // a dangling-pointer fix — see docs/architecture.md "hot path").
+    table_.invalidate_walk_cache();
   }
 }
 

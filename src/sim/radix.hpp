@@ -34,14 +34,30 @@ class RadixTable4 {
  public:
   /// Pointer to the leaf entry for `addr`, or nullptr if any interior node
   /// on the path is absent. Never allocates.
+  ///
+  /// A one-entry MRU paging-structure cache (the simulator's analogue of
+  /// the hardware PDE/PDPTE caches) memoises the last leaf reached: a
+  /// streaming access pattern resolves its next same-2MB-region walk with
+  /// one tag compare instead of three pointer chases. The cache holds only
+  /// the leaf *pointer* — entry flags are always re-read through it, and
+  /// leaves are never freed (unmap zeroes entries in place), so a memoised
+  /// pointer cannot dangle. Coherence is audited as WALK-1
+  /// (docs/invariants.md) and the cache is dropped on structural
+  /// invalidation points (see invalidate_walk_cache()).
   [[nodiscard]] EntryT* find(u64 addr) noexcept {
     assert(radix_canonical(addr) && "address beyond the 48-bit split aliases");
+    const u64 tag = addr >> (kPageShift + kRadixBits);
+    if (mru_leaf_ != nullptr && mru_tag_ == tag) {
+      return &mru_leaf_->entries[radix_index(addr, 0)];
+    }
     L2* l2 = root_.children[radix_index(addr, 3)].get();
     if (l2 == nullptr) return nullptr;
     L1* l1 = l2->children[radix_index(addr, 2)].get();
     if (l1 == nullptr) return nullptr;
     Leaf* leaf = l1->children[radix_index(addr, 1)].get();
     if (leaf == nullptr) return nullptr;
+    mru_leaf_ = leaf;
+    mru_tag_ = tag;
     return &leaf->entries[radix_index(addr, 0)];
   }
   [[nodiscard]] const EntryT* find(u64 addr) const noexcept {
@@ -51,6 +67,10 @@ class RadixTable4 {
   /// Leaf entry for `addr`, allocating interior nodes as needed.
   [[nodiscard]] EntryT& ensure(u64 addr) {
     assert(radix_canonical(addr) && "address beyond the 48-bit split aliases");
+    const u64 tag = addr >> (kPageShift + kRadixBits);
+    if (mru_leaf_ != nullptr && mru_tag_ == tag) {
+      return mru_leaf_->entries[radix_index(addr, 0)];
+    }
     auto& l2 = root_.children[radix_index(addr, 3)];
     if (!l2) l2 = std::make_unique<L2>();
     auto& l1 = l2->children[radix_index(addr, 2)];
@@ -60,8 +80,32 @@ class RadixTable4 {
       leaf = std::make_unique<Leaf>();
       ++leaf_count_;
     }
+    mru_leaf_ = leaf.get();
+    mru_tag_ = tag;
     return leaf->entries[radix_index(addr, 0)];
   }
+
+  /// Drop the MRU walk cache. Called at the structural invalidation points
+  /// (unmap paths), mirroring where the TLB is invalidated; see the "hot
+  /// path" section of docs/architecture.md for why flag-only mutations need
+  /// no invalidation (the leaf is re-read on every walk).
+  void invalidate_walk_cache() const noexcept { mru_leaf_ = nullptr; }
+
+  /// WALK-1: the memoised leaf must be exactly what a full walk of the
+  /// memoised tag reaches. True when the cache is empty.
+  [[nodiscard]] bool walk_cache_coherent() const noexcept {
+    if (mru_leaf_ == nullptr) return true;
+    const u64 addr = mru_tag_ << (kPageShift + kRadixBits);
+    const L2* l2 = root_.children[radix_index(addr, 3)].get();
+    if (l2 == nullptr) return false;
+    const L1* l1 = l2->children[radix_index(addr, 2)].get();
+    if (l1 == nullptr) return false;
+    return l1->children[radix_index(addr, 1)].get() == mru_leaf_;
+  }
+
+  /// Test-only corruption hook for the coherence oracle's mutation
+  /// self-test: re-tags the cached leaf so it no longer matches a real walk.
+  void debug_skew_walk_cache() noexcept { mru_tag_ ^= u64{1} << 20; }
 
   /// Visit every entry in existing leaves as fn(page_base_addr, EntryT&).
   /// Visits entries whether or not they are "present"; callers filter.
@@ -105,6 +149,11 @@ class RadixTable4 {
   };
   L3 root_;
   std::size_t leaf_count_ = 0;
+  // MRU walk cache: mutable so const find() can refresh it. Each table is
+  // owned by exactly one VM timeline (like the TLB), so there is no
+  // cross-thread access to guard.
+  mutable Leaf* mru_leaf_ = nullptr;
+  mutable u64 mru_tag_ = 0;
 };
 
 }  // namespace ooh::sim

@@ -9,10 +9,21 @@
 //
 // Entries are ASID-tagged by guest PID (PCID-style), so context switches
 // need not flush.
+//
+// Storage is a fixed-size open-addressed array, fully allocated at
+// construction: a dense slot array holding the live entries (insertion
+// order, swap-with-last eviction) plus a power-of-two linear-probe index
+// mapping (pid, gva_page) -> slot. The steady-state hit path performs no
+// heap allocation (pinned by the gbench perf harness), and the
+// pseudo-random victim selection is byte-for-byte the sequence the previous
+// map+vector implementation produced, so every virtual-time output is
+// unchanged. PID and GVA are stored at full width — the old packed
+// `pid << 40` key silently aliased PIDs >= 2^24 (and GVAs >= 2^52, which
+// the radix canonicality assert already forbids).
 #pragma once
 
+#include <cassert>
 #include <cstddef>
-#include <unordered_map>
 #include <vector>
 
 #include "base/types.hpp"
@@ -28,41 +39,59 @@ struct TlbEntry {
 
 class Tlb {
  public:
-  explicit Tlb(std::size_t capacity = 1536) : capacity_(capacity) {}
+  explicit Tlb(std::size_t capacity = 1536);
 
   [[nodiscard]] TlbEntry* lookup(u32 pid, Gva gva_page) noexcept;
   void insert(u32 pid, Gva gva_page, const TlbEntry& entry);
   void invalidate_page(u32 pid, Gva gva_page) noexcept;
-  void flush_pid(u32 pid);
+  void flush_pid(u32 pid) noexcept;
   void flush_all() noexcept;
 
-  [[nodiscard]] std::size_t size() const noexcept { return map_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Bumped on every mutation (insert, eviction, invalidation, flush).
+  /// Batched access paths memoise a looked-up entry pointer across
+  /// consecutive same-page accesses and must drop the memo the moment the
+  /// TLB changes underneath them (a scheduler service may flush mid-run).
+  [[nodiscard]] u64 generation() const noexcept { return generation_; }
 
   /// Read-only visit of every cached translation as
   /// fn(pid, gva_page, const TlbEntry&); used by the coherence oracle to
   /// re-derive each entry from the authoritative tables.
   template <typename Fn>
   void for_each(Fn&& fn) const {
-    for (const auto& [k, slot] : map_) {
-      fn(static_cast<u32>(k >> 40), (k & ((u64{1} << 40) - 1)) << kPageShift,
-         slot.entry);
+    for (std::size_t i = 0; i < size_; ++i) {
+      fn(slots_[i].pid, slots_[i].gva_page, slots_[i].entry);
     }
   }
 
  private:
-  static constexpr u64 key(u32 pid, Gva gva_page) noexcept {
-    return (static_cast<u64>(pid) << 40) | page_index(gva_page);
-  }
   struct Slot {
+    u32 pid = 0;
+    u32 bucket = 0;  ///< this slot's position in index_, kept in lockstep so
+                     ///< eviction and flushing never re-probe.
+    Gva gva_page = 0;
     TlbEntry entry;
-    std::size_t pos = 0;  ///< index in keys_, for O(1) eviction.
   };
+  static constexpr u32 kEmptyBucket = 0;  ///< index_ stores slot pos + 1.
+
+  [[nodiscard]] std::size_t bucket_of(u32 pid, Gva gva_page) const noexcept;
+  /// Probe for the bucket holding (pid, gva_page); returns the bucket index
+  /// or SIZE_MAX when absent.
+  [[nodiscard]] std::size_t find_bucket(u32 pid, Gva gva_page) const noexcept;
+  void index_insert(u32 pid, Gva gva_page, std::size_t pos) noexcept;
+  /// Remove bucket `b` with backward-shift deletion (no tombstones, so
+  /// probe chains never degrade).
+  void index_erase(std::size_t b) noexcept;
   void evict_at(std::size_t pos) noexcept;
 
   std::size_t capacity_;
-  std::unordered_map<u64, Slot> map_;
-  std::vector<u64> keys_;
+  std::size_t size_ = 0;
+  std::size_t bucket_mask_ = 0;  ///< index_.size() - 1 (power of two).
+  std::vector<Slot> slots_;      ///< dense live entries, [0, size_).
+  std::vector<u32> index_;       ///< open-addressed (pid, gva) -> pos + 1.
+  u64 generation_ = 0;
   u64 rand_state_ = 0x853c49e6748fea9bULL;  // deterministic victim choice
 };
 

@@ -1,6 +1,5 @@
 #include "trackers/boehmgc/gc.hpp"
 
-#include <deque>
 #include <new>
 #include <stdexcept>
 
@@ -157,30 +156,31 @@ GcCycleStats GcHeap::collect() {
     objects_scanned += roots_.size();
   }
 
-  std::unordered_set<Gva> reachable;
-  std::deque<Gva> frontier(roots_.begin(), roots_.end());
-  reachable.insert(roots_.begin(), roots_.end());
-  for (const Gva local : locals_) {
-    if (local != 0 && reachable.insert(local).second) frontier.push_back(local);
+  reachable_.clear();
+  frontier_.clear();
+  for (const Gva root : roots_) {
+    reachable_.insert(root);
+    frontier_.push_back(root);
   }
-  while (!frontier.empty()) {
-    const Gva cur = frontier.front();
-    frontier.pop_front();
-    for (const Gva ref : objects_.at(cur).refs) {
-      if (ref != 0 && reachable.insert(ref).second) frontier.push_back(ref);
+  for (const Gva local : locals_) {
+    if (local != 0 && reachable_.insert(local)) frontier_.push_back(local);
+  }
+  for (std::size_t head = 0; head < frontier_.size(); ++head) {
+    for (const Gva ref : objects_.at(frontier_[head]).refs) {
+      if (ref != 0 && reachable_.insert(ref)) frontier_.push_back(ref);
     }
   }
-  if (st.full) objects_scanned = reachable.size();
+  if (st.full) objects_scanned = reachable_.size();
   st.objects_marked = objects_scanned;
   m.charge_ns(scan_ns_per_object_ * static_cast<double>(objects_scanned));
 
   // ---- sweep -----------------------------------------------------------------
-  std::vector<Gva> to_free;
+  to_free_.clear();
   for (const auto& [addr, object] : objects_) {
-    if (!reachable.contains(addr)) to_free.push_back(addr);
+    if (!reachable_.contains(addr)) to_free_.push_back(addr);
   }
   m.charge_ns(10.0 * static_cast<double>(objects_.size()));  // block sweep
-  for (const Gva addr : to_free) {
+  for (const Gva addr : to_free_) {
     const auto it = objects_.find(addr);
     const u64 size = it->second.size;
     for (u64 page = page_floor(addr); page < addr + size; page += kPageSize) {

@@ -15,6 +15,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "base/flat_gva_set.hpp"
 #include "base/types.hpp"
 #include "base/vtime.hpp"
 #include "ooh/tracker.hpp"
@@ -119,11 +120,22 @@ class GcHeap {
   u64 allocated_since_gc_ = 0;
   u64 live_bytes_ = 0;
 
+  // objects_ iteration order is load-bearing: the sweep walks it to build
+  // the free list, so it feeds future allocation addresses (and through them
+  // the guest access stream). Do not swap the container or pre-reserve it —
+  // either changes iteration order and breaks bit-identical virtual time.
   std::unordered_map<Gva, Object> objects_;
   std::unordered_set<Gva> roots_;
   std::vector<Gva> locals_;  ///< stack-scan stand-in (see Local).
   std::unordered_map<u64, std::vector<Gva>> free_lists_;  ///< size -> free blocks.
   std::unordered_map<u64, std::unordered_set<Gva>> page_objects_;  ///< page -> objects.
+
+  // Per-cycle mark/sweep scratch, reused so steady-state cycles allocate
+  // nothing. Only membership and counts are read from these — never
+  // iteration order — so they are free to use any layout.
+  FlatGvaSet reachable_;
+  std::vector<Gva> frontier_;  ///< FIFO: drained via a head cursor.
+  std::vector<Gva> to_free_;
 
   GcStats stats_;
   bool first_cycle_done_ = false;

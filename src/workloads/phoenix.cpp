@@ -10,7 +10,7 @@ namespace {
 
 /// Pre-fault an input region (the mmap'd datafile, resident after load).
 void prefault(guest::Process& proc, Gva base, u64 bytes) {
-  for (u64 off = 0; off < bytes; off += kPageSize) proc.touch_write(base + off);
+  proc.touch_range_write(base, bytes);
 }
 
 }  // namespace
@@ -152,16 +152,14 @@ void Kmeans::run(guest::Process& proc) {
 
   for (unsigned it = 0; it < iters_; ++it) {
     // Assignment pass: read all points, write each point's cluster id.
-    for (u64 off = 0; off < point_bytes; off += kPageSize) {
-      proc.touch_read(points_base_ + off);
-    }
+    proc.touch_range_read(points_base_, point_bytes);
     for (u64 p = 0; p < points_; ++p) {
       proc.write_u64(assign_ + p * 8, rng_.below(clusters_));
     }
-    // Update pass: recompute every centroid.
-    for (u64 off = 0; off < centroid_bytes; off += 8) {
-      proc.write_u64(centroids_ + off, it);
-    }
+    // Update pass: recompute every centroid (word-granular stores; the
+    // region is not data-backed, so the batched touches are the same
+    // access stream as the write_u64 loop).
+    proc.touch_range_write(centroids_, centroid_bytes, /*stride=*/8);
   }
 }
 
@@ -238,9 +236,7 @@ void MatrixMultiply::run(guest::Process& proc) {
   for (u64 c_off = 0; c_off < bytes; c_off += kPageSize) {
     proc.touch_read(a_ + (c_off % bytes));
     proc.touch_read(b_ + ((c_off * 7) % bytes));
-    for (u64 w = 0; w < kPageSize; w += 8) {
-      proc.write_u64(c_ + c_off + w, c_off + w);
-    }
+    proc.touch_range_write(c_ + c_off, kPageSize, /*stride=*/8);
   }
 }
 
@@ -260,17 +256,11 @@ void Pca::setup(guest::Process& proc) {
 void Pca::run(guest::Process& proc) {
   const u64 matrix_bytes = rows_ * cols_ * 4;
   // Pass 1: column means (read everything, write the mean vector).
-  for (u64 off = 0; off < matrix_bytes; off += kPageSize) {
-    proc.touch_read(matrix_ + off);
-  }
-  for (u64 c = 0; c < cols_; ++c) proc.write_u64(means_ + c * 8, c);
+  proc.touch_range_read(matrix_, matrix_bytes);
+  proc.touch_range_write(means_, cols_ * 8, /*stride=*/8);
   // Pass 2: sampled covariance block (re-read rows, fill the cov matrix).
-  for (u64 off = 0; off < matrix_bytes; off += kPageSize) {
-    proc.touch_read(matrix_ + off);
-  }
-  for (u64 off = 0; off < sample_ * sample_ * 4; off += 8) {
-    proc.write_u64(cov_ + off, off);
-  }
+  proc.touch_range_read(matrix_, matrix_bytes);
+  proc.touch_range_write(cov_, sample_ * sample_ * 4, /*stride=*/8);
 }
 
 // ---- StringMatch ----------------------------------------------------------------

@@ -146,6 +146,34 @@ TEST_F(CoherenceMutationTest, DetectsStaleCachedDirtyState) {
   expect_violation([&] { checker_.audit_tlb(vm_); }, "TLB-3");
 }
 
+// ---- walk-cache corruptions -------------------------------------------------
+
+TEST_F(CoherenceMutationTest, DetectsSkewedGuestWalkCache) {
+  auto [proc, base] = dirty_pages(1);
+  (void)base;
+  // Skew the MRU leaf memo's tag so it no longer matches a fresh top-down
+  // walk — a walk cache that survived a structural table change.
+  kernel_.page_table(*proc).debug_skew_walk_cache();
+  expect_violation([&] { checker_.audit_walk_caches(vm_); }, "WALK-1");
+}
+
+TEST_F(CoherenceMutationTest, DetectsSkewedEptWalkCache) {
+  auto [proc, base] = dirty_pages(1);
+  (void)proc;
+  (void)base;
+  vm_.ept().debug_skew_walk_cache();
+  expect_violation([&] { checker_.audit_walk_caches(vm_); }, "WALK-1");
+}
+
+TEST_F(CoherenceMutationTest, WalkCachesCoherentAfterUnmapAndRemap) {
+  auto [proc, base] = dirty_pages(4);
+  proc->munmap(base);
+  EXPECT_NO_THROW(checker_.audit_walk_caches(vm_));
+  const Gva base2 = proc->mmap(4 * kPageSize);
+  for (u64 i = 0; i < 4; ++i) proc->touch_write(base2 + i * kPageSize);
+  EXPECT_NO_THROW(checker_.audit_walk_caches(vm_));
+}
+
 // ---- PML / EPML buffer corruptions ------------------------------------------
 
 TEST_F(CoherenceMutationTest, DetectsPmlIndexOutOfBounds) {

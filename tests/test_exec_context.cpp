@@ -14,6 +14,10 @@
 #include "ooh/testbed.hpp"
 #include "ooh/trackers.hpp"
 #include "sim/machine.hpp"
+#include "trackers/boehmgc/gc.hpp"
+#include "trackers/criu/checkpoint.hpp"
+#include "workloads/microbench.hpp"
+#include "workloads/registry.hpp"
 
 namespace ooh {
 namespace {
@@ -196,6 +200,201 @@ TEST(ParallelTenants, PerVmTimelineIndependentOfFleetSize) {
   EXPECT_EQ(alone[0].clock_us, crowd[0].clock_us);
   EXPECT_TRUE(alone[0].counters == crowd[0].counters);
   EXPECT_EQ(alone[0].dirty, crowd[0].dirty);
+}
+
+// ---- virtual-time golden pinning (hot-path refactor) ------------------------
+//
+// Miniature fig4/fig5/fig8/table4 scenarios whose final virtual clock and
+// event-counter fingerprint are pinned to exact doubles captured before the
+// access fast path was rebuilt (array TLB, walk caches, batched touches).
+// Any change to the charge sequence — even a reordering of two double
+// additions — shifts these values, so bit-identical figure outputs across
+// the refactor are enforced here, not just eyeballed.
+
+struct Golden {
+  double clock_us = 0.0;
+  u64 fingerprint = 0;
+};
+
+u64 counter_fingerprint(const EventCounters& c) {
+  u64 f = 0;
+  for (const Event e :
+       {Event::kTlbHit, Event::kTlbMiss, Event::kGuestPtWalk, Event::kEptWalk,
+        Event::kVmExit, Event::kSchedQuantum, Event::kEptDirtySet,
+        Event::kContextSwitch}) {
+    f = f * 1000003ull + c.get(e);
+  }
+  return f;
+}
+
+/// Figure 4 in miniature: the paper's array parser, tracked.
+Golden golden_fig4(lib::Technique tech) {
+  lib::TestBed bed;
+  guest::GuestKernel& k = bed.kernel();
+  guest::Process& proc = k.create_process();
+  wl::ArrayParser w(64 * kPageSize, /*passes=*/2);
+  w.setup(proc);
+  auto tracker = lib::make_tracker(tech, k, proc);
+  lib::RunOptions ropts;
+  ropts.collect_period = msecs(1);
+  (void)lib::run_tracked(k, proc, w.runner(), tracker.get(), ropts);
+  tracker->shutdown();
+  return {k.ctx().clock.now().count(), counter_fingerprint(k.ctx().counters)};
+}
+
+/// Figure 5 in miniature: Boehm GC cycles driven by a tracking technique.
+Golden golden_fig5(lib::Technique tech) {
+  lib::TestBed bed;
+  guest::GuestKernel& k = bed.kernel();
+  guest::Process& proc = k.create_process();
+  auto w = wl::make_workload("string-match", wl::ConfigSize::kSmall, /*scale=*/4);
+  gc::GcHeap heap(k, proc, 32 * kMiB, 512 * 1024);
+  heap.set_technique(tech);
+  heap.prepare_tracker();
+  w->attach_gc(&heap);
+  w->setup(proc);
+  k.scheduler().enter_process(proc.pid());
+  w->run(proc);
+  (void)heap.collect();
+  k.scheduler().exit_process(proc.pid());
+  return {k.ctx().clock.now().count(), counter_fingerprint(k.ctx().counters)};
+}
+
+/// Figure 8 in miniature: pre-copy checkpoint of a running workload.
+Golden golden_fig8(lib::Technique tech) {
+  lib::TestBed bed;
+  guest::GuestKernel& k = bed.kernel();
+  guest::Process& proc = k.create_process();
+  auto w = wl::make_workload("word-count", wl::ConfigSize::kSmall, /*scale=*/4);
+  w->setup(proc);
+  criu::Checkpointer cp(k, tech);
+  criu::CheckpointOptions opts;
+  opts.precopy_period = msecs(5);
+  opts.initial_full_copy = true;
+  (void)cp.checkpoint_during(proc, w->runner(), opts);
+  return {k.ctx().clock.now().count(), counter_fingerprint(k.ctx().counters)};
+}
+
+/// Table 4 in miniature: a tracked run whose formula inputs (N, C_x, ...)
+/// come straight off the counters being fingerprinted.
+Golden golden_table4() {
+  lib::TestBed bed;
+  guest::GuestKernel& k = bed.kernel();
+  guest::Process& proc = k.create_process();
+  auto w = wl::make_workload("matrix-multiply", wl::ConfigSize::kSmall, /*scale=*/4);
+  w->setup(proc);
+  auto tracker = lib::make_tracker(lib::Technique::kSpml, k, proc);
+  lib::RunOptions ropts;
+  ropts.collect_period = msecs(1);
+  (void)lib::run_tracked(k, proc, w->runner(), tracker.get(), ropts);
+  tracker->shutdown();
+  return {k.ctx().clock.now().count(), counter_fingerprint(k.ctx().counters)};
+}
+
+/// Untracked baselines of the workloads whose touch loops the batched
+/// access path rewrites (prefault, PCA read passes, kmeans/matmul stores).
+Golden golden_baseline(std::string_view app) {
+  lib::TestBed bed;
+  guest::GuestKernel& k = bed.kernel();
+  guest::Process& proc = k.create_process();
+  auto w = wl::make_workload(app, wl::ConfigSize::kSmall, /*scale=*/4);
+  w->setup(proc);
+  (void)lib::run_baseline(k, proc, w->runner());
+  return {k.ctx().clock.now().count(), counter_fingerprint(k.ctx().counters)};
+}
+
+TEST(VirtualTimePinning, HotPathRefactorGoldens) {
+  struct Row {
+    const char* name;
+    Golden got;
+    double clock_us;
+    u64 fingerprint;
+  };
+  // Captured from the pre-refactor tree (unordered_map TLB, no walk caches,
+  // per-byte touch loops). These are exact doubles, not tolerances.
+  const Row rows[] = {
+      {"fig4/proc", golden_fig4(lib::Technique::kProc), 997.15628792595476,
+       12075385063847858118u},
+      {"fig4/spml", golden_fig4(lib::Technique::kSpml), 19695.954882973369,
+       16278334996384382287u},
+      {"fig4/epml", golden_fig4(lib::Technique::kEpml), 17484.55717153379,
+       14278316996266382041u},
+      {"fig5/proc", golden_fig5(lib::Technique::kProc), 58634.417018264343,
+       6019011841615719738u},
+      {"fig5/epml", golden_fig5(lib::Technique::kEpml), 30548.932557908873,
+       8019029841669719790u},
+      {"fig8/epml", golden_fig8(lib::Technique::kEpml), 88667.580108770126,
+       14951706644273322265u},
+      {"fig8/wp", golden_fig8(lib::Technique::kWp), 377185.33599880722,
+       9279178553895953256u},
+      {"table4/spml", golden_table4(), 27923.940921941998,
+       11985636462792785657u},
+      {"baseline/pca", golden_baseline("pca"), 1989.4689999993036,
+       13317330207030855339u},
+      {"baseline/kmeans", golden_baseline("kmeans"), 16609.327000067304,
+       4277803004534670552u},
+  };
+  for (const Row& r : rows) {
+    SCOPED_TRACE(r.name);
+    EXPECT_EQ(r.got.clock_us, r.clock_us);
+    EXPECT_EQ(r.got.fingerprint, r.fingerprint);
+  }
+}
+
+// Batched touches are an *equivalence* claim, not just a speedup: with a
+// tracker armed, touch_range must produce the same clock, the same counter
+// fingerprint, the same tracker-observed dirty set and the same truth log as
+// the per-element loop it replaces — including across quantum boundaries,
+// where the scheduler services inside the run and may flush the TLB.
+TEST(VirtualTimePinning, TouchRangeMatchesPerByteLoop) {
+  struct Result {
+    double clock_us = 0.0;
+    u64 fingerprint = 0;
+    std::vector<Gva> dirty;
+    u64 truth_pages = 0;
+  };
+  const auto scenario = [](bool batched) {
+    lib::TestBed bed;
+    guest::GuestKernel& k = bed.kernel();
+    guest::Process& proc = k.create_process();
+    const Gva base = proc.mmap(64 * kPageSize);
+    auto tracker = lib::make_tracker(lib::Technique::kSpml, k, proc);
+    tracker->init();
+    tracker->begin_interval();
+    k.scheduler().enter_process(proc.pid());
+
+    // Sub-page stride, unaligned base, non-multiple byte count: the batch
+    // must charge per *element*, not per page.
+    const u64 stride = 192;
+    const u64 bytes = 48 * kPageSize + 777;
+    const u64 n = (bytes + stride - 1) / stride;
+    if (batched) {
+      proc.touch_range_write(base + 64, bytes, stride);
+      proc.touch_range_read(base, 16 * kPageSize);
+    } else {
+      for (u64 i = 0; i < n; ++i) proc.touch_write(base + 64 + i * stride);
+      for (u64 off = 0; off < 16 * kPageSize; off += kPageSize) {
+        proc.touch_read(base + off);
+      }
+    }
+
+    Result r;
+    r.dirty = tracker->collect();
+    k.scheduler().exit_process(proc.pid());
+    tracker->shutdown();
+    r.clock_us = k.ctx().clock.now().count();
+    r.fingerprint = counter_fingerprint(k.ctx().counters);
+    r.truth_pages = proc.truth_dirty().size();
+    return r;
+  };
+
+  const Result loop = scenario(/*batched=*/false);
+  const Result batch = scenario(/*batched=*/true);
+  EXPECT_EQ(batch.clock_us, loop.clock_us);
+  EXPECT_EQ(batch.fingerprint, loop.fingerprint);
+  EXPECT_EQ(batch.dirty, loop.dirty);
+  EXPECT_EQ(batch.truth_pages, loop.truth_pages);
+  EXPECT_GT(batch.truth_pages, 0u);
 }
 
 // ---- scheduler quantum-after-service fix ------------------------------------

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over google-benchmark JSON output.
+
+Compares a fresh run of bench/gbench_sim_primitives against the committed
+baseline (bench/BENCH_PR4.json, captured on the CI runner class) and fails
+when any benchmark's cpu_time regressed by more than --max-ratio (default
+2x — generous enough to absorb runner noise, tight enough to catch a hot
+path falling off a cliff, e.g. an accidental O(capacity) TLB flush or a
+per-access heap allocation).
+
+Independently of timing, every benchmark that exports an `allocs_per_op`
+counter claims an allocation-free steady state; any non-trivial value fails
+the gate regardless of how fast the run was, because host timing noise can
+mask an allocation regression but the counter cannot.
+
+Usage:
+  check_bench_regression.py --baseline bench/BENCH_PR4.json --current out.json
+
+Exit status: 0 clean, 1 regression(s), 2 bad input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_benchmarks(path: Path) -> dict[str, dict]:
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"check_bench_regression: cannot read {path}: {err}", file=sys.stderr)
+        raise SystemExit(2) from err
+    out: dict[str, dict] = {}
+    for b in doc.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev) if repetitions were used.
+        if b.get("run_type") == "aggregate":
+            continue
+        out[b["name"]] = b
+    if not out:
+        print(f"check_bench_regression: no benchmarks in {path}", file=sys.stderr)
+        raise SystemExit(2)
+    return out
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", type=Path, required=True,
+                        help="committed baseline JSON (bench/BENCH_PR4.json)")
+    parser.add_argument("--current", type=Path, required=True,
+                        help="JSON from the run under test")
+    parser.add_argument("--max-ratio", type=float, default=2.0,
+                        help="fail when current/baseline cpu_time exceeds this")
+    parser.add_argument("--max-allocs", type=float, default=0.01,
+                        help="fail when allocs_per_op exceeds this")
+    args = parser.parse_args(argv)
+
+    base = load_benchmarks(args.baseline)
+    cur = load_benchmarks(args.current)
+
+    failures: list[str] = []
+    checked = 0
+    for name, b in sorted(cur.items()):
+        allocs = b.get("allocs_per_op")
+        if allocs is not None and allocs > args.max_allocs:
+            failures.append(
+                f"{name}: allocs_per_op={allocs:.4f} (steady state must not "
+                f"allocate; limit {args.max_allocs})")
+        if name not in base:
+            print(f"  note: {name} has no baseline entry (new benchmark)")
+            continue
+        base_ns = base[name]["cpu_time"]
+        cur_ns = b["cpu_time"]
+        if base[name].get("time_unit") != b.get("time_unit"):
+            failures.append(f"{name}: time_unit changed "
+                            f"({base[name].get('time_unit')} -> {b.get('time_unit')})")
+            continue
+        checked += 1
+        ratio = cur_ns / base_ns if base_ns > 0 else float("inf")
+        marker = " <-- REGRESSION" if ratio > args.max_ratio else ""
+        print(f"  {name}: {base_ns:.2f} -> {cur_ns:.2f} "
+              f"{b.get('time_unit', 'ns')} ({ratio:.2f}x){marker}")
+        if ratio > args.max_ratio:
+            failures.append(f"{name}: {ratio:.2f}x slower than baseline "
+                            f"(limit {args.max_ratio}x)")
+
+    missing = sorted(set(base) - set(cur))
+    for name in missing:
+        failures.append(f"{name}: present in baseline but missing from the run "
+                        "(deleted benchmarks must also leave the baseline)")
+
+    if failures:
+        print(f"\ncheck_bench_regression: {len(failures)} failure(s):")
+        for f in failures:
+            print("  " + f)
+        return 1
+    print(f"\ncheck_bench_regression: clean ({checked} benchmarks vs baseline)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -91,6 +91,23 @@ RULES: list[Rule] = [
         "direct clock manipulation breaks monotonicity auditing (CLK-1).",
     ),
     rule(
+        "walk-cache-mutation",
+        r"\b(invalidate_walk_cache|debug_skew_walk_cache)\s*\(",
+        [
+            # The radix table owns the memo; the EPT and guest-PT wrappers
+            # forward the shootdown from their unmap paths.
+            "src/sim/radix.hpp",
+            "src/sim/page_table.hpp",
+            "src/sim/page_table.cpp",
+            "src/sim/ept.hpp",
+            "src/sim/ept.cpp",
+        ],
+        "The MRU walk-cache memo is invalidated only by the table-structure "
+        "mutators that free or zero leaves (unmap paths); invalidating it "
+        "elsewhere hides bugs WALK-1 exists to catch, and skewing it is a "
+        "test-only corruption primitive.",
+    ),
+    rule(
         "notifier-registration",
         r"\b(un)?register_notifier\s*\(",
         [
