@@ -41,6 +41,13 @@ constexpr std::array<std::string_view, kEventCount> kNames = {
     "gc_cycle",
     "migration_round",
     "migration_page_sent",
+    "fault_injected",
+    "self_ipi_suppressed",
+    "epml_entry_lost",
+    "epml_stale_entry_dropped",
+    "tracker_degraded",
+    "migration_send_retry",
+    "migration_aborted",
 };
 
 }  // namespace

@@ -49,6 +49,13 @@ enum class Event : std::size_t {
   kGcCycle,               ///< one garbage-collection cycle.
   kMigrationRound,        ///< one live-migration pre-copy round.
   kMigrationPageSent,     ///< page transferred by live migration.
+  kFaultInjected,         ///< a FaultPlan rule fired at an injection point.
+  kSelfIpiSuppressed,     ///< EPML self-IPI dropped by an injected fault.
+  kEpmlEntryLost,         ///< EPML write not logged: buffer full, IPI undelivered.
+  kEpmlStaleEntryDropped, ///< EPML drain skipped an entry whose page went away.
+  kTrackerDegraded,       ///< tracker fell back to a weaker technique.
+  kMigrationSendRetry,    ///< migration send failed and was retried (backoff).
+  kMigrationAborted,      ///< migration gave up (send retries exhausted).
   kCount
 };
 

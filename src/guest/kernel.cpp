@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cstring>
+#include <new>
 
 #include "guest/ooh_module.hpp"
 #include "guest/procfs.hpp"
@@ -73,6 +74,11 @@ void GuestKernel::unload_ooh_module() {
 }
 
 Gpa GuestKernel::alloc_gpa_frame() {
+  if (ctx_.fault_fire(sim::fault::FaultPoint::kGpaAllocFail)) {
+    // Injected guest OOM: callers (EPML buffer setup, mmap growth) see the
+    // same failure a loaded guest would produce and must degrade, not die.
+    throw std::bad_alloc{};
+  }
   if (!gpa_free_list_.empty()) {
     const Gpa gpa = gpa_free_list_.back();
     gpa_free_list_.pop_back();

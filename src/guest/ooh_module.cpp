@@ -1,5 +1,6 @@
 #include "guest/ooh_module.hpp"
 
+#include <new>
 #include <stdexcept>
 
 #include "hypervisor/hypervisor.hpp"
@@ -15,6 +16,13 @@ OohModule::~OohModule() {
   while (!tracked_.empty()) {
     Process* p = tracked_.begin()->second.proc;
     untrack(*p);
+  }
+  if (epml_initialized_) {
+    // Safety net for an EPML session with no surviving tracked process (a
+    // track() that failed after the init hypercall): the shadow-VMCS state
+    // must not outlive the module.
+    kernel_.vm().vcpu().hypercall(sim::Hypercall::kOohDeactivateEpml);
+    epml_initialized_ = false;
   }
   kernel_.scheduler().remove_hook(this);
 }
@@ -44,7 +52,10 @@ void OohModule::track(Process& proc) {
 
   if (mode_ == OohMode::kSpml) {
     // SPML init hypercall (M9): PML buffer setup + EPT dirty-state reset.
-    vcpu.hypercall(sim::Hypercall::kOohInitPml, proc.mapped_bytes());
+    // The hypervisor reports allocation failure instead of dying half-set-up;
+    // surface it as the OOM it is so the tracker layer can degrade.
+    const u64 rc = vcpu.hypercall(sim::Hypercall::kOohInitPml, proc.mapped_bytes());
+    if (rc == ~u64{0}) throw std::bad_alloc{};
   } else {
     if (!epml_initialized_) {
       // The only hypercall EPML ever makes (M10): VMCS shadowing + the new
@@ -53,9 +64,20 @@ void OohModule::track(Process& proc) {
       epml_initialized_ = true;
     }
     // Guest-level PML buffer: a guest-physical page the module owns. It must
-    // be EPT-mapped so the EPML vmwrite can translate it.
-    t.guest_buf_gpa = kernel_.alloc_gpa_frame();
-    kernel_.ensure_ept_mapped(t.guest_buf_gpa);
+    // be EPT-mapped so the EPML vmwrite can translate it. If either step
+    // fails (guest OOM), roll the half-done init back — leaving VMCS
+    // shadowing armed with no tracked process would leak the EPML session.
+    try {
+      t.guest_buf_gpa = kernel_.alloc_gpa_frame();
+      kernel_.ensure_ept_mapped(t.guest_buf_gpa);
+    } catch (...) {
+      if (t.guest_buf_gpa != 0) kernel_.free_gpa_frame(t.guest_buf_gpa);
+      if (tracked_.empty() && epml_initialized_) {
+        vcpu.hypercall(sim::Hypercall::kOohDeactivateEpml);
+        epml_initialized_ = false;
+      }
+      throw;
+    }
     // Reset guest dirty flags so the first interval logs pre-dirtied pages.
     u64 cleared = 0;
     kernel_.page_table(proc).for_each_present([&](Gva, sim::Pte& pte) {
@@ -143,22 +165,52 @@ void OohModule::epml_drain_guest_buffer(Tracked& t) {
   if (!kernel_.vm().ept().translate(t.guest_buf_gpa, buf_hpa)) {
     throw std::logic_error("EPML guest buffer lost its EPT mapping");
   }
+  // Reentrancy guard: a self-IPI raised while this drain runs (the buffer
+  // refills from an interrupt-window write) must not start a nested drain —
+  // it would re-read slots already copied and reset the index twice,
+  // double-counting or losing entries. Nested IPIs are deferred and
+  // redelivered once below.
+  drain_in_progress_ = true;
   sim::GuestPageTable& pt = kernel_.page_table(*t.proc);
   // Walk from slot 511 downward: logging order (the index counts down).
   const u64 first_slot = kPmlBufferEntries - count;
   for (u64 slot = kPmlBufferEntries; slot-- > first_slot;) {
     const Gva gva_page = m.pmem.read_u64(buf_hpa + slot * 8);
     m.charge_ns(m.cost.drain_entry_ns);
+    // Re-validate against the page table: the page may have been swapped
+    // out or unmapped after the write was logged. A stale GVA must not
+    // reach userspace — the address may already belong to a new mapping.
+    if (const sim::Pte* pte = pt.pte(gva_page); pte == nullptr || !pte->present) {
+      m.count(Event::kEpmlStaleEntryDropped);
+      continue;
+    }
     t.ring->push(gva_page);
     m.count(Event::kRingBufCopyEntry);
+  }
+  if (mid_drain_hook_) {
+    // Test seam: runs exactly once, in the window where the slots have been
+    // copied but the index is not yet reset (the nested-full window).
+    const std::function<void()> hook = std::move(mid_drain_hook_);
+    mid_drain_hook_ = nullptr;
+    hook();
   }
   // Dirty flags stay set until fetch() (the interval boundary), so a page
   // logs once per interval instead of once per drain.
   vcpu.guest_vmwrite(sim::VmcsField::kGuestPmlIndex, kPmlIndexStart);
-  (void)pt;
+  drain_in_progress_ = false;
+  if (ipi_deferred_) {
+    // Deferred redelivery: rerun the handler now that the index is reset,
+    // picking up whatever filled the buffer while we were draining.
+    ipi_deferred_ = false;
+    handle_guest_pml_full();
+  }
 }
 
 void OohModule::handle_guest_pml_full() {
+  if (drain_in_progress_) {
+    ipi_deferred_ = true;
+    return;
+  }
   Tracked* t = active_tracked();
   if (t == nullptr) {
     // Spurious IPI (no tracked process active): reset the index and return.

@@ -9,6 +9,7 @@
 //         drains the guest-level buffer of GVAs on the posted self-IPI.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -50,8 +51,16 @@ class OohModule final : public SchedHook {
   void on_schedule_out(u32 pid) override;
 
   /// Self-IPI handler: the EPML guest-level buffer is full (called from the
-  /// kernel's interrupt table).
+  /// kernel's interrupt table). Reentrant delivery while a drain is running
+  /// defers the IPI; the in-progress drain redelivers it on completion.
   void handle_guest_pml_full();
+
+  /// Test seam: run `hook` exactly once inside the next EPML drain, after
+  /// the slots are copied but before the index reset — the window where a
+  /// nested buffer-full IPI can arrive.
+  void set_mid_drain_hook(std::function<void()> hook) {
+    mid_drain_hook_ = std::move(hook);
+  }
 
  private:
   struct Tracked {
@@ -68,6 +77,9 @@ class OohModule final : public SchedHook {
   std::unordered_map<u32, Tracked> tracked_;
   u32 active_pid_ = 0;  ///< tracked process currently scheduled in (0 = none).
   bool epml_initialized_ = false;
+  bool drain_in_progress_ = false;  ///< EPML drain reentrancy guard.
+  bool ipi_deferred_ = false;       ///< self-IPI arrived mid-drain; redeliver after.
+  std::function<void()> mid_drain_hook_;
   std::size_t ring_entries_ = std::size_t{1} << 20;
 };
 

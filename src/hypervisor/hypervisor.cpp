@@ -1,6 +1,7 @@
 #include "hypervisor/hypervisor.hpp"
 
 #include <cassert>
+#include <new>
 #include <stdexcept>
 
 namespace ooh::hv {
@@ -22,6 +23,11 @@ Vm& Hypervisor::vm_of(const sim::Vcpu& vcpu) {
 
 void Hypervisor::ensure_pml_buffer(Vm& vm) {
   if (vm.pml_buffer == 0) {
+    if (vm.ctx().fault_fire(sim::fault::FaultPoint::kFrameAllocFail)) {
+      // Injected host OOM: same failure a packed host produces when the
+      // 4KiB PML buffer cannot be allocated (KVM's vmx_create_vcpu path).
+      throw std::bad_alloc{};
+    }
     vm.pml_buffer = machine_.pmem.alloc_frame();
     vm.vcpu().vmcs().write(sim::VmcsField::kPmlAddress, vm.pml_buffer);
     vm.vcpu().vmcs().write(sim::VmcsField::kPmlIndex, kPmlIndexStart);
@@ -118,7 +124,14 @@ u64 Hypervisor::on_hypercall(sim::Vcpu& vcpu, sim::Hypercall nr, u64 a0, u64 a1)
       // not start while the hypervisor is tearing down, and vice versa --
       // the flags arbitrate (§IV-C item 3).
       ctx.charge_us(cost.hc_init_pml_us);
-      ensure_pml_buffer(vm);
+      try {
+        ensure_pml_buffer(vm);
+      } catch (const std::bad_alloc&) {
+        // No buffer, no session: report failure to the guest rather than
+        // killing the VM. The module surfaces it; the tracker degrades.
+        ctx.fault_audit();
+        return ~u64{0};
+      }
       clear_all_ept_dirty(vm);
       // Session start == consumer registration; it joins the drain chain
       // disabled (no logging until the tracked process is scheduled in).
@@ -247,6 +260,17 @@ std::vector<Gpa> Hypervisor::harvest_hyp_dirty(Vm& vm) {
   vm.hyp_dirty_log().clear();
   // Round boundary: re-arm logging for the harvested pages.
   reset_dirty_for(vm, out);
+  return out;
+}
+
+std::vector<Gpa> Hypervisor::collect_dirty_paused(Vm& vm) {
+  // Final harvest with the vCPU paused: drain the in-flight buffer and take
+  // the log, but do NOT re-arm — the VM is not going to run here again, and
+  // reset_dirty_for's unconditional INVEPT would charge a TLB flush that
+  // the (empty-drain-window) common case never paid before.
+  drain_pml_buffer(vm);
+  std::vector<Gpa> out(vm.hyp_dirty_log().begin(), vm.hyp_dirty_log().end());
+  vm.hyp_dirty_log().clear();
   return out;
 }
 

@@ -37,6 +37,11 @@ class Hypervisor final : public sim::VmExitHandler {
   void disable_pml_for_hyp(Vm& vm);
   /// Flush the in-flight PML buffer and take the accumulated dirty GPA set.
   [[nodiscard]] std::vector<Gpa> harvest_hyp_dirty(Vm& vm);
+  /// Final stop-and-copy harvest: drain + take the log WITHOUT re-arming
+  /// (no dirty-flag reset, no INVEPT) — the vCPU is paused and will not run
+  /// on this host again. Captures writes that landed between the last
+  /// pre-copy harvest and the pause.
+  [[nodiscard]] std::vector<Gpa> collect_dirty_paused(Vm& vm);
 
   // ---- working-set-size estimation (read-logging PML extension) -------------
   /// Start WSS sampling: PML logs on accessed-flag transitions, so the

@@ -1,5 +1,6 @@
 #include "ooh/experiment.hpp"
 
+#include <new>
 #include <unordered_set>
 
 #include "hypervisor/hypervisor.hpp"
@@ -52,7 +53,14 @@ RunResult run_tracked(guest::GuestKernel& kernel, guest::Process& proc,
   const VirtDuration start = m.clock.now();
 
   sched.enter_process(proc.pid());
-  workload(proc);
+  try {
+    workload(proc);
+  } catch (const std::bad_alloc&) {
+    // Guest OOM (real or injected) mid-workload: the workload stops early,
+    // but the run winds down through the normal path so the machine stays
+    // coherent and the partial session is still collected and audited.
+    res.guest_oom = true;
+  }
   sched.exit_process(proc.pid());
   sched.clear_periodic();
 

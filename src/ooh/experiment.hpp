@@ -35,6 +35,7 @@ struct RunResult {
   u64 captured_truth = 0;        ///< truth pages that the tracker reported.
   u64 dropped = 0;               ///< ring-overflow losses (PML designs).
   u64 ctx_switches = 0;
+  bool guest_oom = false;        ///< workload stopped early on guest OOM.
   EventCounters events;          ///< event deltas over the run.
 
   [[nodiscard]] double capture_ratio() const noexcept {

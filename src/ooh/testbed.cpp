@@ -28,6 +28,23 @@ TestBed::TestBed(const TestBedOptions& opts) {
     hypervisor_->set_audit_hook(
         [this](u32 vm_index) { checker_->audit_vm(vm_index); });
   }
+  if (!opts.fault_plan.empty()) {
+    // One injector per tenant: all fault state lives on the tenant's own
+    // timeline, so injected schedules replay deterministically even under
+    // the worker pool. Every fired fault is chased by a full audit of the
+    // blast-site VM (the FAULT-2 discipline).
+    injectors_.reserve(opts.tenant_vms);
+    for (unsigned i = 0; i < opts.tenant_vms; ++i) {
+      injectors_.push_back(
+          std::make_unique<sim::fault::FaultInjector>(opts.fault_plan));
+      const u32 vm_index = kernels_[i]->vm().id();
+      if (check::kCoherenceAuditsEnabled) {
+        injectors_.back()->set_post_fault_hook(
+            [this, vm_index] { checker_->audit_vm(vm_index); });
+      }
+      kernels_[i]->ctx().faults = injectors_.back().get();
+    }
+  }
 }
 
 void TestBed::audit() {

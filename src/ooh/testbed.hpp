@@ -16,6 +16,8 @@
 #include "guest/kernel.hpp"
 #include "hypervisor/hypervisor.hpp"
 #include "sim/check/coherence.hpp"
+#include "sim/fault/fault_plan.hpp"
+#include "sim/fault/injector.hpp"
 #include "sim/machine.hpp"
 
 namespace ooh::lib {
@@ -26,6 +28,12 @@ struct TestBedOptions {
   unsigned tenant_vms = 1;
   CostModel cost = CostModel::paper_calibrated();
   VirtDuration sched_quantum = secs(1.0);
+  /// Fault-injection schedule. Empty (the default) = no injector is wired
+  /// at all: runs are bit-identical to a bed without the fault subsystem.
+  /// Non-empty: each tenant gets its own FaultInjector executing this plan
+  /// on its private timeline, with the CoherenceChecker installed as the
+  /// post-fault audit hook.
+  sim::fault::FaultPlan fault_plan;
 };
 
 class TestBed {
@@ -69,10 +77,17 @@ class TestBed {
   /// unconditionally from figure drivers without perturbing Release runs.
   void audit();
 
+  /// Tenant i's fault injector, or nullptr when the bed runs fault-free
+  /// (TestBedOptions::fault_plan empty).
+  [[nodiscard]] sim::fault::FaultInjector* fault_injector(unsigned i = 0) noexcept {
+    return i < injectors_.size() ? injectors_[i].get() : nullptr;
+  }
+
  private:
   std::unique_ptr<sim::Machine> machine_;
   std::unique_ptr<hv::Hypervisor> hypervisor_;
   std::vector<std::unique_ptr<guest::GuestKernel>> kernels_;
+  std::vector<std::unique_ptr<sim::fault::FaultInjector>> injectors_;
   std::unique_ptr<check::CoherenceChecker> checker_;
 };
 

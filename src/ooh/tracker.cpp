@@ -1,6 +1,7 @@
 #include "ooh/tracker.hpp"
 
 #include <algorithm>
+#include <new>
 
 #include "base/clock.hpp"
 
@@ -19,16 +20,39 @@ std::string_view technique_name(Technique t) noexcept {
 }
 
 void DirtyTracker::init() {
-  VirtualClock::Scope s(kernel_.ctx().clock, phases_.init);
-  do_init();
+  {
+    VirtualClock::Scope s(kernel_.ctx().clock, phases_.init);
+    try {
+      do_init();
+      return;
+    } catch (const std::bad_alloc&) {
+      const Technique fb = fallback_technique();
+      if (fb == technique()) throw;  // nothing weaker to degrade to
+      // Graceful degradation (visible, audited): the preferred backend's
+      // resources could not be allocated, so the session continues on the
+      // weaker sibling instead of dying — EPML falls back to SPML, wp to
+      // /proc soft-dirty.
+      sim::ExecContext& ctx = kernel_.ctx();
+      ctx.count(Event::kTrackerDegraded);
+      if (ctx.faults != nullptr) ctx.faults->note_degradation();
+      ctx.fault_audit();
+      fallback_ = make_tracker(fb, kernel_, proc_);
+    }
+  }
+  fallback_->init();
 }
 
 void DirtyTracker::begin_interval() {
+  if (fallback_) {
+    fallback_->begin_interval();
+    return;
+  }
   VirtualClock::Scope s(kernel_.ctx().clock, phases_.arm);
   do_begin_interval();
 }
 
 std::vector<Gva> DirtyTracker::collect() {
+  if (fallback_) return fallback_->collect();
   kernel_.ctx().count(Event::kTrackerCollect);
   VirtualClock::Scope s(kernel_.ctx().clock, phases_.collect);
   std::vector<Gva> pages = do_collect();
@@ -40,6 +64,10 @@ std::vector<Gva> DirtyTracker::collect() {
 }
 
 void DirtyTracker::shutdown() {
+  if (fallback_) {
+    fallback_->shutdown();
+    return;
+  }
   do_shutdown();
 }
 

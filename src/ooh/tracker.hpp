@@ -57,6 +57,11 @@ class DirtyTracker {
     return technique_name(technique());
   }
 
+  /// One-time setup. If the backend's resources cannot be allocated
+  /// (bad_alloc — real or injected), the tracker degrades gracefully: it
+  /// constructs its fallback_technique() tracker and delegates the whole
+  /// lifecycle to it, counting Event::kTrackerDegraded. Techniques with no
+  /// weaker sibling rethrow.
   void init();
   void begin_interval();
   /// Dirty page GVAs (page-aligned, deduplicated, sorted) for the interval.
@@ -64,9 +69,20 @@ class DirtyTracker {
   void shutdown();
 
   /// Pages known to have been lost (ring overflow). 0 for exact techniques.
-  [[nodiscard]] virtual u64 dropped() const { return 0; }
+  [[nodiscard]] u64 dropped() const {
+    return fallback_ ? fallback_->dropped() : do_dropped();
+  }
 
-  [[nodiscard]] const Phases& phases() const noexcept { return phases_; }
+  /// True when init() fell back to a weaker technique.
+  [[nodiscard]] bool degraded() const noexcept { return fallback_ != nullptr; }
+  /// The technique actually doing the tracking (the fallback's when degraded).
+  [[nodiscard]] Technique effective_technique() const noexcept {
+    return fallback_ ? fallback_->effective_technique() : technique();
+  }
+
+  [[nodiscard]] const Phases& phases() const noexcept {
+    return fallback_ ? fallback_->phases() : phases_;
+  }
   [[nodiscard]] guest::Process& process() noexcept { return proc_; }
 
  protected:
@@ -74,10 +90,17 @@ class DirtyTracker {
   virtual void do_begin_interval() = 0;
   [[nodiscard]] virtual std::vector<Gva> do_collect() = 0;
   virtual void do_shutdown() = 0;
+  [[nodiscard]] virtual u64 do_dropped() const { return 0; }
+  /// The weaker technique to degrade to when do_init() hits bad_alloc.
+  /// Returning the tracker's own technique means "no fallback: rethrow".
+  [[nodiscard]] virtual Technique fallback_technique() const noexcept {
+    return technique();
+  }
 
   guest::GuestKernel& kernel_;
   guest::Process& proc_;
   Phases phases_;
+  std::unique_ptr<DirtyTracker> fallback_;  ///< set when init() degraded.
 };
 
 /// Factory over the technique enum; SPML/EPML load the OoH kernel module on

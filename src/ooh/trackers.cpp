@@ -1,5 +1,6 @@
 #include "ooh/trackers.hpp"
 
+#include <new>
 #include <unordered_map>
 
 #include "base/clock.hpp"
@@ -140,7 +141,7 @@ void SpmlTracker::do_shutdown() {
   }
 }
 
-u64 SpmlTracker::dropped() const {
+u64 SpmlTracker::do_dropped() const {
   return module_ != nullptr && module_->tracking(proc_) ? module_->dropped(proc_)
                                                         : 0;
 }
@@ -161,7 +162,7 @@ void EpmlTracker::do_shutdown() {
   if (module_ != nullptr && module_->tracking(proc_)) module_->untrack(proc_);
 }
 
-u64 EpmlTracker::dropped() const {
+u64 EpmlTracker::do_dropped() const {
   return module_ != nullptr && module_->tracking(proc_) ? module_->dropped(proc_)
                                                         : 0;
 }
@@ -226,6 +227,11 @@ void WpTracker::protect_pages(const std::vector<Gva>& pages) {
 }
 
 void WpTracker::do_init() {
+  if (kernel_.ctx().fault_fire(sim::fault::FaultPoint::kWpProtectFail)) {
+    // Injected failure of the write-protect pass (KVM's page_track rmap
+    // allocation returning ENOMEM): degrade before touching any EPT entry.
+    throw std::bad_alloc{};
+  }
   sim::WriteTrackRegistry& track = kernel_.vm().track();
   track.register_notifier(sim::TrackLayer::kEptWpFault, this);
   track.register_notifier(sim::TrackLayer::kEptDirty, this);

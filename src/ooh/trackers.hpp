@@ -56,7 +56,6 @@ class SpmlTracker final : public DirtyTracker, public sim::PageTrackNotifier {
   using DirtyTracker::DirtyTracker;
   ~SpmlTracker() override;
   [[nodiscard]] Technique technique() const noexcept override { return Technique::kSpml; }
-  [[nodiscard]] u64 dropped() const override;
 
   // ---- sim::PageTrackNotifier (flush chain only) ----------------------------
   bool on_track(sim::TrackLayer layer, const sim::TrackEvent& ev) override;
@@ -69,6 +68,10 @@ class SpmlTracker final : public DirtyTracker, public sim::PageTrackNotifier {
   void do_begin_interval() override {}
   [[nodiscard]] std::vector<Gva> do_collect() override;
   void do_shutdown() override;
+  [[nodiscard]] u64 do_dropped() const override;
+  [[nodiscard]] Technique fallback_technique() const noexcept override {
+    return Technique::kProc;  // no PML buffer: degrade to soft-dirty
+  }
 
  private:
   guest::OohModule* module_ = nullptr;
@@ -85,13 +88,16 @@ class EpmlTracker final : public DirtyTracker {
  public:
   using DirtyTracker::DirtyTracker;
   [[nodiscard]] Technique technique() const noexcept override { return Technique::kEpml; }
-  [[nodiscard]] u64 dropped() const override;
 
  protected:
   void do_init() override;
   void do_begin_interval() override {}
   [[nodiscard]] std::vector<Gva> do_collect() override;
   void do_shutdown() override;
+  [[nodiscard]] u64 do_dropped() const override;
+  [[nodiscard]] Technique fallback_technique() const noexcept override {
+    return Technique::kSpml;  // guest buffer page unavailable: degrade to SPML
+  }
 
  private:
   guest::OohModule* module_ = nullptr;
@@ -118,6 +124,9 @@ class WpTracker final : public DirtyTracker, public sim::PageTrackNotifier {
   void do_begin_interval() override {}
   [[nodiscard]] std::vector<Gva> do_collect() override;
   void do_shutdown() override;
+  [[nodiscard]] Technique fallback_technique() const noexcept override {
+    return Technique::kProc;  // protect pass failed: degrade to soft-dirty
+  }
 
  private:
   /// Write-protect the EPT entries backing `pages` (batch: one TLB shootdown).

@@ -13,6 +13,7 @@
 #include "base/clock.hpp"
 #include "base/cost_model.hpp"
 #include "base/counters.hpp"
+#include "sim/fault/injector.hpp"
 #include "sim/phys_mem.hpp"
 #include "sim/tlb.hpp"
 
@@ -32,11 +33,43 @@ class ExecContext {
   void charge_ns(double ns) { clock.advance(nsecs(ns)); }
   void count(Event e, u64 n = 1) noexcept { counters.add(e, n); }
 
+  // ---- fault injection (tentpole of the robustness PR) ------------------
+  // `faults == nullptr` is the production configuration: every hook below
+  // collapses to a branch on a null pointer, charges zero virtual time and
+  // counts nothing, so faults-disabled runs stay bit-identical to a build
+  // without the subsystem.
+
+  /// One arrival at injection point `p`; true when the FaultPlan fires.
+  [[nodiscard]] bool fault_fire(fault::FaultPoint p) noexcept {
+    if (faults == nullptr || !faults->fire(p)) return false;
+    counters.add(Event::kFaultInjected);
+    return true;
+  }
+
+  /// Self-IPI delivery gate (see FaultInjector::gate_self_ipi). True means
+  /// deliver the IPI; false means it was dropped by an injected fault.
+  [[nodiscard]] bool fault_gate_self_ipi() noexcept {
+    if (faults == nullptr) return true;
+    const auto gate = faults->gate_self_ipi();
+    if (gate.fired) counters.add(Event::kFaultInjected);
+    if (!gate.deliver) counters.add(Event::kSelfIpiSuppressed);
+    return gate.deliver;
+  }
+
+  /// Run the post-fault audit hook (CoherenceChecker::audit_vm when the
+  /// TestBed wired one). Call sites invoke this once machine state has
+  /// settled after an injected fault, so every fault is followed by a full
+  /// invariant audit at the blast site.
+  void fault_audit() {
+    if (faults != nullptr) faults->run_post_fault_hook();
+  }
+
   VirtualClock clock;
   EventCounters counters;
   Tlb tlb;
   const CostModel& cost;
   PhysicalMemory& pmem;
+  fault::FaultInjector* faults = nullptr;  ///< owned by the TestBed; null = no faults.
 
  private:
   u32 id_;

@@ -1,0 +1,56 @@
+#include "sim/fault/fault_plan.hpp"
+
+#include <array>
+
+namespace ooh::sim::fault {
+namespace {
+
+constexpr std::array<std::string_view, kFaultPointCount> kPointNames = {
+    "pml_force_full",     "epml_force_full", "self_ipi_suppress",
+    "gpa_alloc_fail",     "frame_alloc_fail", "wp_protect_fail",
+    "migration_send_fail",
+};
+
+/// SplitMix64 (Steele et al.): tiny, full-period, and identical on every
+/// platform — exactly what seed-replayable plans need.
+struct SplitMix64 {
+  u64 state;
+  u64 next() noexcept {
+    u64 z = (state += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+  /// Uniform-ish value in [lo, hi] (inclusive). Modulo bias is irrelevant
+  /// here: plans only need determinism, not statistical quality.
+  u64 range(u64 lo, u64 hi) noexcept { return lo + next() % (hi - lo + 1); }
+};
+
+}  // namespace
+
+std::string_view fault_point_name(FaultPoint p) noexcept {
+  return kPointNames[static_cast<std::size_t>(p)];
+}
+
+FaultPlan FaultPlan::from_seed(u64 seed) {
+  SplitMix64 rng{seed ^ 0xD1B54A32D192ED03ull};
+  FaultPlan plan;
+  plan.seed_ = seed;
+  // One rule per injection point, plus a second helping of buffer-full rules
+  // (they are the highest-traffic sites and benefit from repeated firing).
+  // Arrival windows are kept small so short workloads still reach them.
+  plan.add({FaultPoint::kPmlForceFull, rng.range(0, 200), rng.range(50, 300),
+            rng.range(1, 4), 0});
+  plan.add({FaultPoint::kEpmlForceFull, rng.range(0, 200), rng.range(50, 300),
+            rng.range(1, 4), 0});
+  plan.add({FaultPoint::kSelfIpiSuppress, rng.range(0, 2), 0, 1,
+            rng.range(1, 8)});
+  plan.add({FaultPoint::kGpaAllocFail, rng.range(0, 64), 0, 1, 0});
+  plan.add({FaultPoint::kFrameAllocFail, rng.range(0, 1), 0, 1, 0});
+  plan.add({FaultPoint::kWpProtectFail, 0, 0, 1, 0});
+  plan.add({FaultPoint::kMigrationSendFail, rng.range(0, 3), rng.range(2, 6),
+            rng.range(1, 2), 0});
+  return plan;
+}
+
+}  // namespace ooh::sim::fault

@@ -1,0 +1,78 @@
+// Deterministic fault schedules (the "what and when" of fault injection).
+//
+// The paper's rare-event paths — PML buffer-full VM-exits, EPML posted
+// self-IPIs, allocation failures, interrupted pre-copy rounds — only fire on
+// adversarial schedules that happy-path workloads never produce. A FaultPlan
+// is a declarative schedule of injection points keyed by per-vCPU *arrival
+// counts* (the Nth time execution reaches the injection point), which makes
+// it independent of wall-clock and host-thread interleaving: replaying the
+// same plan against the same workload reproduces the same faults bit-for-bit
+// (FAULT-1 in docs/invariants.md).
+//
+// Plans are data, not behaviour: the FaultInjector (injector.hpp) owns the
+// mutable arrival/fire state. An empty plan is the no-fault case and must be
+// indistinguishable from a build without any fault hooks.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "base/types.hpp"
+
+namespace ooh::sim::fault {
+
+/// Injection points wired through ExecContext::fault_fire. Each names one
+/// hook site in the simulator; arrivals are counted per point, per vCPU.
+enum class FaultPoint : std::size_t {
+  kPmlForceFull = 0,    ///< hypervisor PML: report buffer-full at the current index.
+  kEpmlForceFull,       ///< guest EPML: report buffer-full at the current index.
+  kSelfIpiSuppress,     ///< drop the EPML posted self-IPI (arg = drops before redelivery).
+  kGpaAllocFail,        ///< GuestKernel::alloc_gpa_frame throws (guest OOM).
+  kFrameAllocFail,      ///< host frame allocation for the PML buffer throws.
+  kWpProtectFail,       ///< wp tracker's initial write-protect pass fails.
+  kMigrationSendFail,   ///< one migration send_pages call fails (retry/backoff).
+  kCount
+};
+
+inline constexpr std::size_t kFaultPointCount =
+    static_cast<std::size_t>(FaultPoint::kCount);
+
+[[nodiscard]] std::string_view fault_point_name(FaultPoint p) noexcept;
+
+/// One scheduled fault: fire at arrival `first` (0-based), then every `every`
+/// arrivals after that (0 = fire once), at most `limit` times (0 = no cap).
+/// `arg` is a point-specific payload (e.g. self-IPI drop count).
+struct FaultRule {
+  FaultPoint point = FaultPoint::kCount;
+  u64 first = 0;
+  u64 every = 0;
+  u64 limit = 1;
+  u64 arg = 0;
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  FaultPlan& add(FaultRule rule) {
+    rules_.push_back(rule);
+    return *this;
+  }
+
+  [[nodiscard]] const std::vector<FaultRule>& rules() const noexcept { return rules_; }
+  [[nodiscard]] bool empty() const noexcept { return rules_.empty(); }
+  [[nodiscard]] u64 seed() const noexcept { return seed_; }
+
+  /// Derive a pseudo-random but fully deterministic plan from `seed` using
+  /// SplitMix64: same seed => same rules => same replayed faults. Every
+  /// injection point gets at least one rule so a seeded sweep exercises the
+  /// whole fault surface.
+  [[nodiscard]] static FaultPlan from_seed(u64 seed);
+
+ private:
+  std::vector<FaultRule> rules_;
+  u64 seed_ = 0;
+};
+
+}  // namespace ooh::sim::fault

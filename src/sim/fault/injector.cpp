@@ -1,0 +1,56 @@
+#include "sim/fault/injector.hpp"
+
+#include <algorithm>
+
+namespace ooh::sim::fault {
+
+bool FaultInjector::fire(FaultPoint point) {
+  const u64 arrival = arrivals_[idx(point)]++;
+  const auto& rules = plan_.rules();
+  per_rule_fired_.resize(rules.size(), 0);
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    const FaultRule& r = rules[i];
+    if (r.point != point) continue;
+    if (r.limit != 0 && per_rule_fired_[i] >= r.limit) continue;
+    if (arrival < r.first) continue;
+    if (r.every == 0 ? arrival != r.first : (arrival - r.first) % r.every != 0) {
+      continue;
+    }
+    ++per_rule_fired_[i];
+    ++fired_[idx(point)];
+    last_arg_ = r.arg;
+    return true;
+  }
+  return false;
+}
+
+FaultInjector::IpiGate FaultInjector::gate_self_ipi() {
+  IpiGate g;
+  if (ipi_drops_remaining_ == 0 && fire(FaultPoint::kSelfIpiSuppress)) {
+    ipi_drops_remaining_ = std::clamp<u64>(last_arg_, 1, kMaxIpiDrops);
+    ipi_window_open_ = true;
+    g.fired = true;
+  }
+  if (ipi_drops_remaining_ > 0) {
+    --ipi_drops_remaining_;
+    ++ipis_suppressed_;
+    g.deliver = false;
+    return g;
+  }
+  if (ipi_window_open_) {
+    // The drop window ran dry on an earlier encounter; this one is the
+    // bounded-retry redelivery.
+    ipi_window_open_ = false;
+    ++ipis_redelivered_;
+  }
+  g.deliver = true;
+  return g;
+}
+
+u64 FaultInjector::total_fired() const noexcept {
+  u64 total = 0;
+  for (const u64 n : fired_) total += n;
+  return total;
+}
+
+}  // namespace ooh::sim::fault

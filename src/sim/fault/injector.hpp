@@ -1,0 +1,87 @@
+// FaultInjector: the per-vCPU runtime that executes a FaultPlan.
+//
+// One injector is owned per tenant/vCPU timeline (TestBed plumbs it into the
+// ExecContext), so all of its state mutates from exactly one host thread and
+// determinism falls out of the arrival-count keying: the Nth arrival at a
+// point is the same event in every replay of the same workload + plan.
+//
+// The injector itself charges zero virtual time and touches no counters —
+// call sites observe its verdicts through ExecContext::fault_fire /
+// fault_gate_self_ipi, which do the (whitelisted) counter accounting. After
+// machine state settles from an injected fault, call sites run
+// ExecContext::fault_audit() so the CoherenceChecker validates every
+// invariant right at the blast site (FAULT-2 in docs/invariants.md).
+#pragma once
+
+#include <array>
+#include <functional>
+
+#include "base/types.hpp"
+#include "sim/fault/fault_plan.hpp"
+
+namespace ooh::sim::fault {
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Record one arrival at `point`; true when a rule says this arrival
+  /// faults. `last_arg()` then holds the firing rule's payload.
+  [[nodiscard]] bool fire(FaultPoint point);
+
+  /// Self-IPI delivery gate, with the bounded-retry redelivery model: a
+  /// firing kSelfIpiSuppress rule opens a drop window of `arg` encounters
+  /// (clamped to [1, kMaxIpiDrops]); every buffer-full encounter inside the
+  /// window is dropped, and the first one after it is the redelivery. The
+  /// bound guarantees a guest that keeps writing always gets its IPI back.
+  struct IpiGate {
+    bool deliver = true;  ///< false: drop this IPI (caller counts the loss).
+    bool fired = false;   ///< true: this call opened a new drop window.
+  };
+  [[nodiscard]] IpiGate gate_self_ipi();
+
+  /// Tracker fell back to a weaker technique because of an injected fault.
+  void note_degradation() noexcept { ++degradations_; }
+
+  /// Post-fault audit hook (TestBed wires CoherenceChecker::audit_vm here).
+  void set_post_fault_hook(std::function<void()> hook) { hook_ = std::move(hook); }
+  void run_post_fault_hook() {
+    if (hook_) hook_();
+  }
+
+  // ---- introspection (tests / reports) ----------------------------------
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+  [[nodiscard]] u64 arrivals(FaultPoint p) const noexcept {
+    return arrivals_[idx(p)];
+  }
+  [[nodiscard]] u64 fired(FaultPoint p) const noexcept { return fired_[idx(p)]; }
+  [[nodiscard]] u64 total_fired() const noexcept;
+  [[nodiscard]] u64 last_arg() const noexcept { return last_arg_; }
+  [[nodiscard]] u64 ipis_suppressed() const noexcept { return ipis_suppressed_; }
+  [[nodiscard]] u64 ipis_redelivered() const noexcept { return ipis_redelivered_; }
+  [[nodiscard]] u64 degradations() const noexcept { return degradations_; }
+
+  static constexpr u64 kMaxIpiDrops = 64;
+
+ private:
+  static constexpr std::size_t idx(FaultPoint p) noexcept {
+    return static_cast<std::size_t>(p);
+  }
+
+  FaultPlan plan_;
+  std::array<u64, kFaultPointCount> arrivals_{};
+  std::array<u64, kFaultPointCount> fired_{};
+  std::vector<u64> per_rule_fired_;  // parallel to plan_.rules()
+  u64 last_arg_ = 0;
+  u64 ipi_drops_remaining_ = 0;
+  u64 ipis_suppressed_ = 0;
+  u64 ipis_redelivered_ = 0;
+  u64 degradations_ = 0;
+  bool ipi_window_open_ = false;  ///< a drop window ran dry; next encounter redelivers.
+  std::function<void()> hook_;
+};
+
+}  // namespace ooh::sim::fault

@@ -152,15 +152,33 @@ bool guest_pml_active(Vcpu& vcpu) noexcept {
          shadow->read(VmcsField::kGuestPmlAddress) != 0;
 }
 
+/// PML-full VM-exit into the root-mode handler (drain + index reset).
+void raise_hyp_pml_full(Vcpu& vcpu) {
+  vcpu.vmexit_to_root(Event::kVmExitPmlFull,
+                      [&] { vcpu.exits()->on_pml_full(vcpu); });
+}
+
 }  // namespace
 
 void HypPmlLogger::log_gpa(Vcpu& vcpu, Gpa gpa_page) {
   ExecContext& ctx = vcpu.ctx();
   Vmcs& v = vcpu.vmcs();
   u16 idx = static_cast<u16>(v.read(VmcsField::kPmlIndex));
+  bool faulted = false;
   if (idx > kPmlIndexStart) {
-    // Index underflowed past entry 0: PML-full VM-exit before logging (SDM).
-    vcpu.vmexit_to_root(Event::kVmExitPmlFull, [&] { vcpu.exits()->on_pml_full(vcpu); });
+    // Defensive: the eager full-exit below resets the index the moment the
+    // 512th entry lands, so a wrapped index here means a handler declined
+    // to drain. Give it one more exit, then treat it as the bug it is.
+    raise_hyp_pml_full(vcpu);
+    idx = static_cast<u16>(v.read(VmcsField::kPmlIndex));
+    if (idx > kPmlIndexStart) {
+      throw std::logic_error("PML-full handler did not reset the PML index");
+    }
+  } else if (ctx.fault_fire(fault::FaultPoint::kPmlForceFull)) {
+    // Injected fault: hardware reports buffer-full at this (adversarial,
+    // possibly mid-buffer) index; the handler drains the partial buffer.
+    faulted = true;
+    raise_hyp_pml_full(vcpu);
     idx = static_cast<u16>(v.read(VmcsField::kPmlIndex));
     if (idx > kPmlIndexStart) {
       throw std::logic_error("PML-full handler did not reset the PML index");
@@ -168,9 +186,20 @@ void HypPmlLogger::log_gpa(Vcpu& vcpu, Gpa gpa_page) {
   }
   const Hpa buf = v.read(VmcsField::kPmlAddress);
   ctx.pmem.write_u64(buf + u64{idx} * 8, gpa_page);
-  v.write(VmcsField::kPmlIndex, static_cast<u16>(idx - 1));  // wraps past 0
+  const u16 next = static_cast<u16>(idx - 1);  // wraps past 0
+  v.write(VmcsField::kPmlIndex, next);
   ctx.count(Event::kPmlLogGpa);
   ctx.charge_ns(ctx.cost.pml_log_ns);
+  if (next > kPmlIndexStart) {
+    // That was the 512th entry: the buffer-full VM-exit fires as the write
+    // that fills the buffer retires (SDM PML semantics), not lazily on the
+    // next logging attempt.
+    raise_hyp_pml_full(vcpu);
+    if (static_cast<u16>(v.read(VmcsField::kPmlIndex)) > kPmlIndexStart) {
+      throw std::logic_error("PML-full handler did not reset the PML index");
+    }
+  }
+  if (faulted) ctx.fault_audit();
 }
 
 bool HypPmlLogger::on_track(TrackLayer layer, const TrackEvent& ev) {
@@ -192,28 +221,69 @@ bool HypPmlLogger::on_track(TrackLayer layer, const TrackEvent& ev) {
 
 // ---- GuestPmlLogger ---------------------------------------------------------
 
+namespace {
+
+/// Post the EPML self-IPI into the OoH module (drain + index reset), unless
+/// an injected fault drops it. True when the IPI was actually delivered.
+/// No VM-exit either way — that is the whole point of EPML.
+bool raise_guest_pml_full(Vcpu& vcpu) {
+  ExecContext& ctx = vcpu.ctx();
+  if (!ctx.fault_gate_self_ipi()) {
+    // The IPI was dropped by an injected suppression fault; the buffer stays
+    // wrapped until the bounded-retry redelivery. The machine is settled at
+    // this point, so run the post-fault audit right at the blast site.
+    ctx.fault_audit();
+    return false;
+  }
+  ctx.count(Event::kSelfIpi);
+  ctx.charge_us(ctx.cost.self_ipi_us + ctx.cost.irq_dispatch_us);
+  vcpu.irq_sink()->on_guest_pml_full(vcpu);
+  return true;
+}
+
+}  // namespace
+
 bool GuestPmlLogger::on_track(TrackLayer /*layer*/, const TrackEvent& ev) {
   Vcpu& vcpu = *ev.vcpu;
   if (!guest_pml_active(vcpu)) return false;
   ExecContext& ctx = vcpu.ctx();
   Vmcs& shadow = *vcpu.shadow_vmcs();
   u16 idx = static_cast<u16>(shadow.read(VmcsField::kGuestPmlIndex));
+  bool faulted = false;
   if (idx > kPmlIndexStart) {
-    // Guest-level buffer full: posted self-IPI into the OoH module; the
-    // module drains the buffer and resets the index. No VM-exit (EPML).
-    ctx.count(Event::kSelfIpi);
-    ctx.charge_us(ctx.cost.self_ipi_us + ctx.cost.irq_dispatch_us);
-    vcpu.irq_sink()->on_guest_pml_full(vcpu);
+    // Buffer still full from an earlier fill whose self-IPI was dropped by
+    // an injected fault or deferred by an in-progress drain. Retry delivery
+    // (the bounded-retry redelivery model); while the IPI stays undelivered
+    // this write's entry has nowhere to go and is lost — visibly.
+    const bool delivered = raise_guest_pml_full(vcpu);
     idx = static_cast<u16>(shadow.read(VmcsField::kGuestPmlIndex));
-    if (idx > kPmlIndexStart) {
-      throw std::logic_error("self-IPI handler did not reset the guest PML index");
+    if (!delivered || idx > kPmlIndexStart) {
+      ctx.count(Event::kEpmlEntryLost);
+      return true;
+    }
+  } else if (ctx.fault_fire(fault::FaultPoint::kEpmlForceFull)) {
+    // Injected fault: report buffer-full at this adversarial index. The
+    // IPI delivery itself still goes through the suppression gate; if it
+    // is dropped the partial buffer simply stays in place (nothing lost —
+    // there is still room for this entry).
+    faulted = true;
+    if (raise_guest_pml_full(vcpu)) {
+      idx = static_cast<u16>(shadow.read(VmcsField::kGuestPmlIndex));
     }
   }
   const Hpa buf = shadow.read(VmcsField::kGuestPmlAddress);
   ctx.pmem.write_u64(buf + u64{idx} * 8, ev.gva_page);
-  shadow.write(VmcsField::kGuestPmlIndex, static_cast<u16>(idx - 1));
+  const u16 next = static_cast<u16>(idx - 1);
+  shadow.write(VmcsField::kGuestPmlIndex, next);
   ctx.count(Event::kPmlLogGvaGuest);
   ctx.charge_ns(ctx.cost.pml_log_ns);
+  if (next > kPmlIndexStart) {
+    // That was the 512th entry: the posted self-IPI fires as the filling
+    // write retires (mirroring hardware PML's eager full exit). A dropped
+    // IPI leaves the index wrapped; the next tracked write retries.
+    (void)raise_guest_pml_full(vcpu);
+  }
+  if (faulted) ctx.fault_audit();
   return true;
 }
 

@@ -142,6 +142,66 @@ TEST(Migration, CoexistsWithSpmlSessionBothComplete) {
   tracker->shutdown();
 }
 
+TEST(Migration, DrainWindowWritesJoinTheStopAndCopySet) {
+  // Final-round accounting regression: writes landing between the last
+  // pre-copy harvest and the vCPU pause used to be dropped — they sat in the
+  // PML buffer / dirty log but the engine paused and sent only the already
+  // harvested set, silently corrupting the destination. They must join the
+  // stop-and-copy set.
+  lib::TestBed bed;
+  auto& k = bed.kernel();
+  auto& proc = k.create_process();
+  const u64 pages = 64;
+  const Gva base = proc.mmap(pages * kPageSize);
+  for (u64 i = 0; i < pages; ++i) proc.touch_write(base + i * kPageSize);
+
+  MigrationEngine engine(bed.hypervisor());
+  MigrationOptions opts;
+  opts.drain_window_body = [&] {
+    for (int i = 0; i < 7; ++i) proc.touch_write(base + i * kPageSize);
+  };
+  const MigrationReport rep = engine.migrate(bed.vm(), [] {}, opts);
+  EXPECT_TRUE(rep.converged);
+  EXPECT_EQ(rep.stop_copy_pages, 7u)
+      << "the drain-window writes must be re-sent while the VM is paused";
+  EXPECT_EQ(rep.pages_sent, rep.initial_pages + 7);
+}
+
+TEST(Migration, NonConvergenceCutoffStillCapturesDrainWindowWrites) {
+  // The forced stop-and-copy after max_rounds has the same drain window and
+  // must apply the same accounting.
+  lib::TestBed bed;
+  auto& k = bed.kernel();
+  auto& proc = k.create_process();
+  const u64 pages = 64;
+  const Gva base = proc.mmap(pages * kPageSize);
+  for (u64 i = 0; i < pages; ++i) proc.touch_write(base + i * kPageSize);
+
+  MigrationEngine engine(bed.hypervisor());
+  MigrationOptions opts;
+  opts.max_rounds = 2;
+  opts.stop_copy_threshold_pages = 0;
+  opts.drain_window_body = [&] {
+    for (u64 i = 32; i < 35; ++i) proc.touch_write(base + i * kPageSize);
+  };
+  const MigrationReport rep = engine.migrate(bed.vm(), [&] {
+    // Hot set of 16 pages redirtied every quantum: never converges.
+    for (u64 i = 0; i < 16; ++i) proc.touch_write(base + i * kPageSize);
+  });
+  // Run again with the drain-window options (the lambda above used defaults).
+  const MigrationReport rep2 = engine.migrate(
+      bed.vm(),
+      [&] {
+        for (u64 i = 0; i < 16; ++i) proc.touch_write(base + i * kPageSize);
+      },
+      opts);
+  EXPECT_TRUE(rep.converged) << "sanity: default options converge";
+  EXPECT_FALSE(rep2.converged);
+  EXPECT_FALSE(rep2.aborted);
+  EXPECT_EQ(rep2.stop_copy_pages, 16u + 3u)
+      << "forced stop-and-copy = last hot set + drain-window writes";
+}
+
 TEST(Migration, BackToBackMigrationsWork) {
   lib::TestBed bed;
   auto& k = bed.kernel();

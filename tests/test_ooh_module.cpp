@@ -98,6 +98,43 @@ TEST_F(OohModuleTest, EpmlSelfIpiDrainsOnBufferFull) {
   mod.untrack(p);
 }
 
+TEST_F(OohModuleTest, NestedBufferFullDuringDrainIsDeferredNotReentered) {
+  // Reentrancy regression: a self-IPI raised while the drain handler runs
+  // (writes landing in the interrupt window) used to re-enter the drain,
+  // re-copying slots and double-resetting the index. The fix defers the
+  // nested IPI and redelivers it once the index reset is done.
+  OohModule& mod = kernel_.load_ooh_module(OohMode::kEpml);
+  Process& p = kernel_.create_process();
+  const u64 pages = kPmlBufferEntries + 8;
+  const Gva base = p.mmap(pages * kPageSize);
+  mod.track(p);
+
+  // While the full-buffer drain is mid-flight (slots copied, index not yet
+  // reset), dirty three more pages. The buffer is still wrapped, so the
+  // hardware posts nested self-IPIs; the handler must defer them instead of
+  // starting a nested drain, and the writes are accounted as lost entries.
+  mod.set_mid_drain_hook([&] {
+    for (u64 i = 0; i < 3; ++i) {
+      p.touch_write(base + (kPmlBufferEntries + i) * kPageSize);
+    }
+  });
+  run_writes(p, base, kPmlBufferEntries);  // 512th write raises the IPI
+
+  EXPECT_EQ(vm_.ctx().counters.get(Event::kSelfIpi), 4u)
+      << "1 full-buffer IPI + 3 nested (deferred) IPIs";
+  EXPECT_EQ(vm_.ctx().counters.get(Event::kEpmlEntryLost), 3u)
+      << "interrupt-window writes against a wrapped buffer are lost, visibly";
+  EXPECT_EQ(vm_.ctx().counters.get(Event::kRingBufCopyEntry), kPmlBufferEntries)
+      << "each slot is copied exactly once (no nested re-drain)";
+  EXPECT_EQ(mod.fetch(p).size(), kPmlBufferEntries);
+
+  // The deferred redelivery left the buffer reset and armed: logging still
+  // works for fresh pages afterwards.
+  run_writes(p, base + (kPmlBufferEntries + 3) * kPageSize, 5);
+  EXPECT_EQ(mod.fetch(p).size(), 5u);
+  mod.untrack(p);
+}
+
 TEST_F(OohModuleTest, SpmlBufferFullExitsToHypervisor) {
   OohModule& mod = kernel_.load_ooh_module(OohMode::kSpml);
   Process& p = kernel_.create_process();

@@ -52,6 +52,64 @@ INSTANTIATE_TEST_SUITE_P(
       return name + "_" + std::to_string(std::get<1>(pinfo.param)) + "pages";
     });
 
+// ---- the same sweep under an adversarial fault schedule -----------------------------
+
+class FaultySizeSweep
+    : public ::testing::TestWithParam<std::tuple<lib::Technique, u64 /*pages*/>> {};
+
+TEST_P(FaultySizeSweep, CompleteAtEveryScaleUnderInjectedFaults) {
+  // Buffer-full faults forced at adversarial indices (relatively prime
+  // cadences, so the fulls land at ever-shifting buffer offsets) plus one
+  // suppressed-then-redelivered self-IPI. None of these may cost a page:
+  // forced fulls drain early, and a single-drop IPI window redelivers on the
+  // very next encounter before anything can be lost.
+  const auto [tech, pages] = GetParam();
+  sim::fault::FaultPlan plan;
+  plan.add({sim::fault::FaultPoint::kPmlForceFull, /*first=*/0, /*every=*/61,
+            /*limit=*/0});
+  plan.add({sim::fault::FaultPoint::kEpmlForceFull, /*first=*/0, /*every=*/53,
+            /*limit=*/0});
+  plan.add({sim::fault::FaultPoint::kSelfIpiSuppress, /*first=*/0, /*every=*/0,
+            /*limit=*/1, /*arg=*/1});
+  lib::TestBedOptions o;
+  o.fault_plan = plan;
+  lib::TestBed bed(o);
+  auto& k = bed.kernel();
+  auto& proc = k.create_process();
+  const Gva base = proc.mmap(std::get<1>(GetParam()) * kPageSize);
+
+  auto tracker = lib::make_tracker(tech, k, proc);
+  lib::RunOptions opts;
+  opts.collect_period = msecs(1);
+  const lib::RunResult r = lib::run_tracked(
+      k, proc,
+      [&, p = pages](guest::Process& pr) {
+        for (u64 i = 0; i < p; ++i) pr.touch_write(base + i * kPageSize);
+        for (u64 i = 0; i < p; i += 2) pr.touch_write(base + i * kPageSize);
+      },
+      tracker.get(), opts);
+  tracker->shutdown();
+  EXPECT_GT(bed.fault_injector()->total_fired(), 0u);
+  EXPECT_EQ(r.captured_truth, r.truth_pages);
+  EXPECT_EQ(r.unique_pages, pages);
+  EXPECT_EQ(r.dropped, 0u);
+  EXPECT_EQ(bed.ctx().counters.get(Event::kEpmlEntryLost), 0u)
+      << "a 1-deep drop window must redeliver before any entry is lost";
+  bed.audit();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TechniquesBySize, FaultySizeSweep,
+    ::testing::Combine(::testing::Values(lib::Technique::kSpml, lib::Technique::kEpml),
+                       ::testing::Values(u64{16}, u64{512}, u64{4096})),
+    [](const auto& pinfo) {
+      std::string name{lib::technique_name(std::get<0>(pinfo.param))};
+      for (char& ch : name) {
+        if (ch == '/') ch = '_';
+      }
+      return name + "_" + std::to_string(std::get<1>(pinfo.param)) + "pages";
+    });
+
 // ---- cost-model monotonicity across the calibrated range ----------------------------
 
 TEST(CostSweep, SizeDependentTotalsGrowMonotonically) {

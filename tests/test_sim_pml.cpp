@@ -147,11 +147,51 @@ TEST_F(PmlCircuitTest, BufferFullRaisesVmExitAndContinues) {
   map_range(0x100000, 600);
   enable_hyp_pml();
   for (u64 i = 0; i < 600; ++i) write(0x100000 + i * kPageSize);
-  // 512 entries fill the buffer; the 513th write triggers the exit first.
+  // 512 entries fill the buffer; the 512th write lands its entry and then
+  // raises the full exit (eager semantics — see PmlFullExitFiresOnExactly512thWrite).
   EXPECT_EQ(handler_.pml_full, 1);
   EXPECT_EQ(vcpu_.ctx().counters.get(Event::kVmExitPmlFull), 1u);
   EXPECT_EQ(vcpu_.ctx().counters.get(Event::kPmlLogGpa), 600u);
   EXPECT_EQ(handler_.drained_gpas.size(), kPmlBufferEntries);
+}
+
+// Exact-boundary regression (the off-by-one this fixes): hardware raises the
+// page-modification-log-full exit when the write that consumes the LAST free
+// slot retires — not lazily on the first write after the buffer wrapped. A
+// guest that stops writing at exactly 512 dirtied pages must still see its
+// buffer drained.
+TEST_F(PmlCircuitTest, PmlFullExitFiresOnExactly512thWrite) {
+  map_range(0x100000, kPmlBufferEntries);
+  enable_hyp_pml();
+  for (u64 i = 0; i < kPmlBufferEntries - 1; ++i) write(0x100000 + i * kPageSize);
+  EXPECT_EQ(handler_.pml_full, 0) << "511 entries leave one free slot: no exit yet";
+  EXPECT_EQ(vcpu_.vmcs().read(VmcsField::kPmlIndex), 0u);
+  write(0x100000 + (kPmlBufferEntries - 1) * kPageSize);  // the 512th entry
+  EXPECT_EQ(handler_.pml_full, 1) << "exit must fire when the 512th entry lands";
+  EXPECT_EQ(vcpu_.ctx().counters.get(Event::kVmExitPmlFull), 1u);
+  EXPECT_EQ(handler_.drained_gpas.size(), kPmlBufferEntries);
+  // The 512th write's GPA is in the drained set (slot 0), and the handler's
+  // index reset leaves the buffer ready for the next interval.
+  EXPECT_EQ(handler_.drained_gpas[0],
+            pt_.pte(0x100000 + (kPmlBufferEntries - 1) * kPageSize)->gpa_page);
+  EXPECT_EQ(vcpu_.vmcs().read(VmcsField::kPmlIndex), u64{kPmlIndexStart});
+}
+
+// Same boundary for the guest-level (EPML) buffer: the self-IPI posts when
+// the 512th GVA lands, so a guest dirtying exactly one buffer's worth of
+// pages gets its drain without needing a 513th write.
+TEST_F(PmlCircuitTest, EpmlSelfIpiFiresOnExactly512thWrite) {
+  map_range(0x200000, kPmlBufferEntries);
+  enable_guest_pml();
+  for (u64 i = 0; i < kPmlBufferEntries - 1; ++i) write(0x200000 + i * kPageSize);
+  EXPECT_EQ(handler_.self_ipis, 0) << "511 entries leave one free slot: no IPI yet";
+  write(0x200000 + (kPmlBufferEntries - 1) * kPageSize);  // the 512th entry
+  EXPECT_EQ(handler_.self_ipis, 1) << "self-IPI must post when the 512th entry lands";
+  EXPECT_EQ(vcpu_.ctx().counters.get(Event::kSelfIpi), 1u);
+  EXPECT_EQ(handler_.drained_gvas.size(), kPmlBufferEntries);
+  EXPECT_EQ(handler_.drained_gvas[0], 0x200000u + (kPmlBufferEntries - 1) * kPageSize);
+  EXPECT_EQ(vcpu_.ctx().counters.get(Event::kVmExit), 0u)
+      << "EPML's boundary handling must stay exit-free";
 }
 
 TEST_F(PmlCircuitTest, DisabledPmlLogsNothing) {

@@ -4,6 +4,10 @@
 // chance; swapped pages interact correctly with the OoH trackers.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
+#include "guest/ooh_module.hpp"
 #include "guest/procfs.hpp"
 #include "guest/swap.hpp"
 #include "ooh/experiment.hpp"
@@ -127,6 +131,57 @@ TEST_F(SwapTest, EpmlSeesRedirtyAfterSwapIn) {
   const std::vector<Gva> dirty = tracker->collect();
   EXPECT_EQ(dirty, std::vector<Gva>{base + kPageSize});
   tracker->shutdown();
+}
+
+TEST_F(SwapTest, SwappedOutPagesInFlightBufferEntriesAreDroppedAtDrain) {
+  // Bugfix regression: a GVA logged into the EPML guest buffer and then
+  // swapped out before the drain used to be handed to userspace anyway — a
+  // stale address that may already belong to a recycled mapping. The drain
+  // must re-validate every entry against the page table and drop non-present
+  // ones, visibly (kEpmlStaleEntryDropped).
+  OohModule& mod = kernel_.load_ooh_module(OohMode::kEpml);
+  const Gva base = proc_.mmap(6 * kPageSize);
+  mod.track(proc_);
+  kernel_.scheduler().enter_process(proc_.pid());
+  for (u64 i = 0; i < 6; ++i) proc_.touch_write(base + i * kPageSize);
+
+  // Evict the first four pages while their GVAs still sit in the in-flight
+  // guest buffer. The last two keep their accessed bits (second chance), so
+  // they survive the scan.
+  kernel_.page_table(proc_).for_each_present([&](Gva gva, sim::Pte& pte) {
+    if (gva < base + 4 * kPageSize) pte.accessed = false;
+  });
+  bed_.vm().vcpu().tlb().flush_pid(proc_.pid());
+  ASSERT_EQ(kernel_.swap().evict(proc_, 4).evicted_dirty, 4u);
+
+  kernel_.scheduler().exit_process(proc_.pid());  // drains the guest buffer
+  EXPECT_EQ(bed_.ctx().counters.get(Event::kEpmlStaleEntryDropped), 4u);
+  std::vector<u64> got = mod.fetch(proc_);
+  std::sort(got.begin(), got.end());
+  const std::vector<u64> expect{base + 4 * kPageSize, base + 5 * kPageSize};
+  EXPECT_EQ(got, expect) << "only the still-present pages reach userspace";
+  mod.untrack(proc_);
+}
+
+TEST_F(SwapTest, MunmappedPagesInFlightBufferEntriesAreDroppedAtDrain) {
+  // Same stale-entry discipline for munmap: tearing down the VMA between the
+  // logged write and the drain must not leak the dead GVAs to userspace.
+  OohModule& mod = kernel_.load_ooh_module(OohMode::kEpml);
+  const Gva keep = proc_.mmap(2 * kPageSize);
+  const Gva doomed = proc_.mmap(3 * kPageSize);
+  mod.track(proc_);
+  kernel_.scheduler().enter_process(proc_.pid());
+  for (u64 i = 0; i < 2; ++i) proc_.touch_write(keep + i * kPageSize);
+  for (u64 i = 0; i < 3; ++i) proc_.touch_write(doomed + i * kPageSize);
+  proc_.munmap(doomed);  // buffer still holds the three dead GVAs
+  kernel_.scheduler().exit_process(proc_.pid());
+
+  EXPECT_EQ(bed_.ctx().counters.get(Event::kEpmlStaleEntryDropped), 3u);
+  std::vector<u64> got = mod.fetch(proc_);
+  std::sort(got.begin(), got.end());
+  const std::vector<u64> expect{keep, keep + kPageSize};
+  EXPECT_EQ(got, expect);
+  mod.untrack(proc_);
 }
 
 TEST_F(SwapTest, EvictionRecyclesGuestFrames) {
