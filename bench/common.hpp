@@ -6,11 +6,15 @@
 // sweeps).
 #pragma once
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "base/table.hpp"
@@ -27,6 +31,9 @@ struct Args {
   u64 scale = 32;
   /// Worker threads for multi-VM benches (0 = auto-size to the host).
   unsigned threads = 0;
+  /// Max vCPUs per VM for the SMP sections of figs. 10-11 (0 = default
+  /// sweep 1,2,4).
+  unsigned vcpus = 0;
 
   static Args parse(int argc, char** argv, u64 default_scale = 32) {
     Args a;
@@ -37,6 +44,8 @@ struct Args {
         a.scale = 1;
       } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
         a.threads = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+      } else if (std::strcmp(argv[i], "--vcpus") == 0 && i + 1 < argc) {
+        a.vcpus = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
       }
     }
     return a;
@@ -134,6 +143,106 @@ inline MicroRun run_micro(std::optional<lib::Technique> tech, u64 mem_bytes,
   tracker->shutdown();
   out.tracked_us = out.result.tracked_time.count();
   out.tracker_us = out.result.tracker_time().count() - out.result.phases.init.count();
+  return out;
+}
+
+// ---- SMP guests: per-vCPU dirty rings, concurrent userspace drain -----------
+
+/// One SMP configuration of the figs. 10-11 vCPU axis: a single VM with
+/// `vcpus` vCPUs, one pinned writer process per vCPU, a hypervisor PML
+/// session over the touch phase. `concurrent` runs one producer thread per
+/// vCPU plus one userspace drainer per dirty ring; otherwise everything is
+/// serial and the rings are only emptied at the quiescent harvest. Per-vCPU
+/// virtual time is bit-identical between the two modes by construction —
+/// only the host wall clock and the drained-entry count differ.
+struct SmpDrainResult {
+  double wall_ms = 0.0;      ///< host wall clock of the touch+drain phase.
+  double max_vcpu_ms = 0.0;  ///< slowest vCPU's virtual time.
+  double spread_pct = 0.0;   ///< (max-min)/max over the per-vCPU clocks.
+  u64 drained = 0;           ///< ring entries popped by concurrent drainers.
+  u64 harvested = 0;         ///< union of dirty GPAs at the final harvest.
+};
+
+inline SmpDrainResult run_smp_drain(unsigned vcpus, u64 pages_per_vcpu,
+                                    int passes, bool concurrent) {
+  lib::TestBedOptions opts;
+  opts.vm_mem_bytes =
+      std::max<u64>(u64{vcpus} * pages_per_vcpu * kPageSize * 4, 64 * kMiB);
+  opts.host_mem_bytes = opts.vm_mem_bytes + kGiB;
+  opts.vcpus_per_vm = vcpus;
+  lib::TestBed bed(opts);
+  hv::Vm& vm = bed.vm();
+  guest::GuestKernel& k = bed.kernel();
+  hv::Hypervisor& hv = bed.hypervisor();
+
+  std::vector<guest::Process*> procs(vcpus);
+  std::vector<Gva> bases(vcpus);
+  for (unsigned cpu = 0; cpu < vcpus; ++cpu) {
+    procs[cpu] = &k.create_process();  // round-robin pins proc i to vCPU i
+    bases[cpu] = procs[cpu]->mmap(pages_per_vcpu * kPageSize);
+    // Serial warmup so the timed phase allocates nothing and both modes see
+    // identical frame assignments.
+    procs[cpu]->touch_range_write(bases[cpu], pages_per_vcpu * kPageSize);
+  }
+  hv.enable_pml_for_hyp(vm);
+
+  const auto body = [&](unsigned cpu) {
+    for (int pass = 0; pass < passes; ++pass) {
+      procs[cpu]->touch_range_write(bases[cpu], pages_per_vcpu * kPageSize);
+    }
+  };
+
+  SmpDrainResult out;
+  const auto start = std::chrono::steady_clock::now();
+  if (!concurrent) {
+    for (unsigned cpu = 0; cpu < vcpus; ++cpu) body(cpu);
+  } else {
+    std::atomic<bool> done{false};
+    std::atomic<u64> popped{0};
+    std::vector<std::thread> drainers;
+    for (unsigned cpu = 0; cpu < vcpus; ++cpu) {
+      drainers.emplace_back([&, cpu] {
+        std::vector<Gpa> local;
+        while (!done.load(std::memory_order_acquire)) {
+          popped.fetch_add(hv.drain_dirty_ring(vm, cpu, local),
+                           std::memory_order_relaxed);
+          std::this_thread::yield();
+        }
+        popped.fetch_add(hv.drain_dirty_ring(vm, cpu, local),
+                         std::memory_order_relaxed);
+      });
+    }
+    std::vector<std::thread> producers;
+    for (unsigned cpu = 0; cpu < vcpus; ++cpu) producers.emplace_back(body, cpu);
+    for (std::thread& t : producers) t.join();
+    done.store(true, std::memory_order_release);
+    for (std::thread& t : drainers) t.join();
+    out.drained = popped.load(std::memory_order_relaxed);
+  }
+  out.harvested = hv.harvest_hyp_dirty(vm).size();
+  out.wall_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+  hv.disable_pml_for_hyp(vm);
+
+  double min_us = 1e300, max_us = 0.0;
+  for (unsigned cpu = 0; cpu < vcpus; ++cpu) {
+    const double us = vm.vcpu(cpu).ctx().clock.now().count();
+    min_us = std::min(min_us, us);
+    max_us = std::max(max_us, us);
+  }
+  out.max_vcpu_ms = max_us / 1e3;
+  out.spread_pct = max_us > 0.0 ? (max_us - min_us) / max_us * 100.0 : 0.0;
+  bed.audit();
+  return out;
+}
+
+/// The vCPU counts the SMP sections sweep: 1,2,4 by default, or 1..--vcpus
+/// capped to powers of two when the flag is given.
+inline std::vector<unsigned> vcpu_sweep(unsigned max_vcpus) {
+  std::vector<unsigned> out;
+  const unsigned cap = max_vcpus != 0 ? max_vcpus : 4;
+  for (unsigned v = 1; v <= cap; v *= 2) out.push_back(v);
   return out;
 }
 

@@ -13,6 +13,7 @@
 #include <atomic>
 #include <cstdlib>
 #include <new>
+#include <thread>
 
 // The replaced operator new below is malloc-backed; GCC pairs the inlined
 // malloc with the matching operator delete (also free-backed) and warns
@@ -22,6 +23,8 @@
 #endif
 
 #include "base/ring_buffer.hpp"
+#include "guest/kernel.hpp"
+#include "hypervisor/dirty_ring.hpp"
 #include "hypervisor/hypervisor.hpp"
 #include "sim/machine.hpp"
 #include "sim/mmu.hpp"
@@ -258,6 +261,60 @@ void BM_RadixFindWalkCacheMiss(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RadixFindWalkCacheMiss);
+
+void BM_DirtyRingPushPop(benchmark::State& state) {
+  // SPSC dirty-ring steady state, single-threaded: one push + one pop per
+  // iteration. allocs_per_op must read 0 — the ring is fully preallocated.
+  hv::DirtyRing ring(4096);
+  u64 v = 0;
+  AllocCounter allocs(state);
+  for (auto _ : state) {
+    ring.try_push((v++) * kPageSize);
+    u64 out = 0;
+    ring.try_pop(out);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_DirtyRingPushPop);
+
+void BM_DirtyRingConcurrentDrain(benchmark::State& state) {
+  // Producer-side cost of try_push while a real consumer thread drains the
+  // ring concurrently — the migration engine's concurrent-drain shape. The
+  // measured loop is the vCPU side; the drainer runs off-loop.
+  hv::DirtyRing ring(4096);
+  std::atomic<bool> stop{false};
+  std::thread drainer([&] {
+    u64 out = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      while (ring.try_pop(out)) benchmark::DoNotOptimize(out);
+      std::this_thread::yield();
+    }
+  });
+  u64 v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring.try_push((v++) * kPageSize));
+  }
+  stop.store(true, std::memory_order_release);
+  drainer.join();
+}
+BENCHMARK(BM_DirtyRingConcurrentDrain);
+
+void BM_TlbShootdownFlushPid(benchmark::State& state) {
+  // mm_cpumask shootdown: flush a migrated process (mask spans both vCPUs),
+  // paying one local flush walk plus one modelled remote IPI per call.
+  sim::Machine machine(2 * kGiB, CostModel::unit());
+  hv::Hypervisor hv(machine);
+  hv::Vm& vm = hv.create_vm(kGiB, 1u << 20, 2);
+  guest::GuestKernel kernel(hv, vm);
+  guest::Process& proc = kernel.create_process();
+  const Gva base = proc.mmap(kPageSize);
+  proc.touch_write(base);
+  kernel.migrate_process(proc, 1);
+  for (auto _ : state) {
+    kernel.tlb_flush_pid(proc);
+  }
+}
+BENCHMARK(BM_TlbShootdownFlushPid);
 
 void BM_RingBufferPushPop(benchmark::State& state) {
   RingBuffer rb(4096);

@@ -59,6 +59,7 @@ CostModel CostModel::unit() {
   m.demand_fault_us = 1.0;
   m.ept_violation_us = 1.0;
   m.tlb_flush_us = 1.0;
+  m.tlb_shootdown_us = 1.0;
   m.disk_write_page_us = 1.0;
   m.workload_write_ns = 0.0;
   m.workload_bulk_word_ns = 0.0;

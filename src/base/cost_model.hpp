@@ -34,7 +34,12 @@ struct CostModel {
   double self_ipi_us = 0.5;        ///< posted-interrupt delivery, no VM-exit.
   double demand_fault_us = 1.0;    ///< first-touch minor fault (charged to all techniques alike).
   double ept_violation_us = 2.0;   ///< EPT violation exit + hypervisor backfill.
-  double tlb_flush_us = 2.0;       ///< full TLB shootdown (single vCPU).
+  double tlb_flush_us = 2.0;       ///< full TLB flush on one vCPU (INVEPT-style).
+  /// Remote TLB shootdown: IPI send + remote invalidation + ack wait, charged
+  /// per remote vCPU in the process's mm_cpumask. Hardware Translation
+  /// Coherence for Virtualized Systems reports low-single-digit us per
+  /// shootdown round trip under virtualization.
+  double tlb_shootdown_us = 1.3;
   double disk_write_page_us = 3.0; ///< CRIU image write, per 4KiB page.
   /// Per simulated word access (write_u64/touch): page-stride accesses miss
   /// the cache on real hardware, so this models compute + a DRAM touch.

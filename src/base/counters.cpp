@@ -48,6 +48,8 @@ constexpr std::array<std::string_view, kEventCount> kNames = {
     "tracker_degraded",
     "migration_send_retry",
     "migration_aborted",
+    "tlb_shootdown_ipi",
+    "dirty_ring_full",
 };
 
 }  // namespace

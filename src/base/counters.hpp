@@ -56,6 +56,8 @@ enum class Event : std::size_t {
   kTrackerDegraded,       ///< tracker fell back to a weaker technique.
   kMigrationSendRetry,    ///< migration send failed and was retried (backoff).
   kMigrationAborted,      ///< migration gave up (send retries exhausted).
+  kTlbShootdownIpi,       ///< IPI sent to a remote vCPU to invalidate a stale translation.
+  kDirtyRingFull,         ///< per-vCPU dirty ring full; entry diverted to the spill log.
   kCount
 };
 

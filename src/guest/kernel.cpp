@@ -1,5 +1,6 @@
 #include "guest/kernel.hpp"
 
+#include <bit>
 #include <cassert>
 #include <cstring>
 #include <new>
@@ -13,27 +14,34 @@
 namespace ooh::guest {
 
 GuestKernel::GuestKernel(hv::Hypervisor& hypervisor, hv::Vm& vm)
-    : hypervisor_(hypervisor),
-      vm_(vm),
-      ctx_(vm.ctx()),
-      mmu_(vm.vcpu(), vm.ept(), &vm.spp_table()),
-      sched_(ctx_) {
+    : hypervisor_(hypervisor), vm_(vm), ctx_(vm.ctx()) {
+  for (unsigned cpu = 0; cpu < vm.vcpu_count(); ++cpu) {
+    mmus_.push_back(std::make_unique<sim::Mmu>(vm.vcpu(cpu), vm.ept(),
+                                               &vm.spp_table()));
+    scheds_.push_back(std::make_unique<Scheduler>(vm.vcpu(cpu).ctx()));
+  }
   procfs_ = std::make_unique<ProcFs>(*this);
   uffd_ = std::make_unique<Uffd>(*this);
   swap_ = std::make_unique<SwapDaemon>(*this);
-  // Install the kernel as the posted-interrupt sink (EPML self-IPI vector).
-  vm_.vcpu().attach(vm_.vcpu().exits(), this, vm_.vcpu().ept());
-  // Guest write-protect fault policy as a notifier chain: userfaultfd gets
-  // first claim (it checks the PTE's uffd_wp marker), soft-dirty is the
-  // fallback — the dispatch order Linux's own fault handler hard-codes.
-  vm_.track().register_notifier(sim::TrackLayer::kGuestWpFault, uffd_.get());
-  vm_.track().register_notifier(sim::TrackLayer::kGuestWpFault, procfs_.get());
+  for (unsigned cpu = 0; cpu < vm.vcpu_count(); ++cpu) {
+    sim::Vcpu& vcpu = vm_.vcpu(cpu);
+    // Install the kernel as the posted-interrupt sink (EPML self-IPI vector).
+    vcpu.attach(vcpu.exits(), this, vcpu.ept());
+    // Guest write-protect fault policy as a notifier chain: userfaultfd gets
+    // first claim (it checks the PTE's uffd_wp marker), soft-dirty is the
+    // fallback — the dispatch order Linux's own fault handler hard-codes.
+    // Each vCPU has its own chain head; policy is identical on all of them.
+    vm_.track(cpu).register_notifier(sim::TrackLayer::kGuestWpFault, uffd_.get());
+    vm_.track(cpu).register_notifier(sim::TrackLayer::kGuestWpFault, procfs_.get());
+  }
 }
 
 GuestKernel::~GuestKernel() {
   ooh_module_.reset();
-  vm_.track().unregister_notifier(sim::TrackLayer::kGuestWpFault, procfs_.get());
-  vm_.track().unregister_notifier(sim::TrackLayer::kGuestWpFault, uffd_.get());
+  for (unsigned cpu = 0; cpu < vm_.vcpu_count(); ++cpu) {
+    vm_.track(cpu).unregister_notifier(sim::TrackLayer::kGuestWpFault, procfs_.get());
+    vm_.track(cpu).unregister_notifier(sim::TrackLayer::kGuestWpFault, uffd_.get());
+  }
 }
 
 Process& GuestKernel::create_process() {
@@ -44,9 +52,52 @@ Process& GuestKernel::create_process() {
   // valid for the process's whole life (procs_ growth moves only the
   // unique_ptrs).
   e.proc->pt_ = e.pt.get();
+  // Round-robin placement across vCPUs; with one vCPU every process lands
+  // on the BSP, exactly the pre-SMP behaviour.
+  const unsigned cpu = next_place_cpu_ % vcpu_count();
+  next_place_cpu_ = (next_place_cpu_ + 1) % vcpu_count();
+  e.proc->cpu_ = cpu;
+  e.proc->cpu_mask_ = u64{1} << cpu;
   ++next_pid_;
   procs_.push_back(std::move(e));
   return *procs_.back().proc;
+}
+
+void GuestKernel::migrate_process(Process& proc, unsigned cpu) {
+  if (cpu >= vcpu_count()) throw std::out_of_range("migrate to unknown vCPU");
+  proc.cpu_ = cpu;
+  // Stale translations may remain cached on the old vCPU; keeping its bit in
+  // the mask is what makes later shootdowns reach them (Linux mm_cpumask is
+  // likewise sticky between switches).
+  proc.cpu_mask_ |= u64{1} << cpu;
+}
+
+void GuestKernel::tlb_invalidate_page(Process& proc, Gva gva_page) {
+  const unsigned owner = proc.cpu();
+  vm_.vcpu(owner).tlb().invalidate_page(proc.pid(), gva_page);
+  u64 remotes = proc.cpu_mask() & ~(u64{1} << owner);
+  sim::ExecContext& ctx = vm_.vcpu(owner).ctx();
+  while (remotes != 0) {
+    const unsigned cpu = static_cast<unsigned>(std::countr_zero(remotes));
+    remotes &= remotes - 1;
+    vm_.vcpu(cpu).tlb().invalidate_page(proc.pid(), gva_page);
+    ctx.count(Event::kTlbShootdownIpi);
+    ctx.charge_us(ctx.cost.tlb_shootdown_us);
+  }
+}
+
+void GuestKernel::tlb_flush_pid(Process& proc) {
+  const unsigned owner = proc.cpu();
+  vm_.vcpu(owner).tlb().flush_pid(proc.pid());
+  u64 remotes = proc.cpu_mask() & ~(u64{1} << owner);
+  sim::ExecContext& ctx = vm_.vcpu(owner).ctx();
+  while (remotes != 0) {
+    const unsigned cpu = static_cast<unsigned>(std::countr_zero(remotes));
+    remotes &= remotes - 1;
+    vm_.vcpu(cpu).tlb().flush_pid(proc.pid());
+    ctx.count(Event::kTlbShootdownIpi);
+    ctx.charge_us(ctx.cost.tlb_shootdown_us);
+  }
 }
 
 Process* GuestKernel::find(u32 pid) noexcept {
@@ -73,12 +124,13 @@ void GuestKernel::unload_ooh_module() {
   ooh_module_.reset();
 }
 
-Gpa GuestKernel::alloc_gpa_frame() {
-  if (ctx_.fault_fire(sim::fault::FaultPoint::kGpaAllocFail)) {
+Gpa GuestKernel::alloc_gpa_frame(sim::ExecContext& ctx) {
+  if (ctx.fault_fire(sim::fault::FaultPoint::kGpaAllocFail)) {
     // Injected guest OOM: callers (EPML buffer setup, mmap growth) see the
     // same failure a loaded guest would produce and must degrade, not die.
     throw std::bad_alloc{};
   }
+  const std::lock_guard<std::mutex> lock(gpa_mu_);
   if (!gpa_free_list_.empty()) {
     const Gpa gpa = gpa_free_list_.back();
     gpa_free_list_.pop_back();
@@ -93,34 +145,38 @@ Gpa GuestKernel::alloc_gpa_frame() {
 }
 
 void GuestKernel::free_gpa_frame(Gpa gpa) {
+  const std::lock_guard<std::mutex> lock(gpa_mu_);
   gpa_free_list_.push_back(page_floor(gpa));
 }
 
-void GuestKernel::ensure_ept_mapped(Gpa gpa) {
+void GuestKernel::ensure_ept_mapped(Gpa gpa, unsigned cpu) {
   sim::EptEntry* e = vm_.ept().entry(gpa);
   if (e != nullptr && e->present) return;
-  ctx_.charge_us(ctx_.cost.ept_violation_us);
-  vm_.vcpu().vmexit_to_root(Event::kVmExitEptViolation, [&] {
-    vm_.vcpu().exits()->on_ept_violation(vm_.vcpu(), gpa, /*is_write=*/true);
+  sim::Vcpu& vcpu = vm_.vcpu(cpu);
+  vcpu.ctx().charge_us(vcpu.ctx().cost.ept_violation_us);
+  vcpu.vmexit_to_root(Event::kVmExitEptViolation, [&] {
+    vcpu.exits()->on_ept_violation(vcpu, gpa, /*is_write=*/true);
   });
 }
 
-void GuestKernel::on_guest_pml_full(sim::Vcpu& /*vcpu*/) {
+void GuestKernel::on_guest_pml_full(sim::Vcpu& vcpu) {
   if (!ooh_module_) throw std::logic_error("EPML self-IPI with no OoH module loaded");
-  ooh_module_->handle_guest_pml_full();
+  ooh_module_->handle_guest_pml_full(vcpu.cpu_index());
 }
 
 Hpa GuestKernel::access(Process& proc, Gva gva, bool is_write) {
   sim::GuestPageTable& pt = page_table(proc);
+  sim::Mmu& mmu = mmu_of(proc);
+  Scheduler& sched = scheduler_of(proc);
   // A single access needs at most: missing fault, then (after the page is
   // mapped write-protected by a registered ufd) a write-protect fault, then
   // success. The bound just guards against policy bugs.
   for (int tries = 0; tries < 4; ++tries) {
-    const sim::Mmu::Result r = mmu_.access(proc.pid(), pt, gva, is_write);
+    const sim::Mmu::Result r = mmu.access(proc.pid(), pt, gva, is_write);
     switch (r.status) {
       case sim::Mmu::Status::kOk:
         if (is_write) proc.truth_record(page_floor(gva));
-        sched_.on_progress(proc.pid());
+        sched.on_progress(proc.pid());
         return r.hpa;
       case sim::Mmu::Status::kFaultNotPresent:
         handle_not_present(proc, gva, is_write);
@@ -139,23 +195,26 @@ Hpa GuestKernel::access(Process& proc, Gva gva, bool is_write) {
 void GuestKernel::touch_run(Process& proc, Gva base, u64 stride, u64 n,
                             bool is_write) {
   const u32 pid = proc.pid();
+  sim::Mmu& mmu = mmu_of(proc);
+  Scheduler& sched = scheduler_of(proc);
+  sim::ExecContext& ctx = ctx_of(proc);
   u64 i = 0;
   while (i < n) {
     // Fast path: serve as many accesses as cached translations allow. The
     // lambda replays exactly what the kOk arm of access() plus the caller's
     // touch_write/touch_read would have done after the MMU hit.
-    i += mmu_.access_run(pid, base + i * stride, stride, n - i, is_write,
-                         [&](Gva page) {
-                           if (is_write) proc.truth_record(page);
-                           sched_.on_progress(pid);
-                           ctx_.charge_ns(ctx_.cost.workload_write_ns);
-                         });
+    i += mmu.access_run(pid, base + i * stride, stride, n - i, is_write,
+                        [&](Gva page) {
+                          if (is_write) proc.truth_record(page);
+                          sched.on_progress(pid);
+                          ctx.charge_ns(ctx.cost.workload_write_ns);
+                        });
     if (i < n) {
       // The next access needs the full pipeline (TLB miss, fault, or a
       // dirty-flag transition); route it through access() like the
       // per-access loop would, then resume the run.
       (void)access(proc, base + i * stride, is_write);
-      ctx_.charge_ns(ctx_.cost.workload_write_ns);
+      ctx.charge_ns(ctx.cost.workload_write_ns);
       ++i;
     }
   }
@@ -171,14 +230,14 @@ Gpa GuestKernel::translate_gva(Process& proc, Gva gva_page) {
 
 void GuestKernel::spp_protect(Process& proc, Gva gva_page, u32 write_mask) {
   const Gpa gpa = translate_gva(proc, page_floor(gva_page));
-  if (vm_.vcpu().hypercall(sim::Hypercall::kOohSppProtect, gpa, write_mask) != 0) {
+  if (vcpu_of(proc).hypercall(sim::Hypercall::kOohSppProtect, gpa, write_mask) != 0) {
     throw std::runtime_error("SPP protect hypercall rejected");
   }
 }
 
 void GuestKernel::spp_clear(Process& proc, Gva gva_page) {
   const Gpa gpa = translate_gva(proc, page_floor(gva_page));
-  (void)vm_.vcpu().hypercall(sim::Hypercall::kOohSppClear, gpa);
+  (void)vcpu_of(proc).hypercall(sim::Hypercall::kOohSppClear, gpa);
 }
 
 u32 GuestKernel::spp_mask_of(Process& proc, Gva gva_page) {
@@ -225,22 +284,24 @@ void GuestKernel::handle_not_present(Process& proc, Gva gva, bool /*is_write*/) 
     uffd_->deliver_missing_fault(proc, page);
   }
 
-  // Demand paging: minor fault, two world switches, map a fresh frame.
-  ctx_.count(Event::kPageFaultDemand);
-  ctx_.count(Event::kContextSwitch, 2);
-  ctx_.charge_us(ctx_.cost.demand_fault_us + 2 * ctx_.cost.ctx_switch_us);
+  // Demand paging: minor fault, two world switches, map a fresh frame. All
+  // charges land on the faulting process's vCPU.
+  sim::ExecContext& ctx = ctx_of(proc);
+  ctx.count(Event::kPageFaultDemand);
+  ctx.count(Event::kContextSwitch, 2);
+  ctx.charge_us(ctx.cost.demand_fault_us + 2 * ctx.cost.ctx_switch_us);
 
   sim::GuestPageTable& pt = page_table(proc);
-  pt.map(page, alloc_gpa_frame(), vma->writable);
+  pt.map(page, alloc_gpa_frame(ctx), vma->writable);
   sim::Pte* pte = pt.pte(page);
   assert(pte != nullptr);
   if (vma->data_backed) {
     // Anonymous pages are zeroed: a recycled frame (e.g. from a swap
     // eviction) must not leak its previous contents.
-    ensure_ept_mapped(pte->gpa_page);
+    ensure_ept_mapped(pte->gpa_page, proc.cpu());
     Hpa hpa = 0;
     if (vm_.ept().translate(pte->gpa_page, hpa)) {
-      std::memset(ctx_.pmem.frame_data(hpa), 0, kPageSize);
+      std::memset(ctx.pmem.frame_data(hpa), 0, kPageSize);
     }
   }
   // Linux marks freshly mapped pages soft-dirty so /proc does not miss them.
@@ -259,9 +320,11 @@ void GuestKernel::handle_not_writable(Process& proc, Gva gva) {
   if (vma == nullptr || !vma->writable) throw GuestSegfault(gva);
 
   // Fault policy lives in the kGuestWpFault chain: userfaultfd claims
-  // uffd_wp-marked PTEs, the soft-dirty handler takes the rest.
-  if (!vm_.track().dispatch(sim::TrackLayer::kGuestWpFault,
-                            {&vm_.vcpu(), proc.pid(), page, pte->gpa_page})) {
+  // uffd_wp-marked PTEs, the soft-dirty handler takes the rest. The fault
+  // is raised — and handled — on the process's own vCPU.
+  if (!vm_.track(proc.cpu()).dispatch(
+          sim::TrackLayer::kGuestWpFault,
+          {&vcpu_of(proc), proc.pid(), page, pte->gpa_page})) {
     throw std::logic_error("guest write-protect fault with no handler");
   }
 }

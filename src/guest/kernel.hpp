@@ -2,12 +2,26 @@
 //
 // Owns processes, the per-process page tables' fault policy (demand paging,
 // soft-dirty, userfaultfd dispatch), the guest-physical frame allocator, the
-// scheduler, and the interrupt table entry for EPML's posted self-IPI
-// (the paper's "Linux Core" change, §IV-E).
+// per-vCPU schedulers, and the interrupt table entry for EPML's posted
+// self-IPI (the paper's "Linux Core" change, §IV-E).
+//
+// SMP: the kernel owns one Mmu and one Scheduler per vCPU and places
+// processes round-robin across vCPUs at creation (migrate_process moves
+// them later). Every access routes through the owning vCPU's MMU, charges
+// that vCPU's timeline, and ticks that vCPU's scheduler — with one vCPU this
+// degenerates to exactly the old single-timeline pipeline. Page-table
+// updates that *reduce* permissions or tear down mappings go through the
+// mm_cpumask shootdown helpers (tlb_invalidate_page / tlb_flush_pid): the
+// owning vCPU invalidates locally and every other vCPU the process ever ran
+// on gets an IPI-modelled remote invalidation (Event::kTlbShootdownIpi,
+// CostModel::tlb_shootdown_us per remote). A process that never migrated
+// has a singleton mask, so N=1 pays no shootdown — bit-identical to the
+// single-vCPU tree. SHOOT-1 (docs/invariants.md) pins the mask discipline.
 #pragma once
 
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <unordered_map>
 #include <vector>
@@ -57,14 +71,60 @@ class GuestKernel final : public sim::GuestIrqSink {
     for (auto& e : procs_) fn(*e.proc, *e.pt);
   }
 
-  /// This VM's execution context (private clock, counters, TLB).
+  /// The BSP's execution context (vCPU 0's clock, counters, TLB). With one
+  /// vCPU this is "the VM's timeline"; SMP code routes via ctx_of().
   [[nodiscard]] sim::ExecContext& ctx() noexcept { return ctx_; }
   [[nodiscard]] hv::Vm& vm() noexcept { return vm_; }
   [[nodiscard]] hv::Hypervisor& hypervisor() noexcept { return hypervisor_; }
-  [[nodiscard]] Scheduler& scheduler() noexcept { return sched_; }
   [[nodiscard]] ProcFs& procfs() noexcept { return *procfs_; }
   [[nodiscard]] Uffd& uffd() noexcept { return *uffd_; }
-  [[nodiscard]] sim::Mmu& mmu() noexcept { return mmu_; }
+
+  // ---- SMP topology and routing ---------------------------------------------
+  [[nodiscard]] unsigned vcpu_count() const noexcept {
+    return static_cast<unsigned>(scheds_.size());
+  }
+  [[nodiscard]] Scheduler& scheduler(unsigned cpu) noexcept { return *scheds_[cpu]; }
+  /// vCPU-0 shorthand kept for single-vCPU call sites and tests.
+  [[nodiscard]] Scheduler& scheduler() noexcept { return *scheds_[0]; }
+  [[nodiscard]] sim::Mmu& mmu(unsigned cpu) noexcept { return *mmus_[cpu]; }
+  [[nodiscard]] sim::Mmu& mmu() noexcept { return *mmus_[0]; }
+
+  [[nodiscard]] sim::Vcpu& vcpu_of(const Process& proc) noexcept {
+    return vm_.vcpu(proc.cpu());
+  }
+  [[nodiscard]] sim::ExecContext& ctx_of(const Process& proc) noexcept {
+    return vm_.vcpu(proc.cpu()).ctx();
+  }
+  [[nodiscard]] Scheduler& scheduler_of(const Process& proc) noexcept {
+    return *scheds_[proc.cpu()];
+  }
+  [[nodiscard]] sim::Mmu& mmu_of(const Process& proc) noexcept {
+    return *mmus_[proc.cpu()];
+  }
+
+  /// Move `proc` to vCPU `cpu`. Like Linux task migration this does NOT
+  /// flush anything: the old vCPU stays in the process's mm_cpumask, so
+  /// later permission-reducing PT updates shoot it down too.
+  void migrate_process(Process& proc, unsigned cpu);
+
+  /// Convenience for every scheduler at once (tenant setup).
+  void set_quantum_all(VirtDuration q) noexcept {
+    for (auto& s : scheds_) s->set_quantum(q);
+  }
+
+  // ---- mm_cpumask TLB shootdown protocol ------------------------------------
+  // Invalidate cached translations of `proc` on every vCPU in its cpumask:
+  // the owning vCPU locally (exactly the old single-vCPU operation, no
+  // extra charge), every *other* masked vCPU via a modelled IPI shootdown
+  // (count kTlbShootdownIpi + charge tlb_shootdown_us on the owning vCPU's
+  // timeline, per remote). Callers keep charging their own kTlbFlush /
+  // flush costs exactly as before, so N=1 virtual time is unchanged.
+  //
+  // Threaded SMP runs may only take the remote path while the remote vCPU
+  // threads are quiescent (serial phases); pinned processes have singleton
+  // masks, so steady-state concurrent execution never mutates a foreign TLB.
+  void tlb_invalidate_page(Process& proc, Gva gva_page);
+  void tlb_flush_pid(Process& proc);
 
   /// Load/unload the OoH kernel module (UIO driver's kernel half).
   OohModule& load_ooh_module(OohMode mode);
@@ -72,7 +132,7 @@ class GuestKernel final : public sim::GuestIrqSink {
   [[nodiscard]] OohModule* ooh_module() noexcept { return ooh_module_.get(); }
 
   /// Core access path: translate (fault + retry as needed), record truth,
-  /// give the scheduler a chance to tick. Returns the HPA.
+  /// give the owning vCPU's scheduler a chance to tick. Returns the HPA.
   Hpa access(Process& proc, Gva gva, bool is_write);
 
   /// Batched equivalent of n accesses at base, base+stride, ...: accesses a
@@ -87,10 +147,15 @@ class GuestKernel final : public sim::GuestIrqSink {
   [[nodiscard]] sim::GuestPageTable& page_table(Process& proc);
 
   // ---- guest-physical memory -----------------------------------------------
-  [[nodiscard]] Gpa alloc_gpa_frame();
+  /// Allocate a guest frame, charging faults to `ctx` (the acting vCPU's
+  /// timeline). The free list is mutex-guarded: demand faults on different
+  /// vCPUs may allocate concurrently.
+  [[nodiscard]] Gpa alloc_gpa_frame(sim::ExecContext& ctx);
+  [[nodiscard]] Gpa alloc_gpa_frame() { return alloc_gpa_frame(ctx_); }
   void free_gpa_frame(Gpa gpa);
-  /// Force an EPT mapping to exist for `gpa` (models a kernel touch).
-  void ensure_ept_mapped(Gpa gpa);
+  /// Force an EPT mapping to exist for `gpa` (models a kernel touch on
+  /// vCPU `cpu`).
+  void ensure_ept_mapped(Gpa gpa, unsigned cpu = 0);
 
   /// The swap daemon (kernel's own dirty-tracking consumer, paper §I).
   [[nodiscard]] SwapDaemon& swap() noexcept { return *swap_; }
@@ -120,13 +185,13 @@ class GuestKernel final : public sim::GuestIrqSink {
   void handle_not_present(Process& proc, Gva gva, bool is_write);
   void handle_not_writable(Process& proc, Gva gva);
   void handle_subpage_fault(Process& proc, Gva gva);
-  [[nodiscard]] Gpa translate_gva(Process& proc, Gva gva_page);
+  [[nodiscard]] Gpa translate_gva(Process& proc, Gva gva);
 
   hv::Hypervisor& hypervisor_;
   hv::Vm& vm_;
   sim::ExecContext& ctx_;
-  sim::Mmu mmu_;
-  Scheduler sched_;
+  std::vector<std::unique_ptr<sim::Mmu>> mmus_;     ///< one per vCPU.
+  std::vector<std::unique_ptr<Scheduler>> scheds_;  ///< one per vCPU.
   std::unique_ptr<ProcFs> procfs_;
   std::unique_ptr<Uffd> uffd_;
   std::unique_ptr<SwapDaemon> swap_;
@@ -139,8 +204,10 @@ class GuestKernel final : public sim::GuestIrqSink {
   std::unordered_map<u32, SppHandler> spp_handlers_;
   u64 spp_violations_ = 0;
   u32 next_pid_ = 1;
+  unsigned next_place_cpu_ = 0;  ///< round-robin placement cursor.
   Gpa next_gpa_frame_ = kPageSize;  // guest frame 0 reserved, like HPA 0
   std::vector<Gpa> gpa_free_list_;
+  std::mutex gpa_mu_;  ///< guards the frame allocator under SMP demand faults.
 };
 
 }  // namespace ooh::guest

@@ -7,8 +7,11 @@
 
 namespace ooh::guest {
 
-OohModule::OohModule(GuestKernel& kernel, OohMode mode) : kernel_(kernel), mode_(mode) {
-  kernel_.scheduler().add_hook(this);
+OohModule::OohModule(GuestKernel& kernel, OohMode mode)
+    : kernel_(kernel), mode_(mode), cpus_(kernel.vcpu_count()) {
+  for (unsigned cpu = 0; cpu < kernel_.vcpu_count(); ++cpu) {
+    kernel_.scheduler(cpu).add_hook(this);
+  }
 }
 
 OohModule::~OohModule() {
@@ -17,30 +20,36 @@ OohModule::~OohModule() {
     Process* p = tracked_.begin()->second.proc;
     untrack(*p);
   }
-  if (epml_initialized_) {
-    // Safety net for an EPML session with no surviving tracked process (a
-    // track() that failed after the init hypercall): the shadow-VMCS state
-    // must not outlive the module.
-    kernel_.vm().vcpu().hypercall(sim::Hypercall::kOohDeactivateEpml);
-    epml_initialized_ = false;
+  for (unsigned cpu = 0; cpu < cpus_.size(); ++cpu) {
+    if (cpus_[cpu].epml_init) {
+      // Safety net for an EPML session with no surviving tracked process (a
+      // track() that failed after the init hypercall): the shadow-VMCS state
+      // must not outlive the module on any vCPU.
+      kernel_.vm().vcpu(cpu).hypercall(sim::Hypercall::kOohDeactivateEpml);
+      cpus_[cpu].epml_init = false;
+    }
   }
-  kernel_.scheduler().remove_hook(this);
+  for (unsigned cpu = 0; cpu < kernel_.vcpu_count(); ++cpu) {
+    kernel_.scheduler(cpu).remove_hook(this);
+  }
 }
 
 bool OohModule::tracking(const Process& proc) const {
   return tracked_.contains(proc.pid());
 }
 
-OohModule::Tracked* OohModule::active_tracked() noexcept {
-  if (active_pid_ == 0) return nullptr;
-  const auto it = tracked_.find(active_pid_);
+OohModule::Tracked* OohModule::active_tracked(unsigned cpu) noexcept {
+  const u32 pid = cpus_[cpu].active_pid;
+  if (pid == 0) return nullptr;
+  const auto it = tracked_.find(pid);
   return it == tracked_.end() ? nullptr : &it->second;
 }
 
 void OohModule::track(Process& proc) {
   if (tracking(proc)) throw std::logic_error("process already tracked");
-  sim::ExecContext& m = kernel_.ctx();
-  sim::Vcpu& vcpu = kernel_.vm().vcpu();
+  const unsigned cpu = proc.cpu();
+  sim::ExecContext& m = kernel_.ctx_of(proc);
+  sim::Vcpu& vcpu = kernel_.vcpu_of(proc);
 
   // The userspace ioctl into the module (Table V metric M3).
   m.count(Event::kContextSwitch, 2);
@@ -57,24 +66,25 @@ void OohModule::track(Process& proc) {
     const u64 rc = vcpu.hypercall(sim::Hypercall::kOohInitPml, proc.mapped_bytes());
     if (rc == ~u64{0}) throw std::bad_alloc{};
   } else {
-    if (!epml_initialized_) {
+    if (!cpus_[cpu].epml_init) {
       // The only hypercall EPML ever makes (M10): VMCS shadowing + the new
-      // guest PML VMCS fields.
+      // guest PML VMCS fields — per-vCPU hardware state, armed on the vCPU
+      // this process runs on.
       vcpu.hypercall(sim::Hypercall::kOohInitEpml);
-      epml_initialized_ = true;
+      cpus_[cpu].epml_init = true;
     }
     // Guest-level PML buffer: a guest-physical page the module owns. It must
     // be EPT-mapped so the EPML vmwrite can translate it. If either step
     // fails (guest OOM), roll the half-done init back — leaving VMCS
     // shadowing armed with no tracked process would leak the EPML session.
     try {
-      t.guest_buf_gpa = kernel_.alloc_gpa_frame();
-      kernel_.ensure_ept_mapped(t.guest_buf_gpa);
+      t.guest_buf_gpa = kernel_.alloc_gpa_frame(m);
+      kernel_.ensure_ept_mapped(t.guest_buf_gpa, cpu);
     } catch (...) {
       if (t.guest_buf_gpa != 0) kernel_.free_gpa_frame(t.guest_buf_gpa);
-      if (tracked_.empty() && epml_initialized_) {
+      if (tracked_.empty() && cpus_[cpu].epml_init) {
         vcpu.hypercall(sim::Hypercall::kOohDeactivateEpml);
-        epml_initialized_ = false;
+        cpus_[cpu].epml_init = false;
       }
       throw;
     }
@@ -87,7 +97,7 @@ void OohModule::track(Process& proc) {
       }
     });
     m.charge_ns(m.cost.dbit_clear_ns * static_cast<double>(cleared));
-    vcpu.tlb().flush_pid(proc.pid());
+    kernel_.tlb_flush_pid(proc);
     m.count(Event::kTlbFlush);
     m.charge_us(m.cost.tlb_flush_us);
   }
@@ -97,10 +107,11 @@ void OohModule::track(Process& proc) {
 void OohModule::untrack(Process& proc) {
   const auto it = tracked_.find(proc.pid());
   if (it == tracked_.end()) throw std::logic_error("process not tracked");
-  sim::ExecContext& m = kernel_.ctx();
-  sim::Vcpu& vcpu = kernel_.vm().vcpu();
+  const unsigned cpu = proc.cpu();
+  sim::ExecContext& m = kernel_.ctx_of(proc);
+  sim::Vcpu& vcpu = kernel_.vcpu_of(proc);
 
-  if (active_pid_ == proc.pid()) on_schedule_out(proc.pid());
+  if (cpus_[cpu].active_pid == proc.pid()) on_schedule_out(proc.pid());
 
   m.count(Event::kContextSwitch, 2);
   m.charge_us(m.cost.ioctl_deactivate_pml_us + 2 * m.cost.ctx_switch_us);
@@ -108,17 +119,22 @@ void OohModule::untrack(Process& proc) {
   tracked_.erase(it);
   if (mode_ == OohMode::kSpml) {
     vcpu.hypercall(sim::Hypercall::kOohDeactivatePml);
-  } else if (tracked_.empty() && epml_initialized_) {
-    vcpu.hypercall(sim::Hypercall::kOohDeactivateEpml);
-    epml_initialized_ = false;
+  } else if (tracked_.empty()) {
+    for (unsigned c = 0; c < cpus_.size(); ++c) {
+      if (cpus_[c].epml_init) {
+        kernel_.vm().vcpu(c).hypercall(sim::Hypercall::kOohDeactivateEpml);
+        cpus_[c].epml_init = false;
+      }
+    }
   }
 }
 
 void OohModule::on_schedule_in(u32 pid) {
   const auto it = tracked_.find(pid);
   if (it == tracked_.end()) return;
-  active_pid_ = pid;
-  sim::Vcpu& vcpu = kernel_.vm().vcpu();
+  const unsigned cpu = it->second.proc->cpu();
+  cpus_[cpu].active_pid = pid;
+  sim::Vcpu& vcpu = kernel_.vm().vcpu(cpu);
   if (mode_ == OohMode::kSpml) {
     vcpu.hypercall(sim::Hypercall::kOohEnableLogging);
   } else {
@@ -133,29 +149,30 @@ void OohModule::on_schedule_out(u32 pid) {
   const auto it = tracked_.find(pid);
   if (it == tracked_.end()) return;
   Tracked& t = it->second;
-  sim::ExecContext& m = kernel_.ctx();
-  sim::Vcpu& vcpu = kernel_.vm().vcpu();
+  const unsigned cpu = t.proc->cpu();
+  sim::ExecContext& m = kernel_.ctx_of(*t.proc);
+  sim::Vcpu& vcpu = kernel_.vm().vcpu(cpu);
   if (mode_ == OohMode::kSpml) {
     // disable_logging flushes the in-flight PML buffer into the shared ring
     // (M14); the module then moves the GPAs into this process's private ring
     // (the per-process isolation fix of §V).
     vcpu.hypercall(sim::Hypercall::kOohDisableLogging, t.proc->mapped_bytes());
-    RingBuffer& shared = kernel_.vm().spml_ring();
+    RingBuffer& shared = kernel_.vm().spml_ring(cpu);
     u64 v = 0;
     while (shared.pop(v)) {
       t.ring->push(v);
       m.charge_ns(m.cost.drain_entry_ns);
     }
   } else {
-    epml_drain_guest_buffer(t);
+    epml_drain_guest_buffer(t, cpu);
     vcpu.guest_vmwrite(sim::VmcsField::kGuestPmlEnable, 0);
   }
-  active_pid_ = 0;
+  cpus_[cpu].active_pid = 0;
 }
 
-void OohModule::epml_drain_guest_buffer(Tracked& t) {
-  sim::ExecContext& m = kernel_.ctx();
-  sim::Vcpu& vcpu = kernel_.vm().vcpu();
+void OohModule::epml_drain_guest_buffer(Tracked& t, unsigned cpu) {
+  sim::ExecContext& m = kernel_.ctx_of(*t.proc);
+  sim::Vcpu& vcpu = kernel_.vm().vcpu(cpu);
   const u16 idx = static_cast<u16>(vcpu.guest_vmread(sim::VmcsField::kGuestPmlIndex));
   const u64 count =
       idx > kPmlIndexStart ? kPmlBufferEntries : static_cast<u64>(kPmlIndexStart - idx);
@@ -169,8 +186,9 @@ void OohModule::epml_drain_guest_buffer(Tracked& t) {
   // refills from an interrupt-window write) must not start a nested drain —
   // it would re-read slots already copied and reset the index twice,
   // double-counting or losing entries. Nested IPIs are deferred and
-  // redelivered once below.
-  drain_in_progress_ = true;
+  // redelivered once below. One guard per vCPU: drains on different vCPUs
+  // are independent PML instances.
+  cpus_[cpu].draining = true;
   sim::GuestPageTable& pt = kernel_.page_table(*t.proc);
   // Walk from slot 511 downward: logging order (the index counts down).
   const u64 first_slot = kPmlBufferEntries - count;
@@ -197,49 +215,51 @@ void OohModule::epml_drain_guest_buffer(Tracked& t) {
   // Dirty flags stay set until fetch() (the interval boundary), so a page
   // logs once per interval instead of once per drain.
   vcpu.guest_vmwrite(sim::VmcsField::kGuestPmlIndex, kPmlIndexStart);
-  drain_in_progress_ = false;
-  if (ipi_deferred_) {
+  cpus_[cpu].draining = false;
+  if (cpus_[cpu].ipi_deferred) {
     // Deferred redelivery: rerun the handler now that the index is reset,
     // picking up whatever filled the buffer while we were draining.
-    ipi_deferred_ = false;
-    handle_guest_pml_full();
+    cpus_[cpu].ipi_deferred = false;
+    handle_guest_pml_full(cpu);
   }
 }
 
-void OohModule::handle_guest_pml_full() {
-  if (drain_in_progress_) {
-    ipi_deferred_ = true;
+void OohModule::handle_guest_pml_full(unsigned cpu) {
+  if (cpus_[cpu].draining) {
+    cpus_[cpu].ipi_deferred = true;
     return;
   }
-  Tracked* t = active_tracked();
+  Tracked* t = active_tracked(cpu);
   if (t == nullptr) {
     // Spurious IPI (no tracked process active): reset the index and return.
-    kernel_.vm().vcpu().guest_vmwrite(sim::VmcsField::kGuestPmlIndex, kPmlIndexStart);
+    kernel_.vm().vcpu(cpu).guest_vmwrite(sim::VmcsField::kGuestPmlIndex,
+                                         kPmlIndexStart);
     return;
   }
-  epml_drain_guest_buffer(*t);
+  epml_drain_guest_buffer(*t, cpu);
 }
 
 std::vector<u64> OohModule::fetch(Process& proc) {
   const auto it = tracked_.find(proc.pid());
   if (it == tracked_.end()) throw std::logic_error("process not tracked");
   Tracked& t = it->second;
-  sim::ExecContext& m = kernel_.ctx();
+  const unsigned cpu = proc.cpu();
+  sim::ExecContext& m = kernel_.ctx_of(proc);
 
   m.count(Event::kContextSwitch, 2);  // the fetch ioctl
   m.charge_us(2 * m.cost.ctx_switch_us);
 
   // Flush the partial in-flight hardware buffer so the caller sees
   // everything logged so far (completeness; evaluation question 3).
-  if (mode_ == OohMode::kEpml && active_pid_ == proc.pid()) {
-    epml_drain_guest_buffer(t);
+  if (mode_ == OohMode::kEpml && cpus_[cpu].active_pid == proc.pid()) {
+    epml_drain_guest_buffer(t, cpu);
   }
   if (mode_ == OohMode::kSpml) {
     // The interval-reset hypercall drains the PML buffer into the shared
     // ring and re-arms the consumed pages; move the new entries into this
     // process's private ring before handing them to userspace.
-    kernel_.vm().vcpu().hypercall(sim::Hypercall::kOohIntervalReset);
-    RingBuffer& shared = kernel_.vm().spml_ring();
+    kernel_.vcpu_of(proc).hypercall(sim::Hypercall::kOohIntervalReset);
+    RingBuffer& shared = kernel_.vm().spml_ring(cpu);
     u64 v = 0;
     while (shared.pop(v)) {
       t.ring->push(v);
@@ -262,7 +282,7 @@ std::vector<u64> OohModule::fetch(Process& proc) {
       if (sim::Pte* pte = pt.pte(gva_page); pte != nullptr && pte->dirty) {
         pte->dirty = false;
         ++cleared;
-        kernel_.vm().vcpu().tlb().invalidate_page(proc.pid(), gva_page);
+        kernel_.tlb_invalidate_page(proc, gva_page);
       }
     }
     m.charge_ns(m.cost.dbit_clear_ns * static_cast<double>(cleared));

@@ -7,6 +7,14 @@
 //   EPML: performs the single setup hypercall (VMCS shadowing + guest PML),
 //         toggles logging with guest-mode vmwrites at each switch, and
 //         drains the guest-level buffer of GVAs on the posted self-IPI.
+//
+// SMP: PML sessions are per-vCPU hardware state, so the module keeps a
+// per-vCPU session record (active pid, EPML shadow-VMCS init, drain
+// reentrancy flags) and registers its scheduler hook on every vCPU's
+// scheduler. A tracked process's hypercalls, vmwrites, drains and charges
+// all land on the vCPU it is placed on. Tracked processes must stay on one
+// vCPU for the EPML shadow-VMCS lifetime (track() initializes only the
+// owning vCPU); track/untrack are quiescent-point operations.
 #pragma once
 
 #include <functional>
@@ -50,10 +58,11 @@ class OohModule final : public SchedHook {
   void on_schedule_in(u32 pid) override;
   void on_schedule_out(u32 pid) override;
 
-  /// Self-IPI handler: the EPML guest-level buffer is full (called from the
-  /// kernel's interrupt table). Reentrant delivery while a drain is running
-  /// defers the IPI; the in-progress drain redelivers it on completion.
-  void handle_guest_pml_full();
+  /// Self-IPI handler: vCPU `cpu`'s EPML guest-level buffer is full (called
+  /// from the kernel's interrupt table). Reentrant delivery while that
+  /// vCPU's drain is running defers the IPI; the in-progress drain
+  /// redelivers it on completion.
+  void handle_guest_pml_full(unsigned cpu);
 
   /// Test seam: run `hook` exactly once inside the next EPML drain, after
   /// the slots are copied but before the index reset — the window where a
@@ -68,17 +77,21 @@ class OohModule final : public SchedHook {
     std::unique_ptr<RingBuffer> ring;
     Gpa guest_buf_gpa = 0;  ///< EPML: guest-level PML buffer page.
   };
+  /// Per-vCPU session state: one PML instance per vCPU.
+  struct CpuSession {
+    u32 active_pid = 0;    ///< tracked process scheduled in here (0 = none).
+    bool epml_init = false;  ///< shadow VMCS armed on this vCPU.
+    bool draining = false;   ///< EPML drain reentrancy guard.
+    bool ipi_deferred = false;  ///< self-IPI arrived mid-drain; redeliver after.
+  };
 
-  void epml_drain_guest_buffer(Tracked& t);
-  [[nodiscard]] Tracked* active_tracked() noexcept;
+  void epml_drain_guest_buffer(Tracked& t, unsigned cpu);
+  [[nodiscard]] Tracked* active_tracked(unsigned cpu) noexcept;
 
   GuestKernel& kernel_;
   OohMode mode_;
   std::unordered_map<u32, Tracked> tracked_;
-  u32 active_pid_ = 0;  ///< tracked process currently scheduled in (0 = none).
-  bool epml_initialized_ = false;
-  bool drain_in_progress_ = false;  ///< EPML drain reentrancy guard.
-  bool ipi_deferred_ = false;       ///< self-IPI arrived mid-drain; redeliver after.
+  std::vector<CpuSession> cpus_;
   std::function<void()> mid_drain_hook_;
   std::size_t ring_entries_ = std::size_t{1} << 20;
 };

@@ -27,7 +27,7 @@ void Process::munmap(Gva base) {
                                [base](const Vma& v) { return v.start == base; });
   if (it == vmas_.end()) throw std::invalid_argument("munmap: no VMA at this base");
   sim::GuestPageTable& pt = kernel_.page_table(*this);
-  sim::ExecContext& m = kernel_.ctx();
+  sim::ExecContext& m = kernel_.ctx_of(*this);
   for (Gva page = it->start; page < it->end; page += kPageSize) {
     // Anonymous memory: the guest frame is freed (and later recycled into
     // other mappings), and the hypervisor's stale EPT entry is zapped so
@@ -41,7 +41,7 @@ void Process::munmap(Gva base) {
       kernel_.free_gpa_frame(pte->gpa_page);
     }
     pt.unmap(page);
-    kernel_.vm().vcpu().tlb().invalidate_page(pid_, page);
+    kernel_.tlb_invalidate_page(*this, page);
     truth_.erase(page);
   }
   m.count(Event::kContextSwitch, 2);  // the munmap syscall
@@ -50,7 +50,9 @@ void Process::munmap(Gva base) {
   // Tell page-track consumers the range is gone so they drop derived state
   // (e.g. SPML's GPA->GVA reverse-map cache); mirrors KVM's
   // track_flush_slot on memslot teardown.
-  kernel_.vm().track().notify_flush(pid_, it->start, it->end);
+  for (unsigned cpu = 0; cpu < kernel_.vcpu_count(); ++cpu) {
+    kernel_.vm().track(cpu).notify_flush(pid_, it->start, it->end);
+  }
   vmas_.erase(it);
   vma_mru_ = 0;  // indices shifted
 }
@@ -72,7 +74,7 @@ Vma* Process::vma_of(Gva gva) noexcept {
 
 void Process::write_u64(Gva gva, u64 value) {
   const Hpa hpa = kernel_.access(*this, gva, /*is_write=*/true);
-  sim::ExecContext& m = kernel_.ctx();
+  sim::ExecContext& m = kernel_.ctx_of(*this);
   m.charge_ns(m.cost.workload_write_ns);
   const Vma* vma = vma_of(gva);
   if (vma != nullptr && vma->data_backed) m.pmem.write_u64(hpa, value);
@@ -80,7 +82,7 @@ void Process::write_u64(Gva gva, u64 value) {
 
 u64 Process::read_u64(Gva gva) {
   const Hpa hpa = kernel_.access(*this, gva, /*is_write=*/false);
-  sim::ExecContext& m = kernel_.ctx();
+  sim::ExecContext& m = kernel_.ctx_of(*this);
   m.charge_ns(m.cost.workload_write_ns);
   const Vma* vma = vma_of(gva);
   return (vma != nullptr && vma->data_backed) ? m.pmem.read_u64(hpa) : 0;
@@ -88,13 +90,13 @@ u64 Process::read_u64(Gva gva) {
 
 void Process::touch_write(Gva gva) {
   (void)kernel_.access(*this, gva, /*is_write=*/true);
-  sim::ExecContext& m = kernel_.ctx();
+  sim::ExecContext& m = kernel_.ctx_of(*this);
   m.charge_ns(m.cost.workload_write_ns);
 }
 
 void Process::touch_read(Gva gva) {
   (void)kernel_.access(*this, gva, /*is_write=*/false);
-  sim::ExecContext& m = kernel_.ctx();
+  sim::ExecContext& m = kernel_.ctx_of(*this);
   m.charge_ns(m.cost.workload_write_ns);
 }
 
@@ -108,7 +110,7 @@ void Process::touch_range(Gva gva, u64 bytes, bool is_write, u64 stride) {
 void Process::write_bytes(Gva gva, std::span<const u8> data) {
   // One translation per page chunk (sequential stores share the TLB entry);
   // compute cost scales with the words moved.
-  sim::ExecContext& m = kernel_.ctx();
+  sim::ExecContext& m = kernel_.ctx_of(*this);
   std::size_t off = 0;
   while (off < data.size()) {
     const Gva addr = gva + off;
@@ -126,7 +128,7 @@ void Process::write_bytes(Gva gva, std::span<const u8> data) {
 }
 
 void Process::read_bytes(Gva gva, std::span<u8> out) {
-  sim::ExecContext& m = kernel_.ctx();
+  sim::ExecContext& m = kernel_.ctx_of(*this);
   std::size_t off = 0;
   while (off < out.size()) {
     const Gva addr = gva + off;

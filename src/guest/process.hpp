@@ -43,6 +43,15 @@ class Process {
   [[nodiscard]] u32 pid() const noexcept { return pid_; }
   [[nodiscard]] GuestKernel& kernel() noexcept { return kernel_; }
 
+  // ---- SMP placement --------------------------------------------------------
+  /// vCPU this process currently runs on (set at create_process, changed by
+  /// GuestKernel::migrate_process).
+  [[nodiscard]] unsigned cpu() const noexcept { return cpu_; }
+  /// mm_cpumask: bit per vCPU the process has ever run on. TLB shootdowns
+  /// IPI exactly the *other* set bits; never-migrated processes keep a
+  /// singleton mask and pay nothing (SHOOT-1, docs/invariants.md).
+  [[nodiscard]] u64 cpu_mask() const noexcept { return cpu_mask_; }
+
   /// Map `bytes` of anonymous memory (page-rounded); returns the base GVA.
   /// Pages are demand-allocated on first touch, like real mmap.
   Gva mmap(u64 bytes, bool data_backed = false);
@@ -93,6 +102,8 @@ class Process {
 
   GuestKernel& kernel_;
   u32 pid_;
+  unsigned cpu_ = 0;
+  u64 cpu_mask_ = 1;
   std::vector<Vma> vmas_;
   std::size_t vma_mru_ = 0;  ///< index of the last VMA vma_of resolved to.
   /// The kernel-owned page table for this process, cached at creation so

@@ -7,7 +7,7 @@
 namespace ooh::guest {
 
 void ProcFs::clear_refs(Process& proc) {
-  sim::ExecContext& m = kernel_.ctx();
+  sim::ExecContext& m = kernel_.ctx_of(proc);
   m.count(Event::kClearRefs);
   m.count(Event::kContextSwitch, 2);  // the write() syscall's world switches
   m.charge_us(m.cost.clear_refs_us(proc.mapped_bytes()) + 2 * m.cost.ctx_switch_us);
@@ -18,13 +18,14 @@ void ProcFs::clear_refs(Process& proc) {
     pte.soft_dirty = false;
     pte.writable = false;
   });
-  kernel_.vm().vcpu().tlb().flush_pid(proc.pid());
+  // Permission-reducing PT update: shoot down every vCPU in the cpumask.
+  kernel_.tlb_flush_pid(proc);
   m.count(Event::kTlbFlush);
   m.charge_us(m.cost.tlb_flush_us);
 }
 
 std::vector<Gva> ProcFs::pagemap_dirty(Process& proc) {
-  sim::ExecContext& m = kernel_.ctx();
+  sim::ExecContext& m = kernel_.ctx_of(proc);
   m.count(Event::kPagemapScan);
   m.count(Event::kContextSwitch, 2);
   m.charge_us(m.cost.pagemap_scan_us(proc.mapped_bytes()) + 2 * m.cost.ctx_switch_us);
@@ -45,7 +46,8 @@ bool ProcFs::on_track(sim::TrackLayer /*layer*/, const sim::TrackEvent& ev) {
 
   // Soft-dirty write-protect fault (/proc technique): set the bit, restore
   // write access (Table V metric M5 per fault, plus two world switches).
-  sim::ExecContext& m = kernel_.ctx();
+  // Charges land on the faulting vCPU (ev.vcpu is the process's own).
+  sim::ExecContext& m = kernel_.ctx_of(*proc);
   m.count(Event::kPageFaultSoftDirty);
   m.count(Event::kContextSwitch, 2);
   m.charge_us(m.cost.pfh_kernel_per_fault_us(proc->mapped_bytes()) +

@@ -7,7 +7,7 @@
 namespace ooh::guest {
 
 SwapDaemon::EvictStats SwapDaemon::evict(Process& proc, u64 target_pages) {
-  sim::ExecContext& m = kernel_.ctx();
+  sim::ExecContext& m = kernel_.ctx_of(proc);
   sim::GuestPageTable& pt = kernel_.page_table(proc);
   EvictStats stats;
   const VirtDuration start = m.clock.now();
@@ -70,7 +70,8 @@ SwapDaemon::EvictStats SwapDaemon::evict(Process& proc, u64 target_pages) {
     slots_[key(proc.pid(), gva)] = std::move(slot);
     kernel_.free_gpa_frame(pte->gpa_page);
     pt.unmap(gva);
-    kernel_.vm().vcpu().tlb().invalidate_page(proc.pid(), gva);
+    // Teardown of a mapping: cpumask-wide shootdown.
+    kernel_.tlb_invalidate_page(proc, gva);
     clock_hand_[proc.pid()] = gva + kPageSize;
     ++evicted;
   }
@@ -89,7 +90,7 @@ u64 SwapDaemon::swapped_out(const Process& proc) const {
 bool SwapDaemon::swap_in_if_needed(Process& proc, Gva gva_page) {
   const auto it = slots_.find(key(proc.pid(), gva_page));
   if (it == slots_.end()) return false;
-  sim::ExecContext& m = kernel_.ctx();
+  sim::ExecContext& m = kernel_.ctx_of(proc);
 
   // Major fault: read the page back from the swap device.
   m.count(Event::kPageFaultDemand);
@@ -97,12 +98,12 @@ bool SwapDaemon::swap_in_if_needed(Process& proc, Gva gva_page) {
 
   const Vma* vma = proc.vma_of(gva_page);
   sim::GuestPageTable& pt = kernel_.page_table(proc);
-  pt.map(gva_page, kernel_.alloc_gpa_frame(), vma != nullptr && vma->writable);
+  pt.map(gva_page, kernel_.alloc_gpa_frame(m), vma != nullptr && vma->writable);
   sim::Pte* pte = pt.pte(gva_page);
   pte->soft_dirty = it->second.was_soft_dirty;
 
   if (!it->second.content.empty()) {
-    kernel_.ensure_ept_mapped(pte->gpa_page);
+    kernel_.ensure_ept_mapped(pte->gpa_page, proc.cpu());
     Hpa hpa = 0;
     if (kernel_.vm().ept().translate(pte->gpa_page, hpa)) {
       std::copy(it->second.content.begin(), it->second.content.end(),

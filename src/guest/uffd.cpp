@@ -21,7 +21,7 @@ void Uffd::register_missing(Process& proc, Handler on_fault) {
   for (Vma& vma : proc.vmas_mut()) {
     vma.uffd = Vma::Uffd::kMissing;
   }
-  sim::ExecContext& m = kernel_.ctx();
+  sim::ExecContext& m = kernel_.ctx_of(proc);
   m.count(Event::kContextSwitch, 2);  // the register ioctl
   m.charge_us(2 * m.cost.ctx_switch_us);
 }
@@ -29,12 +29,13 @@ void Uffd::register_missing(Process& proc, Handler on_fault) {
 void Uffd::rearm_wp(Process& proc) {
   // ioctl write-protect over the whole registered range (Table V metric M2,
   // modelled as one clear_refs-shaped PTE pass; see CostModel).
-  sim::ExecContext& m = kernel_.ctx();
+  sim::ExecContext& m = kernel_.ctx_of(proc);
   m.count(Event::kContextSwitch, 2);
   m.charge_us(m.cost.ufd_write_protect_us(proc.mapped_bytes()) + 2 * m.cost.ctx_switch_us);
   kernel_.page_table(proc).for_each_present(
       [](Gva, sim::Pte& pte) { pte.uffd_wp = true; });
-  kernel_.vm().vcpu().tlb().flush_pid(proc.pid());
+  // Write-protecting is permission-reducing: cpumask-wide shootdown.
+  kernel_.tlb_flush_pid(proc);
   m.count(Event::kTlbFlush);
   m.charge_us(m.cost.tlb_flush_us);
 }
@@ -46,7 +47,7 @@ void Uffd::unregister(Process& proc) {
   }
   kernel_.page_table(proc).for_each_present(
       [](Gva, sim::Pte& pte) { pte.uffd_wp = false; });
-  kernel_.vm().vcpu().tlb().flush_pid(proc.pid());
+  kernel_.tlb_flush_pid(proc);
 }
 
 bool Uffd::wp_registered(const Process& proc) const {
@@ -60,7 +61,7 @@ bool Uffd::missing_registered(const Process& proc) const {
 }
 
 void Uffd::deliver_wp_fault(Process& proc, Gva gva_page) {
-  sim::ExecContext& m = kernel_.ctx();
+  sim::ExecContext& m = kernel_.ctx_of(proc);
   // The faulting thread is suspended: the kernel part of the fault, the
   // handoff to the Tracker, its userspace handling (metric M6, the ufd
   // bottleneck), and the write-unprotect ioctl all run on its clock.
@@ -80,7 +81,7 @@ void Uffd::deliver_wp_fault(Process& proc, Gva gva_page) {
 
   sim::Pte* pte = kernel_.page_table(proc).pte(gva_page);
   if (pte != nullptr) pte->uffd_wp = false;
-  kernel_.vm().vcpu().tlb().invalidate_page(proc.pid(), gva_page);
+  kernel_.tlb_invalidate_page(proc, gva_page);
   m.count(Event::kUffdWriteUnprotect);
 }
 
@@ -99,7 +100,7 @@ bool Uffd::on_track(sim::TrackLayer /*layer*/, const sim::TrackEvent& ev) {
 }
 
 void Uffd::deliver_missing_fault(Process& proc, Gva gva_page) {
-  sim::ExecContext& m = kernel_.ctx();
+  sim::ExecContext& m = kernel_.ctx_of(proc);
   m.count(Event::kPageFaultUffd);
   m.count(Event::kContextSwitch, 2);
   const u64 mem = proc.mapped_bytes();

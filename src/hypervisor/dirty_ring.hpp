@@ -1,0 +1,135 @@
+// Per-vCPU dirty ring: the KVM-dirty-ring-style harvesting primitive that
+// replaces the hypervisor's stop-the-world dirty bitmap.
+//
+// Each vCPU owns one ring. The vCPU thread is the only producer (pushing GPAs
+// as its PML buffer drains) and a single userspace drain thread is the only
+// consumer, so the ring is a classic single-producer/single-consumer queue:
+// two monotonic indices, release/acquire ordering on each, and no locks. The
+// consumer may drain while the producing vCPU keeps running — that is the
+// point — and popping charges no virtual time (it is host-side work off the
+// guest's critical path).
+//
+// A full ring never loses an entry: the producer diverts the GPA to a
+// producer-private spill log (counting Event::kDirtyRingFull) that harvest
+// code folds back in at the next quiescent point. This mirrors KVM's
+// "ring full -> exit to userspace" behaviour while keeping the simulation
+// loss-free, and gives the kDirtyRingFull fault point a real degraded path
+// to exercise.
+//
+// Invariant RING-1 (docs/invariants.md): popped() <= pushed(), and
+// pushed() - popped() <= capacity() at every instant; the spill log is only
+// ever touched by the producer between quiescent points.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+#include "base/types.hpp"
+
+namespace ooh::hv {
+
+class DirtyRing {
+ public:
+  static constexpr std::size_t kDefaultEntries = std::size_t{1} << 16;
+
+  explicit DirtyRing(std::size_t capacity = kDefaultEntries)
+      : capacity_(capacity), mask_(capacity - 1), slots_(capacity) {
+    assert(capacity >= 2 && (capacity & (capacity - 1)) == 0 &&
+           "DirtyRing capacity must be a power of two");
+  }
+
+  DirtyRing(const DirtyRing&) = delete;
+  DirtyRing& operator=(const DirtyRing&) = delete;
+
+  // ---- producer side (the owning vCPU's thread) ---------------------------
+
+  /// Append one GPA; false when the ring is full (caller takes the spill
+  /// path). Safe against a concurrently popping consumer.
+  [[nodiscard]] bool try_push(u64 value) noexcept {
+    const u64 tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_.load(std::memory_order_acquire) >= capacity_) return false;
+    slots_[tail & mask_] = value;
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Loss-free overflow path: producer-private, folded in at harvest time.
+  void spill(u64 value) { spill_.push_back(value); }
+
+  // ---- consumer side (one userspace drain thread) -------------------------
+
+  /// Pop the oldest entry; false when the ring is observed empty. Safe while
+  /// the producer keeps pushing.
+  [[nodiscard]] bool try_pop(u64& out) noexcept {
+    const u64 head = head_.load(std::memory_order_relaxed);
+    if (head == tail_.load(std::memory_order_acquire)) return false;
+    out = slots_[head & mask_];
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  // ---- quiescent-point operations (no vCPU running, no drain in flight) ---
+
+  /// Move the spill log out (harvest folds these after the ring contents).
+  [[nodiscard]] std::vector<u64> take_spill() {
+    std::vector<u64> out;
+    out.swap(spill_);
+    return out;
+  }
+
+  /// Drop everything (tests / teardown). Cumulative counters are kept.
+  void clear() noexcept {
+    head_.store(tail_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+    spill_.clear();
+  }
+
+  // ---- introspection ------------------------------------------------------
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] u64 pushed() const noexcept {
+    return tail_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] u64 popped() const noexcept {
+    return head_.load(std::memory_order_acquire);
+  }
+  /// Entries currently in the ring. Exact at quiescent points; a safe
+  /// point-in-time snapshot under concurrency.
+  [[nodiscard]] std::size_t pending() const noexcept {
+    const u64 tail = tail_.load(std::memory_order_acquire);
+    const u64 head = head_.load(std::memory_order_acquire);
+    return static_cast<std::size_t>(tail - head);
+  }
+  [[nodiscard]] bool empty() const noexcept { return pending() == 0; }
+  [[nodiscard]] std::size_t spill_size() const noexcept { return spill_.size(); }
+  [[nodiscard]] const std::vector<u64>& spill_log() const noexcept { return spill_; }
+
+  /// Quiescent-point read-only visit of the entries currently pending in
+  /// the ring (oldest first) without consuming them; used by the coherence
+  /// oracle's dirty-accounting audit.
+  template <typename Fn>
+  void for_each_pending(Fn&& fn) const {
+    const u64 tail = tail_.load(std::memory_order_acquire);
+    for (u64 i = head_.load(std::memory_order_acquire); i != tail; ++i) {
+      fn(slots_[i & mask_]);
+    }
+  }
+
+  /// RING-1: index accounting is sane (monotone indices, bounded occupancy).
+  [[nodiscard]] bool bounds_ok() const noexcept {
+    const u64 tail = tail_.load(std::memory_order_acquire);
+    const u64 head = head_.load(std::memory_order_acquire);
+    return head <= tail && tail - head <= capacity_;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::size_t mask_;
+  std::vector<u64> slots_;
+  std::atomic<u64> head_{0};  ///< consumer cursor: total entries popped.
+  std::atomic<u64> tail_{0};  ///< producer cursor: total entries pushed.
+  std::vector<u64> spill_;    ///< producer-private overflow (never dropped).
+};
+
+}  // namespace ooh::hv

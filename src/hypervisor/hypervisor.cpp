@@ -3,47 +3,61 @@
 #include <cassert>
 #include <new>
 #include <stdexcept>
+#include <unordered_set>
 
 namespace ooh::hv {
 
-Vm& Hypervisor::create_vm(u64 mem_bytes, std::size_t spml_ring_entries) {
+Vm& Hypervisor::create_vm(u64 mem_bytes, std::size_t spml_ring_entries,
+                          unsigned vcpus) {
   const u32 id = static_cast<u32>(vms_.size());
-  auto vm = std::make_unique<Vm>(machine_, id, mem_bytes, spml_ring_entries);
-  vm->vcpu().attach(this, nullptr, &vm->ept());
-  vm->vcpu().vmcs().write(sim::VmcsField::kEptPointer, id + 1);
+  auto vm = std::make_unique<Vm>(machine_, id, mem_bytes, spml_ring_entries, vcpus);
+  for (unsigned cpu = 0; cpu < vm->vcpu_count(); ++cpu) {
+    vm->vcpu(cpu).attach(this, nullptr, &vm->ept());
+    vm->vcpu(cpu).vmcs().write(sim::VmcsField::kEptPointer, id + 1);
+  }
   vms_.push_back(std::move(vm));
   return *vms_.back();
 }
 
 Vm& Hypervisor::vm_of(const sim::Vcpu& vcpu) {
-  const u32 id = vcpu.id();
+  const u32 id = vcpu.vm_id();
   if (id >= vms_.size()) throw std::logic_error("vCPU does not belong to any VM");
   return *vms_[id];
 }
 
-void Hypervisor::ensure_pml_buffer(Vm& vm) {
-  if (vm.pml_buffer == 0) {
-    if (vm.ctx().fault_fire(sim::fault::FaultPoint::kFrameAllocFail)) {
+void Hypervisor::ensure_pml_buffer(Vm& vm, unsigned cpu) {
+  if (vm.pml_buffer(cpu) == 0) {
+    if (vm.vcpu(cpu).ctx().fault_fire(sim::fault::FaultPoint::kFrameAllocFail)) {
       // Injected host OOM: same failure a packed host produces when the
       // 4KiB PML buffer cannot be allocated (KVM's vmx_create_vcpu path).
       throw std::bad_alloc{};
     }
-    vm.pml_buffer = machine_.pmem.alloc_frame();
-    vm.vcpu().vmcs().write(sim::VmcsField::kPmlAddress, vm.pml_buffer);
-    vm.vcpu().vmcs().write(sim::VmcsField::kPmlIndex, kPmlIndexStart);
+    vm.pml_buffer(cpu) = machine_.pmem.alloc_frame();
+    vm.vcpu(cpu).vmcs().write(sim::VmcsField::kPmlAddress, vm.pml_buffer(cpu));
+    vm.vcpu(cpu).vmcs().write(sim::VmcsField::kPmlIndex, kPmlIndexStart);
   }
 }
 
-void Hypervisor::update_pml_enable(Vm& vm) {
+void Hypervisor::update_pml_enable(Vm& vm, unsigned cpu) {
   // Hardware PML runs iff some drain consumer wants events right now: the
   // hypervisor's own consumer whenever registered, the guest's SPML
-  // consumer only while logging is on. N consumers, one control bit.
-  const bool on = vm.track().any_enabled(sim::TrackLayer::kPmlDrain);
-  vm.vcpu().vmcs().set_control(sim::kEnablePml, on);
+  // consumer only while logging is on. N consumers, one control bit per
+  // vCPU.
+  const bool on = vm.track(cpu).any_enabled(sim::TrackLayer::kPmlDrain);
+  vm.vcpu(cpu).vmcs().set_control(sim::kEnablePml, on);
 }
 
-void Hypervisor::clear_all_ept_dirty(Vm& vm) {
-  sim::ExecContext& ctx = vm.ctx();
+void Hypervisor::flush_all_tlbs(Vm& vm, sim::ExecContext& ctx) {
+  // INVEPT is VM-scoped: every vCPU's cached translations die, and the
+  // acting vCPU pays one flush charge per vCPU it invalidated.
+  for (unsigned cpu = 0; cpu < vm.vcpu_count(); ++cpu) {
+    vm.vcpu(cpu).tlb().flush_all();
+    ctx.count(Event::kTlbFlush);
+    ctx.charge_us(ctx.cost.tlb_flush_us);
+  }
+}
+
+void Hypervisor::clear_all_ept_dirty(Vm& vm, sim::ExecContext& ctx) {
   u64 cleared = 0;
   vm.ept().for_each_present([&](Gpa, sim::EptEntry& e) {
     if (e.dirty) {
@@ -52,15 +66,14 @@ void Hypervisor::clear_all_ept_dirty(Vm& vm) {
     }
   });
   ctx.charge_ns(ctx.cost.dbit_clear_ns * static_cast<double>(cleared));
-  vm.vcpu().tlb().flush_all();
-  ctx.count(Event::kTlbFlush);
-  ctx.charge_us(ctx.cost.tlb_flush_us);
+  flush_all_tlbs(vm, ctx);
 }
 
-void Hypervisor::drain_pml_buffer(Vm& vm) {
-  sim::ExecContext& ctx = vm.ctx();
-  sim::Vmcs& vmcs = vm.vcpu().vmcs();
-  if (vm.pml_buffer == 0) return;
+void Hypervisor::drain_pml_buffer(Vm& vm, unsigned cpu) {
+  sim::Vcpu& vcpu = vm.vcpu(cpu);
+  sim::ExecContext& ctx = vcpu.ctx();
+  sim::Vmcs& vmcs = vcpu.vmcs();
+  if (vm.pml_buffer(cpu) == 0) return;
   const u16 idx = static_cast<u16>(vmcs.read(sim::VmcsField::kPmlIndex));
   // Entries occupy slots idx+1 .. 511; a wrapped index (0xFFFF) means all 512.
   const u64 count = idx > kPmlIndexStart ? kPmlBufferEntries
@@ -71,21 +84,28 @@ void Hypervisor::drain_pml_buffer(Vm& vm) {
   // last so consumers see logging order.
   const u64 first_slot = kPmlBufferEntries - count;
   for (u64 slot = kPmlBufferEntries; slot-- > first_slot;) {
-    const Gpa gpa_page = ctx.pmem.read_u64(vm.pml_buffer + slot * 8);
+    const Gpa gpa_page = ctx.pmem.read_u64(vm.pml_buffer(cpu) + slot * 8);
     ctx.charge_ns(ctx.cost.drain_entry_ns);
     // Coexistence routing (paper §IV-C item 3), generalized: every enabled
     // kPmlDrain consumer gets the GPA. Dirty flags stay set until the
     // consumer's interval boundary (collect/harvest), so an already-logged
     // page does not re-log on every later write -- matching how Xen
     // harvests PML.
-    vm.track().dispatch(sim::TrackLayer::kPmlDrain,
-                        {&vm.vcpu(), /*pid=*/0, /*gva_page=*/0, gpa_page});
+    vm.track(cpu).dispatch(sim::TrackLayer::kPmlDrain,
+                           {&vcpu, /*pid=*/0, /*gva_page=*/0, gpa_page});
   }
   vmcs.write(sim::VmcsField::kPmlIndex, kPmlIndexStart);
+  // A kDirtyRingFull fault fired mid-drain settles here, with the buffer
+  // index reset and the diverted entry safely in the spill log (FAULT-2).
+  if (vm.take_ring_fault(cpu)) ctx.fault_audit();
 }
 
-void Hypervisor::reset_dirty_for(Vm& vm, std::span<const Gpa> gpa_pages) {
-  sim::ExecContext& ctx = vm.ctx();
+void Hypervisor::drain_all_pml_buffers(Vm& vm) {
+  for (unsigned cpu = 0; cpu < vm.vcpu_count(); ++cpu) drain_pml_buffer(vm, cpu);
+}
+
+void Hypervisor::reset_dirty_for(Vm& vm, std::span<const Gpa> gpa_pages,
+                                 sim::ExecContext& ctx) {
   u64 cleared = 0;
   for (const Gpa gpa : gpa_pages) {
     if (sim::EptEntry* e = vm.ept().entry(gpa); e != nullptr && e->dirty) {
@@ -95,13 +115,11 @@ void Hypervisor::reset_dirty_for(Vm& vm, std::span<const Gpa> gpa_pages) {
   }
   ctx.charge_ns(ctx.cost.dbit_clear_ns * static_cast<double>(cleared));
   // Cleared dirty flags require invalidating cached translations (INVEPT).
-  vm.vcpu().tlb().flush_all();
-  ctx.count(Event::kTlbFlush);
-  ctx.charge_us(ctx.cost.tlb_flush_us);
+  flush_all_tlbs(vm, ctx);
 }
 
 void Hypervisor::on_pml_full(sim::Vcpu& vcpu) {
-  drain_pml_buffer(vm_of(vcpu));
+  drain_pml_buffer(vm_of(vcpu), vcpu.cpu_index());
 }
 
 void Hypervisor::on_ept_violation(sim::Vcpu& vcpu, Gpa gpa, bool /*is_write*/) {
@@ -115,63 +133,65 @@ void Hypervisor::on_ept_violation(sim::Vcpu& vcpu, Gpa gpa, bool /*is_write*/) {
 
 u64 Hypervisor::on_hypercall(sim::Vcpu& vcpu, sim::Hypercall nr, u64 a0, u64 a1) {
   Vm& vm = vm_of(vcpu);
+  const unsigned cpu = vcpu.cpu_index();
   sim::ExecContext& ctx = vcpu.ctx();
   const CostModel& cost = ctx.cost;
   switch (nr) {
     case sim::Hypercall::kOohInitPml:
-      // SPML setup (M9): allocate the PML buffer and reset dirty state so
-      // the first tracking interval starts from a clean slate. The guest may
-      // not start while the hypervisor is tearing down, and vice versa --
-      // the flags arbitrate (§IV-C item 3).
+      // SPML setup (M9): allocate the calling vCPU's PML buffer and reset
+      // dirty state so the first tracking interval starts from a clean
+      // slate. The guest may not start while the hypervisor is tearing
+      // down, and vice versa -- the flags arbitrate (§IV-C item 3).
       ctx.charge_us(cost.hc_init_pml_us);
       try {
-        ensure_pml_buffer(vm);
+        ensure_pml_buffer(vm, cpu);
       } catch (const std::bad_alloc&) {
         // No buffer, no session: report failure to the guest rather than
         // killing the VM. The module surfaces it; the tracker degrades.
         ctx.fault_audit();
         return ~u64{0};
       }
-      clear_all_ept_dirty(vm);
+      clear_all_ept_dirty(vm, ctx);
       // Session start == consumer registration; it joins the drain chain
       // disabled (no logging until the tracked process is scheduled in).
-      if (!vm.pml_enabled_by_guest()) {
-        vm.track().register_notifier(sim::TrackLayer::kPmlDrain,
-                                     &vm.spml_drain_consumer(), /*enabled=*/false);
+      if (!vm.pml_enabled_by_guest(cpu)) {
+        vm.track(cpu).register_notifier(sim::TrackLayer::kPmlDrain,
+                                        &vm.spml_drain_consumer(), /*enabled=*/false);
       }
-      vm.spml_tracked_mem_bytes = a0;
+      vm.spml_tracked_mem_bytes(cpu) = a0;
       return 0;
     case sim::Hypercall::kOohDeactivatePml:
       ctx.charge_us(cost.hc_deact_pml_us);
-      drain_pml_buffer(vm);
-      if (vm.pml_enabled_by_guest()) {
-        vm.track().unregister_notifier(sim::TrackLayer::kPmlDrain,
-                                       &vm.spml_drain_consumer());
+      drain_pml_buffer(vm, cpu);
+      if (vm.pml_enabled_by_guest(cpu)) {
+        vm.track(cpu).unregister_notifier(sim::TrackLayer::kPmlDrain,
+                                          &vm.spml_drain_consumer());
       }
-      update_pml_enable(vm);
+      update_pml_enable(vm, cpu);
       return 0;
     case sim::Hypercall::kOohEnableLogging:
       ctx.charge_us(cost.hc_enable_logging_us);
-      if (!vm.pml_enabled_by_guest()) return u64(-1);
-      vm.track().set_enabled(sim::TrackLayer::kPmlDrain,
-                             &vm.spml_drain_consumer(), true);
-      update_pml_enable(vm);
+      if (!vm.pml_enabled_by_guest(cpu)) return u64(-1);
+      vm.track(cpu).set_enabled(sim::TrackLayer::kPmlDrain,
+                                &vm.spml_drain_consumer(), true);
+      update_pml_enable(vm, cpu);
       return 0;
     case sim::Hypercall::kOohDisableLogging:
       // M14: cost depends on the tracked process's memory size because the
       // in-flight buffer is flushed to the ring on the way out.
       ctx.charge_us(cost.spml_disable_logging_us(
-          a0 != 0 ? a0 : vm.spml_tracked_mem_bytes));
-      drain_pml_buffer(vm);
-      if (vm.pml_enabled_by_guest()) {
-        vm.track().set_enabled(sim::TrackLayer::kPmlDrain,
-                               &vm.spml_drain_consumer(), false);
+          a0 != 0 ? a0 : vm.spml_tracked_mem_bytes(cpu)));
+      drain_pml_buffer(vm, cpu);
+      if (vm.pml_enabled_by_guest(cpu)) {
+        vm.track(cpu).set_enabled(sim::TrackLayer::kPmlDrain,
+                                  &vm.spml_drain_consumer(), false);
       }
-      update_pml_enable(vm);
+      update_pml_enable(vm, cpu);
       return 0;
     case sim::Hypercall::kOohInitEpml: {
-      // EPML setup (M10): VMCS shadowing plus the new guest PML fields. This
-      // is the *only* hypercall EPML performs (§IV-D).
+      // EPML setup (M10): VMCS shadowing plus the new guest PML fields on
+      // the calling vCPU. This is the *only* hypercall EPML performs
+      // (§IV-D).
       ctx.charge_us(cost.hc_init_pml_shadow_us);
       sim::Vmcs& shadow = vcpu.create_shadow_vmcs();
       shadow.write(sim::VmcsField::kGuestPmlIndex, kPmlIndexStart);
@@ -206,10 +226,9 @@ u64 Hypervisor::on_hypercall(sim::Vcpu& vcpu, sim::Hypercall nr, u64 a0, u64 a1)
       }
       vm.spp_table().set_mask(gpa_page, static_cast<u32>(a1));
       e->spp = static_cast<u32>(a1) != sim::kSppAllWritable;
-      // Cached translations may still claim page-level write permission.
-      vm.vcpu().tlb().flush_all();
-      ctx.count(Event::kTlbFlush);
-      ctx.charge_us(cost.tlb_flush_us);
+      // Cached translations on any vCPU may still claim page-level write
+      // permission.
+      flush_all_tlbs(vm, ctx);
       return 0;
     }
     case sim::Hypercall::kOohSppClear: {
@@ -217,18 +236,16 @@ u64 Hypervisor::on_hypercall(sim::Vcpu& vcpu, sim::Hypercall nr, u64 a0, u64 a1)
       const Gpa gpa_page = page_floor(a0);
       vm.spp_table().clear(gpa_page);
       if (sim::EptEntry* e = vm.ept().entry(gpa_page); e != nullptr) e->spp = false;
-      vm.vcpu().tlb().flush_all();
-      ctx.count(Event::kTlbFlush);
-      ctx.charge_us(cost.tlb_flush_us);
+      flush_all_tlbs(vm, ctx);
       return 0;
     }
     case sim::Hypercall::kOohIntervalReset: {
       // End of an SPML tracking interval: re-arm logging for every page the
       // guest consumed this interval (their next write must re-log).
       ctx.charge_us(cost.hc_enable_logging_us);
-      drain_pml_buffer(vm);
-      reset_dirty_for(vm, vm.spml_interval_log());
-      vm.spml_interval_log().clear();
+      drain_pml_buffer(vm, cpu);
+      reset_dirty_for(vm, vm.spml_interval_log(cpu), ctx);
+      vm.spml_interval_log(cpu).clear();
       return 0;
     }
   }
@@ -236,51 +253,89 @@ u64 Hypervisor::on_hypercall(sim::Vcpu& vcpu, sim::Hypercall nr, u64 a0, u64 a1)
 }
 
 void Hypervisor::enable_pml_for_hyp(Vm& vm) {
-  ensure_pml_buffer(vm);
-  clear_all_ept_dirty(vm);
-  if (!vm.pml_enabled_by_hyp()) {
-    vm.track().register_notifier(sim::TrackLayer::kPmlDrain,
-                                 &vm.hyp_drain_consumer());
+  for (unsigned cpu = 0; cpu < vm.vcpu_count(); ++cpu) ensure_pml_buffer(vm, cpu);
+  clear_all_ept_dirty(vm, vm.ctx());
+  for (unsigned cpu = 0; cpu < vm.vcpu_count(); ++cpu) {
+    if (!vm.pml_enabled_by_hyp(cpu)) {
+      vm.track(cpu).register_notifier(sim::TrackLayer::kPmlDrain,
+                                      &vm.hyp_drain_consumer());
+    }
+    update_pml_enable(vm, cpu);
   }
-  update_pml_enable(vm);
 }
 
 void Hypervisor::disable_pml_for_hyp(Vm& vm) {
-  drain_pml_buffer(vm);
-  if (vm.pml_enabled_by_hyp()) {
-    vm.track().unregister_notifier(sim::TrackLayer::kPmlDrain,
-                                   &vm.hyp_drain_consumer());
+  drain_all_pml_buffers(vm);
+  for (unsigned cpu = 0; cpu < vm.vcpu_count(); ++cpu) {
+    if (vm.pml_enabled_by_hyp(cpu)) {
+      vm.track(cpu).unregister_notifier(sim::TrackLayer::kPmlDrain,
+                                        &vm.hyp_drain_consumer());
+    }
+    update_pml_enable(vm, cpu);
   }
-  update_pml_enable(vm);
+}
+
+std::vector<Gpa> Hypervisor::take_ring_contents(Vm& vm) {
+  // Insertion-ordered dedup: ring entries keep event order (per vCPU), and
+  // with one vCPU this reproduces byte-for-byte the insertion sequence the
+  // old per-VM unordered_set log saw, so the output vector is bit-identical.
+  // Spill entries (ring-full or injected kDirtyRingFull) fold in after.
+  std::unordered_set<Gpa> dedup;
+  for (unsigned cpu = 0; cpu < vm.vcpu_count(); ++cpu) {
+    DirtyRing& ring = vm.dirty_ring(cpu);
+    u64 gpa = 0;
+    while (ring.try_pop(gpa)) dedup.insert(gpa);
+  }
+  for (unsigned cpu = 0; cpu < vm.vcpu_count(); ++cpu) {
+    for (const u64 gpa : vm.dirty_ring(cpu).take_spill()) dedup.insert(gpa);
+    // Entries a concurrent drain already handed to userspace: fold them in
+    // so the harvest stays the authoritative union and their dirty flags
+    // get reset with everything else.
+    for (const Gpa gpa : vm.drained_log(cpu)) dedup.insert(gpa);
+    vm.drained_log(cpu).clear();
+  }
+  return {dedup.begin(), dedup.end()};
+}
+
+std::size_t Hypervisor::drain_dirty_ring(Vm& vm, unsigned cpu,
+                                         std::vector<Gpa>& out) {
+  DirtyRing& ring = vm.dirty_ring(cpu);
+  std::size_t popped = 0;
+  u64 gpa = 0;
+  while (ring.try_pop(gpa)) {
+    out.push_back(gpa);
+    vm.drained_log(cpu).push_back(gpa);
+    ++popped;
+  }
+  return popped;
 }
 
 std::vector<Gpa> Hypervisor::harvest_hyp_dirty(Vm& vm) {
-  drain_pml_buffer(vm);
-  std::vector<Gpa> out(vm.hyp_dirty_log().begin(), vm.hyp_dirty_log().end());
-  vm.hyp_dirty_log().clear();
+  drain_all_pml_buffers(vm);
+  std::vector<Gpa> out = take_ring_contents(vm);
   // Round boundary: re-arm logging for the harvested pages.
-  reset_dirty_for(vm, out);
+  reset_dirty_for(vm, out, vm.ctx());
   return out;
 }
 
 std::vector<Gpa> Hypervisor::collect_dirty_paused(Vm& vm) {
-  // Final harvest with the vCPU paused: drain the in-flight buffer and take
-  // the log, but do NOT re-arm — the VM is not going to run here again, and
-  // reset_dirty_for's unconditional INVEPT would charge a TLB flush that
-  // the (empty-drain-window) common case never paid before.
-  drain_pml_buffer(vm);
-  std::vector<Gpa> out(vm.hyp_dirty_log().begin(), vm.hyp_dirty_log().end());
-  vm.hyp_dirty_log().clear();
-  return out;
+  // Final harvest with the vCPUs paused: drain the in-flight buffers and
+  // take the rings, but do NOT re-arm — the VM is not going to run here
+  // again, and reset_dirty_for's unconditional INVEPT would charge a TLB
+  // flush that the (empty-drain-window) common case never paid before.
+  drain_all_pml_buffers(vm);
+  return take_ring_contents(vm);
 }
 
 void Hypervisor::enable_wss_sampling(Vm& vm) {
   sim::ExecContext& ctx = vm.ctx();
-  if (vm.pml_enabled_by_guest()) {
-    throw std::logic_error(
-        "WSS sampling and a guest SPML session cannot share the PML buffer");
+  for (unsigned cpu = 0; cpu < vm.vcpu_count(); ++cpu) {
+    if (vm.pml_enabled_by_guest(cpu)) {
+      throw std::logic_error(
+          "WSS sampling and a guest SPML session cannot share the PML buffer");
+    }
   }
-  ensure_pml_buffer(vm);
+  for (unsigned cpu = 0; cpu < vm.vcpu_count(); ++cpu) ensure_pml_buffer(vm, cpu);
   // Reset both accessed and dirty flags so every first touch re-logs.
   u64 cleared = 0;
   vm.ept().for_each_present([&](Gpa, sim::EptEntry& e) {
@@ -289,33 +344,34 @@ void Hypervisor::enable_wss_sampling(Vm& vm) {
     e.dirty = false;
   });
   ctx.charge_ns(ctx.cost.dbit_clear_ns * static_cast<double>(cleared));
-  vm.vcpu().tlb().flush_all();
-  ctx.count(Event::kTlbFlush);
-  ctx.charge_us(ctx.cost.tlb_flush_us);
-  if (!vm.pml_enabled_by_hyp()) {
-    vm.track().register_notifier(sim::TrackLayer::kPmlDrain,
-                                 &vm.hyp_drain_consumer());
+  flush_all_tlbs(vm, ctx);
+  for (unsigned cpu = 0; cpu < vm.vcpu_count(); ++cpu) {
+    if (!vm.pml_enabled_by_hyp(cpu)) {
+      vm.track(cpu).register_notifier(sim::TrackLayer::kPmlDrain,
+                                      &vm.hyp_drain_consumer());
+    }
+    vm.vcpu(cpu).vmcs().set_control(sim::kEnablePmlReadLog, true);
+    update_pml_enable(vm, cpu);
   }
-  vm.vcpu().vmcs().set_control(sim::kEnablePmlReadLog, true);
-  update_pml_enable(vm);
 }
 
 void Hypervisor::disable_wss_sampling(Vm& vm) {
-  drain_pml_buffer(vm);
-  vm.hyp_dirty_log().clear();
-  vm.vcpu().vmcs().set_control(sim::kEnablePmlReadLog, false);
-  if (vm.pml_enabled_by_hyp()) {
-    vm.track().unregister_notifier(sim::TrackLayer::kPmlDrain,
-                                   &vm.hyp_drain_consumer());
+  drain_all_pml_buffers(vm);
+  for (unsigned cpu = 0; cpu < vm.vcpu_count(); ++cpu) {
+    vm.dirty_ring(cpu).clear();
+    vm.vcpu(cpu).vmcs().set_control(sim::kEnablePmlReadLog, false);
+    if (vm.pml_enabled_by_hyp(cpu)) {
+      vm.track(cpu).unregister_notifier(sim::TrackLayer::kPmlDrain,
+                                        &vm.hyp_drain_consumer());
+    }
+    update_pml_enable(vm, cpu);
   }
-  update_pml_enable(vm);
 }
 
 std::vector<Gpa> Hypervisor::harvest_wss(Vm& vm) {
   sim::ExecContext& ctx = vm.ctx();
-  drain_pml_buffer(vm);
-  std::vector<Gpa> out(vm.hyp_dirty_log().begin(), vm.hyp_dirty_log().end());
-  vm.hyp_dirty_log().clear();
+  drain_all_pml_buffers(vm);
+  std::vector<Gpa> out = take_ring_contents(vm);
   // Re-arm: clear accessed (and dirty) flags of the sampled pages.
   u64 cleared = 0;
   for (const Gpa gpa : out) {
@@ -326,9 +382,7 @@ std::vector<Gpa> Hypervisor::harvest_wss(Vm& vm) {
     }
   }
   ctx.charge_ns(ctx.cost.dbit_clear_ns * static_cast<double>(cleared));
-  vm.vcpu().tlb().flush_all();
-  ctx.count(Event::kTlbFlush);
-  ctx.charge_us(ctx.cost.tlb_flush_us);
+  flush_all_tlbs(vm, ctx);
   return out;
 }
 

@@ -1,6 +1,13 @@
 // The hypervisor (Xen-like): VM lifecycle, VM-exit handling, the OoH
 // hypercall interface of §IV, and coexistence between the guest's use of
 // PML (SPML) and the hypervisor's own (live migration).
+//
+// SMP: every PML session is per-vCPU (buffer, drain chain, SPML ring), and a
+// hypercall always operates on the session of the vCPU it arrived on. The
+// hypervisor's own harvest walks all vCPUs' buffers and dirty rings at a
+// quiescent point; drain_dirty_ring() is the concurrent path — userspace
+// popping one vCPU's ring while the other vCPUs (and even the producer)
+// keep running.
 #pragma once
 
 #include <functional>
@@ -19,9 +26,11 @@ class Hypervisor final : public sim::VmExitHandler {
  public:
   explicit Hypervisor(sim::Machine& machine) : machine_(machine) {}
 
-  /// Create a VM with `mem_bytes` of guest-physical space. Host frames are
-  /// demand-allocated on EPT violations, as on a real overcommitted host.
-  Vm& create_vm(u64 mem_bytes, std::size_t spml_ring_entries = 1u << 20);
+  /// Create a VM with `mem_bytes` of guest-physical space and `vcpus`
+  /// virtual CPUs. Host frames are demand-allocated on EPT violations, as
+  /// on a real overcommitted host.
+  Vm& create_vm(u64 mem_bytes, std::size_t spml_ring_entries = 1u << 20,
+                unsigned vcpus = 1);
 
   [[nodiscard]] std::size_t vm_count() const noexcept { return vms_.size(); }
   [[nodiscard]] Vm& vm(std::size_t i) noexcept { return *vms_[i]; }
@@ -32,16 +41,26 @@ class Hypervisor final : public sim::VmExitHandler {
   u64 on_hypercall(sim::Vcpu& vcpu, sim::Hypercall nr, u64 a0, u64 a1) override;
 
   // ---- hypervisor's own PML use (live migration, checkpoint) ----------------
-  /// Start logging for the whole VM: clear all EPT dirty flags, flush, arm PML.
+  /// Start logging for the whole VM: clear all EPT dirty flags, flush every
+  /// vCPU's TLB, arm PML on every vCPU.
   void enable_pml_for_hyp(Vm& vm);
   void disable_pml_for_hyp(Vm& vm);
-  /// Flush the in-flight PML buffer and take the accumulated dirty GPA set.
+  /// Quiescent harvest: flush every vCPU's in-flight PML buffer, then take
+  /// the union of all dirty rings (+ spill logs) and re-arm logging.
   [[nodiscard]] std::vector<Gpa> harvest_hyp_dirty(Vm& vm);
-  /// Final stop-and-copy harvest: drain + take the log WITHOUT re-arming
-  /// (no dirty-flag reset, no INVEPT) — the vCPU is paused and will not run
-  /// on this host again. Captures writes that landed between the last
+  /// Final stop-and-copy harvest: drain + take the rings WITHOUT re-arming
+  /// (no dirty-flag reset, no INVEPT) — the vCPUs are paused and will not
+  /// run on this host again. Captures writes that landed between the last
   /// pre-copy harvest and the pause.
   [[nodiscard]] std::vector<Gpa> collect_dirty_paused(Vm& vm);
+
+  /// Concurrent userspace drain: pop everything currently visible in vCPU
+  /// `cpu`'s dirty ring into `out` while the producer keeps running. Charges
+  /// no virtual time (host-side work off the guest's critical path); spill
+  /// entries and dirty-flag re-arm are handled by the next quiescent
+  /// harvest. Returns the number of entries popped. Safe to call from a
+  /// host thread other than the vCPU's (SPSC: one drainer per ring).
+  std::size_t drain_dirty_ring(Vm& vm, unsigned cpu, std::vector<Gpa>& out);
 
   // ---- working-set-size estimation (read-logging PML extension) -------------
   /// Start WSS sampling: PML logs on accessed-flag transitions, so the
@@ -71,15 +90,23 @@ class Hypervisor final : public sim::VmExitHandler {
 
  private:
   [[nodiscard]] Vm& vm_of(const sim::Vcpu& vcpu);
-  void ensure_pml_buffer(Vm& vm);
+  void ensure_pml_buffer(Vm& vm, unsigned cpu);
   /// Clear EPT dirty flags for `gpa_pages` and invalidate cached
-  /// translations, re-arming PML for them (interval/round boundary).
-  void reset_dirty_for(Vm& vm, std::span<const Gpa> gpa_pages);
-  /// Copy logged GPAs to their consumers, clear their EPT dirty flags so
-  /// future writes re-log, invalidate cached translations, reset the index.
-  void drain_pml_buffer(Vm& vm);
-  void clear_all_ept_dirty(Vm& vm);
-  void update_pml_enable(Vm& vm);
+  /// translations on every vCPU, re-arming PML for them (interval/round
+  /// boundary). Charges land on `ctx` (the acting vCPU's timeline).
+  void reset_dirty_for(Vm& vm, std::span<const Gpa> gpa_pages, sim::ExecContext& ctx);
+  /// Copy vCPU `cpu`'s logged GPAs to their consumers, then reset the index.
+  /// Dirty flags stay set until the consumer's interval boundary.
+  void drain_pml_buffer(Vm& vm, unsigned cpu);
+  void drain_all_pml_buffers(Vm& vm);
+  void clear_all_ept_dirty(Vm& vm, sim::ExecContext& ctx);
+  void update_pml_enable(Vm& vm, unsigned cpu);
+  /// INVEPT-style whole-VM invalidation: flush each vCPU's TLB, counting and
+  /// charging one kTlbFlush per vCPU on the acting context.
+  void flush_all_tlbs(Vm& vm, sim::ExecContext& ctx);
+  /// Quiescent ring harvest into an insertion-ordered dedup set; ring
+  /// contents first (event order), spill logs after.
+  [[nodiscard]] std::vector<Gpa> take_ring_contents(Vm& vm);
 
   sim::Machine& machine_;
   std::vector<std::unique_ptr<Vm>> vms_;

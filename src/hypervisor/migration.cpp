@@ -1,7 +1,10 @@
 #include "hypervisor/migration.hpp"
 
+#include <atomic>
 #include <new>
+#include <thread>
 #include <unordered_set>
+#include <vector>
 
 namespace ooh::hv {
 namespace {
@@ -14,6 +17,51 @@ void merge_unique(std::vector<Gpa>& base, const std::vector<Gpa>& more) {
     if (seen.insert(g).second) base.push_back(g);
   }
 }
+
+/// One host drainer thread per vCPU ring, running while the guest quantum
+/// executes on the caller's thread. SPSC holds: the vCPU is the only
+/// producer of its ring and its drainer is the only consumer; drained
+/// entries land in Vm::drained_log(cpu), which the next quiescent harvest
+/// (take_ring_contents, after join) folds back into the authoritative set.
+class ConcurrentDrainers {
+ public:
+  ConcurrentDrainers(Hypervisor& hv, Vm& vm) : hv_(hv), vm_(vm) {
+    threads_.reserve(vm.vcpu_count());
+    for (unsigned cpu = 0; cpu < vm.vcpu_count(); ++cpu) {
+      threads_.emplace_back([this, cpu] {
+        std::vector<Gpa> local;
+        std::size_t popped = 0;
+        while (!stop_.load(std::memory_order_acquire)) {
+          popped += hv_.drain_dirty_ring(vm_, cpu, local);
+          std::this_thread::yield();
+        }
+        // Final sweep after the producer quiesced: entries pushed between
+        // the last poll and the stop flag.
+        popped += hv_.drain_dirty_ring(vm_, cpu, local);
+        drained_.fetch_add(popped, std::memory_order_relaxed);
+      });
+    }
+  }
+
+  /// Join the drainers; returns total entries popped across all rings.
+  u64 stop() {
+    stop_.store(true, std::memory_order_release);
+    for (std::thread& t : threads_) t.join();
+    threads_.clear();
+    return drained_.load(std::memory_order_relaxed);
+  }
+
+  ~ConcurrentDrainers() {
+    if (!threads_.empty()) stop();
+  }
+
+ private:
+  Hypervisor& hv_;
+  Vm& vm_;
+  std::atomic<bool> stop_{false};
+  std::atomic<u64> drained_{0};
+  std::vector<std::thread> threads_;
+};
 
 }  // namespace
 
@@ -41,6 +89,21 @@ MigrationReport MigrationEngine::migrate(Vm& vm,
   sim::ExecContext& m = vm.ctx();
   MigrationReport rep;
   const VirtDuration start = m.clock.now();
+
+  // Guest-execution wrapper: with concurrent_ring_drain, userspace drainer
+  // threads empty the per-vCPU dirty rings while the body runs; without it,
+  // this is a plain call. Either way the subsequent quiescent harvest sees
+  // the same authoritative set (drained entries fold back in).
+  const auto run_overlapped = [&](const std::function<void()>& body) {
+    if (!body) return;
+    if (!opts.concurrent_ring_drain) {
+      body();
+      return;
+    }
+    ConcurrentDrainers drainers(hv_, vm);
+    body();
+    rep.ring_drained += drainers.stop();
+  };
 
   try {
     hv_.enable_pml_for_hyp(vm);
@@ -70,7 +133,7 @@ MigrationReport MigrationEngine::migrate(Vm& vm,
 
   std::vector<Gpa> carry;  // harvested but never transferred (failed sends)
   for (unsigned round = 0; round < opts.max_rounds; ++round) {
-    run_guest_quantum();
+    run_overlapped(run_guest_quantum);
     std::vector<Gpa> pending = hv_.harvest_hyp_dirty(vm);
     merge_unique(pending, carry);
     // Pre-copy round boundary: let an installed coherence hook audit this
@@ -83,7 +146,7 @@ MigrationReport MigrationEngine::migrate(Vm& vm,
       // the actual pause (the drain window): writes landing in it sit in
       // the PML buffer / dirty log, not in `pending`, and must join the
       // stop-and-copy set — dropping them would corrupt the destination.
-      if (opts.drain_window_body) opts.drain_window_body();
+      run_overlapped(opts.drain_window_body);
       const VirtDuration pause_start = m.clock.now();
       merge_unique(pending, hv_.collect_dirty_paused(vm));
       rep.stop_copy_pages = pending.size();
@@ -107,10 +170,10 @@ MigrationReport MigrationEngine::migrate(Vm& vm,
   }
   if (!rep.converged && !rep.aborted) {
     // Non-convergence cutoff: forced stop-and-copy after max_rounds.
-    run_guest_quantum();
+    run_overlapped(run_guest_quantum);
     std::vector<Gpa> pending = hv_.harvest_hyp_dirty(vm);
     merge_unique(pending, carry);
-    if (opts.drain_window_body) opts.drain_window_body();
+    run_overlapped(opts.drain_window_body);
     const VirtDuration pause_start = m.clock.now();
     merge_unique(pending, hv_.collect_dirty_paused(vm));
     rep.stop_copy_pages = pending.size();

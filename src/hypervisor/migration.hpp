@@ -27,6 +27,15 @@ struct MigrationOptions {
   /// vCPU pause (the drain window). Writes made here land in the PML
   /// buffer/dirty log and must appear in the stop-and-copy set.
   std::function<void()> drain_window_body;
+  /// Concurrent userspace drain: while each guest quantum runs, one host
+  /// drainer thread per vCPU pops that vCPU's dirty ring
+  /// (Hypervisor::drain_dirty_ring) instead of leaving every entry for the
+  /// round-boundary harvest. The quiescent harvest folds the drained set
+  /// back in (Vm::drained_log), so rounds, pages_sent, downtime and all
+  /// virtual-time results are bit-identical with the flag on or off — the
+  /// difference is host-side: ring occupancy stays low and the harvest
+  /// pause shrinks (MigrationReport::ring_drained counts the overlap).
+  bool concurrent_ring_drain = false;
 };
 
 struct MigrationReport {
@@ -35,6 +44,7 @@ struct MigrationReport {
   u64 initial_pages = 0;       ///< pages in the first full copy.
   u64 stop_copy_pages = 0;     ///< pages re-sent while the VM was paused.
   u64 send_retries = 0;        ///< transfer attempts that failed and backed off.
+  u64 ring_drained = 0;        ///< ring entries popped by concurrent drainers.
   bool converged = false;      ///< dirty rate fell under the threshold.
   bool aborted = false;        ///< a transfer kept failing; migration gave up.
   VirtDuration total_time{0};

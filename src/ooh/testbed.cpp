@@ -8,14 +8,19 @@
 
 namespace ooh::lib {
 
-TestBed::TestBed(const TestBedOptions& opts) {
+TestBed::TestBed(const TestBedOptions& opts)
+    : vcpus_per_vm_(opts.vcpus_per_vm == 0 ? 1 : opts.vcpus_per_vm) {
   machine_ = std::make_unique<sim::Machine>(opts.host_mem_bytes, opts.cost);
   hypervisor_ = std::make_unique<hv::Hypervisor>(*machine_);
   kernels_.reserve(opts.tenant_vms);
   for (unsigned i = 0; i < opts.tenant_vms; ++i) {
-    hv::Vm& vm = hypervisor_->create_vm(opts.vm_mem_bytes);
+    hv::Vm& vm =
+        hypervisor_->create_vm(opts.vm_mem_bytes, 1u << 20, vcpus_per_vm_);
+    // SMP guests run vCPU threads that fault and map concurrently inside one
+    // VM, so the shared EPT (and its mutable walk caches) must serialize.
+    if (vcpus_per_vm_ > 1) vm.ept().set_concurrent(true);
     kernels_.push_back(std::make_unique<guest::GuestKernel>(*hypervisor_, vm));
-    kernels_.back()->scheduler().set_quantum(opts.sched_quantum);
+    kernels_.back()->set_quantum_all(opts.sched_quantum);
   }
   checker_ = std::make_unique<check::CoherenceChecker>(*machine_, *hypervisor_);
   for (unsigned i = 0; i < opts.tenant_vms; ++i) {
@@ -29,20 +34,23 @@ TestBed::TestBed(const TestBedOptions& opts) {
         [this](u32 vm_index) { checker_->audit_vm(vm_index); });
   }
   if (!opts.fault_plan.empty()) {
-    // One injector per tenant: all fault state lives on the tenant's own
+    // One injector per tenant vCPU: all fault state lives on that vCPU's own
     // timeline, so injected schedules replay deterministically even under
     // the worker pool. Every fired fault is chased by a full audit of the
-    // blast-site VM (the FAULT-2 discipline).
-    injectors_.reserve(opts.tenant_vms);
+    // blast-site VM (the FAULT-2 discipline). Layout is tenant-major so
+    // fault_injector(i) keeps naming tenant i's BSP injector.
+    injectors_.reserve(std::size_t{opts.tenant_vms} * vcpus_per_vm_);
     for (unsigned i = 0; i < opts.tenant_vms; ++i) {
-      injectors_.push_back(
-          std::make_unique<sim::fault::FaultInjector>(opts.fault_plan));
       const u32 vm_index = kernels_[i]->vm().id();
-      if (check::kCoherenceAuditsEnabled) {
-        injectors_.back()->set_post_fault_hook(
-            [this, vm_index] { checker_->audit_vm(vm_index); });
+      for (unsigned cpu = 0; cpu < vcpus_per_vm_; ++cpu) {
+        injectors_.push_back(
+            std::make_unique<sim::fault::FaultInjector>(opts.fault_plan));
+        if (check::kCoherenceAuditsEnabled) {
+          injectors_.back()->set_post_fault_hook(
+              [this, vm_index] { checker_->audit_vm(vm_index); });
+        }
+        kernels_[i]->vm().vcpu(cpu).ctx().faults = injectors_.back().get();
       }
-      kernels_[i]->ctx().faults = injectors_.back().get();
     }
   }
 }

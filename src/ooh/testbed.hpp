@@ -26,13 +26,18 @@ struct TestBedOptions {
   u64 host_mem_bytes = 64 * kGiB;
   u64 vm_mem_bytes = 5 * kGiB;
   unsigned tenant_vms = 1;
+  /// vCPUs per tenant VM. 1 (the default) reproduces the paper's
+  /// one-dedicated-vCPU setup bit-identically; >1 builds SMP guests with
+  /// per-vCPU dirty rings and switches each VM's EPT into concurrent mode
+  /// so intra-VM vCPU threads may fault/map simultaneously.
+  unsigned vcpus_per_vm = 1;
   CostModel cost = CostModel::paper_calibrated();
   VirtDuration sched_quantum = secs(1.0);
   /// Fault-injection schedule. Empty (the default) = no injector is wired
   /// at all: runs are bit-identical to a bed without the fault subsystem.
-  /// Non-empty: each tenant gets its own FaultInjector executing this plan
-  /// on its private timeline, with the CoherenceChecker installed as the
-  /// post-fault audit hook.
+  /// Non-empty: each tenant vCPU gets its own FaultInjector executing this
+  /// plan on its private timeline, with the CoherenceChecker installed as
+  /// the post-fault audit hook.
   sim::fault::FaultPlan fault_plan;
 };
 
@@ -77,10 +82,14 @@ class TestBed {
   /// unconditionally from figure drivers without perturbing Release runs.
   void audit();
 
-  /// Tenant i's fault injector, or nullptr when the bed runs fault-free
-  /// (TestBedOptions::fault_plan empty).
-  [[nodiscard]] sim::fault::FaultInjector* fault_injector(unsigned i = 0) noexcept {
-    return i < injectors_.size() ? injectors_[i].get() : nullptr;
+  /// Tenant i / vCPU `cpu`'s fault injector, or nullptr when the bed runs
+  /// fault-free (TestBedOptions::fault_plan empty). Injectors are laid out
+  /// tenant-major, `vcpus_per_vm` per tenant, so the historic single-index
+  /// call fault_injector(i) still names tenant i's BSP injector at N=1.
+  [[nodiscard]] sim::fault::FaultInjector* fault_injector(
+      unsigned i = 0, unsigned cpu = 0) noexcept {
+    const std::size_t idx = std::size_t{i} * vcpus_per_vm_ + cpu;
+    return idx < injectors_.size() ? injectors_[idx].get() : nullptr;
   }
 
  private:
@@ -89,6 +98,7 @@ class TestBed {
   std::vector<std::unique_ptr<guest::GuestKernel>> kernels_;
   std::vector<std::unique_ptr<sim::fault::FaultInjector>> injectors_;
   std::unique_ptr<check::CoherenceChecker> checker_;
+  unsigned vcpus_per_vm_ = 1;
 };
 
 }  // namespace ooh::lib

@@ -91,7 +91,7 @@ void SpmlTracker::do_init() {
 }
 
 std::vector<Gva> SpmlTracker::do_collect() {
-  sim::ExecContext& m = kernel_.ctx();
+  sim::ExecContext& m = kernel_.ctx_of(proc_);
   std::vector<u64> gpas = module_->fetch(proc_);  // GPAs; charges the RB copy
 
   // Deduplicate: a page drained more than once re-logs within the interval.
@@ -171,9 +171,11 @@ u64 EpmlTracker::do_dropped() const {
 
 WpTracker::~WpTracker() {
   if (registered_) {
-    sim::WriteTrackRegistry& track = kernel_.vm().track();
-    track.unregister_notifier(sim::TrackLayer::kEptDirty, this);
-    track.unregister_notifier(sim::TrackLayer::kEptWpFault, this);
+    for (unsigned cpu = 0; cpu < kernel_.vcpu_count(); ++cpu) {
+      sim::WriteTrackRegistry& track = kernel_.vm().track(cpu);
+      track.unregister_notifier(sim::TrackLayer::kEptDirty, this);
+      track.unregister_notifier(sim::TrackLayer::kEptWpFault, this);
+    }
   }
 }
 
@@ -205,7 +207,7 @@ bool WpTracker::on_track(sim::TrackLayer layer, const sim::TrackEvent& ev) {
 }
 
 void WpTracker::protect_pages(const std::vector<Gva>& pages) {
-  sim::ExecContext& m = kernel_.ctx();
+  sim::ExecContext& m = kernel_.ctx_of(proc_);
   sim::Ept& ept = kernel_.vm().ept();
   sim::GuestPageTable& pt = kernel_.page_table(proc_);
   u64 protected_count = 0;
@@ -221,24 +223,29 @@ void WpTracker::protect_pages(const std::vector<Gva>& pages) {
   m.charge_ns(m.cost.dbit_clear_ns * static_cast<double>(protected_count));
   // Cached translations may still claim write permission for the protected
   // pages; without this shootdown their writes would bypass the fault.
-  kernel_.vm().vcpu().tlb().flush_pid(proc_.pid());
+  kernel_.tlb_flush_pid(proc_);
   m.count(Event::kTlbFlush);
   m.charge_us(m.cost.tlb_flush_us);
 }
 
 void WpTracker::do_init() {
-  if (kernel_.ctx().fault_fire(sim::fault::FaultPoint::kWpProtectFail)) {
+  if (kernel_.ctx_of(proc_).fault_fire(sim::fault::FaultPoint::kWpProtectFail)) {
     // Injected failure of the write-protect pass (KVM's page_track rmap
     // allocation returning ENOMEM): degrade before touching any EPT entry.
     throw std::bad_alloc{};
   }
-  sim::WriteTrackRegistry& track = kernel_.vm().track();
-  track.register_notifier(sim::TrackLayer::kEptWpFault, this);
-  track.register_notifier(sim::TrackLayer::kEptDirty, this);
+  // EPT dirty/WP events dispatch on the chain of the vCPU that executed
+  // the write, so listen on every vCPU's chain (each event fires on exactly
+  // one of them).
+  for (unsigned cpu = 0; cpu < kernel_.vcpu_count(); ++cpu) {
+    sim::WriteTrackRegistry& track = kernel_.vm().track(cpu);
+    track.register_notifier(sim::TrackLayer::kEptWpFault, this);
+    track.register_notifier(sim::TrackLayer::kEptDirty, this);
+  }
   registered_ = true;
   // Initial protect pass over everything currently mapped (one ioctl-shaped
   // syscall), like KVM's page_track write-protecting a whole memslot.
-  sim::ExecContext& m = kernel_.ctx();
+  sim::ExecContext& m = kernel_.ctx_of(proc_);
   m.count(Event::kContextSwitch, 2);
   m.charge_us(2 * m.cost.ctx_switch_us);
   std::vector<Gva> present;
@@ -252,7 +259,7 @@ std::vector<Gva> WpTracker::do_collect() {
   pending_.clear();
   // Interval boundary: re-protect the harvested pages so their next write
   // faults (and re-logs) again.
-  sim::ExecContext& m = kernel_.ctx();
+  sim::ExecContext& m = kernel_.ctx_of(proc_);
   m.count(Event::kContextSwitch, 2);
   m.charge_us(2 * m.cost.ctx_switch_us);
   protect_pages(out);
@@ -260,7 +267,7 @@ std::vector<Gva> WpTracker::do_collect() {
 }
 
 void WpTracker::do_shutdown() {
-  sim::ExecContext& m = kernel_.ctx();
+  sim::ExecContext& m = kernel_.ctx_of(proc_);
   sim::Ept& ept = kernel_.vm().ept();
   u64 unprotected = 0;
   for (const Gpa gpa : protected_) {
@@ -272,12 +279,14 @@ void WpTracker::do_shutdown() {
   protected_.clear();
   pending_.clear();
   m.charge_ns(m.cost.dbit_clear_ns * static_cast<double>(unprotected));
-  kernel_.vm().vcpu().tlb().flush_pid(proc_.pid());
+  kernel_.tlb_flush_pid(proc_);
   m.count(Event::kTlbFlush);
   m.charge_us(m.cost.tlb_flush_us);
-  sim::WriteTrackRegistry& track = kernel_.vm().track();
-  track.unregister_notifier(sim::TrackLayer::kEptDirty, this);
-  track.unregister_notifier(sim::TrackLayer::kEptWpFault, this);
+  for (unsigned cpu = 0; cpu < kernel_.vcpu_count(); ++cpu) {
+    sim::WriteTrackRegistry& track = kernel_.vm().track(cpu);
+    track.unregister_notifier(sim::TrackLayer::kEptDirty, this);
+    track.unregister_notifier(sim::TrackLayer::kEptWpFault, this);
+  }
   registered_ = false;
 }
 

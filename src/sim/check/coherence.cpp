@@ -62,6 +62,7 @@ void CoherenceChecker::audit_vm(u32 vm_index) {
   audit_walk_caches(vm);
   audit_guest_tables(vm);
   audit_pml_buffers(vm);
+  audit_rings(vm);
   audit_dirty_accounting(vm);
   audit_registry(vm);
   audit_clock(vm);
@@ -83,22 +84,38 @@ void CoherenceChecker::audit_all() {
 // ---- TLB-* ------------------------------------------------------------------
 
 void CoherenceChecker::audit_tlb(hv::Vm& vm) {
-  const sim::Tlb& tlb = vm.vcpu().tlb();
+  guest::GuestKernel* kernel = kernel_of(vm.id());
+  std::unordered_map<u32, sim::GuestPageTable*> tables;
+  std::unordered_map<u32, u64> masks;  // pid -> mm_cpumask (SHOOT-1)
+  if (kernel != nullptr) {
+    kernel->for_each_process([&](guest::Process& p, sim::GuestPageTable& pt) {
+      tables.emplace(p.pid(), &pt);
+      masks.emplace(p.pid(), p.cpu_mask());
+    });
+  }
+
+  for (unsigned cpu = 0; cpu < vm.vcpu_count(); ++cpu) {
+  const sim::Tlb& tlb = vm.vcpu(cpu).tlb();
   if (tlb.size() > tlb.capacity()) {
     throw InvariantViolation(
         "TLB-4", Layer::kTlb, vm.id(), kNoAddr, kNoAddr,
         "at most " + std::to_string(tlb.capacity()) + " cached translations",
         std::to_string(tlb.size()) + " cached translations");
   }
-  guest::GuestKernel* kernel = kernel_of(vm.id());
-  if (kernel == nullptr) return;  // no guest PT to re-derive against
-
-  std::unordered_map<u32, sim::GuestPageTable*> tables;
-  kernel->for_each_process([&](guest::Process& p, sim::GuestPageTable& pt) {
-    tables.emplace(p.pid(), &pt);
-  });
+  if (kernel == nullptr) continue;  // no guest PT to re-derive against
 
   tlb.for_each([&](u32 pid, Gva gva_page, const sim::TlbEntry& te) {
+    // SHOOT-1: a translation may only be cached on vCPUs in the owning
+    // process's mm_cpumask — an entry outside the mask would be invisible
+    // to every future shootdown.
+    if (const auto mit = masks.find(pid);
+        mit != masks.end() && (mit->second & (u64{1} << cpu)) == 0) {
+      throw InvariantViolation(
+          "SHOOT-1", Layer::kTlb, vm.id(), gva_page, te.gpa_page,
+          "cached translations only on vCPUs in pid " + std::to_string(pid) +
+              "'s mm_cpumask " + hex(mit->second),
+          "entry cached on vCPU " + std::to_string(cpu) + " outside the mask");
+    }
     const auto it = tables.find(pid);
     if (it == tables.end()) {
       throw InvariantViolation("TLB-1", Layer::kTlb, vm.id(), gva_page,
@@ -156,6 +173,7 @@ void CoherenceChecker::audit_tlb(hv::Vm& vm) {
               (epte->dirty ? "1" : "0"));
     }
   });
+  }
 }
 
 // ---- WALK-1 -----------------------------------------------------------------
@@ -188,15 +206,16 @@ void CoherenceChecker::audit_walk_caches(hv::Vm& vm) {
 // ---- PML-* / EPML-* ---------------------------------------------------------
 
 void CoherenceChecker::audit_pml_buffers(hv::Vm& vm) {
-  sim::Vcpu& vcpu = vm.vcpu();
+  for (unsigned cpu = 0; cpu < vm.vcpu_count(); ++cpu) {
+  sim::Vcpu& vcpu = vm.vcpu(cpu);
   const sim::Vmcs& vmcs = vcpu.vmcs();
 
   const Hpa buf = vmcs.read(sim::VmcsField::kPmlAddress);
-  if (buf != vm.pml_buffer) {
+  if (buf != vm.pml_buffer(cpu)) {
     throw InvariantViolation("PML-4", Layer::kPmlBuffer, vm.id(), kNoAddr,
                              kNoAddr,
-                             "VMCS PML_ADDRESS == the VM's recorded buffer " +
-                                 hex(vm.pml_buffer),
+                             "VMCS PML_ADDRESS == vCPU " + std::to_string(cpu) +
+                                 "'s recorded buffer " + hex(vm.pml_buffer(cpu)),
                              "VMCS PML_ADDRESS " + hex(buf));
   }
   if (buf != 0) {
@@ -238,9 +257,9 @@ void CoherenceChecker::audit_pml_buffers(hv::Vm& vm) {
                              "a linked shadow VMCS while ENABLE_GUEST_PML is set",
                              "no shadow VMCS");
   }
-  if (shadow == nullptr) return;
+  if (shadow == nullptr) continue;
   const Hpa gbuf = shadow->read(sim::VmcsField::kGuestPmlAddress);
-  if (gbuf == 0) return;
+  if (gbuf == 0) continue;
   // The stored address is the EPT-translated HPA of a guest-owned frame, so
   // it must still be backed by a present EPT mapping of this VM.
   bool backed = is_page_aligned(gbuf);
@@ -266,48 +285,102 @@ void CoherenceChecker::audit_pml_buffers(hv::Vm& vm) {
                                "logged entry " + hex(e));
     }
   }
+  }
 }
 
 // ---- ACC-* ------------------------------------------------------------------
 
 void CoherenceChecker::audit_dirty_accounting(hv::Vm& vm) {
   // Accounting is only a closed system while the hypervisor is the sole
-  // kPmlDrain consumer: SPML coexistence deliberately multi-routes drained
-  // GPAs and gates logging off while the tracked process is scheduled out,
-  // so flags legally outrun any single consumer's records there.
-  if (!vm.pml_enabled_by_hyp() || vm.pml_enabled_by_guest()) return;
-  if (vm.pml_buffer == 0) return;
-  const sim::Vmcs& vmcs = vm.vcpu().vmcs();
-  // Under the read-logging extension (WSS sampling) the logged transition is
-  // the accessed flag; dirty transitions deliberately do not re-log.
-  const bool wss = vmcs.control(sim::kEnablePmlReadLog);
-
-  const std::vector<u64> entries =
-      read_in_flight("PML-1", Layer::kPmlBuffer, vm.id(), machine_.pmem,
-                     vm.pml_buffer, vmcs.read(sim::VmcsField::kPmlIndex));
-  const std::unordered_set<Gpa> buffered(entries.begin(), entries.end());
-  const std::unordered_set<Gpa>& log = vm.hyp_dirty_log();
-
-  for (const Gpa gpa : buffered) {
-    if (log.count(gpa) != 0) {
-      throw InvariantViolation(
-          "ACC-2", Layer::kDirtyLog, vm.id(), kNoAddr, gpa,
-          "each logged GPA accounted for by exactly one consumer stage",
-          "GPA both in-flight in the PML buffer and in the drained dirty log");
-    }
+  // kPmlDrain consumer on every vCPU: SPML coexistence deliberately
+  // multi-routes drained GPAs and gates logging off while the tracked
+  // process is scheduled out, so flags legally outrun any single consumer's
+  // records there.
+  bool wss = false;
+  for (unsigned cpu = 0; cpu < vm.vcpu_count(); ++cpu) {
+    if (!vm.pml_enabled_by_hyp(cpu) || vm.pml_enabled_by_guest(cpu)) return;
+    if (vm.pml_buffer(cpu) == 0) return;
+    // Under the read-logging extension (WSS sampling) the logged transition
+    // is the accessed flag; dirty transitions deliberately do not re-log.
+    if (vm.vcpu(cpu).vmcs().control(sim::kEnablePmlReadLog)) wss = true;
   }
+
+  // One consumer-record set across all vCPUs: in-flight buffer slots, ring
+  // pending entries, spill logs, and GPAs a concurrent drain already handed
+  // to userspace (their flags reset at the next quiescent harvest).
+  std::unordered_set<Gpa> log;
+  std::unordered_set<Gpa> buffered_all;
+  for (unsigned cpu = 0; cpu < vm.vcpu_count(); ++cpu) {
+    const sim::Vmcs& vmcs = vm.vcpu(cpu).vmcs();
+    const std::vector<u64> entries =
+        read_in_flight("PML-1", Layer::kPmlBuffer, vm.id(), machine_.pmem,
+                       vm.pml_buffer(cpu), vmcs.read(sim::VmcsField::kPmlIndex));
+    const std::unordered_set<Gpa> buffered(entries.begin(), entries.end());
+    const hv::DirtyRing& ring = vm.dirty_ring(cpu);
+    std::unordered_set<Gpa> drained;
+    ring.for_each_pending([&](u64 gpa) { drained.insert(gpa); });
+    for (const u64 gpa : ring.spill_log()) drained.insert(gpa);
+    for (const Gpa gpa : vm.drained_log(cpu)) drained.insert(gpa);
+    for (const Gpa gpa : buffered) {
+      if (drained.count(gpa) != 0) {
+        throw InvariantViolation(
+            "ACC-2", Layer::kDirtyLog, vm.id(), kNoAddr, gpa,
+            "each logged GPA accounted for by exactly one consumer stage",
+            "GPA both in-flight in vCPU " + std::to_string(cpu) +
+                "'s PML buffer and in its drained dirty ring");
+      }
+    }
+    buffered_all.insert(buffered.begin(), buffered.end());
+    log.insert(drained.begin(), drained.end());
+  }
+
   const char* flag_name = wss ? "accessed" : "dirty";
   vm.ept().for_each_present([&](Gpa gpa, sim::EptEntry& e) {
     const bool flagged = wss ? e.accessed : e.dirty;
-    if (flagged && buffered.count(gpa) == 0 && log.count(gpa) == 0) {
+    if (flagged && buffered_all.count(gpa) == 0 && log.count(gpa) == 0) {
       throw InvariantViolation(
           "ACC-1", Layer::kEpt, vm.id(), kNoAddr, gpa,
           std::string("every set EPT ") + flag_name +
               " flag accounted for by a consumer "
-              "(in-flight PML buffer or drained dirty log)",
+              "(in-flight PML buffer or drained dirty ring)",
           std::string("EPT ") + flag_name + " flag set with no consumer record");
     }
   });
+}
+
+// ---- RING-1 -----------------------------------------------------------------
+
+void CoherenceChecker::audit_rings(hv::Vm& vm) {
+  for (unsigned cpu = 0; cpu < vm.vcpu_count(); ++cpu) {
+    const hv::DirtyRing& ring = vm.dirty_ring(cpu);
+    if (!ring.bounds_ok()) {
+      throw InvariantViolation(
+          "RING-1", Layer::kDirtyLog, vm.id(), kNoAddr, kNoAddr,
+          "vCPU " + std::to_string(cpu) + "'s dirty ring with popped <= " +
+              "pushed and pushed - popped <= capacity " +
+              std::to_string(ring.capacity()),
+          "pushed " + std::to_string(ring.pushed()) + ", popped " +
+              std::to_string(ring.popped()));
+    }
+    ring.for_each_pending([&](u64 gpa) {
+      if (!is_page_aligned(gpa) || gpa >= vm.mem_bytes()) {
+        throw InvariantViolation(
+            "RING-1", Layer::kDirtyLog, vm.id(), kNoAddr, gpa,
+            "ring entries 4K-aligned GPAs within the VM's " +
+                hex(vm.mem_bytes()) + "-byte guest-physical space",
+            "pending entry " + hex(gpa));
+      }
+    });
+    for (const u64 gpa : ring.spill_log()) {
+      if (!is_page_aligned(gpa) || gpa >= vm.mem_bytes()) {
+        throw InvariantViolation(
+            "RING-1", Layer::kDirtyLog, vm.id(), kNoAddr, gpa,
+            "spill entries 4K-aligned GPAs within the VM's " +
+                hex(vm.mem_bytes()) + "-byte guest-physical space",
+            "spill entry " + hex(gpa));
+      }
+    }
+  }
 }
 
 // ---- PT-* -------------------------------------------------------------------
@@ -343,7 +416,8 @@ void CoherenceChecker::audit_guest_tables(hv::Vm& vm) {
 // ---- REG-* ------------------------------------------------------------------
 
 void CoherenceChecker::audit_registry(hv::Vm& vm) {
-  const sim::Vcpu& vcpu = vm.vcpu();
+  for (unsigned cpu = 0; cpu < vm.vcpu_count(); ++cpu) {
+  const sim::Vcpu& vcpu = vm.vcpu(cpu);
   const sim::WriteTrackRegistry& reg = vcpu.track_registry();
   for (std::size_t li = 0; li < sim::kTrackLayerCount; ++li) {
     const auto layer = static_cast<sim::TrackLayer>(li);
@@ -407,25 +481,33 @@ void CoherenceChecker::audit_registry(hv::Vm& vm) {
           "duplicate registration");
     }
   });
+  }
 }
 
 // ---- CLK-* ------------------------------------------------------------------
 
 void CoherenceChecker::audit_clock(hv::Vm& vm) {
-  const VirtDuration now = vm.ctx().clock.now();
   std::lock_guard<std::mutex> lock(clock_mu_);
   if (clock_snapshots_.size() <= vm.id()) {
-    clock_snapshots_.resize(vm.id() + 1, VirtDuration{0});
+    clock_snapshots_.resize(vm.id() + 1);
   }
-  VirtDuration& last = clock_snapshots_[vm.id()];
-  if (now < VirtDuration{0} || now < last) {
-    throw InvariantViolation(
-        "CLK-1", Layer::kClock, vm.id(), kNoAddr, kNoAddr,
-        "virtual time monotone (last audit saw " +
-            std::to_string(to_us(last)) + " us)",
-        std::to_string(to_us(now)) + " us");
+  std::vector<VirtDuration>& snaps = clock_snapshots_[vm.id()];
+  if (snaps.size() < vm.vcpu_count()) {
+    snaps.resize(vm.vcpu_count(), VirtDuration{0});
   }
-  last = now;
+  for (unsigned cpu = 0; cpu < vm.vcpu_count(); ++cpu) {
+    const VirtDuration now = vm.vcpu(cpu).ctx().clock.now();
+    VirtDuration& last = snaps[cpu];
+    if (now < VirtDuration{0} || now < last) {
+      throw InvariantViolation(
+          "CLK-1", Layer::kClock, vm.id(), kNoAddr, kNoAddr,
+          "vCPU " + std::to_string(cpu) +
+              "'s virtual time monotone (last audit saw " +
+              std::to_string(to_us(last)) + " us)",
+          std::to_string(to_us(now)) + " us");
+    }
+    last = now;
+  }
 }
 
 // ---- FRAME-* ----------------------------------------------------------------
@@ -460,8 +542,10 @@ void CoherenceChecker::audit_frames() {
     vm.ept().for_each_present([&](Gpa gpa, sim::EptEntry& e) {
       claim(vm.id(), gpa, e.hpa_page, "EPT mapping");
     });
-    if (vm.pml_buffer != 0) {
-      claim(vm.id(), kNoAddr, vm.pml_buffer, "PML buffer");
+    for (unsigned cpu = 0; cpu < vm.vcpu_count(); ++cpu) {
+      if (vm.pml_buffer(cpu) != 0) {
+        claim(vm.id(), kNoAddr, vm.pml_buffer(cpu), "PML buffer");
+      }
     }
   }
   const u64 used = machine_.pmem.used_frames();

@@ -25,6 +25,10 @@
 //   FRAME-*  host frame ownership exclusive per VM; the allocator's used
 //            count equals the frames accounted for by EPT mappings and PML
 //            buffers (leak/double-free detection).
+//   RING-*   per-vCPU dirty rings: popped <= pushed, pushed - popped <=
+//            capacity, pending/spill entries page-aligned and in bounds.
+//   SHOOT-1  cached translations live only on vCPUs in the owning process's
+//            mm_cpumask (else a shootdown could never reach them).
 //   CLK-*    per-vCPU virtual time monotone across audits.
 //   REG-*    notifier registry: no null or duplicate registrations, the
 //            permanent hardware circuits head their chains, per-consumer
@@ -102,6 +106,7 @@ class CoherenceChecker {
   void audit_tlb(hv::Vm& vm);
   void audit_walk_caches(hv::Vm& vm);
   void audit_pml_buffers(hv::Vm& vm);
+  void audit_rings(hv::Vm& vm);
   void audit_dirty_accounting(hv::Vm& vm);
   void audit_guest_tables(hv::Vm& vm);
   void audit_registry(hv::Vm& vm);
@@ -114,10 +119,10 @@ class CoherenceChecker {
   sim::Machine& machine_;
   hv::Hypervisor& hypervisor_;
   std::vector<guest::GuestKernel*> kernels_;  // indexed by VM id
-  // Last-seen virtual time per VM, for the monotonicity audit. Guarded: the
-  // vector may grow lazily while tenants audit concurrently.
+  // Last-seen virtual time per VM and vCPU, for the monotonicity audit.
+  // Guarded: the vectors may grow lazily while tenants audit concurrently.
   mutable std::mutex clock_mu_;
-  std::vector<VirtDuration> clock_snapshots_;
+  std::vector<std::vector<VirtDuration>> clock_snapshots_;
   std::atomic<u64> audits_run_{0};
 };
 

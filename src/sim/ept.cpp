@@ -6,6 +6,7 @@ namespace ooh::sim {
 
 void Ept::map(Gpa gpa_page, Hpa hpa_page, bool writable) {
   assert(is_page_aligned(gpa_page) && is_page_aligned(hpa_page));
+  const auto lock = lock_if_concurrent();
   EptEntry& e = table_.ensure(gpa_page);
   if (!e.present) ++present_pages_;
   e = EptEntry{};
@@ -15,6 +16,7 @@ void Ept::map(Gpa gpa_page, Hpa hpa_page, bool writable) {
 }
 
 void Ept::unmap(Gpa gpa_page) {
+  const auto lock = lock_if_concurrent();
   EptEntry* e = table_.find(page_floor(gpa_page));
   if (e != nullptr && e->present) {
     *e = EptEntry{};

@@ -3,7 +3,18 @@
 // Intel PML's trigger point lives here: a write that sets an EPT entry's
 // dirty flag during the nested walk logs the GPA to the PML buffer
 // (SDM Vol. 3C, "Page-Modification Logging").
+//
+// Concurrency: the EPT is the one table N vCPUs of an SMP guest share. In
+// the default single-threaded mode every access is lock-free (and the
+// RadixTable4 MRU walk cache stays hot). set_concurrent(true) — flipped at a
+// quiescent point before vCPU threads start — serializes every table access
+// behind one mutex, which also covers the walk cache. Returned entry
+// pointers stay valid across unlock (leaves are never freed); concurrent
+// flag updates are safe as long as vCPUs touch *distinct* entries, which
+// disjoint per-process GPA ranges guarantee.
 #pragma once
+
+#include <mutex>
 
 #include "base/types.hpp"
 #include "sim/radix.hpp"
@@ -25,8 +36,12 @@ class Ept {
   void map(Gpa gpa_page, Hpa hpa_page, bool writable = true);
   void unmap(Gpa gpa_page);
 
-  [[nodiscard]] EptEntry* entry(Gpa gpa) noexcept { return table_.find(page_floor(gpa)); }
+  [[nodiscard]] EptEntry* entry(Gpa gpa) noexcept {
+    const auto lock = lock_if_concurrent();
+    return table_.find(page_floor(gpa));
+  }
   [[nodiscard]] const EptEntry* entry(Gpa gpa) const noexcept {
+    const auto lock = lock_if_concurrent();
     return table_.find(page_floor(gpa));
   }
 
@@ -36,6 +51,7 @@ class Ept {
   /// Visit every present entry as fn(gpa_page, EptEntry&).
   template <typename Fn>
   void for_each_present(Fn&& fn) {
+    const auto lock = lock_if_concurrent();
     table_.for_each([&](u64 addr, EptEntry& e) {
       if (e.present) fn(addr, e);
     });
@@ -43,9 +59,20 @@ class Ept {
 
   [[nodiscard]] u64 present_pages() const noexcept { return present_pages_; }
 
+  /// Enter/leave intra-VM concurrent mode. Only call at quiescent points
+  /// (no vCPU thread running); with `on`, every table access serializes
+  /// behind an internal mutex. Off (the default) is the zero-overhead
+  /// single-timeline mode — N=1 behaviour is unchanged.
+  void set_concurrent(bool on) noexcept { concurrent_ = on; }
+  [[nodiscard]] bool concurrent() const noexcept { return concurrent_; }
+
   // ---- paging-structure walk cache (see RadixTable4) -------------------------
-  void invalidate_walk_cache() const noexcept { table_.invalidate_walk_cache(); }
+  void invalidate_walk_cache() const noexcept {
+    const auto lock = lock_if_concurrent();
+    table_.invalidate_walk_cache();
+  }
   [[nodiscard]] bool walk_cache_coherent() const noexcept {
+    const auto lock = lock_if_concurrent();
     return table_.walk_cache_coherent();
   }
   /// Test-only: corrupt the walk cache so WALK-1 mutation tests can prove
@@ -53,8 +80,15 @@ class Ept {
   void debug_skew_walk_cache() noexcept { table_.debug_skew_walk_cache(); }
 
  private:
+  [[nodiscard]] std::unique_lock<std::mutex> lock_if_concurrent() const {
+    return concurrent_ ? std::unique_lock<std::mutex>(mu_)
+                       : std::unique_lock<std::mutex>();
+  }
+
   RadixTable4<EptEntry> table_;
   u64 present_pages_ = 0;
+  bool concurrent_ = false;
+  mutable std::mutex mu_;
 };
 
 }  // namespace ooh::sim

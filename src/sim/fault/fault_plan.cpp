@@ -8,7 +8,7 @@ namespace {
 constexpr std::array<std::string_view, kFaultPointCount> kPointNames = {
     "pml_force_full",     "epml_force_full", "self_ipi_suppress",
     "gpa_alloc_fail",     "frame_alloc_fail", "wp_protect_fail",
-    "migration_send_fail",
+    "migration_send_fail", "dirty_ring_full",
 };
 
 /// SplitMix64 (Steele et al.): tiny, full-period, and identical on every
@@ -50,6 +50,8 @@ FaultPlan FaultPlan::from_seed(u64 seed) {
   plan.add({FaultPoint::kWpProtectFail, 0, 0, 1, 0});
   plan.add({FaultPoint::kMigrationSendFail, rng.range(0, 3), rng.range(2, 6),
             rng.range(1, 2), 0});
+  plan.add({FaultPoint::kDirtyRingFull, rng.range(0, 200), rng.range(50, 300),
+            rng.range(1, 4), 0});
   return plan;
 }
 

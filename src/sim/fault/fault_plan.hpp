@@ -32,6 +32,7 @@ enum class FaultPoint : std::size_t {
   kFrameAllocFail,      ///< host frame allocation for the PML buffer throws.
   kWpProtectFail,       ///< wp tracker's initial write-protect pass fails.
   kMigrationSendFail,   ///< one migration send_pages call fails (retry/backoff).
+  kDirtyRingFull,       ///< per-vCPU dirty ring reports full; entry takes the spill path.
   kCount
 };
 

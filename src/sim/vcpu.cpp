@@ -7,7 +7,8 @@
 
 namespace ooh::sim {
 
-Vcpu::Vcpu(Machine& machine, u32 id) : ctx_(machine.create_context()), id_(id) {
+Vcpu::Vcpu(Machine& machine, u32 vm_id, u32 cpu_index)
+    : ctx_(machine.create_context()), id_(vm_id), cpu_index_(cpu_index) {
   // The hardware logging circuits are permanent chain members, first in
   // dispatch order; each checks its own VMCS arming per event, so an
   // unconfigured circuit is a no-op exactly like the un-enabled hardware.

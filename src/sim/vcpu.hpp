@@ -25,9 +25,17 @@ enum class CpuMode { kVmxRoot, kVmxNonRoot };
 
 class Vcpu {
  public:
-  Vcpu(Machine& machine, u32 id);
+  /// `vm_id` names the owning VM (the hypervisor routes exits by it);
+  /// `cpu_index` is this vCPU's seat inside that VM (0 = the BSP).
+  Vcpu(Machine& machine, u32 vm_id, u32 cpu_index = 0);
 
+  /// Identifier of the owning VM (historically "the vCPU id" when every VM
+  /// had exactly one vCPU; kept as the exit-routing key).
   [[nodiscard]] u32 id() const noexcept { return id_; }
+  [[nodiscard]] u32 vm_id() const noexcept { return id_; }
+  /// Seat inside the VM: index into Vm::vcpu(i) and the mm_cpumask bit this
+  /// vCPU occupies in the guest's shootdown protocol.
+  [[nodiscard]] u32 cpu_index() const noexcept { return cpu_index_; }
   [[nodiscard]] CpuMode mode() const noexcept { return mode_; }
 
   /// This vCPU's private execution context (clock, counters, TLB).
@@ -108,6 +116,7 @@ class Vcpu {
 
   ExecContext& ctx_;
   u32 id_;
+  u32 cpu_index_;
   CpuMode mode_ = CpuMode::kVmxNonRoot;
   Vmcs vmcs_{false};
   std::unique_ptr<Vmcs> shadow_;

@@ -185,29 +185,29 @@ TEST_F(CoherenceMutationTest, DetectsPmlIndexOutOfBounds) {
 TEST_F(CoherenceMutationTest, DetectsMisalignedPmlEntry) {
   hv_.enable_pml_for_hyp(vm_);
   vm_.vcpu().vmcs().write(sim::VmcsField::kPmlIndex, 510);
-  machine_.pmem.write_u64(vm_.pml_buffer + 511 * 8, 0x1234);  // not 4K-aligned
+  machine_.pmem.write_u64(vm_.pml_buffer() + 511 * 8, 0x1234);  // not 4K-aligned
   expect_violation([&] { checker_.audit_pml_buffers(vm_); }, "PML-2");
 }
 
 TEST_F(CoherenceMutationTest, DetectsOutOfRangePmlEntry) {
   hv_.enable_pml_for_hyp(vm_);
   vm_.vcpu().vmcs().write(sim::VmcsField::kPmlIndex, 510);
-  machine_.pmem.write_u64(vm_.pml_buffer + 511 * 8, vm_.mem_bytes() + kPageSize);
+  machine_.pmem.write_u64(vm_.pml_buffer() + 511 * 8, vm_.mem_bytes() + kPageSize);
   expect_violation([&] { checker_.audit_pml_buffers(vm_); }, "PML-2");
 }
 
 TEST_F(CoherenceMutationTest, DetectsDuplicatePmlEntries) {
   hv_.enable_pml_for_hyp(vm_);
   vm_.vcpu().vmcs().write(sim::VmcsField::kPmlIndex, 509);
-  machine_.pmem.write_u64(vm_.pml_buffer + 510 * 8, 0x5000);
-  machine_.pmem.write_u64(vm_.pml_buffer + 511 * 8, 0x5000);
+  machine_.pmem.write_u64(vm_.pml_buffer() + 510 * 8, 0x5000);
+  machine_.pmem.write_u64(vm_.pml_buffer() + 511 * 8, 0x5000);
   expect_violation([&] { checker_.audit_pml_buffers(vm_); }, "PML-3");
 }
 
 TEST_F(CoherenceMutationTest, DetectsVmcsBufferAddressMismatch) {
   hv_.enable_pml_for_hyp(vm_);
   vm_.vcpu().vmcs().write(sim::VmcsField::kPmlAddress,
-                          vm_.pml_buffer + kPageSize);
+                          vm_.pml_buffer() + kPageSize);
   expect_violation([&] { checker_.audit_pml_buffers(vm_); }, "PML-4");
 }
 
@@ -254,10 +254,10 @@ TEST_F(CoherenceMutationTest, DetectsDoubleAccountedGpa) {
   const Gpa gpa = kernel_.page_table(*proc).pte(base)->gpa_page;
   hv_.enable_pml_for_hyp(vm_);
   // The same GPA both in flight in the buffer and already drained to the
-  // dirty log: one write accounted twice.
-  vm_.hyp_dirty_log().insert(gpa);
+  // dirty ring: one write accounted twice.
+  vm_.dirty_ring().spill(gpa);
   vm_.vcpu().vmcs().write(sim::VmcsField::kPmlIndex, 510);
-  machine_.pmem.write_u64(vm_.pml_buffer + 511 * 8, gpa);
+  machine_.pmem.write_u64(vm_.pml_buffer() + 511 * 8, gpa);
   expect_violation([&] { checker_.audit_dirty_accounting(vm_); }, "ACC-2");
 }
 

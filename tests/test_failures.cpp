@@ -155,7 +155,7 @@ TEST(Failures, MistargetedSelfIpiIsHarmless) {
   guest::OohModule& mod = k.load_ooh_module(guest::OohMode::kEpml);
   mod.track(proc);
   // Deliver a spurious buffer-full IPI with no tracked process scheduled.
-  mod.handle_guest_pml_full();
+  mod.handle_guest_pml_full(0);
   mod.untrack(proc);
 }
 

@@ -120,7 +120,8 @@ TEST_F(HypervisorTest, GuestOnlyLoggingDoesNotFillHypervisorLog) {
   vm.vcpu().hypercall(sim::Hypercall::kOohEnableLogging);
   g.write(0x10000);
   vm.vcpu().hypercall(sim::Hypercall::kOohDisableLogging, kPageSize);
-  EXPECT_TRUE(vm.hyp_dirty_log().empty());
+  EXPECT_TRUE(vm.dirty_ring().empty());
+  EXPECT_EQ(vm.dirty_ring().spill_size(), 0u);
 }
 
 TEST_F(HypervisorTest, HypOnlyLoggingDoesNotFillGuestRing) {
