@@ -75,9 +75,11 @@ struct FleetResult {
 };
 
 inline FleetResult run_boehm_fleet(unsigned vms, u64 scale, lib::Technique tech,
-                                   unsigned workers) {
+                                   unsigned workers,
+                                   GranMode gran = GranMode::k4K) {
   lib::TestBedOptions opts;
   opts.tenant_vms = vms;
+  apply_gran(opts, gran);
   lib::TestBed bed(opts);
   FleetResult out;
   out.runs.resize(vms);

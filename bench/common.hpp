@@ -22,6 +22,7 @@
 #include "ooh/experiment.hpp"
 #include "ooh/testbed.hpp"
 #include "ooh/trackers.hpp"
+#include "run_setup.hpp"
 
 namespace ooh::bench {
 
@@ -34,6 +35,9 @@ struct Args {
   /// Max vCPUs per VM for the SMP sections of figs. 10-11 (0 = default
   /// sweep 1,2,4).
   unsigned vcpus = 0;
+  /// --gran: EPT backing granularity for the figs. 10-11 gran sections
+  /// (4k | 2m | 2m+split). Default 4k keeps every figure byte-identical.
+  GranMode gran = GranMode::k4K;
 
   static Args parse(int argc, char** argv, u64 default_scale = 32) {
     Args a;
@@ -46,6 +50,8 @@ struct Args {
         a.threads = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
       } else if (std::strcmp(argv[i], "--vcpus") == 0 && i + 1 < argc) {
         a.vcpus = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+      } else if (std::strcmp(argv[i], "--gran") == 0 && i + 1 < argc) {
+        if (const auto m = parse_gran_mode(argv[++i])) a.gran = *m;
       }
     }
     return a;
@@ -93,18 +99,16 @@ inline MicroRun run_micro(std::optional<lib::Technique> tech, u64 mem_bytes,
     };
   };
   // Ideal first.
-  lib::TestBedOptions opts;
-  opts.vm_mem_bytes = std::max<u64>(mem_bytes * 2, 64 * kMiB);
-  opts.host_mem_bytes = opts.vm_mem_bytes + 2 * kGiB;
+  const lib::TestBedOptions opts = sized_bed_options(mem_bytes);
 
   MicroRun out;
   VirtDuration ideal{0};
   {
     lib::TestBed bed(opts);
     auto& k = bed.kernel();
-    auto& proc = k.create_process();
-    const Gva base = proc.mmap(mem_bytes);
-    for (u64 i = 0; i < pages; ++i) proc.touch_write(base + i * kPageSize);
+    const PreparedProcess pp = prepare_process(k, mem_bytes);
+    auto& proc = *pp.proc;
+    const Gva base = pp.base;
     lib::RunOptions ro;
     ro.collect_period = VirtDuration{0};
     auto body = work(base);
@@ -125,9 +129,9 @@ inline MicroRun run_micro(std::optional<lib::Technique> tech, u64 mem_bytes,
 
   lib::TestBed bed(opts);
   auto& k = bed.kernel();
-  auto& proc = k.create_process();
-  const Gva base = proc.mmap(mem_bytes);
-  for (u64 i = 0; i < pages; ++i) proc.touch_write(base + i * kPageSize);
+  const PreparedProcess pp = prepare_process(k, mem_bytes);
+  auto& proc = *pp.proc;
+  const Gva base = pp.base;
   auto tracker = lib::make_tracker(*tech, k, proc);
   lib::RunOptions ro;
   ro.collect_period = ideal * 0.75;
@@ -164,12 +168,12 @@ struct SmpDrainResult {
 };
 
 inline SmpDrainResult run_smp_drain(unsigned vcpus, u64 pages_per_vcpu,
-                                    int passes, bool concurrent) {
-  lib::TestBedOptions opts;
-  opts.vm_mem_bytes =
-      std::max<u64>(u64{vcpus} * pages_per_vcpu * kPageSize * 4, 64 * kMiB);
-  opts.host_mem_bytes = opts.vm_mem_bytes + kGiB;
+                                    int passes, bool concurrent,
+                                    GranMode gran = GranMode::k4K) {
+  lib::TestBedOptions opts =
+      sized_bed_options(u64{vcpus} * pages_per_vcpu * kPageSize * 2);
   opts.vcpus_per_vm = vcpus;
+  apply_gran(opts, gran);
   lib::TestBed bed(opts);
   hv::Vm& vm = bed.vm();
   guest::GuestKernel& k = bed.kernel();

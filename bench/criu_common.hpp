@@ -19,16 +19,15 @@ inline CriuRun run_criu(std::string_view app, wl::ConfigSize size, u64 scale,
   {
     lib::TestBed bed;
     auto& k = bed.kernel();
-    auto& proc = k.create_process();
-    auto w = wl::make_workload(app, size, scale);
-    w->setup(proc);
-    out.ideal_us = lib::run_baseline(k, proc, w->runner()).tracked_time.count();
+    const WorkloadRun wr = prepare_workload(k, app, size, scale);
+    out.ideal_us =
+        lib::run_baseline(k, *wr.proc, wr.workload->runner()).tracked_time.count();
   }
   lib::TestBed bed;
   auto& k = bed.kernel();
-  auto& proc = k.create_process();
-  auto w = wl::make_workload(app, size, scale);
-  w->setup(proc);
+  const WorkloadRun wr = prepare_workload(k, app, size, scale);
+  auto& proc = *wr.proc;
+  auto& w = wr.workload;
   criu::Checkpointer cp(k, tech);
   criu::CheckpointOptions opts;
   opts.initial_full_copy = true;

@@ -24,8 +24,10 @@ int main(int argc, char** argv) {
   TextTable t({"VMs + technique", "min GC (ms)", "max GC (ms)", "spread (%)", "wall (ms)"});
   for (unsigned vms = 1; vms <= 5; ++vms) {
     for (const lib::Technique tech :
-         {lib::Technique::kSpml, lib::Technique::kEpml, lib::Technique::kWp}) {
-      const bench::FleetResult fleet = bench::run_boehm_fleet(vms, args.scale, tech, threads);
+         {lib::Technique::kSpml, lib::Technique::kEpml, lib::Technique::kWp,
+          lib::Technique::kSeg}) {
+      const bench::FleetResult fleet =
+          bench::run_boehm_fleet(vms, args.scale, tech, threads, args.gran);
       double min_gc = 1e300, max_gc = 0.0;
       for (const bench::BoehmRun& r : fleet.runs) {
         min_gc = std::min(min_gc, r.gc_total_us);
@@ -75,5 +77,25 @@ int main(int argc, char** argv) {
               "Per-vCPU virtual time is bit-identical serial vs. concurrent; the\n"
               "wall-clock columns depend on host cores (%u here).\n",
               lib::TestBed::default_workers());
+
+  // EPT granularity axis: the same 2-vCPU PML session with 4K leaves, 2M
+  // PS-bit leaves kept during logging, and 2M leaves eagerly split at
+  // session start. 2M logging harvests a dirty superset (each PML entry
+  // names a 2 MiB region); eager splitting restores 4K precision for a
+  // one-off split cost at enable time. (--gran also runs the fleet table
+  // above in one of these modes.)
+  std::printf("\nEPT backing granularity: dirty precision vs. split cost\n");
+  TextTable g({"gran", "virt/vCPU (ms)", "harvested", "wall (ms)"});
+  for (const bench::GranMode m :
+       {bench::GranMode::k4K, bench::GranMode::k2M,
+        bench::GranMode::k2MEagerSplit}) {
+    const bench::SmpDrainResult r =
+        bench::run_smp_drain(2, smp_pages, smp_passes, false, m);
+    g.add_row(bench::gran_mode_name(m),
+              {r.max_vcpu_ms, static_cast<double>(r.harvested), r.wall_ms}, 2);
+  }
+  g.print(std::cout);
+  std::printf("Shape check: 4K and 2M+split harvest identical page-precise dirty\n"
+              "sets; plain 2M harvests a superset (whole huge regions).\n");
   return 0;
 }

@@ -162,6 +162,46 @@ void BM_MmuWriteWpFault(benchmark::State& state) {
 }
 BENCHMARK(BM_MmuWriteWpFault);
 
+void BM_MmuWalk2MLeaves(benchmark::State& state) {
+  // Cold walk resolved entirely through PS-bit leaves: one 2 MiB guest leaf
+  // over one 2 MiB EPT leaf. The walk is two find_leaf probes instead of
+  // two 4-level descents; the TLB fill caches the whole region.
+  MmuFixture f;
+  const Gva gva_base = 64 * kMiB;
+  const Gpa gpa_base = 512 * kMiB;
+  f.pt.map_huge(gva_base, gpa_base, PageGran::k2M, /*writable=*/true);
+  const Hpa run = f.machine.pmem.alloc_frames_contiguous(gran_pages(PageGran::k2M));
+  f.vm.ept().map_huge(gpa_base, run, PageGran::k2M, /*writable=*/true);
+  u64 i = 0;
+  AllocCounter allocs(state);
+  for (auto _ : state) {
+    f.vm.vcpu().tlb().flush_all();
+    benchmark::DoNotOptimize(
+        f.mmu.access(1, f.pt, gva_base + (i++ % 512) * kPageSize, true));
+  }
+}
+BENCHMARK(BM_MmuWalk2MLeaves);
+
+void BM_EptEagerSplit2M(benchmark::State& state) {
+  // One 2 MiB leaf shattered into 512 4 KiB children — the per-leaf host
+  // cost KVM-style eager page splitting pays when dirty logging starts.
+  // The leaf is rebuilt off-clock so each iteration splits fresh.
+  sim::Ept ept;
+  const Gpa base = 512 * kMiB;
+  const Hpa run = 64 * kMiB;  // alignment is all map_huge checks
+  ept.map_huge(base, run, PageGran::k2M, /*writable=*/true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ept.split_huge_leaf(base, PageGran::k2M));
+    state.PauseTiming();
+    for (u64 i = 0; i < gran_pages(PageGran::k2M); ++i) {
+      ept.unmap(base + i * kPageSize);
+    }
+    ept.map_huge(base, run, PageGran::k2M, /*writable=*/true);
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_EptEagerSplit2M)->Unit(benchmark::kMicrosecond);
+
 // Every guest write funnels through WriteTrackRegistry::dispatch, so its
 // per-event overhead must stay at a few ns even with several consumers.
 struct NullNotifier final : sim::PageTrackNotifier {

@@ -74,6 +74,7 @@ CostModel CostModel::unit() {
   m.spp_violation_us = 1.0;
   m.hc_spp_protect_us = 1.0;
   m.swap_in_page_us = 1.0;
+  m.ept_split_leaf_us = 1.0;
   // Flat size-dependent metrics: totals of 1us regardless of size, so tests
   // can predict exact clock values from event counts.
   m.m5_pfh_kernel = flat(1.0);

@@ -58,6 +58,11 @@ struct CostModel {
   double spp_violation_us = 2.5;   ///< SPP-violation exit + virtual #PF injection.
   double swap_in_page_us = 5.0;    ///< major fault: read one page from swap.
   double hc_spp_protect_us = 1.2;  ///< hypercall installing one sub-page mask.
+  /// Eager page splitting: shattering one huge EPT leaf into 512 children
+  /// (allocate a page-table page, fill 512 entries, one INVEPT amortised by
+  /// the session-start flush). KVM's tdp_mmu split path is a low-single-
+  /// digit-microsecond operation per 2 MiB leaf.
+  double ept_split_leaf_us = 2.0;
 
   // ---- Table V(b): size-dependent totals, x = tracked bytes, y = us -------
   LogLogInterp m5_pfh_kernel;      ///< kernel-space #PF handling, total per full pass.

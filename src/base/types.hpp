@@ -28,10 +28,69 @@ inline constexpr u64 kPageSize = u64{1} << kPageShift;   // 4 KiB
 inline constexpr u64 kPageOffsetMask = kPageSize - 1;
 inline constexpr u64 kPageMask = ~kPageOffsetMask;
 
+/// Translation granularities of the x86-64 paging hierarchy: a leaf may sit
+/// at the bottom level (4 KiB) or, PS-bit style, one or two levels up
+/// (2 MiB / 1 GiB). The numeric value is the number of 9-bit radix levels
+/// the leaf absorbs, so every helper below is a shift away from its 4 KiB
+/// counterpart.
+enum class PageGran : u8 { k4K = 0, k2M = 1, k1G = 2 };
+
+[[nodiscard]] constexpr u64 gran_shift(PageGran g) noexcept {
+  return kPageShift + u64{9} * static_cast<u64>(g);
+}
+[[nodiscard]] constexpr u64 gran_size(PageGran g) noexcept {
+  return u64{1} << gran_shift(g);
+}
+[[nodiscard]] constexpr u64 gran_offset_mask(PageGran g) noexcept {
+  return gran_size(g) - 1;
+}
+[[nodiscard]] constexpr u64 gran_mask(PageGran g) noexcept {
+  return ~gran_offset_mask(g);
+}
+[[nodiscard]] constexpr u64 gran_floor(u64 addr, PageGran g) noexcept {
+  return addr & gran_mask(g);
+}
+[[nodiscard]] constexpr u64 gran_index(u64 addr, PageGran g) noexcept {
+  return addr >> gran_shift(g);
+}
+[[nodiscard]] constexpr u64 gran_offset(u64 addr, PageGran g) noexcept {
+  return addr & gran_offset_mask(g);
+}
+/// 4 KiB pages covered by one leaf of granularity `g` (1, 512, 512^2).
+[[nodiscard]] constexpr u64 gran_pages(PageGran g) noexcept {
+  return u64{1} << (gran_shift(g) - kPageShift);
+}
+[[nodiscard]] constexpr bool is_gran_aligned(u64 addr, PageGran g) noexcept {
+  return gran_offset(addr, g) == 0;
+}
+/// Overflow-safe round-up: saturates at the topmost `g`-aligned boundary
+/// instead of wrapping when `addr` is within one granule of UINT64_MAX.
+[[nodiscard]] constexpr u64 gran_ceil(u64 addr, PageGran g) noexcept {
+  const u64 f = gran_floor(addr, g);
+  return (f == addr || f == gran_mask(g)) ? f : f + gran_size(g);
+}
+[[nodiscard]] constexpr const char* gran_name(PageGran g) noexcept {
+  return g == PageGran::k4K ? "4K" : (g == PageGran::k2M ? "2M" : "1G");
+}
+
 /// Number of 8-byte PML entries in one 4KiB PML buffer (SDM: 512).
 inline constexpr u16 kPmlBufferEntries = 512;
 /// Initial value of the PML index guest-state field (SDM: counts down).
 inline constexpr u16 kPmlIndexStart = 511;
+
+/// PML buffer entries are granularity-aligned bases, so their low bits are
+/// free: the logging circuit tags each entry with the mapped granularity in
+/// bits 1:0 (0 = 4K, so all-4K configurations log bit-identical entries).
+inline constexpr u64 kPmlEntryGranMask = 0x3;
+[[nodiscard]] constexpr u64 pml_entry_encode(u64 base, PageGran g) noexcept {
+  return base | static_cast<u64>(g);
+}
+[[nodiscard]] constexpr u64 pml_entry_base(u64 entry) noexcept {
+  return entry & ~kPmlEntryGranMask;
+}
+[[nodiscard]] constexpr PageGran pml_entry_gran(u64 entry) noexcept {
+  return static_cast<PageGran>(entry & kPmlEntryGranMask);
+}
 
 inline constexpr u64 kKiB = u64{1} << 10;
 inline constexpr u64 kMiB = u64{1} << 20;
@@ -39,7 +98,9 @@ inline constexpr u64 kGiB = u64{1} << 30;
 
 [[nodiscard]] constexpr u64 page_floor(u64 addr) noexcept { return addr & kPageMask; }
 [[nodiscard]] constexpr u64 page_ceil(u64 addr) noexcept {
-  return (addr + kPageSize - 1) & kPageMask;
+  // Not `(addr + kPageSize - 1) & kPageMask`: that wraps to 0 for addresses
+  // within one page of UINT64_MAX. Saturate at the topmost page boundary.
+  return gran_ceil(addr, PageGran::k4K);
 }
 [[nodiscard]] constexpr u64 page_index(u64 addr) noexcept { return addr >> kPageShift; }
 [[nodiscard]] constexpr u64 page_offset(u64 addr) noexcept { return addr & kPageOffsetMask; }

@@ -221,11 +221,12 @@ void GuestKernel::touch_run(Process& proc, Gva base, u64 stride, u64 n,
 }
 
 Gpa GuestKernel::translate_gva(Process& proc, Gva gva_page) {
-  // Fault the page in if needed, then read the translation from the PTE.
+  // Fault the page in if needed, then read the translation from the walk
+  // seam (per-4 KiB GPA even when a huge leaf covers the page).
   (void)access(proc, gva_page, /*is_write=*/false);
-  const sim::Pte* pte = page_table(proc).pte(gva_page);
-  assert(pte != nullptr && pte->present);
-  return pte->gpa_page;
+  const sim::GuestPageTable::Lookup lu = page_table(proc).lookup(gva_page);
+  assert(lu.pte != nullptr && lu.pte->present);
+  return lu.gpa_page;
 }
 
 void GuestKernel::spp_protect(Process& proc, Gva gva_page, u32 write_mask) {
@@ -241,9 +242,10 @@ void GuestKernel::spp_clear(Process& proc, Gva gva_page) {
 }
 
 u32 GuestKernel::spp_mask_of(Process& proc, Gva gva_page) {
-  const sim::Pte* pte = page_table(proc).pte(page_floor(gva_page));
-  if (pte == nullptr || !pte->present) return sim::kSppAllWritable;
-  return vm_.spp_table().mask(pte->gpa_page);
+  const sim::GuestPageTable::Lookup lu =
+      page_table(proc).lookup(page_floor(gva_page));
+  if (lu.pte == nullptr || !lu.pte->present) return sim::kSppAllWritable;
+  return vm_.spp_table().mask(lu.gpa_page);
 }
 
 void GuestKernel::set_spp_handler(Process& proc, SppHandler handler) {
@@ -314,8 +316,8 @@ void GuestKernel::handle_not_present(Process& proc, Gva gva, bool /*is_write*/) 
 void GuestKernel::handle_not_writable(Process& proc, Gva gva) {
   const Gva page = page_floor(gva);
   sim::GuestPageTable& pt = page_table(proc);
-  sim::Pte* pte = pt.pte(page);
-  assert(pte != nullptr && pte->present);
+  const sim::GuestPageTable::Lookup lu = pt.lookup(page);
+  assert(lu.pte != nullptr && lu.pte->present);
   Vma* vma = proc.vma_of(gva);
   if (vma == nullptr || !vma->writable) throw GuestSegfault(gva);
 
@@ -324,7 +326,7 @@ void GuestKernel::handle_not_writable(Process& proc, Gva gva) {
   // is raised — and handled — on the process's own vCPU.
   if (!vm_.track(proc.cpu()).dispatch(
           sim::TrackLayer::kGuestWpFault,
-          {&vcpu_of(proc), proc.pid(), page, pte->gpa_page})) {
+          {&vcpu_of(proc), proc.pid(), page, lu.gpa_page})) {
     throw std::logic_error("guest write-protect fault with no handler");
   }
 }

@@ -193,17 +193,26 @@ void OohModule::epml_drain_guest_buffer(Tracked& t, unsigned cpu) {
   // Walk from slot 511 downward: logging order (the index counts down).
   const u64 first_slot = kPmlBufferEntries - count;
   for (u64 slot = kPmlBufferEntries; slot-- > first_slot;) {
-    const Gva gva_page = m.pmem.read_u64(buf_hpa + slot * 8);
+    const u64 entry = m.pmem.read_u64(buf_hpa + slot * 8);
     m.charge_ns(m.cost.drain_entry_ns);
-    // Re-validate against the page table: the page may have been swapped
-    // out or unmapped after the write was logged. A stale GVA must not
-    // reach userspace — the address may already belong to a new mapping.
-    if (const sim::Pte* pte = pt.pte(gva_page); pte == nullptr || !pte->present) {
-      m.count(Event::kEpmlStaleEntryDropped);
-      continue;
+    // A gran-tagged entry (the guest mapped this region with a PS-bit leaf)
+    // expands to every 4 KiB page it covers; a 4K entry (gran code 0) takes
+    // the loop exactly once with base == entry, as before.
+    const Gva base = pml_entry_base(entry);
+    const PageGran gran = pml_entry_gran(entry);
+    for (u64 i = 0; i < gran_pages(gran); ++i) {
+      const Gva gva_page = base + i * kPageSize;
+      // Re-validate against the page table: the page may have been swapped
+      // out or unmapped after the write was logged. A stale GVA must not
+      // reach userspace — the address may already belong to a new mapping.
+      if (const sim::Pte* pte = pt.pte(gva_page);
+          pte == nullptr || !pte->present) {
+        m.count(Event::kEpmlStaleEntryDropped);
+        continue;
+      }
+      t.ring->push(gva_page);
+      m.count(Event::kRingBufCopyEntry);
     }
-    t.ring->push(gva_page);
-    m.count(Event::kRingBufCopyEntry);
   }
   if (mid_drain_hook_) {
     // Test seam: runs exactly once, in the window where the slots have been

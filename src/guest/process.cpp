@@ -32,13 +32,24 @@ void Process::munmap(Gva base) {
     // Anonymous memory: the guest frame is freed (and later recycled into
     // other mappings), and the hypervisor's stale EPT entry is zapped so
     // the recycled frame starts with fresh accessed/dirty state.
-    if (const sim::Pte* pte = pt.pte(page); pte != nullptr && pte->present) {
+    if (const sim::GuestPageTable::Lookup lu = pt.lookup(page);
+        lu.pte != nullptr && lu.pte->present) {
+      sim::Ept& ept = kernel_.vm().ept();
+      // Punching a 4 KiB hole into a huge EPT region: shatter the covering
+      // leaf (1G twice, 2M once) so the per-page unmap below finds a 4 KiB
+      // leaf — the demand-split complement of eager splitting.
+      for (sim::Ept::Lookup elu = ept.lookup(lu.gpa_page);
+           elu.entry != nullptr && elu.entry->present &&
+           elu.gran != PageGran::k4K;
+           elu = ept.lookup(lu.gpa_page)) {
+        ept.split_huge_leaf(lu.gpa_page, elu.gran);
+      }
       Hpa hpa = 0;
-      if (kernel_.vm().ept().translate(pte->gpa_page, hpa)) {
+      if (ept.translate(lu.gpa_page, hpa)) {
         m.pmem.free_frame(page_floor(hpa));
       }
-      kernel_.vm().ept().unmap(pte->gpa_page);
-      kernel_.free_gpa_frame(pte->gpa_page);
+      ept.unmap(lu.gpa_page);
+      kernel_.free_gpa_frame(lu.gpa_page);
     }
     pt.unmap(page);
     kernel_.tlb_invalidate_page(*this, page);

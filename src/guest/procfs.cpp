@@ -60,8 +60,10 @@ bool ProcFs::on_track(sim::TrackLayer /*layer*/, const sim::TrackEvent& ev) {
 
 std::vector<std::pair<Gva, Gpa>> ProcFs::pagemap_entries(Process& proc) {
   std::vector<std::pair<Gva, Gpa>> out;
-  kernel_.page_table(proc).for_each_present(
-      [&](Gva gva, sim::Pte& pte) { out.emplace_back(gva, pte.gpa_page); });
+  // for_each_mapping computes the per-4 KiB GPA even where a huge leaf or a
+  // segment run shares one Pte (pte.gpa_page would be the region base).
+  kernel_.page_table(proc).for_each_mapping(
+      [&](Gva gva, const sim::Pte&, Gpa gpa) { out.emplace_back(gva, gpa); });
   return out;
 }
 

@@ -84,15 +84,24 @@ void Hypervisor::drain_pml_buffer(Vm& vm, unsigned cpu) {
   // last so consumers see logging order.
   const u64 first_slot = kPmlBufferEntries - count;
   for (u64 slot = kPmlBufferEntries; slot-- > first_slot;) {
-    const Gpa gpa_page = ctx.pmem.read_u64(vm.pml_buffer(cpu) + slot * 8);
+    const u64 entry = ctx.pmem.read_u64(vm.pml_buffer(cpu) + slot * 8);
+    const Gpa base = pml_entry_base(entry);
+    const PageGran gran = pml_entry_gran(entry);
     ctx.charge_ns(ctx.cost.drain_entry_ns);
     // Coexistence routing (paper §IV-C item 3), generalized: every enabled
     // kPmlDrain consumer gets the GPA. Dirty flags stay set until the
     // consumer's interval boundary (collect/harvest), so an already-logged
     // page does not re-log on every later write -- matching how Xen
-    // harvests PML.
-    vm.track(cpu).dispatch(sim::TrackLayer::kPmlDrain,
-                           {&vcpu, /*pid=*/0, /*gva_page=*/0, gpa_page});
+    // harvests PML. A gran-tagged entry (huge EPT leaf, no eager split)
+    // expands here to every 4 KiB page it covers, so rings and consumers
+    // stay page-granular — the drain is where PML's leaf-size imprecision
+    // becomes visible as a dirty-page superset. 4 KiB entries (gran code 0)
+    // take this loop exactly once with base == entry, as before.
+    for (u64 i = 0; i < gran_pages(gran); ++i) {
+      vm.track(cpu).dispatch(sim::TrackLayer::kPmlDrain,
+                             {&vcpu, /*pid=*/0, /*gva_page=*/0,
+                              base + i * kPageSize});
+    }
   }
   vmcs.write(sim::VmcsField::kPmlIndex, kPmlIndexStart);
   // A kDirtyRingFull fault fired mid-drain settles here, with the buffer
@@ -126,6 +135,20 @@ void Hypervisor::on_ept_violation(sim::Vcpu& vcpu, Gpa gpa, bool /*is_write*/) {
   Vm& vm = vm_of(vcpu);
   if (page_floor(gpa) >= vm.mem_bytes()) {
     throw std::runtime_error("EPT violation beyond the VM's memory size");
+  }
+  if (vm.ept_huge() && !vm.eager_split_active()) {
+    // THP-style backfill: map the whole 2 MiB region with one PS-bit leaf
+    // when it fits the VM and nothing in it is mapped yet (GRAN-1). While
+    // an eager-split logging session runs, faults map at 4 KiB — KVM does
+    // the same so dirty logging keeps page precision.
+    const Gpa base = gran_floor(gpa, PageGran::k2M);
+    if (base + gran_size(PageGran::k2M) <= vm.mem_bytes() &&
+        vm.ept().range_unmapped(base, PageGran::k2M)) {
+      const Hpa run =
+          machine_.pmem.alloc_frames_contiguous(gran_pages(PageGran::k2M));
+      vm.ept().map_huge(base, run, PageGran::k2M, /*writable=*/true);
+      return;
+    }
   }
   const Hpa frame = machine_.pmem.alloc_frame();
   vm.ept().map(page_floor(gpa), frame, /*writable=*/true);
@@ -252,8 +275,40 @@ u64 Hypervisor::on_hypercall(sim::Vcpu& vcpu, sim::Hypercall nr, u64 a0, u64 a1)
   throw std::logic_error("unknown hypercall");
 }
 
+void Hypervisor::eager_split_all(Vm& vm, sim::ExecContext& ctx) {
+  if (vm.ept().huge_leaves() == 0) return;  // all-4 KiB VM: free no-op
+  // Collect first: splitting mutates the radix structure mid-iteration.
+  std::vector<std::pair<Gpa, PageGran>> huge;
+  vm.ept().for_each_leaf_present([&](Gpa base, sim::EptEntry&, PageGran g) {
+    if (g != PageGran::k4K) huge.emplace_back(base, g);
+  });
+  u64 splits = 0;
+  for (const auto& [base, g] : huge) {
+    if (vm.ept().split_huge_leaf(base, g) != 0) ++splits;
+    if (g == PageGran::k1G) {
+      // The 1 GiB leaf became 512 2 MiB leaves; shatter those to 4 KiB too.
+      for (u64 i = 0; i < sim::kRadixFanout; ++i) {
+        if (vm.ept().split_huge_leaf(base + i * gran_size(PageGran::k2M),
+                                     PageGran::k2M) != 0) {
+          ++splits;
+        }
+      }
+    }
+  }
+  ctx.charge_us(ctx.cost.ept_split_leaf_us * static_cast<double>(splits));
+  // The shootdown the splits owe rides the session-start INVEPT the caller
+  // performs right after (clear_all_ept_dirty -> flush_all_tlbs).
+}
+
 void Hypervisor::enable_pml_for_hyp(Vm& vm) {
   for (unsigned cpu = 0; cpu < vm.vcpu_count(); ++cpu) ensure_pml_buffer(vm, cpu);
+  if (vm.eager_split()) {
+    // KVM's eager page splitting: shatter every huge leaf to 4 KiB *before*
+    // logging starts, so each PML entry names exactly one dirty page
+    // instead of a 2 MiB superset.
+    eager_split_all(vm, vm.ctx());
+    vm.set_eager_split_active(true);
+  }
   clear_all_ept_dirty(vm, vm.ctx());
   for (unsigned cpu = 0; cpu < vm.vcpu_count(); ++cpu) {
     if (!vm.pml_enabled_by_hyp(cpu)) {
@@ -266,6 +321,9 @@ void Hypervisor::enable_pml_for_hyp(Vm& vm) {
 
 void Hypervisor::disable_pml_for_hyp(Vm& vm) {
   drain_all_pml_buffers(vm);
+  // Huge pages are not rebuilt here: like KVM, recovery of split regions is
+  // left to future faults (the next huge-eligible EPT violation).
+  vm.set_eager_split_active(false);
   for (unsigned cpu = 0; cpu < vm.vcpu_count(); ++cpu) {
     if (vm.pml_enabled_by_hyp(cpu)) {
       vm.track(cpu).unregister_notifier(sim::TrackLayer::kPmlDrain,
@@ -336,6 +394,12 @@ void Hypervisor::enable_wss_sampling(Vm& vm) {
     }
   }
   for (unsigned cpu = 0; cpu < vm.vcpu_count(); ++cpu) ensure_pml_buffer(vm, cpu);
+  if (vm.eager_split()) {
+    // WSS sampling wants page-granular touch sets for the same reason
+    // migration wants page-granular dirty sets.
+    eager_split_all(vm, ctx);
+    vm.set_eager_split_active(true);
+  }
   // Reset both accessed and dirty flags so every first touch re-logs.
   u64 cleared = 0;
   vm.ept().for_each_present([&](Gpa, sim::EptEntry& e) {
@@ -357,6 +421,7 @@ void Hypervisor::enable_wss_sampling(Vm& vm) {
 
 void Hypervisor::disable_wss_sampling(Vm& vm) {
   drain_all_pml_buffers(vm);
+  vm.set_eager_split_active(false);
   for (unsigned cpu = 0; cpu < vm.vcpu_count(); ++cpu) {
     vm.dirty_ring(cpu).clear();
     vm.vcpu(cpu).vmcs().set_control(sim::kEnablePmlReadLog, false);

@@ -99,6 +99,10 @@ class Hypervisor final : public sim::VmExitHandler {
   /// Dirty flags stay set until the consumer's interval boundary.
   void drain_pml_buffer(Vm& vm, unsigned cpu);
   void drain_all_pml_buffers(Vm& vm);
+  /// Shatter every huge EPT leaf down to 4 KiB (KVM eager page splitting),
+  /// charging one ept_split_leaf_us per split performed. No-op (and no
+  /// charge) when the EPT has no huge leaves.
+  void eager_split_all(Vm& vm, sim::ExecContext& ctx);
   void clear_all_ept_dirty(Vm& vm, sim::ExecContext& ctx);
   void update_pml_enable(Vm& vm, unsigned cpu);
   /// INVEPT-style whole-VM invalidation: flush each vCPU's TLB, counting and

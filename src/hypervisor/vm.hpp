@@ -157,6 +157,28 @@ class Vm {
     return cpus_[cpu]->drained_log;
   }
 
+  // -- translation granularity policy -----------------------------------------
+  /// When set, EPT violations back-fill 2 MiB PS-bit leaves where the
+  /// region allows it (host THP-style). Off by default: the all-4 KiB
+  /// configuration is the paper's evaluation setup and stays bit-identical.
+  void set_ept_huge(bool on) noexcept { ept_huge_ = on; }
+  [[nodiscard]] bool ept_huge() const noexcept { return ept_huge_; }
+
+  /// When set (the default), enable_pml_for_hyp shatters every huge EPT
+  /// leaf to 4 KiB before logging starts — KVM's eager page splitting — so
+  /// PML reports single-page precision. Clear it to keep huge leaves and
+  /// observe the 2 MiB-granular log entries instead.
+  void set_eager_split(bool on) noexcept { eager_split_ = on; }
+  [[nodiscard]] bool eager_split() const noexcept { return eager_split_; }
+
+  /// True while a hypervisor logging session that eager-split is running:
+  /// violations must back-fill at 4 KiB and no huge leaf may exist
+  /// (invariant SPLIT-1).
+  void set_eager_split_active(bool on) noexcept { eager_split_active_ = on; }
+  [[nodiscard]] bool eager_split_active() const noexcept {
+    return eager_split_active_;
+  }
+
   // -- kDirtyRingFull fault plumbing ------------------------------------------
   // A ring-full fault fired by the drain consumer settles only once the
   // in-flight PML drain resets its index; the drain loop polls this flag to
@@ -184,6 +206,9 @@ class Vm {
   u32 id_;
   u64 mem_bytes_;
   sim::Ept ept_;
+  bool ept_huge_ = false;
+  bool eager_split_ = true;
+  bool eager_split_active_ = false;
   std::vector<std::unique_ptr<CpuState>> cpus_;
   sim::SppTable spp_table_;
   HypDirtyLogConsumer hyp_drain_consumer_{*this};

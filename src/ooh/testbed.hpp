@@ -33,6 +33,14 @@ struct TestBedOptions {
   unsigned vcpus_per_vm = 1;
   CostModel cost = CostModel::paper_calibrated();
   VirtDuration sched_quantum = secs(1.0);
+  /// Back-fill EPT violations with 2 MiB PS-bit leaves (host THP). Off by
+  /// default: the all-4 KiB configuration reproduces the paper's numbers
+  /// bit-for-bit.
+  bool ept_huge = false;
+  /// With ept_huge: shatter huge leaves to 4 KiB when a hypervisor logging
+  /// session starts (KVM eager page splitting). Meaningless without
+  /// ept_huge; on by default so dirty logging keeps page precision.
+  bool eager_split = true;
   /// Fault-injection schedule. Empty (the default) = no injector is wired
   /// at all: runs are bit-identical to a bed without the fault subsystem.
   /// Non-empty: each tenant vCPU gets its own FaultInjector executing this

@@ -14,6 +14,7 @@ std::string_view technique_name(Technique t) noexcept {
     case Technique::kSpml: return "SPML";
     case Technique::kEpml: return "EPML";
     case Technique::kWp: return "wp";
+    case Technique::kSeg: return "seg";
     case Technique::kOracle: return "oracle";
   }
   return "?";

@@ -25,7 +25,7 @@
 
 namespace ooh::lib {
 
-enum class Technique { kProc, kUfd, kSpml, kEpml, kWp, kOracle };
+enum class Technique { kProc, kUfd, kSpml, kEpml, kWp, kSeg, kOracle };
 
 [[nodiscard]] std::string_view technique_name(Technique t) noexcept;
 

@@ -290,6 +290,35 @@ void WpTracker::do_shutdown() {
   registered_ = false;
 }
 
+// ---- SegTracker --------------------------------------------------------------
+
+void SegTracker::do_init() {
+  sim::GuestPageTable& pt = kernel_.page_table(proc_);
+  if (pt.backend() == sim::TranslationBackend::kSegment) return;
+  // One syscall-shaped conversion pass over the whole page table (modelled
+  // as a clear_refs-sized walk), then drop every cached translation: the
+  // per-segment sticky flags may widen derived permissions, so stale
+  // per-page entries must not survive the backend swap.
+  sim::ExecContext& m = kernel_.ctx_of(proc_);
+  m.count(Event::kContextSwitch, 2);
+  m.charge_us(m.cost.clear_refs_us(proc_.mapped_bytes()) +
+              2 * m.cost.ctx_switch_us);
+  pt.convert_to_segments();
+  kernel_.tlb_flush_pid(proc_);
+  m.count(Event::kTlbFlush);
+  m.charge_us(m.cost.tlb_flush_us);
+}
+
+void SegTracker::do_begin_interval() {
+  kernel_.procfs().clear_refs(proc_);
+}
+
+std::vector<Gva> SegTracker::do_collect() {
+  // Superset semantics: pagemap_dirty expands each soft-dirty segment to
+  // every page it covers.
+  return kernel_.procfs().pagemap_dirty(proc_);
+}
+
 // ---- OracleTracker -----------------------------------------------------------
 
 void OracleTracker::do_begin_interval() {
@@ -314,6 +343,7 @@ std::unique_ptr<DirtyTracker> make_tracker(Technique t, guest::GuestKernel& kern
     case Technique::kSpml: return std::make_unique<SpmlTracker>(kernel, proc);
     case Technique::kEpml: return std::make_unique<EpmlTracker>(kernel, proc);
     case Technique::kWp: return std::make_unique<WpTracker>(kernel, proc);
+    case Technique::kSeg: return std::make_unique<SegTracker>(kernel, proc);
     case Technique::kOracle: return std::make_unique<OracleTracker>(kernel, proc);
   }
   throw std::invalid_argument("unknown technique");

@@ -137,6 +137,26 @@ class WpTracker final : public DirtyTracker, public sim::PageTrackNotifier {
   bool registered_ = false;
 };
 
+/// Segment-table soft-dirty tracking (Teabe/Tchana-style segmentation): at
+/// init() the process's page table is converted to the range-based
+/// SegmentTable backend, then the /proc clear_refs + pagemap flow runs
+/// unchanged through the shared Mmu walk seam. Translation metadata lives
+/// per *segment* (one Pte for a contiguous run), so dirty reporting is a
+/// superset of the truth — a write anywhere in a run reports the whole run.
+/// The comparison point quantifies what coarse translation metadata costs
+/// in precision versus what it saves in walk/arm work.
+class SegTracker final : public DirtyTracker {
+ public:
+  using DirtyTracker::DirtyTracker;
+  [[nodiscard]] Technique technique() const noexcept override { return Technique::kSeg; }
+
+ protected:
+  void do_init() override;
+  void do_begin_interval() override;
+  [[nodiscard]] std::vector<Gva> do_collect() override;
+  void do_shutdown() override {}
+};
+
 /// The hypothetical zero-cost technique of §VI-B ("oracle"): perfect dirty
 /// information with E(C_oracle) = 0. Reads the simulator's ground truth.
 class OracleTracker final : public DirtyTracker {

@@ -1,5 +1,6 @@
 #include "sim/check/coherence.hpp"
 
+#include <algorithm>
 #include <sstream>
 #include <string>
 #include <unordered_map>
@@ -61,6 +62,8 @@ void CoherenceChecker::audit_vm(u32 vm_index) {
   audit_tlb(vm);
   audit_walk_caches(vm);
   audit_guest_tables(vm);
+  audit_granularity(vm);
+  audit_eager_split(vm);
   audit_pml_buffers(vm);
   audit_rings(vm);
   audit_dirty_accounting(vm);
@@ -123,32 +126,62 @@ void CoherenceChecker::audit_tlb(hv::Vm& vm) {
                                "cached translation for unknown pid " +
                                    std::to_string(pid));
     }
-    const sim::Pte* pte = it->second->pte(gva_page);
-    if (pte == nullptr || !pte->present) {
+    // A cached translation's key is the base of a gran-sized region; it
+    // re-derives through the walk seam (any backend, any leaf size). The
+    // cached granularity may never exceed either backing leaf: hardware
+    // fills at min(guest leaf, EPT leaf), and a later split (eager page
+    // splitting, munmap demand-split) must have shot the wider entry down.
+    if (!is_gran_aligned(gva_page, te.gran)) {
+      throw InvariantViolation(
+          "TLB-1", Layer::kTlb, vm.id(), gva_page, te.gpa_page,
+          std::string("a TLB key aligned to its cached granularity ") +
+              gran_name(te.gran),
+          "key " + hex(gva_page));
+    }
+    const sim::GuestPageTable::Lookup lu = it->second->lookup(gva_page);
+    if (lu.pte == nullptr || !lu.pte->present) {
       throw InvariantViolation(
           "TLB-1", Layer::kTlb, vm.id(), gva_page, te.gpa_page,
           "a present guest PTE backing the cached translation",
           "no present PTE (stale entry survived an unmap)");
     }
-    if (te.gpa_page != pte->gpa_page) {
+    if (te.gran > lu.gran) {
+      throw InvariantViolation(
+          "TLB-1", Layer::kTlb, vm.id(), gva_page, te.gpa_page,
+          std::string("cached granularity <= the guest leaf's ") +
+              gran_name(lu.gran),
+          std::string("cached ") + gran_name(te.gran) +
+              " entry outlived a leaf split");
+    }
+    if (te.gpa_page != lu.gpa_page) {
       throw InvariantViolation("TLB-1", Layer::kTlb, vm.id(), gva_page,
                                te.gpa_page,
-                               "cached GPA == guest PTE GPA " + hex(pte->gpa_page),
+                               "cached GPA == walked GPA " + hex(lu.gpa_page),
                                "cached GPA " + hex(te.gpa_page));
     }
-    const sim::EptEntry* epte = vm.ept().entry(pte->gpa_page);
-    if (epte == nullptr || !epte->present) {
+    const sim::Pte* pte = lu.pte;
+    const sim::Ept::Lookup elu = vm.ept().lookup(te.gpa_page);
+    if (elu.entry == nullptr || !elu.entry->present) {
       throw InvariantViolation(
-          "TLB-1", Layer::kTlb, vm.id(), gva_page, pte->gpa_page,
+          "TLB-1", Layer::kTlb, vm.id(), gva_page, te.gpa_page,
           "a present EPT entry backing the cached translation",
           "no present EPT entry (stale entry survived an EPT unmap)");
     }
-    if (te.hpa_page != epte->hpa_page) {
+    if (te.gran > elu.gran) {
+      throw InvariantViolation(
+          "TLB-1", Layer::kTlb, vm.id(), gva_page, te.gpa_page,
+          std::string("cached granularity <= the EPT leaf's ") +
+              gran_name(elu.gran),
+          std::string("cached ") + gran_name(te.gran) +
+              " entry outlived an EPT leaf split");
+    }
+    if (te.hpa_page != elu.hpa_page) {
       throw InvariantViolation("TLB-1", Layer::kTlb, vm.id(), gva_page,
-                               pte->gpa_page,
-                               "cached HPA == EPT HPA " + hex(epte->hpa_page),
+                               te.gpa_page,
+                               "cached HPA == EPT-walked HPA " + hex(elu.hpa_page),
                                "cached HPA " + hex(te.hpa_page));
     }
+    const sim::EptEntry* epte = elu.entry;
     // Permission/dirty checks are directional: a cached entry may be *more*
     // restrictive than the tables (stale-conservative is harmless; the next
     // write re-walks), but never more permissive — a cached writable+dirty
@@ -231,10 +264,17 @@ void CoherenceChecker::audit_pml_buffers(hv::Vm& vm) {
                        vmcs.read(sim::VmcsField::kPmlIndex));
     std::unordered_set<u64> seen;
     for (const u64 e : entries) {
-      if (!is_page_aligned(e) || e >= vm.mem_bytes()) {
+      // Entries carry the mapped granularity in their low bits; the base
+      // must be aligned to that granularity and the whole region in bounds
+      // (an all-4K configuration decodes gran code 0, i.e. the old check).
+      const Gpa base = pml_entry_base(e);
+      const PageGran g = pml_entry_gran(e);
+      if (!is_gran_aligned(base, g) ||
+          base + gran_size(g) > vm.mem_bytes()) {
         throw InvariantViolation(
             "PML-2", Layer::kPmlBuffer, vm.id(), kNoAddr, e,
-            "a 4K-aligned GPA within the VM's " + hex(vm.mem_bytes()) +
+            std::string("a ") + gran_name(g) +
+                "-aligned GPA region within the VM's " + hex(vm.mem_bytes()) +
                 "-byte guest-physical space",
             "logged entry " + hex(e));
       }
@@ -279,10 +319,14 @@ void CoherenceChecker::audit_pml_buffers(hv::Vm& vm) {
       read_in_flight("EPML-1", Layer::kEpmlBuffer, vm.id(), machine_.pmem, gbuf,
                      shadow->read(sim::VmcsField::kGuestPmlIndex));
   for (const u64 e : gentries) {
-    if (!is_page_aligned(e)) {
-      throw InvariantViolation("EPML-2", Layer::kEpmlBuffer, vm.id(), e,
-                               kNoAddr, "a 4K-aligned logged GVA",
-                               "logged entry " + hex(e));
+    // Guest-level entries are gran-tagged GVAs (same encoding as the
+    // hypervisor buffer; code 0 = 4K keeps the legacy check).
+    if (!is_gran_aligned(pml_entry_base(e), pml_entry_gran(e))) {
+      throw InvariantViolation(
+          "EPML-2", Layer::kEpmlBuffer, vm.id(), e, kNoAddr,
+          std::string("a ") + gran_name(pml_entry_gran(e)) +
+              "-aligned logged GVA",
+          "logged entry " + hex(e));
     }
   }
   }
@@ -315,7 +359,15 @@ void CoherenceChecker::audit_dirty_accounting(hv::Vm& vm) {
     const std::vector<u64> entries =
         read_in_flight("PML-1", Layer::kPmlBuffer, vm.id(), machine_.pmem,
                        vm.pml_buffer(cpu), vmcs.read(sim::VmcsField::kPmlIndex));
-    const std::unordered_set<Gpa> buffered(entries.begin(), entries.end());
+    // Expand gran-tagged in-flight entries to every 4K page they cover:
+    // the drain side does the same expansion, so the accounting closes
+    // page-granularly whatever the logged leaf size was.
+    std::unordered_set<Gpa> buffered;
+    for (const u64 raw : entries) {
+      const Gpa b = pml_entry_base(raw);
+      const PageGran g = pml_entry_gran(raw);
+      for (u64 i = 0; i < gran_pages(g); ++i) buffered.insert(b + i * kPageSize);
+    }
     const hv::DirtyRing& ring = vm.dirty_ring(cpu);
     std::unordered_set<Gpa> drained;
     ring.for_each_pending([&](u64 gpa) { drained.insert(gpa); });
@@ -389,28 +441,103 @@ void CoherenceChecker::audit_guest_tables(hv::Vm& vm) {
   guest::GuestKernel* kernel = kernel_of(vm.id());
   if (kernel == nullptr) return;
   std::unordered_map<Gpa, std::pair<u32, Gva>> owner;  // gpa -> first owner
+  // The per-4K view computes the translated GPA per page, so one huge leaf
+  // (or segment) claims each of its guest frames individually — frame
+  // exclusivity stays a page-granular statement across every backend.
   kernel->for_each_process([&](guest::Process& p, sim::GuestPageTable& pt) {
-    pt.for_each_present([&](Gva gva_page, sim::Pte& pte) {
-      if (!is_page_aligned(pte.gpa_page) || pte.gpa_page >= vm.mem_bytes()) {
+    pt.for_each_mapping([&](Gva gva_page, const sim::Pte&, Gpa gpa) {
+      if (!is_page_aligned(gpa) || gpa >= vm.mem_bytes()) {
         throw InvariantViolation(
-            "PT-1", Layer::kGuestPageTable, vm.id(), gva_page, pte.gpa_page,
+            "PT-1", Layer::kGuestPageTable, vm.id(), gva_page, gpa,
             "a 4K-aligned GPA within the VM's " + hex(vm.mem_bytes()) +
                 "-byte guest-physical space",
-            "PTE maps " + hex(pte.gpa_page));
+            "page translates to " + hex(gpa));
       }
-      const auto [it, fresh] =
-          owner.try_emplace(pte.gpa_page, p.pid(), gva_page);
+      const auto [it, fresh] = owner.try_emplace(gpa, p.pid(), gva_page);
       if (!fresh) {
         throw InvariantViolation(
-            "PT-2", Layer::kGuestPageTable, vm.id(), gva_page, pte.gpa_page,
-            "each guest frame owned by at most one present PTE (first owner: "
-            "pid " + std::to_string(it->second.first) + " gva " +
+            "PT-2", Layer::kGuestPageTable, vm.id(), gva_page, gpa,
+            "each guest frame owned by at most one present mapping (first "
+            "owner: pid " + std::to_string(it->second.first) + " gva " +
                 hex(it->second.second) + ")",
             "also mapped by pid " + std::to_string(p.pid()) + " gva " +
                 hex(gva_page));
       }
     });
   });
+}
+
+// ---- GRAN-1 / SPLIT-1 -------------------------------------------------------
+
+namespace {
+
+/// GRAN-1 core: present leaves, viewed as [base, base+size) intervals, must
+/// tile without overlap. Same-size radix leaves occupy distinct slots by
+/// construction, so any overlap is a cross-granularity double cover — one
+/// page with two independent dirty flags.
+void check_leaf_exclusivity(std::vector<std::pair<u64, u64>>& leaves,
+                            Layer layer, u32 vm_id, const std::string& where) {
+  std::sort(leaves.begin(), leaves.end());
+  u64 prev_end = 0;
+  u64 prev_base = 0;
+  for (const auto& [base, end] : leaves) {
+    if (base < prev_end) {
+      throw InvariantViolation(
+          "GRAN-1", layer, vm_id, kNoAddr, base,
+          "each page of " + where + " covered by at most one present leaf",
+          "leaf at " + hex(base) + " overlaps the leaf at " + hex(prev_base));
+    }
+    prev_base = base;
+    prev_end = end;
+  }
+}
+
+}  // namespace
+
+void CoherenceChecker::audit_granularity(hv::Vm& vm) {
+  std::vector<std::pair<u64, u64>> leaves;
+  vm.ept().for_each_leaf_present([&](Gpa base, sim::EptEntry&, PageGran g) {
+    leaves.emplace_back(base, base + gran_size(g));
+  });
+  check_leaf_exclusivity(leaves, Layer::kEpt, vm.id(), "the EPT");
+
+  guest::GuestKernel* kernel = kernel_of(vm.id());
+  if (kernel == nullptr) return;
+  kernel->for_each_process([&](guest::Process& p, sim::GuestPageTable& pt) {
+    if (pt.backend() == sim::TranslationBackend::kSegment) {
+      // Segment form of the same statement: sorted, non-overlapping runs
+      // whose shared Pte mirrors the run base.
+      if (!pt.segment_table()->coherent()) {
+        throw InvariantViolation(
+            "GRAN-1", Layer::kGuestPageTable, vm.id(), kNoAddr, kNoAddr,
+            "pid " + std::to_string(p.pid()) +
+                "'s segments sorted, non-overlapping and internally "
+                "consistent",
+            "segment table fails its coherence sweep");
+      }
+      return;
+    }
+    leaves.clear();
+    pt.for_each_leaf_present([&](Gva base, sim::Pte&, PageGran g) {
+      leaves.emplace_back(base, base + gran_size(g));
+    });
+    check_leaf_exclusivity(leaves, Layer::kGuestPageTable, vm.id(),
+                           "pid " + std::to_string(p.pid()) +
+                               "'s address space");
+  });
+}
+
+void CoherenceChecker::audit_eager_split(hv::Vm& vm) {
+  // While an eager-split logging session runs, every EPT leaf is 4 KiB:
+  // each dirty-flag transition names exactly one page, so the ACC-* closure
+  // audited above is page-precise for the whole session (SPLIT-1).
+  if (!vm.eager_split_active()) return;
+  if (const u64 huge = vm.ept().huge_leaves(); huge != 0) {
+    throw InvariantViolation(
+        "SPLIT-1", Layer::kEpt, vm.id(), kNoAddr, kNoAddr,
+        "no PS-bit EPT leaves while an eager-split logging session is active",
+        std::to_string(huge) + " huge leaves present");
+  }
 }
 
 // ---- REG-* ------------------------------------------------------------------
@@ -539,9 +666,13 @@ void CoherenceChecker::audit_frames() {
   };
   for (std::size_t i = 0; i < hypervisor_.vm_count(); ++i) {
     hv::Vm& vm = hypervisor_.vm(i);
-    vm.ept().for_each_present([&](Gpa gpa, sim::EptEntry& e) {
-      claim(vm.id(), gpa, e.hpa_page, "EPT mapping");
-    });
+    // Per-4K view: a huge leaf claims each frame of its contiguous HPA run
+    // individually, so exclusivity and the used-frames reconciliation stay
+    // page-granular.
+    vm.ept().for_each_mapping(
+        [&](Gpa gpa, const sim::EptEntry&, Hpa hpa, PageGran) {
+          claim(vm.id(), gpa, hpa, "EPT mapping");
+        });
     for (unsigned cpu = 0; cpu < vm.vcpu_count(); ++cpu) {
       if (vm.pml_buffer(cpu) != 0) {
         claim(vm.id(), kNoAddr, vm.pml_buffer(cpu), "PML buffer");

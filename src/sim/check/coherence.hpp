@@ -22,6 +22,16 @@
 //            drained dirty log.
 //   PT-*     guest page tables: GPAs in bounds, each guest frame owned by
 //            at most one present PTE across all processes.
+//   GRAN-1   multi-granularity exclusivity: no GPA (or GVA, per process) is
+//            covered by two present leaves of different size — a double
+//            cover would give one page two independent dirty flags, and
+//            which one a walk sets would depend on walk order. The segment
+//            backend's form: segments sorted, non-overlapping, internally
+//            consistent.
+//   SPLIT-1  while an eager-split logging session is active the EPT holds
+//            no PS-bit leaves: every dirty flag set during the session is
+//            4 KiB-precise, so the accounting ACC-* closes stays page-
+//            granular across the split.
 //   FRAME-*  host frame ownership exclusive per VM; the allocator's used
 //            count equals the frames accounted for by EPT mappings and PML
 //            buffers (leak/double-free detection).
@@ -109,6 +119,8 @@ class CoherenceChecker {
   void audit_rings(hv::Vm& vm);
   void audit_dirty_accounting(hv::Vm& vm);
   void audit_guest_tables(hv::Vm& vm);
+  void audit_granularity(hv::Vm& vm);
+  void audit_eager_split(hv::Vm& vm);
   void audit_registry(hv::Vm& vm);
   void audit_clock(hv::Vm& vm);
   void audit_frames();

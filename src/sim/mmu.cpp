@@ -22,7 +22,9 @@ Mmu::Result Mmu::access(u32 pid, GuestPageTable& pt, Gva gva, bool is_write) {
     if (!is_write || (te->writable && te->dirty)) {
       ctx_.count(Event::kTlbHit);
       ctx_.charge_ns(ctx_.cost.tlb_hit_ns);
-      return {Status::kOk, te->hpa_page | page_offset(gva)};
+      // For a huge entry the cached bases are region bases; the in-region
+      // offset reduces to page_offset(gva) in the k4K case.
+      return {Status::kOk, te->hpa_page + gran_offset(gva, te->gran)};
     }
     // Write through a clean/RO cached entry: hardware re-walks to set flags.
     tlb.invalidate_page(pid, gva_page);
@@ -30,34 +32,46 @@ Mmu::Result Mmu::access(u32 pid, GuestPageTable& pt, Gva gva, bool is_write) {
   ctx_.count(Event::kTlbMiss);
 
   // ---- guest page-table walk ----------------------------------------------
+  // A PS-bit leaf one (two) levels up shortens the walk by one (two)
+  // pointer chases; the 4 KiB charge multiplier is exactly 1.0, keeping the
+  // default configuration's virtual time bit-identical.
   ctx_.count(Event::kGuestPtWalk);
-  ctx_.charge_ns(ctx_.cost.guest_walk_ns);
-  Pte* pte = pt.pte(gva_page);
+  const GuestPageTable::Lookup glu = pt.lookup(gva_page);
+  ctx_.charge_ns(ctx_.cost.guest_walk_ns *
+                 (1.0 - 0.25 * static_cast<double>(glu.gran)));
+  Pte* pte = glu.pte;
   if (pte == nullptr || !pte->present) return {Status::kFaultNotPresent, 0};
   if (is_write && (!pte->writable || pte->uffd_wp)) return {Status::kFaultNotWritable, 0};
   pte->accessed = true;
   if (is_write && !pte->dirty) {
     pte->dirty = true;
+    // The dirty flag lives in the leaf, so the logged unit is the leaf's
+    // whole span: base GVA/GPA plus the granularity (4 KiB leaves log the
+    // page itself, as before).
     track.dispatch(TrackLayer::kGuestPtDirty,
-                   {&vcpu_, pid, gva_page, pte->gpa_page});
+                   {&vcpu_, pid, gran_floor(gva_page, glu.gran), pte->gpa_page,
+                    glu.gran});
   }
-  const Gpa gpa = pte->gpa_page | page_offset(gva);
+  const Gpa gpa = glu.gpa_page | page_offset(gva);
 
   // ---- EPT walk ------------------------------------------------------------
   ctx_.count(Event::kEptWalk);
-  ctx_.charge_ns(ctx_.cost.ept_walk_ns);
-  EptEntry* epte = ept_.entry(gpa);
-  if (epte == nullptr || !epte->present) {
+  Ept::Lookup elu = ept_.lookup(gpa);
+  ctx_.charge_ns(ctx_.cost.ept_walk_ns *
+                 (1.0 - 0.25 * static_cast<double>(elu.gran)));
+  if (elu.entry == nullptr || !elu.entry->present) {
     // EPT violation: exit to the hypervisor, which back-fills the mapping.
     ctx_.charge_us(ctx_.cost.ept_violation_us);
     vcpu_.vmexit_to_root(Event::kVmExitEptViolation, [&] {
       vcpu_.exits()->on_ept_violation(vcpu_, gpa, is_write);
     });
-    epte = ept_.entry(gpa);
-    if (epte == nullptr || !epte->present) {
+    elu = ept_.lookup(gpa);
+    if (elu.entry == nullptr || !elu.entry->present) {
       throw std::logic_error("EPT violation handler did not map the GPA");
     }
   }
+  EptEntry* epte = elu.entry;
+  const Gpa ept_leaf_base = gran_floor(page_floor(gpa), elu.gran);
   if (is_write && !epte->writable) {
     // Write to a write-protected EPT entry: an EPT violation the page-track
     // fault chain must resolve (KVM-page_track-style write interception).
@@ -65,7 +79,7 @@ Mmu::Result Mmu::access(u32 pid, GuestPageTable& pt, Gva gva, bool is_write) {
     // an unhandled fault is a configuration error.
     ctx_.count(Event::kEptWpFault);
     if (!track.dispatch(TrackLayer::kEptWpFault,
-                        {&vcpu_, pid, gva_page, pte->gpa_page}) ||
+                        {&vcpu_, pid, gva_page, glu.gpa_page}) ||
         !epte->writable) {
       throw std::logic_error("write to a write-protected EPT entry with no handler");
     }
@@ -82,24 +96,32 @@ Mmu::Result Mmu::access(u32 pid, GuestPageTable& pt, Gva gva, bool is_write) {
   if (!epte->accessed) {
     epte->accessed = true;
     track.dispatch(TrackLayer::kEptAccessed,
-                   {&vcpu_, pid, gva_page, pte->gpa_page});
+                   {&vcpu_, pid, gva_page, ept_leaf_base, elu.gran});
   }
   if (is_write && !epte->dirty) {
     epte->dirty = true;
     ctx_.count(Event::kEptDirtySet);
+    // One dirty flag per leaf: PML logs the leaf's base at the leaf's
+    // granularity (the precision loss eager splitting removes).
     track.dispatch(TrackLayer::kEptDirty,
-                   {&vcpu_, pid, gva_page, pte->gpa_page});
+                   {&vcpu_, pid, gva_page, ept_leaf_base, elu.gran});
   }
 
+  // The fill granularity is the largest region over which BOTH translation
+  // stages are contiguous: min of the two leaf sizes.
+  const PageGran fill_gran = glu.gran < elu.gran ? glu.gran : elu.gran;
+  const Gva fill_base = gran_floor(gva_page, fill_gran);
   TlbEntry te;
-  te.gpa_page = pte->gpa_page;
-  te.hpa_page = epte->hpa_page;
+  te.gran = fill_gran;
+  te.gpa_page = pte->gpa_page + (fill_base - gran_floor(gva_page, glu.gran));
+  te.hpa_page =
+      epte->hpa_page + gran_offset(gran_floor(glu.gpa_page, fill_gran), elu.gran);
   // SPP pages never cache write permission: every store must re-consult the
   // sub-page mask.
   te.writable = pte->writable && !pte->uffd_wp && epte->writable && !epte->spp;
   te.dirty = pte->dirty && epte->dirty;
-  tlb.insert(pid, gva_page, te);
-  return {Status::kOk, epte->hpa_page | page_offset(gva)};
+  tlb.insert(pid, fill_base, te);
+  return {Status::kOk, elu.hpa_page | page_offset(gva)};
 }
 
 }  // namespace ooh::sim

@@ -6,6 +6,10 @@ namespace ooh::sim {
 
 void GuestPageTable::map(Gva gva_page, Gpa gpa_page, bool writable) {
   assert(is_page_aligned(gva_page) && is_page_aligned(gpa_page));
+  if (backend_ == TranslationBackend::kSegment) {
+    segs_->map(gva_page, gpa_page, writable);
+    return;
+  }
   Pte& e = table_.ensure(gva_page);
   if (!e.present) ++present_pages_;
   e = Pte{};
@@ -16,6 +20,10 @@ void GuestPageTable::map(Gva gva_page, Gpa gpa_page, bool writable) {
 }
 
 void GuestPageTable::unmap(Gva gva_page) {
+  if (backend_ == TranslationBackend::kSegment) {
+    segs_->unmap(page_floor(gva_page));
+    return;
+  }
   Pte* e = table_.find(page_floor(gva_page));
   if (e != nullptr && e->present) {
     *e = Pte{};
@@ -25,6 +33,67 @@ void GuestPageTable::unmap(Gva gva_page) {
     // a dangling-pointer fix — see docs/architecture.md "hot path").
     table_.invalidate_walk_cache();
   }
+}
+
+void GuestPageTable::map_huge(Gva gva_base, Gpa gpa_base, PageGran gran,
+                              bool writable) {
+  assert(backend_ == TranslationBackend::kRadix &&
+         "segments are already range-based; huge leaves are a radix notion");
+  assert(gran != PageGran::k4K && is_gran_aligned(gva_base, gran) &&
+         is_gran_aligned(gpa_base, gran));
+  Pte& e = table_.ensure_huge(gva_base, gran);
+  if (!e.present) present_pages_ += gran_pages(gran);
+  e = Pte{};
+  e.gpa_page = gpa_base;
+  e.present = true;
+  e.writable = writable;
+  e.user = true;
+}
+
+void GuestPageTable::unmap_huge(Gva gva_base, PageGran gran) {
+  assert(backend_ == TranslationBackend::kRadix);
+  Pte* e = table_.find_huge(gran_floor(gva_base, gran), gran);
+  if (e != nullptr && e->present) {
+    *e = Pte{};
+    present_pages_ -= gran_pages(gran);
+    table_.invalidate_walk_cache();
+  }
+}
+
+void GuestPageTable::convert_to_segments() {
+  assert(backend_ == TranslationBackend::kRadix);
+  auto segs = std::make_unique<SegmentTable>();
+  // The radix for_each visits in ascending GVA order, so the SegmentTable's
+  // per-page map() coalesces contiguous identical-flag runs as it goes; the
+  // sticky flags are then re-applied per resulting segment (OR of the run —
+  // identical by the coalescing rule, writable included).
+  table_.for_each_leaf([&](u64 addr, Pte& e, PageGran g) {
+    if (!e.present) return;
+    assert(g == PageGran::k4K && "split huge leaves before converting");
+    (void)g;
+    segs->map(addr, e.gpa_page, e.writable);
+    Segment* s = segs->find(addr);
+    if (s->pages == 1) {
+      // Fresh segment: seed its flags from this first page.
+      s->pte.accessed = e.accessed;
+      s->pte.dirty = e.dirty;
+      s->pte.soft_dirty = e.soft_dirty;
+      s->pte.uffd_wp = e.uffd_wp;
+    } else {
+      // Coalesced into an existing run: widen the shared flags (sticky OR)
+      // — the documented segment-granularity precision trade. Widening
+      // uffd_wp tightens the derived write permission, so callers must TLB-
+      // shootdown the pid after converting (the kSeg tracker init does).
+      s->pte.accessed = s->pte.accessed || e.accessed;
+      s->pte.dirty = s->pte.dirty || e.dirty;
+      s->pte.soft_dirty = s->pte.soft_dirty || e.soft_dirty;
+      s->pte.uffd_wp = s->pte.uffd_wp || e.uffd_wp;
+    }
+  });
+  segs_ = std::move(segs);
+  backend_ = TranslationBackend::kSegment;
+  present_pages_ = 0;
+  table_ = RadixTable4<Pte>{};
 }
 
 }  // namespace ooh::sim

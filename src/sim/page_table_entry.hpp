@@ -1,0 +1,29 @@
+// Guest PTE: the per-mapping bits the paper's tracking techniques
+// manipulate. Split out of page_table.hpp so both translation backends
+// (radix RadixTable4<Pte> and the range-based SegmentTable) share it.
+//
+//   dirty       : hardware-set on write; EPML's guest-level PML triggers when
+//                 a write *sets* this flag.
+//   soft_dirty  : Linux's bit-55 clone; set by the #PF handler after
+//                 clear_refs write-protected the PTE (/proc technique).
+//   uffd_wp     : userfaultfd write-protect marker; faults go to userspace.
+#pragma once
+
+#include <cstdint>
+
+#include "base/types.hpp"
+
+namespace ooh::sim {
+
+struct Pte {
+  u64 gpa_page = 0;      ///< granularity-aligned GPA base this leaf maps to.
+  bool present : 1 = false;
+  bool writable : 1 = false;
+  bool user : 1 = false;
+  bool accessed : 1 = false;
+  bool dirty : 1 = false;
+  bool soft_dirty : 1 = false;
+  bool uffd_wp : 1 = false;
+};
+
+}  // namespace ooh::sim

@@ -160,7 +160,7 @@ void raise_hyp_pml_full(Vcpu& vcpu) {
 
 }  // namespace
 
-void HypPmlLogger::log_gpa(Vcpu& vcpu, Gpa gpa_page) {
+void HypPmlLogger::log_gpa(Vcpu& vcpu, u64 entry) {
   ExecContext& ctx = vcpu.ctx();
   Vmcs& v = vcpu.vmcs();
   u16 idx = static_cast<u16>(v.read(VmcsField::kPmlIndex));
@@ -185,7 +185,7 @@ void HypPmlLogger::log_gpa(Vcpu& vcpu, Gpa gpa_page) {
     }
   }
   const Hpa buf = v.read(VmcsField::kPmlAddress);
-  ctx.pmem.write_u64(buf + u64{idx} * 8, gpa_page);
+  ctx.pmem.write_u64(buf + u64{idx} * 8, entry);
   const u16 next = static_cast<u16>(idx - 1);  // wraps past 0
   v.write(VmcsField::kPmlIndex, next);
   ctx.count(Event::kPmlLogGpa);
@@ -209,13 +209,15 @@ bool HypPmlLogger::on_track(TrackLayer layer, const TrackEvent& ev) {
     // hypervisor can estimate the working set (touched, not just dirtied).
     if (!read_log_active(vcpu)) return false;
     vcpu.ctx().count(Event::kPmlLogRead);
-    log_gpa(vcpu, ev.gpa_page);
+    log_gpa(vcpu, pml_entry_encode(ev.gpa_page, ev.gran));
     return true;
   }
   // kEptDirty. Under read-logging the accessed transition already logged
   // this page; logging the dirty transition too would double-count it.
   if (!hyp_pml_active(vcpu) || read_log_active(vcpu)) return false;
-  log_gpa(vcpu, ev.gpa_page);
+  // One buffer entry per leaf, at the leaf's granularity (a 2 MiB leaf
+  // costs one entry, not 512 — PML's precision/byte trade-off).
+  log_gpa(vcpu, pml_entry_encode(ev.gpa_page, ev.gran));
   return true;
 }
 
@@ -272,7 +274,7 @@ bool GuestPmlLogger::on_track(TrackLayer /*layer*/, const TrackEvent& ev) {
     }
   }
   const Hpa buf = shadow.read(VmcsField::kGuestPmlAddress);
-  ctx.pmem.write_u64(buf + u64{idx} * 8, ev.gva_page);
+  ctx.pmem.write_u64(buf + u64{idx} * 8, pml_entry_encode(ev.gva_page, ev.gran));
   const u16 next = static_cast<u16>(idx - 1);
   shadow.write(VmcsField::kGuestPmlIndex, next);
   ctx.count(Event::kPmlLogGvaGuest);

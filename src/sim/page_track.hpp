@@ -67,6 +67,10 @@ struct TrackEvent {
   u32 pid = 0;           ///< guest process (0 when unknown, e.g. drains).
   Gva gva_page = 0;      ///< page-aligned GVA (0 when unknown).
   Gpa gpa_page = 0;      ///< page-aligned GPA (0 when unknown).
+  /// Granularity of the leaf whose flag transition produced the event. For
+  /// dirty/accessed layers gva_page/gpa_page are then the leaf's *base*:
+  /// one flag per leaf means one event per leaf, covering gran_size bytes.
+  PageGran gran = PageGran::k4K;
 };
 
 class PageTrackNotifier {
@@ -182,7 +186,10 @@ class HypPmlLogger final : public PageTrackNotifier {
   bool on_track(TrackLayer layer, const TrackEvent& ev) override;
 
  private:
-  static void log_gpa(Vcpu& vcpu, Gpa gpa_page);
+  /// `entry` is the value stored into the buffer: a gran-aligned base with
+  /// the granularity code in the low bits (pml_entry_encode) — code 0 for
+  /// 4 KiB pages keeps default entries bit-identical to plain GPAs.
+  static void log_gpa(Vcpu& vcpu, u64 entry);
 };
 
 /// Guest-level PML (the EPML extension): a write that set a guest-PTE dirty

@@ -39,6 +39,18 @@ Hpa PhysicalMemory::alloc_frame() {
   return fn << kPageShift;
 }
 
+Hpa PhysicalMemory::alloc_frames_contiguous(u64 count) {
+  assert(count > 0);
+  u64 fn = next_frame_.load(std::memory_order_relaxed);
+  while (fn + count <= total_frames_ &&
+         !next_frame_.compare_exchange_weak(fn, fn + count,
+                                            std::memory_order_relaxed)) {
+  }
+  if (fn + count > total_frames_) throw std::bad_alloc{};
+  used_frames_.fetch_add(count, std::memory_order_relaxed);
+  return fn << kPageShift;
+}
+
 void PhysicalMemory::free_frame(Hpa frame) {
   assert(is_page_aligned(frame));
   const u64 fn = page_index(frame);

@@ -35,6 +35,15 @@ class PhysicalMemory {
   [[nodiscard]] Hpa alloc_frame();
   void free_frame(Hpa frame);
 
+  /// Allocate `count` physically contiguous frames (a huge-leaf backing
+  /// run) from the bump pointer; returns the first frame's HPA. Contiguous
+  /// runs never come from the recycled free lists — fragmentation there is
+  /// exactly why real kernels struggle to build huge pages late. Throws
+  /// std::bad_alloc when the bump region cannot fit the run. The run may be
+  /// freed frame-by-frame with free_frame() (after an eager split breaks
+  /// the leaf into 4 KiB mappings).
+  [[nodiscard]] Hpa alloc_frames_contiguous(u64 count);
+
   [[nodiscard]] u64 total_frames() const noexcept { return total_frames_; }
   [[nodiscard]] u64 used_frames() const noexcept {
     return used_frames_.load(std::memory_order_relaxed);

@@ -134,21 +134,140 @@ class RadixTable4 {
 
   [[nodiscard]] std::size_t leaf_count() const noexcept { return leaf_count_; }
 
+  // ---- PS-bit (huge) leaves -------------------------------------------------
+  // A leaf may sit one level up (2 MiB, stored beside an L1's children) or
+  // two (1 GiB, beside an L2's). The walk checks huge slots top-down before
+  // descending, exactly like hardware honours the PS bit, so a present huge
+  // leaf shadows any (necessarily non-present, GRAN-1) 4 KiB entries below
+  // it. EntryT needs a `present` member for these paths; tables that never
+  // call them (plain RadixTable4<u64> benches) never instantiate it.
+
+  /// True once any huge slab has been allocated: the fast guard that keeps
+  /// the all-4K walk byte-identical to the pre-huge-page code.
+  [[nodiscard]] bool has_huge() const noexcept { return huge_slabs_ != 0; }
+
+  /// Top-down walk honouring PS bits: returns the present huge leaf
+  /// covering `addr` (setting `gran`), else the 4 KiB entry from find()
+  /// (gran = k4K; may be null or non-present).
+  [[nodiscard]] EntryT* find_leaf(u64 addr, PageGran& gran) noexcept {
+    if (huge_slabs_ != 0) {
+      L2* l2 = root_.children[radix_index(addr, 3)].get();
+      if (l2 != nullptr) {
+        if (l2->huge) {
+          EntryT& e = (*l2->huge)[radix_index(addr, 2)];
+          if (e.present) {
+            gran = PageGran::k1G;
+            return &e;
+          }
+        }
+        L1* l1 = l2->children[radix_index(addr, 2)].get();
+        if (l1 != nullptr && l1->huge) {
+          EntryT& e = (*l1->huge)[radix_index(addr, 1)];
+          if (e.present) {
+            gran = PageGran::k2M;
+            return &e;
+          }
+        }
+      }
+    }
+    gran = PageGran::k4K;
+    return find(addr);
+  }
+  [[nodiscard]] const EntryT* find_leaf(u64 addr, PageGran& gran) const noexcept {
+    return const_cast<RadixTable4*>(this)->find_leaf(addr, gran);
+  }
+
+  /// Huge-leaf slot covering `addr` at exactly granularity `g`, allocating
+  /// the slab (and interior nodes) as needed. The caller owns present-ness
+  /// and overlap discipline (GRAN-1).
+  [[nodiscard]] EntryT& ensure_huge(u64 addr, PageGran g) {
+    assert(radix_canonical(addr) && "address beyond the 48-bit split aliases");
+    assert(g != PageGran::k4K && "use ensure() for base pages");
+    auto& l2 = root_.children[radix_index(addr, 3)];
+    if (!l2) l2 = std::make_unique<L2>();
+    if (g == PageGran::k1G) {
+      if (!l2->huge) {
+        l2->huge = std::make_unique<HugeSlab>();
+        ++huge_slabs_;
+      }
+      return (*l2->huge)[radix_index(addr, 2)];
+    }
+    auto& l1 = l2->children[radix_index(addr, 2)];
+    if (!l1) l1 = std::make_unique<L1>();
+    if (!l1->huge) {
+      l1->huge = std::make_unique<HugeSlab>();
+      ++huge_slabs_;
+    }
+    return (*l1->huge)[radix_index(addr, 1)];
+  }
+
+  /// Huge-leaf slot for `addr` at exactly granularity `g`, or nullptr when
+  /// no slab exists there. Never allocates; no present check.
+  [[nodiscard]] EntryT* find_huge(u64 addr, PageGran g) noexcept {
+    if (huge_slabs_ == 0) return nullptr;
+    L2* l2 = root_.children[radix_index(addr, 3)].get();
+    if (l2 == nullptr) return nullptr;
+    if (g == PageGran::k1G) {
+      return l2->huge ? &(*l2->huge)[radix_index(addr, 2)] : nullptr;
+    }
+    L1* l1 = l2->children[radix_index(addr, 2)].get();
+    if (l1 == nullptr || !l1->huge) return nullptr;
+    return &(*l1->huge)[radix_index(addr, 1)];
+  }
+
+  /// Visit every entry of every granularity as fn(base_addr, EntryT&, gran):
+  /// 1 GiB slabs, then 2 MiB slabs, then the 4 KiB leaves. Like for_each,
+  /// non-present entries are visited too; callers filter.
+  template <typename Fn>
+  void for_each_leaf(Fn&& fn) {
+    if (huge_slabs_ != 0) {
+      for (std::size_t i3 = 0; i3 < kRadixFanout; ++i3) {
+        L2* l2 = root_.children[i3].get();
+        if (l2 == nullptr) continue;
+        if (l2->huge) {
+          for (std::size_t i2 = 0; i2 < kRadixFanout; ++i2) {
+            const u64 addr = ((static_cast<u64>(i3) << kRadixBits) | i2)
+                             << gran_shift(PageGran::k1G);
+            fn(addr, (*l2->huge)[i2], PageGran::k1G);
+          }
+        }
+        for (std::size_t i2 = 0; i2 < kRadixFanout; ++i2) {
+          L1* l1 = l2->children[i2].get();
+          if (l1 == nullptr || !l1->huge) continue;
+          for (std::size_t i1 = 0; i1 < kRadixFanout; ++i1) {
+            const u64 addr = ((static_cast<u64>(i3) << (kRadixBits * 2)) |
+                              (static_cast<u64>(i2) << kRadixBits) | i1)
+                             << gran_shift(PageGran::k2M);
+            fn(addr, (*l1->huge)[i1], PageGran::k2M);
+          }
+        }
+      }
+    }
+    for_each([&fn](u64 addr, EntryT& e) { fn(addr, e, PageGran::k4K); });
+  }
+
  private:
   struct Leaf {
     std::array<EntryT, kRadixFanout> entries{};
   };
+  using HugeSlab = std::array<EntryT, kRadixFanout>;
   struct L1 {
     std::array<std::unique_ptr<Leaf>, kRadixFanout> children;
+    // PS-bit leaves: slot i is a 2 MiB leaf entry covering the same span as
+    // children[i]'s whole 4 KiB leaf. Allocated lazily on first huge map so
+    // all-4K tables never pay for it.
+    std::unique_ptr<HugeSlab> huge;
   };
   struct L2 {
     std::array<std::unique_ptr<L1>, kRadixFanout> children;
+    std::unique_ptr<HugeSlab> huge;  ///< 1 GiB PS-bit leaves.
   };
   struct L3 {
     std::array<std::unique_ptr<L2>, kRadixFanout> children;
   };
   L3 root_;
   std::size_t leaf_count_ = 0;
+  std::size_t huge_slabs_ = 0;  ///< allocated huge slabs; never shrinks.
   // MRU walk cache: mutable so const find() can refresh it. Each table is
   // owned by exactly one VM timeline (like the TLB), so there is no
   // cross-thread access to guard.

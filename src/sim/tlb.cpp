@@ -77,18 +77,33 @@ TlbEntry* Tlb::lookup(u32 pid, Gva gva_page) noexcept {
   assert((gva_page >> 48) == 0 && "GVA beyond the 48-bit canonical split");
   gva_page = page_floor(gva_page);  // tags are page-granular, as before
   const std::size_t b = find_bucket(pid, gva_page);
-  return b == kAbsent ? nullptr : &slots_[index_[b] - 1].entry;
+  if (b != kAbsent) return &slots_[index_[b] - 1].entry;
+  if (huge_entries_ != 0) {
+    // Region-base probes, smallest first (GRAN-1 means at most one hits).
+    for (const PageGran g : {PageGran::k2M, PageGran::k1G}) {
+      const std::size_t hb = find_bucket(pid, gran_floor(gva_page, g));
+      if (hb != kAbsent && slots_[index_[hb] - 1].entry.gran == g) {
+        return &slots_[index_[hb] - 1].entry;
+      }
+    }
+  }
+  return nullptr;
 }
 
 void Tlb::insert(u32 pid, Gva gva_page, const TlbEntry& entry) {
   assert((gva_page >> 48) == 0 &&
          "GVA beyond the 48-bit split would have aliased the old packed key");
+  assert(is_gran_aligned(gva_page, entry.gran) &&
+         "huge entries are keyed by their region base");
   gva_page = page_floor(gva_page);
   const std::size_t b = find_bucket(pid, gva_page);
   if (b != kAbsent) {
     // In-place refresh: the slot does not move, so memoised entry pointers
     // stay valid and re-read the new permission/dirty bits.
-    slots_[index_[b] - 1].entry = entry;
+    TlbEntry& old = slots_[index_[b] - 1].entry;
+    if (old.gran != PageGran::k4K) --huge_entries_;
+    if (entry.gran != PageGran::k4K) ++huge_entries_;
+    old = entry;
     return;
   }
   if (size_ >= capacity_ && size_ > 0) {
@@ -107,12 +122,14 @@ void Tlb::insert(u32 pid, Gva gva_page, const TlbEntry& entry) {
   slots_[pos].gva_page = gva_page;
   slots_[pos].entry = entry;
   index_insert(pid, gva_page, pos);
+  if (entry.gran != PageGran::k4K) ++huge_entries_;
   ++size_;
   ++generation_;
 }
 
 void Tlb::evict_at(std::size_t pos) noexcept {
   assert(pos < size_);
+  if (slots_[pos].entry.gran != PageGran::k4K) --huge_entries_;
   index_erase(slots_[pos].bucket);
   const std::size_t last = size_ - 1;
   if (pos != last) {
@@ -128,7 +145,34 @@ void Tlb::evict_at(std::size_t pos) noexcept {
 
 void Tlb::invalidate_page(u32 pid, Gva gva_page) noexcept {
   const std::size_t b = find_bucket(pid, page_floor(gva_page));
-  if (b != kAbsent) evict_at(index_[b] - 1);
+  if (b != kAbsent) {
+    evict_at(index_[b] - 1);
+    return;
+  }
+  if (huge_entries_ != 0) {
+    // INVLPG semantics: a huge entry covering the page is dropped whole.
+    for (const PageGran g : {PageGran::k2M, PageGran::k1G}) {
+      const std::size_t hb = find_bucket(pid, gran_floor(gva_page, g));
+      if (hb != kAbsent && slots_[index_[hb] - 1].entry.gran == g) {
+        evict_at(index_[hb] - 1);
+        return;
+      }
+    }
+  }
+}
+
+void Tlb::invalidate_region(u32 pid, Gva base, PageGran gran) noexcept {
+  const Gva lo = gran_floor(base, gran);
+  const Gva hi = lo + gran_size(gran);
+  // The region may be cached as one huge entry, 512 base-page entries, or a
+  // mix; and a larger entry may cover the region. Downward scan mirrors
+  // flush_pid's eviction order.
+  for (std::size_t i = size_; i-- > 0;) {
+    if (slots_[i].pid != pid) continue;
+    const Gva s_lo = slots_[i].gva_page;
+    const Gva s_hi = s_lo + gran_size(slots_[i].entry.gran);
+    if (s_lo < hi && lo < s_hi) evict_at(i);
+  }
 }
 
 void Tlb::flush_pid(u32 pid) noexcept {
@@ -146,6 +190,7 @@ void Tlb::flush_all() noexcept {
   // live entries must not pay for the whole index array.
   for (std::size_t i = 0; i < size_; ++i) index_[slots_[i].bucket] = kEmptyBucket;
   size_ = 0;
+  huge_entries_ = 0;
   ++generation_;
 }
 

@@ -31,21 +31,39 @@
 namespace ooh::sim {
 
 struct TlbEntry {
-  Gpa gpa_page = 0;
-  Hpa hpa_page = 0;
+  Gpa gpa_page = 0;  ///< granularity-aligned GPA base of the cached region.
+  Hpa hpa_page = 0;  ///< granularity-aligned HPA base of the cached region.
   bool writable = false;  ///< effective write permission at fill time.
   bool dirty = false;     ///< guest-PTE and EPT dirty flags were set at fill.
+  /// Cached translation granularity. A k2M entry is keyed by its 2 MiB-
+  /// aligned base GVA and answers every page in the region (its bases are
+  /// region bases; the MMU adds the in-region offset). Filled only when
+  /// guest leaf AND EPT leaf are both >= the granularity, so base+offset
+  /// arithmetic is valid across the whole region.
+  PageGran gran = PageGran::k4K;
 };
 
 class Tlb {
  public:
   explicit Tlb(std::size_t capacity = 1536);
 
+  /// Cached translation covering `gva_page`: the exact 4 KiB key first,
+  /// then — only when huge entries exist at all — the 2 MiB / 1 GiB region
+  /// bases. All-4K workloads never pay the extra probes.
   [[nodiscard]] TlbEntry* lookup(u32 pid, Gva gva_page) noexcept;
   void insert(u32 pid, Gva gva_page, const TlbEntry& entry);
+  /// Drop the entry whose span covers `gva_page` (a huge entry covering the
+  /// page is dropped whole, as INVLPG does).
   void invalidate_page(u32 pid, Gva gva_page) noexcept;
+  /// Drop every entry overlapping the `gran`-sized region at `base` — the
+  /// shootdown a huge-leaf unmap/split owes (a 2 MiB region may be cached
+  /// as one huge entry, as 512 4 KiB entries, or any mix).
+  void invalidate_region(u32 pid, Gva base, PageGran gran) noexcept;
   void flush_pid(u32 pid) noexcept;
   void flush_all() noexcept;
+
+  /// Live entries with gran != k4K (guards the extra lookup probes).
+  [[nodiscard]] std::size_t huge_entries() const noexcept { return huge_entries_; }
 
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
@@ -91,6 +109,7 @@ class Tlb {
   std::size_t bucket_mask_ = 0;  ///< index_.size() - 1 (power of two).
   std::vector<Slot> slots_;      ///< dense live entries, [0, size_).
   std::vector<u32> index_;       ///< open-addressed (pid, gva) -> pos + 1.
+  std::size_t huge_entries_ = 0;
   u64 generation_ = 0;
   u64 rand_state_ = 0x853c49e6748fea9bULL;  // deterministic victim choice
 };

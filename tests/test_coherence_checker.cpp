@@ -278,6 +278,46 @@ TEST_F(CoherenceMutationTest, DetectsGuestFrameMappedTwice) {
   expect_violation([&] { checker_.audit_guest_tables(vm_); }, "PT-2");
 }
 
+// ---- granularity corruptions ------------------------------------------------
+
+TEST_F(CoherenceMutationTest, DetectsCrossGranOverlapInEpt) {
+  auto [proc, base] = dirty_pages(8);
+  // Slam a PS-bit 2 MiB leaf over the region the demand-paged 4 KiB EPT
+  // entries already occupy: a cross-granularity double cover of those GPAs.
+  const Gpa gpa = kernel_.page_table(*proc).pte(base)->gpa_page;
+  vm_.ept().map_huge(gran_floor(gpa, PageGran::k2M), 16 * kMiB, PageGran::k2M,
+                     true);
+  expect_violation([&] { checker_.audit_granularity(vm_); }, "GRAN-1");
+}
+
+TEST_F(CoherenceMutationTest, DetectsOverlappingSegments) {
+  guest::Process& p = kernel_.create_process();
+  const Gva base = p.mmap(4 * kPageSize);
+  // Touch out of order so the GPA runs cannot coalesce into one segment.
+  p.touch_write(base + 2 * kPageSize);
+  p.touch_write(base);
+  p.touch_write(base + kPageSize);
+  auto tracker = lib::make_tracker(lib::Technique::kSeg, kernel_, p);
+  tracker->init();  // converts the radix table to the segment backend
+  ASSERT_GE(kernel_.page_table(p).segment_table()->segment_count(), 2u);
+  EXPECT_NO_THROW(checker_.audit_granularity(vm_));
+  kernel_.page_table(p).segment_table()->debug_overlap_segments();
+  expect_violation([&] { checker_.audit_granularity(vm_); }, "GRAN-1");
+}
+
+TEST_F(CoherenceMutationTest, DetectsHugeLeafDuringEagerSplitSession) {
+  auto [proc, base] = dirty_pages(4);
+  (void)proc;
+  (void)base;
+  hv_.enable_pml_for_hyp(vm_);  // eager-split session: active from here on
+  ASSERT_TRUE(vm_.eager_split_active());
+  EXPECT_NO_THROW(checker_.audit_eager_split(vm_));
+  // A PS-bit leaf appearing mid-session coarsens dirty logging back to
+  // 2 MiB supersets — exactly what the split paid to prevent.
+  vm_.ept().map_huge(32 * kMiB, 48 * kMiB, PageGran::k2M, true);
+  expect_violation([&] { checker_.audit_eager_split(vm_); }, "SPLIT-1");
+}
+
 // ---- notifier-registry corruptions ------------------------------------------
 
 TEST_F(CoherenceMutationTest, DetectsMissingHardwareCircuit) {

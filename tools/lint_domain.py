@@ -108,6 +108,18 @@ RULES: list[Rule] = [
         "test-only corruption primitive.",
     ),
     rule(
+        "raw-page-constant",
+        r"(?<![\w'])4096(?![\w'])|>>\s*12\b|<<\s*12\b"
+        r"|0x[Ff]{3}\b|0x1[Ff]{5}\b",
+        ["src/base/types.hpp"],
+        "Page geometry must come from base/types.hpp (kPageSize, kPageShift, "
+        "page_floor/page_index and the PageGran helpers); a hand-rolled 4096, "
+        ">> 12 or 0xFFF mask silently hard-codes 4 KiB granularity and "
+        "bypasses the multi-granularity translation helpers. A genuine "
+        "non-page constant may opt out with a trailing comment containing "
+        "lint: allow(raw-page-constant).",
+    ),
+    rule(
         "notifier-registration",
         r"\b(un)?register_notifier\s*\(",
         [
@@ -125,6 +137,12 @@ RULES: list[Rule] = [
 ]
 
 LINE_COMMENT = re.compile(r"//.*$")
+
+# Per-line escape hatch: a comment containing `lint: allow(rule-name)`
+# exempts that line from exactly that rule (the marker lives in the comment,
+# which is stripped before pattern matching, so it can never satisfy a rule
+# pattern itself).
+ALLOW_MARKER = re.compile(r"lint:\s*allow\(([\w-]+)\)")
 
 
 def strip_comment(line: str) -> str:
@@ -147,8 +165,10 @@ def lint_file(path: Path, rel: str, report: Report) -> None:
         return
     for lineno, raw in enumerate(lines, start=1):
         line = strip_comment(raw)
+        allowed_here = set(ALLOW_MARKER.findall(raw))
         for r in RULES:
-            if r.pattern.search(line) and rel not in r.allowed:
+            if (r.pattern.search(line) and rel not in r.allowed
+                    and r.name not in allowed_here):
                 report.add(path, lineno, r, raw)
 
 
