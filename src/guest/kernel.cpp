@@ -130,7 +130,7 @@ Gpa GuestKernel::alloc_gpa_frame(sim::ExecContext& ctx) {
     // same failure a loaded guest would produce and must degrade, not die.
     throw std::bad_alloc{};
   }
-  const std::lock_guard<std::mutex> lock(gpa_mu_);
+  const sync::SpinGuard lock(gpa_mu_);
   if (!gpa_free_list_.empty()) {
     const Gpa gpa = gpa_free_list_.back();
     gpa_free_list_.pop_back();
@@ -145,7 +145,7 @@ Gpa GuestKernel::alloc_gpa_frame(sim::ExecContext& ctx) {
 }
 
 void GuestKernel::free_gpa_frame(Gpa gpa) {
-  const std::lock_guard<std::mutex> lock(gpa_mu_);
+  const sync::SpinGuard lock(gpa_mu_);
   gpa_free_list_.push_back(page_floor(gpa));
 }
 

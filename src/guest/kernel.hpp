@@ -21,11 +21,11 @@
 
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 #include <unordered_map>
 #include <vector>
 
+#include "base/sync.hpp"
 #include "base/types.hpp"
 #include "guest/process.hpp"
 #include "guest/scheduler.hpp"
@@ -207,7 +207,7 @@ class GuestKernel final : public sim::GuestIrqSink {
   unsigned next_place_cpu_ = 0;  ///< round-robin placement cursor.
   Gpa next_gpa_frame_ = kPageSize;  // guest frame 0 reserved, like HPA 0
   std::vector<Gpa> gpa_free_list_;
-  std::mutex gpa_mu_;  ///< guards the frame allocator under SMP demand faults.
+  sync::Mutex gpa_mu_;  ///< guards the frame allocator under SMP demand faults.
 };
 
 }  // namespace ooh::guest

@@ -16,16 +16,34 @@
 // loss-free, and gives the kDirtyRingFull fault point a real degraded path
 // to exercise.
 //
+// Memory-ordering contract (audited by the schedule explorer's
+// ring_push_pop scenario across all bounded interleavings, and by the lint
+// rule relaxed-needs-justification on every relaxed access below):
+//
+//   tail_  producer-owned cursor. Producer stores it with RELEASE after the
+//          slot write so try_pop's ACQUIRE load of tail_ makes the slot
+//          contents visible (publication edge P->C). The producer itself
+//          reads tail_ relaxed — it is the only writer.
+//   head_  consumer-owned cursor. Consumer stores it with RELEASE after the
+//          slot read so try_push's ACQUIRE load of head_ proves the slot is
+//          no longer being read before the producer may overwrite it on
+//          wrap-around (recycling edge C->P). The consumer itself reads
+//          head_ relaxed — it is the only writer.
+//
+// Weakening either RELEASE/ACQUIRE pair to relaxed is the seeded
+// missing-release mutation test_sched_explorer.cpp proves the explorer
+// catches (SCHED-RACE on the slot bytes).
+//
 // Invariant RING-1 (docs/invariants.md): popped() <= pushed(), and
 // pushed() - popped() <= capacity() at every instant; the spill log is only
 // ever touched by the producer between quiescent points.
 #pragma once
 
-#include <atomic>
 #include <cassert>
 #include <cstddef>
 #include <vector>
 
+#include "base/sync.hpp"
 #include "base/types.hpp"
 
 namespace ooh::hv {
@@ -48,24 +66,38 @@ class DirtyRing {
   /// Append one GPA; false when the ring is full (caller takes the spill
   /// path). Safe against a concurrently popping consumer.
   [[nodiscard]] bool try_push(u64 value) noexcept {
+    // relaxed-ok: tail_ is producer-owned; this thread is its only writer.
     const u64 tail = tail_.load(std::memory_order_relaxed);
+    // Acquire pairs with the consumer's head_ release: the slot we are about
+    // to overwrite on wrap-around is provably done being read.
     if (tail - head_.load(std::memory_order_acquire) >= capacity_) return false;
+    OOH_SYNC_PLAIN_WRITE(&slots_[tail & mask_]);
     slots_[tail & mask_] = value;
+    // Release publishes the slot write to the consumer's tail_ acquire.
     tail_.store(tail + 1, std::memory_order_release);
     return true;
   }
 
   /// Loss-free overflow path: producer-private, folded in at harvest time.
-  void spill(u64 value) { spill_.push_back(value); }
+  void spill(u64 value) {
+    OOH_SYNC_PLAIN_WRITE(&spill_);
+    spill_.push_back(value);
+  }
 
   // ---- consumer side (one userspace drain thread) -------------------------
 
   /// Pop the oldest entry; false when the ring is observed empty. Safe while
   /// the producer keeps pushing.
   [[nodiscard]] bool try_pop(u64& out) noexcept {
+    // relaxed-ok: head_ is consumer-owned; this thread is its only writer.
     const u64 head = head_.load(std::memory_order_relaxed);
+    // Acquire pairs with the producer's tail_ release: makes the slot
+    // contents visible before we read them.
     if (head == tail_.load(std::memory_order_acquire)) return false;
+    OOH_SYNC_PLAIN_READ(&slots_[head & mask_]);
     out = slots_[head & mask_];
+    // Release hands the slot back to the producer's head_ acquire — it may
+    // only be overwritten once this store is visible.
     head_.store(head + 1, std::memory_order_release);
     return true;
   }
@@ -74,6 +106,7 @@ class DirtyRing {
 
   /// Move the spill log out (harvest folds these after the ring contents).
   [[nodiscard]] std::vector<u64> take_spill() {
+    OOH_SYNC_PLAIN_WRITE(&spill_);
     std::vector<u64> out;
     out.swap(spill_);
     return out;
@@ -81,16 +114,22 @@ class DirtyRing {
 
   /// Drop everything (tests / teardown). Cumulative counters are kept.
   void clear() noexcept {
+    // relaxed-ok: quiescent-point operation by contract — no concurrent
+    // producer or consumer, so there is nothing to order against.
     head_.store(tail_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+    OOH_SYNC_PLAIN_WRITE(&spill_);
     spill_.clear();
   }
 
   // ---- introspection ------------------------------------------------------
 
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  /// Total entries ever pushed. Acquire so a quiescent reader that joined
+  /// the producer thread sees its final slot writes too.
   [[nodiscard]] u64 pushed() const noexcept {
     return tail_.load(std::memory_order_acquire);
   }
+  /// Total entries ever popped. Acquire, mirroring pushed().
   [[nodiscard]] u64 popped() const noexcept {
     return head_.load(std::memory_order_acquire);
   }
@@ -112,6 +151,7 @@ class DirtyRing {
   void for_each_pending(Fn&& fn) const {
     const u64 tail = tail_.load(std::memory_order_acquire);
     for (u64 i = head_.load(std::memory_order_acquire); i != tail; ++i) {
+      OOH_SYNC_PLAIN_READ(&slots_[i & mask_]);
       fn(slots_[i & mask_]);
     }
   }
@@ -127,9 +167,9 @@ class DirtyRing {
   std::size_t capacity_;
   std::size_t mask_;
   std::vector<u64> slots_;
-  std::atomic<u64> head_{0};  ///< consumer cursor: total entries popped.
-  std::atomic<u64> tail_{0};  ///< producer cursor: total entries pushed.
-  std::vector<u64> spill_;    ///< producer-private overflow (never dropped).
+  sync::Atomic<u64> head_{0};  ///< consumer cursor: total entries popped.
+  sync::Atomic<u64> tail_{0};  ///< producer cursor: total entries pushed.
+  std::vector<u64> spill_;     ///< producer-private overflow (never dropped).
 };
 
 }  // namespace ooh::hv

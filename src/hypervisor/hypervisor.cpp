@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "base/sync.hpp"
+
 namespace ooh::hv {
 
 Vm& Hypervisor::create_vm(u64 mem_bytes, std::size_t spml_ring_entries,
@@ -349,6 +351,7 @@ std::vector<Gpa> Hypervisor::take_ring_contents(Vm& vm) {
     // Entries a concurrent drain already handed to userspace: fold them in
     // so the harvest stays the authoritative union and their dirty flags
     // get reset with everything else.
+    OOH_SYNC_PLAIN_WRITE(&vm.drained_log(cpu));
     for (const Gpa gpa : vm.drained_log(cpu)) dedup.insert(gpa);
     vm.drained_log(cpu).clear();
   }
@@ -362,6 +365,11 @@ std::size_t Hypervisor::drain_dirty_ring(Vm& vm, unsigned cpu,
   u64 gpa = 0;
   while (ring.try_pop(gpa)) {
     out.push_back(gpa);
+    // The drained log is drainer-private while the drain runs (SPSC: this
+    // is the ring's one consumer); quiescent harvests read it only after
+    // the drainer stopped. The annotation lets the schedule explorer prove
+    // that ordering across interleavings.
+    OOH_SYNC_PLAIN_WRITE(&vm.drained_log(cpu));
     vm.drained_log(cpu).push_back(gpa);
     ++popped;
   }

@@ -1,10 +1,11 @@
 #include "hypervisor/migration.hpp"
 
-#include <atomic>
 #include <new>
 #include <thread>
 #include <unordered_set>
 #include <vector>
+
+#include "base/sync.hpp"
 
 namespace ooh::hv {
 namespace {
@@ -38,6 +39,8 @@ class ConcurrentDrainers {
         // Final sweep after the producer quiesced: entries pushed between
         // the last poll and the stop flag.
         popped += hv_.drain_dirty_ring(vm_, cpu, local);
+        // relaxed-ok: per-thread tally folded after join; the join itself
+        // is the ordering edge stop() relies on.
         drained_.fetch_add(popped, std::memory_order_relaxed);
       });
     }
@@ -48,6 +51,7 @@ class ConcurrentDrainers {
     stop_.store(true, std::memory_order_release);
     for (std::thread& t : threads_) t.join();
     threads_.clear();
+    // relaxed-ok: all drainers joined above; no concurrent writers left.
     return drained_.load(std::memory_order_relaxed);
   }
 
@@ -58,8 +62,8 @@ class ConcurrentDrainers {
  private:
   Hypervisor& hv_;
   Vm& vm_;
-  std::atomic<bool> stop_{false};
-  std::atomic<u64> drained_{0};
+  sync::Atomic<bool> stop_{false};
+  sync::Atomic<u64> drained_{0};
   std::vector<std::thread> threads_;
 };
 

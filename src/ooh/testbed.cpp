@@ -1,10 +1,10 @@
 #include "ooh/testbed.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <exception>
-#include <mutex>
 #include <thread>
+
+#include "base/sync.hpp"
 
 namespace ooh::lib {
 
@@ -80,17 +80,20 @@ void TestBed::run_tenants(const std::function<void(unsigned)>& body, unsigned th
   // so one timeline runs start-to-finish on a single thread. Tenants share
   // no mutable state except the machine's sharded frame allocator, which
   // is why this needs no further synchronisation.
-  std::atomic<unsigned> cursor{0};
-  std::mutex err_mu;
+  // relaxed-ok below: the cursor only partitions indices; each tenant's
+  // state is touched by exactly one worker, and join() publishes it.
+  sync::Atomic<unsigned> cursor{0};
+  sync::Mutex err_mu;
   std::exception_ptr first_error;
   const auto worker = [&] {
     for (;;) {
+      // relaxed-ok: the cursor only partitions indices between workers.
       const unsigned i = cursor.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;
       try {
         body(i);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(err_mu);
+        sync::SpinGuard lock(err_mu);
         if (!first_error) first_error = std::current_exception();
       }
     }

@@ -69,11 +69,13 @@ void CoherenceChecker::audit_vm(u32 vm_index) {
   audit_dirty_accounting(vm);
   audit_registry(vm);
   audit_clock(vm);
+  // relaxed-ok: statistics counter only.
   audits_run_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void CoherenceChecker::audit_machine() {
   audit_frames();
+  // relaxed-ok: statistics counter only.
   audits_run_.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -614,7 +616,7 @@ void CoherenceChecker::audit_registry(hv::Vm& vm) {
 // ---- CLK-* ------------------------------------------------------------------
 
 void CoherenceChecker::audit_clock(hv::Vm& vm) {
-  std::lock_guard<std::mutex> lock(clock_mu_);
+  sync::SpinGuard lock(clock_mu_);
   if (clock_snapshots_.size() <= vm.id()) {
     clock_snapshots_.resize(vm.id() + 1);
   }

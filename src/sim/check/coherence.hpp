@@ -51,10 +51,9 @@
 // always available so the mutation self-test can drive it explicitly.
 #pragma once
 
-#include <atomic>
-#include <mutex>
 #include <vector>
 
+#include "base/sync.hpp"
 #include "base/types.hpp"
 #include "base/vtime.hpp"
 #include "sim/check/invariant.hpp"
@@ -108,6 +107,8 @@ class CoherenceChecker {
 
   /// Total audit passes run (self-test instrumentation).
   [[nodiscard]] u64 audits_run() const noexcept {
+    // relaxed-ok: self-test statistics counter; no state is published
+    // through it.
     return audits_run_.load(std::memory_order_relaxed);
   }
 
@@ -133,9 +134,9 @@ class CoherenceChecker {
   std::vector<guest::GuestKernel*> kernels_;  // indexed by VM id
   // Last-seen virtual time per VM and vCPU, for the monotonicity audit.
   // Guarded: the vectors may grow lazily while tenants audit concurrently.
-  mutable std::mutex clock_mu_;
+  mutable sync::Mutex clock_mu_;
   std::vector<std::vector<VirtDuration>> clock_snapshots_;
-  std::atomic<u64> audits_run_{0};
+  sync::Atomic<u64> audits_run_{0};
 };
 
 }  // namespace ooh::check

@@ -7,6 +7,7 @@ namespace ooh::sim {
 void Ept::map(Gpa gpa_page, Hpa hpa_page, bool writable) {
   assert(is_page_aligned(gpa_page) && is_page_aligned(hpa_page));
   const auto lock = lock_if_concurrent();
+  OOH_SYNC_PLAIN_WRITE(&table_);
   EptEntry& e = table_.ensure(gpa_page);
   if (!e.present) ++present_pages_;
   e = EptEntry{};
@@ -17,6 +18,7 @@ void Ept::map(Gpa gpa_page, Hpa hpa_page, bool writable) {
 
 void Ept::unmap(Gpa gpa_page) {
   const auto lock = lock_if_concurrent();
+  OOH_SYNC_PLAIN_WRITE(&table_);
   EptEntry* e = table_.find(page_floor(gpa_page));
   if (e != nullptr && e->present) {
     *e = EptEntry{};
@@ -35,6 +37,7 @@ void Ept::map_huge(Gpa gpa_base, Hpa hpa_base, PageGran gran, bool writable) {
   assert(gran != PageGran::k4K && is_gran_aligned(gpa_base, gran) &&
          is_page_aligned(hpa_base));
   const auto lock = lock_if_concurrent();
+  OOH_SYNC_PLAIN_WRITE(&table_);
   EptEntry& e = table_.ensure_huge(gpa_base, gran);
   if (!e.present) {
     present_pages_ += gran_pages(gran);
@@ -48,6 +51,7 @@ void Ept::map_huge(Gpa gpa_base, Hpa hpa_base, PageGran gran, bool writable) {
 
 void Ept::unmap_huge(Gpa gpa_base, PageGran gran) {
   const auto lock = lock_if_concurrent();
+  OOH_SYNC_PLAIN_WRITE(&table_);
   EptEntry* e = table_.find_huge(gran_floor(gpa_base, gran), gran);
   if (e != nullptr && e->present) {
     *e = EptEntry{};
@@ -60,6 +64,7 @@ void Ept::unmap_huge(Gpa gpa_base, PageGran gran) {
 u64 Ept::split_huge_leaf(Gpa gpa, PageGran gran) {
   assert(gran != PageGran::k4K);
   const auto lock = lock_if_concurrent();
+  OOH_SYNC_PLAIN_WRITE(&table_);
   const Gpa base = gran_floor(gpa, gran);
   EptEntry* e = table_.find_huge(base, gran);
   if (e == nullptr || !e->present) return 0;

@@ -18,8 +18,7 @@
 // disjoint per-process GPA ranges guarantee.
 #pragma once
 
-#include <mutex>
-
+#include "base/sync.hpp"
 #include "base/types.hpp"
 #include "sim/radix.hpp"
 
@@ -66,6 +65,10 @@ class Ept {
   /// then 4K). For a huge leaf the entry's hpa_page is the region base.
   [[nodiscard]] EptEntry* entry(Gpa gpa) noexcept {
     const auto lock = lock_if_concurrent();
+    // A "read" still rotates the MRU walk cache, so the table access is a
+    // write for race-checking purposes: two unlocked concurrent walkers are
+    // a real bug the schedule explorer must flag.
+    OOH_SYNC_PLAIN_WRITE(&table_);
     return find_leaf_locked(gpa);
   }
   [[nodiscard]] const EptEntry* entry(Gpa gpa) const noexcept {
@@ -75,6 +78,8 @@ class Ept {
   /// The nested-walk seam: leaf + granularity + per-4 KiB HPA for `gpa`.
   [[nodiscard]] Lookup lookup(Gpa gpa) noexcept {
     const auto lock = lock_if_concurrent();
+    // Write, not read: find() rotates the MRU walk cache (see entry()).
+    OOH_SYNC_PLAIN_WRITE(&table_);
     const Gpa page = page_floor(gpa);
     if (!table_.has_huge()) {
       EptEntry* e = table_.find(page);
@@ -171,16 +176,15 @@ class Ept {
     return table_.find_leaf(page, g);
   }
 
-  [[nodiscard]] std::unique_lock<std::mutex> lock_if_concurrent() const {
-    return concurrent_ ? std::unique_lock<std::mutex>(mu_)
-                       : std::unique_lock<std::mutex>();
+  [[nodiscard]] sync::UniqueLock lock_if_concurrent() const {
+    return concurrent_ ? sync::UniqueLock(mu_) : sync::UniqueLock();
   }
 
   RadixTable4<EptEntry> table_;
   u64 present_pages_ = 0;
   u64 huge_present_ = 0;
   bool concurrent_ = false;
-  mutable std::mutex mu_;
+  mutable sync::Mutex mu_;
 };
 
 }  // namespace ooh::sim

@@ -10,11 +10,11 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "base/cost_model.hpp"
 #include "base/counters.hpp"
+#include "base/sync.hpp"
 #include "sim/exec_context.hpp"
 #include "sim/phys_mem.hpp"
 
@@ -31,19 +31,19 @@ class Machine {
   /// Mint the execution context for a new vCPU. Called at VM setup; the
   /// Machine keeps ownership so machine-wide aggregation stays possible.
   ExecContext& create_context() {
-    std::lock_guard<std::mutex> lock(ctx_mu_);
+    sync::SpinGuard lock(ctx_mu_);
     contexts_.push_back(std::make_unique<ExecContext>(
         static_cast<u32>(contexts_.size()), cost, pmem));
     return *contexts_.back();
   }
 
   [[nodiscard]] std::size_t context_count() const {
-    std::lock_guard<std::mutex> lock(ctx_mu_);
+    sync::SpinGuard lock(ctx_mu_);
     return contexts_.size();
   }
 
   [[nodiscard]] ExecContext& context(std::size_t i) {
-    std::lock_guard<std::mutex> lock(ctx_mu_);
+    sync::SpinGuard lock(ctx_mu_);
     return *contexts_.at(i);
   }
 
@@ -51,7 +51,7 @@ class Machine {
   /// meaningful while no context is concurrently mutating its counters
   /// (i.e. between parallel runs, not during one).
   [[nodiscard]] EventCounters total_counters() const {
-    std::lock_guard<std::mutex> lock(ctx_mu_);
+    sync::SpinGuard lock(ctx_mu_);
     EventCounters total;
     for (const auto& ctx : contexts_) total.merge(ctx->counters);
     return total;
@@ -60,7 +60,7 @@ class Machine {
   /// The most-advanced per-vCPU virtual clock — "how long the experiment
   /// took" when timelines run independently.
   [[nodiscard]] VirtDuration max_clock() const {
-    std::lock_guard<std::mutex> lock(ctx_mu_);
+    sync::SpinGuard lock(ctx_mu_);
     VirtDuration latest{0};
     for (const auto& ctx : contexts_) {
       if (ctx->clock.now() > latest) latest = ctx->clock.now();
@@ -72,7 +72,7 @@ class Machine {
   PhysicalMemory pmem;
 
  private:
-  mutable std::mutex ctx_mu_;
+  mutable sync::Mutex ctx_mu_;
   std::vector<std::unique_ptr<ExecContext>> contexts_;
 };
 

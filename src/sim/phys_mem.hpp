@@ -14,12 +14,11 @@
 #pragma once
 
 #include <array>
-#include <atomic>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "base/sync.hpp"
 #include "base/types.hpp"
 
 namespace ooh::sim {
@@ -46,6 +45,8 @@ class PhysicalMemory {
 
   [[nodiscard]] u64 total_frames() const noexcept { return total_frames_; }
   [[nodiscard]] u64 used_frames() const noexcept {
+    // relaxed-ok: a monotonic statistics counter — readers tolerate a stale
+    // snapshot and no other state is published through it.
     return used_frames_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] u64 backed_frames() const;
@@ -65,7 +66,7 @@ class PhysicalMemory {
   static constexpr std::size_t kShards = 16;
 
   struct Shard {
-    mutable std::mutex mu;
+    mutable sync::Mutex mu;
     std::vector<u64> free_list;                             // recycled frame numbers
     std::unordered_map<u64, std::unique_ptr<Frame>> data;   // keyed by frame number
   };
@@ -75,8 +76,8 @@ class PhysicalMemory {
   }
 
   u64 total_frames_;
-  std::atomic<u64> used_frames_{0};
-  std::atomic<u64> next_frame_{0};  // bump pointer, in frame numbers
+  sync::Atomic<u64> used_frames_{0};
+  sync::Atomic<u64> next_frame_{0};  // bump pointer, in frame numbers
   mutable std::array<Shard, kShards> shards_;
 };
 

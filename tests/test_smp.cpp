@@ -281,6 +281,73 @@ TEST(SmpConcurrentDrain, VcpusFaultWhileUserspaceDrainsLossFree) {
   bed.audit();
 }
 
+// Teardown ordering: the drain thread must be stopped and joined before the
+// Vm (and its rings) is destroyed. This runs the full stop -> join ->
+// destroy protocol under real threads — with TSan in CI and the schedule
+// explorer's mid_drain_teardown scenario covering the interleavings — and
+// checks no entry is lost between the stop signal and the teardown harvest.
+TEST(SmpConcurrentDrain, DrainThreadStopsAndJoinsBeforeVmTeardownLossFree) {
+  constexpr unsigned kCpus = 2;
+  constexpr u64 kPages = 64;
+  std::vector<Gpa> drained_total;
+  u64 expected = 0;
+  {
+    lib::TestBedOptions opts;
+    opts.vm_mem_bytes = 64 * kMiB;
+    opts.host_mem_bytes = 1 * kGiB;
+    opts.vcpus_per_vm = kCpus;
+    lib::TestBed bed(opts);
+    hv::Vm& vm = bed.vm();
+    guest::GuestKernel& k = bed.kernel();
+    hv::Hypervisor& hv = bed.hypervisor();
+
+    std::vector<guest::Process*> procs(kCpus);
+    std::vector<Gva> bases(kCpus);
+    for (unsigned cpu = 0; cpu < kCpus; ++cpu) {
+      procs[cpu] = &k.create_process();
+      bases[cpu] = procs[cpu]->mmap(kPages * kPageSize);
+    }
+    hv.enable_pml_for_hyp(vm);
+
+    std::atomic<bool> stop{false};
+    std::vector<std::vector<Gpa>> per_drainer(kCpus);
+    std::vector<std::thread> producers;
+    std::vector<std::thread> drainers;
+    for (unsigned cpu = 0; cpu < kCpus; ++cpu) {
+      producers.emplace_back([&, cpu] {
+        for (u64 i = 0; i < kPages; ++i) {
+          procs[cpu]->touch_write(bases[cpu] + i * kPageSize);
+        }
+      });
+      drainers.emplace_back([&, cpu] {
+        while (!stop.load(std::memory_order_acquire)) {
+          hv.drain_dirty_ring(vm, cpu, per_drainer[cpu]);
+          std::this_thread::yield();
+        }
+        // One final sweep after the stop signal: entries pushed between the
+        // last loop pass and stop must not be stranded mid-pop.
+        hv.drain_dirty_ring(vm, cpu, per_drainer[cpu]);
+      });
+    }
+    for (std::thread& t : producers) t.join();
+    // The teardown protocol under test: signal stop, join the drainers, and
+    // only then harvest and let the Vm (rings included) be destroyed.
+    stop.store(true, std::memory_order_release);
+    for (std::thread& t : drainers) t.join();
+
+    // harvest folds the concurrently-drained entries (Vm::drained_log) back
+    // in with the ring tails, so it alone is the complete dirty set.
+    drained_total = hv.harvest_hyp_dirty(vm);
+    hv.disable_pml_for_hyp(vm);
+    expected = u64{kCpus} * kPages;
+    bed.audit();
+  }  // TestBed (Vm, rings, kernels) destroyed here — after the joins.
+  std::sort(drained_total.begin(), drained_total.end());
+  EXPECT_EQ(drained_total.size(), expected);
+  EXPECT_EQ(std::set<Gpa>(drained_total.begin(), drained_total.end()).size(),
+            drained_total.size());
+}
+
 // ---- kDirtyRingFull fault injection -----------------------------------------
 
 TEST(SmpFaultInjection, DirtyRingFullSpillsLossFreeOnEveryVcpu) {

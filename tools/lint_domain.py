@@ -31,10 +31,16 @@ class Rule:
     pattern: re.Pattern
     allowed: frozenset[str]  # repo-relative files allowed to match
     why: str
+    # When set, a match is fine if this marker appears in a comment on the
+    # matching line or the line above it (e.g. `// relaxed-ok: <reason>`):
+    # the rule demands an adjacent justification rather than a whitelist.
+    justify_marker: str | None = None
 
 
-def rule(name: str, pattern: str, allowed: list[str], why: str) -> Rule:
-    return Rule(name, re.compile(pattern), frozenset(allowed), why)
+def rule(name: str, pattern: str, allowed: list[str], why: str,
+         justify_marker: str | None = None) -> Rule:
+    return Rule(name, re.compile(pattern), frozenset(allowed), why,
+                justify_marker)
 
 
 RULES: list[Rule] = [
@@ -134,6 +140,37 @@ RULES: list[Rule] = [
         "the registry audit knows about; others corrupt chain-order "
         "guarantees (REG-1/REG-2).",
     ),
+    rule(
+        "raw-sync-primitive",
+        r"\bstd::(atomic\b|atomic<|atomic_|mutex\b|shared_mutex\b"
+        r"|recursive_mutex\b|condition_variable\b|thread\b|jthread\b"
+        r"|lock_guard\b|scoped_lock\b|unique_lock\b)",
+        [
+            # The seam itself, the explorer that instruments it (whose own
+            # engine must not be instrumented), and the two sanctioned
+            # host-thread-spawning call sites (the sync seam wraps state,
+            # not thread lifetime).
+            "src/base/sync.hpp",
+            "src/sim/check/sched_explorer.hpp",
+            "src/sim/check/sched_explorer.cpp",
+            "src/ooh/testbed.cpp",
+            "src/hypervisor/migration.cpp",
+        ],
+        "Cross-thread state must live behind sync::Atomic / sync::Mutex / "
+        "sync::SpinGuard (src/base/sync.hpp, invariant SYNC-1): raw std "
+        "primitives are invisible to the schedule explorer and to the "
+        "memory-order audit, so a race through them can never be flagged.",
+    ),
+    rule(
+        "relaxed-needs-justification",
+        r"\bmemory_order_relaxed\b",
+        [],
+        "Every memory_order_relaxed must carry an adjacent `// relaxed-ok: "
+        "<reason>` comment (same line or the line above) saying why no "
+        "happens-before edge is needed there — an unjustified relaxed is "
+        "how the missing-release bug class (RACE-1) enters the tree.",
+        justify_marker="relaxed-ok",
+    ),
 ]
 
 LINE_COMMENT = re.compile(r"//.*$")
@@ -167,9 +204,37 @@ def lint_file(path: Path, rel: str, report: Report) -> None:
         line = strip_comment(raw)
         allowed_here = set(ALLOW_MARKER.findall(raw))
         for r in RULES:
-            if (r.pattern.search(line) and rel not in r.allowed
-                    and r.name not in allowed_here):
-                report.add(path, lineno, r, raw)
+            if (not r.pattern.search(line) or rel in r.allowed
+                    or r.name in allowed_here):
+                continue
+            if r.justify_marker and justified(lines, lineno, r.justify_marker):
+                continue
+            report.add(path, lineno, r, raw)
+
+
+def justified(lines: list[str], lineno: int, marker: str) -> bool:
+    """Is `marker` on the matching line or in the comment block above it?
+
+    The block may be separated from the match by continuation lines of the
+    same statement (a multi-line call), so we walk upward through comment
+    lines and lines that carry a trailing comment, bounded to keep the
+    justification adjacent rather than somewhere far up the file.
+    """
+    if marker in lines[lineno - 1]:
+        return True
+    for back in range(2, 8):
+        i = lineno - back
+        if i < 0:
+            return False
+        raw = lines[i]
+        if "//" not in raw:
+            return False
+        if marker in raw:
+            return True
+        # keep walking only while we are inside a pure comment block
+        if strip_comment(raw).strip():
+            return False
+    return False
 
 
 def main(argv: list[str]) -> int:
