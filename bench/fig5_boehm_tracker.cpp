@@ -5,6 +5,7 @@
 // Paper's findings: ignoring the first cycle, SPML outperforms /proc by up
 // to 36%; EPML outperforms /proc by up to 58% and SPML by up to 47%.
 #include "boehm_common.hpp"
+#include "ooh/epoch_run.hpp"
 
 using namespace ooh;
 
@@ -22,18 +23,39 @@ int main(int argc, char** argv) {
       {"word-count", wl::ConfigSize::kMedium}, {"string-match", wl::ConfigSize::kLarge},
   };
 
-  TextTable t({"application + technique", "cycles", "GC total (ms)", "cycle1 (ms)",
-               "later avg (ms)"});
+  // Each (app, technique) cell builds its own TestBed inside run_boehm, so
+  // the 18 cells are independent epochs: fan them across the epoch pool
+  // (OOH_EPOCH_THREADS / --threads; EPOCH-1 keeps the emitted bytes
+  // identical to the serial loop) and render rows in submission order.
+  struct Cell {
+    App app;
+    lib::Technique tech;
+  };
+  std::vector<Cell> cells;
   for (const App& app : apps) {
     for (const lib::Technique tech :
          {lib::Technique::kProc, lib::Technique::kSpml, lib::Technique::kEpml}) {
-      const bench::BoehmRun r = bench::run_boehm(app.name, app.size, args.scale, tech);
-      t.add_row(std::string(app.name) + " (" + std::string(wl::config_name(app.size)) + ") " +
-                    std::string(lib::technique_name(tech)),
-                {static_cast<double>(r.cycles), r.gc_total_us / 1e3,
-                 r.gc_first_cycle_us / 1e3, r.gc_later_avg_us / 1e3},
-                2);
+      cells.push_back({app, tech});
     }
+  }
+  const std::vector<bench::BoehmRun> results = lib::run_cells<bench::BoehmRun>(
+      cells.size(),
+      [&](std::size_t i) {
+        return bench::run_boehm(cells[i].app.name, cells[i].app.size, args.scale,
+                                cells[i].tech);
+      },
+      args.threads);
+
+  TextTable t({"application + technique", "cycles", "GC total (ms)", "cycle1 (ms)",
+               "later avg (ms)"});
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const App& app = cells[i].app;
+    const bench::BoehmRun& r = results[i];
+    t.add_row(std::string(app.name) + " (" + std::string(wl::config_name(app.size)) + ") " +
+                  std::string(lib::technique_name(cells[i].tech)),
+              {static_cast<double>(r.cycles), r.gc_total_us / 1e3,
+               r.gc_first_cycle_us / 1e3, r.gc_later_avg_us / 1e3},
+              2);
   }
   t.print(std::cout);
   std::printf("\nShape check: SPML's cycle 1 dwarfs its later cycles (reverse map);\n"

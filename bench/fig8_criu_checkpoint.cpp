@@ -8,6 +8,7 @@
 #include <algorithm>
 
 #include "criu_common.hpp"
+#include "ooh/epoch_run.hpp"
 
 using namespace ooh;
 
@@ -21,13 +22,30 @@ int main(int argc, char** argv) {
     bool tkrzw = false;
   };
   double worst_spml_over_proc = 0, best_proc_over_epml = 0, best_spml_over_epml = 0;
-  for (const auto& [app, size] : bench::criu_apps()) {
+
+  // Every (app, technique) checkpoint is a self-contained cell (run_criu
+  // builds its own beds): fan the grid across the epoch pool and fold the
+  // summaries serially in submission order (EPOCH-1: output byte-identical
+  // to the old nested loop at any worker count).
+  const auto apps = bench::criu_apps();
+  constexpr lib::Technique kTechs[] = {lib::Technique::kProc, lib::Technique::kSpml,
+                                       lib::Technique::kEpml};
+  const std::vector<bench::CriuRun> results = lib::run_cells<bench::CriuRun>(
+      apps.size() * 3,
+      [&](std::size_t i) {
+        const auto& [app, size] = apps[i / 3];
+        return bench::run_criu(app, size, args.scale, kTechs[i % 3]);
+      },
+      args.threads);
+
+  for (std::size_t a = 0; a < apps.size(); ++a) {
+    const auto& [app, size] = apps[a];
     Summary s;
     s.tkrzw = std::find(wl::tkrzw_apps().begin(), wl::tkrzw_apps().end(), app) !=
               wl::tkrzw_apps().end();
-    for (const lib::Technique tech :
-         {lib::Technique::kProc, lib::Technique::kSpml, lib::Technique::kEpml}) {
-      const bench::CriuRun r = bench::run_criu(app, size, args.scale, tech);
+    for (std::size_t ti = 0; ti < 3; ++ti) {
+      const lib::Technique tech = kTechs[ti];
+      const bench::CriuRun& r = results[a * 3 + ti];
       const double md = r.res.phases.md.count() / 1e3;
       const double mw = r.res.phases.mw.count() / 1e3;
       const double total = r.res.phases.checkpoint_total().count() / 1e3;

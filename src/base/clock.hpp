@@ -12,6 +12,10 @@
 
 #include "base/vtime.hpp"
 
+namespace ooh::snapshot {
+struct Access;
+}  // namespace ooh::snapshot
+
 namespace ooh {
 
 class VirtualClock {
@@ -61,6 +65,8 @@ class VirtualClock {
   }
 
  private:
+  friend struct ooh::snapshot::Access;
+
   VirtDuration now_{0};
   std::vector<VirtDuration*> open_buckets_;
 };

@@ -37,6 +37,9 @@
 namespace ooh::hv {
 class Hypervisor;
 }
+namespace ooh::snapshot {
+struct Access;
+}  // namespace ooh::snapshot
 
 namespace ooh::guest {
 
@@ -181,6 +184,7 @@ class GuestKernel final : public sim::GuestIrqSink {
  private:
   friend class ProcFs;
   friend class Uffd;
+  friend struct ooh::snapshot::Access;
 
   void handle_not_present(Process& proc, Gva gva, bool is_write);
   void handle_not_writable(Process& proc, Gva gva);

@@ -17,6 +17,9 @@
 namespace ooh::sim {
 class GuestPageTable;
 }
+namespace ooh::snapshot {
+struct Access;
+}  // namespace ooh::snapshot
 
 namespace ooh::guest {
 
@@ -99,6 +102,7 @@ class Process {
 
  private:
   friend class GuestKernel;
+  friend struct ooh::snapshot::Access;
 
   GuestKernel& kernel_;
   u32 pid_;

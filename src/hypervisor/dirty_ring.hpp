@@ -46,6 +46,10 @@
 #include "base/sync.hpp"
 #include "base/types.hpp"
 
+namespace ooh::snapshot {
+struct Access;
+}  // namespace ooh::snapshot
+
 namespace ooh::hv {
 
 class DirtyRing {
@@ -164,6 +168,8 @@ class DirtyRing {
   }
 
  private:
+  friend struct ooh::snapshot::Access;
+
   std::size_t capacity_;
   std::size_t mask_;
   std::vector<u64> slots_;

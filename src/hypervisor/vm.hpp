@@ -23,6 +23,10 @@
 #include "sim/spp.hpp"
 #include "sim/vcpu.hpp"
 
+namespace ooh::snapshot {
+struct Access;
+}  // namespace ooh::snapshot
+
 namespace ooh::hv {
 
 class Vm;
@@ -191,6 +195,8 @@ class Vm {
   }
 
  private:
+  friend struct ooh::snapshot::Access;
+
   struct CpuState {
     explicit CpuState(std::size_t spml_ring_entries) : spml_ring(spml_ring_entries) {}
     std::unique_ptr<sim::Vcpu> vcpu;

@@ -61,6 +61,23 @@ void TestBed::audit() {
   if (check::kCoherenceAuditsEnabled) checker_->audit_all();
 }
 
+snapshot::MachineSnapshot TestBed::save() {
+  std::vector<guest::GuestKernel*> kernels;
+  kernels.reserve(kernels_.size());
+  for (const auto& k : kernels_) kernels.push_back(k.get());
+  return snapshot::save_machine(*machine_, *hypervisor_, kernels);
+}
+
+void TestBed::restore(const snapshot::MachineSnapshot& snap) {
+  std::vector<guest::GuestKernel*> kernels;
+  kernels.reserve(kernels_.size());
+  for (const auto& k : kernels_) kernels.push_back(k.get());
+  snapshot::restore_machine(snap, *machine_, *hypervisor_, kernels);
+  // The restore rewound every vCPU's virtual clock; without this reset the
+  // next CLK-1 audit would flag the rewind as a monotonicity bug.
+  checker_->reset_clock_history();
+}
+
 unsigned TestBed::default_workers() noexcept {
   const unsigned hw = std::thread::hardware_concurrency();
   return hw != 0 ? hw : 2;

@@ -19,6 +19,7 @@
 #include "sim/fault/fault_plan.hpp"
 #include "sim/fault/injector.hpp"
 #include "sim/machine.hpp"
+#include "sim/snapshot/machine_image.hpp"
 
 namespace ooh::lib {
 
@@ -89,6 +90,26 @@ class TestBed {
   /// frame-ownership pass. No-op unless this is an audit build — callable
   /// unconditionally from figure drivers without perturbing Release runs.
   void audit();
+
+  // ---- snapshot / restore ---------------------------------------------------
+
+  /// Capture the bed's full machine state at a quiescent point (between
+  /// workload runs / collection intervals). Frame contents are shared
+  /// copy-on-write with the live machine — a GiB-footprint bed snapshots in
+  /// milliseconds. Throws std::logic_error if any session is mid-flight
+  /// (see sim/snapshot/machine_image.hpp for the quiescence contract).
+  [[nodiscard]] snapshot::MachineSnapshot save();
+
+  /// Rewind this bed onto `snap`, which must have been captured from a bed
+  /// built with the same TestBedOptions (same VM/vCPU/ring shapes — a
+  /// structural mismatch throws std::runtime_error). Restoring legitimately
+  /// rewinds virtual clocks, so the checker's CLK-1 history is reset.
+  void restore(const snapshot::MachineSnapshot& snap);
+
+  /// Canonical state stream of the bed right now — save() minus keeping the
+  /// frames. Two beds in the same state produce identical bytes; the
+  /// round-trip and epoch-determinism tests compare exactly this.
+  [[nodiscard]] std::vector<u8> state_bytes() { return save().bytes; }
 
   /// Tenant i / vCPU `cpu`'s fault injector, or nullptr when the bed runs
   /// fault-free (TestBedOptions::fault_plan empty). Injectors are laid out

@@ -1,0 +1,105 @@
+// Epoch-parallel simulation: deterministic merge of per-epoch results.
+//
+// An *epoch* is a slice of simulated work whose boundaries sit at machine
+// quiescent points — the places TestBed::save() accepts: no tracker session
+// armed, no PML logging enabled, no collection pending, virtual-clock
+// buckets closed (see src/sim/snapshot/). Two epoch shapes exist:
+//
+//   * Independent epochs: units that share no machine state at all (one
+//     TestBed per unit — every cell of a figure sweep). These run on the
+//     EpochPool in any real-time order; results land in submission-order
+//     slots, so the merged output is bit-identical to the serial loop no
+//     matter how the OS schedules workers (invariant EPOCH-1).
+//
+//   * Chained epochs: consecutive slices of ONE workload, split at
+//     run_tracked collection intervals. A serial scout records a boundary
+//     snapshot before each slice; replaying slice k from snapshot k on any
+//     worker must reproduce the scout's per-slice delta exactly — the
+//     simulation is a deterministic function of its boundary state.
+//
+// The merge helpers below are the single place epoch results combine.
+// Everything folds left in submission (epoch-index) order; nothing here
+// may consult wall-clock time, thread identity, or completion order.
+#pragma once
+
+#include <vector>
+
+#include "base/counters.hpp"
+#include "base/vtime.hpp"
+
+namespace ooh::epoch {
+
+/// What one epoch contributes to the merged timeline: the virtual time its
+/// slice reached, the events it charged, and the dirty-page log it drained
+/// (GVAs or GPAs — the epoch owner picks one and sticks to it).
+struct EpochDelta {
+  VirtDuration clock{};
+  EventCounters counters{};
+  std::vector<u64> dirty;
+
+  [[nodiscard]] bool operator==(const EpochDelta& o) const {
+    return clock == o.clock && counters == o.counters && dirty == o.dirty;
+  }
+};
+
+/// Left-fold of per-epoch counters in epoch order. EventCounters::merge is
+/// commutative integer addition, but folding in a fixed order keeps the
+/// contract uniform with the non-commutative merges below.
+[[nodiscard]] inline EventCounters merge_counters(const std::vector<EventCounters>& per_epoch) {
+  EventCounters total;
+  for (const EventCounters& c : per_epoch) total.merge(c);
+  return total;
+}
+
+/// Independent epochs overlap in virtual time, so the merged clock is the
+/// slowest timeline — the same reduction Machine::max_clock applies across
+/// vCPU contexts.
+[[nodiscard]] inline VirtDuration merge_clock_max(const std::vector<VirtDuration>& per_epoch) {
+  VirtDuration m{};
+  for (const VirtDuration d : per_epoch) {
+    if (d > m) m = d;
+  }
+  return m;
+}
+
+/// Chained epochs tile one timeline end to end: the merged clock is the sum
+/// of slice durations.
+[[nodiscard]] inline VirtDuration merge_clock_sum(const std::vector<VirtDuration>& per_epoch) {
+  VirtDuration m{};
+  for (const VirtDuration d : per_epoch) m += d;
+  return m;
+}
+
+/// Dirty logs concatenate in epoch order — the order a serial run would
+/// have produced them. NOT sorted: duplicate-and-order semantics are part
+/// of what the determinism pins compare.
+[[nodiscard]] inline std::vector<u64> merge_dirty(const std::vector<std::vector<u64>>& per_epoch) {
+  std::vector<u64> out;
+  std::size_t total = 0;
+  for (const auto& v : per_epoch) total += v.size();
+  out.reserve(total);
+  for (const auto& v : per_epoch) out.insert(out.end(), v.begin(), v.end());
+  return out;
+}
+
+/// Full merge for chained epochs (clock sums, counters fold, dirty concats).
+[[nodiscard]] inline EpochDelta merge_chained(const std::vector<EpochDelta>& per_epoch) {
+  EpochDelta out;
+  std::vector<EventCounters> cs;
+  std::vector<VirtDuration> ds;
+  std::vector<std::vector<u64>> logs;
+  cs.reserve(per_epoch.size());
+  ds.reserve(per_epoch.size());
+  logs.reserve(per_epoch.size());
+  for (const EpochDelta& e : per_epoch) {
+    cs.push_back(e.counters);
+    ds.push_back(e.clock);
+    logs.push_back(e.dirty);
+  }
+  out.counters = merge_counters(cs);
+  out.clock = merge_clock_sum(ds);
+  out.dirty = merge_dirty(logs);
+  return out;
+}
+
+}  // namespace ooh::epoch

@@ -93,7 +93,7 @@ void GuestPageTable::convert_to_segments() {
   segs_ = std::move(segs);
   backend_ = TranslationBackend::kSegment;
   present_pages_ = 0;
-  table_ = RadixTable4<Pte>{};
+  table_.clear();
 }
 
 }  // namespace ooh::sim

@@ -40,6 +40,10 @@
 
 #include "base/types.hpp"
 
+namespace ooh::snapshot {
+struct Access;
+}  // namespace ooh::snapshot
+
 namespace ooh::sim {
 
 class Vcpu;
@@ -143,6 +147,8 @@ class WriteTrackRegistry {
   }
 
  private:
+  friend struct ooh::snapshot::Access;
+
   struct Registration {
     PageTrackNotifier* notifier = nullptr;
     bool enabled = true;

@@ -1,5 +1,6 @@
 #include "sim/phys_mem.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 #include <new>
@@ -19,11 +20,13 @@ PhysicalMemory::PhysicalMemory(u64 bytes) : total_frames_(pages_for_bytes(bytes)
 Hpa PhysicalMemory::alloc_frame() {
   // Recycled frames first. The starting shard rotates so concurrent
   // allocators do not all contend on shard 0; which shard a frame comes
-  // from only changes HPA values, never any virtual-time result.
-  static sync::Atomic<std::size_t> rotor{0};
+  // from only changes HPA values, never any virtual-time result. The rotor
+  // is per-machine (and snapshotted) so a restored machine replays the same
+  // HPA sequence as the recorded one — epoch seam verification byte-
+  // compares serialized EPTs, which contain HPAs.
   // relaxed-ok: the rotor only spreads contention; any stale value is a
   // valid starting shard and the shard mutex orders the actual state.
-  const std::size_t home = rotor.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t home = alloc_rotor_.fetch_add(1, std::memory_order_relaxed);
   for (std::size_t i = 0; i < kShards; ++i) {
     Shard& s = shards_[(home + i) % kShards];
     sync::SpinGuard lock(s.mu);
@@ -99,10 +102,60 @@ u8* PhysicalMemory::frame_data(Hpa frame) {
   sync::SpinGuard lock(s.mu);
   auto& slot = s.data[fn];
   if (!slot) {
-    slot = std::make_unique<Frame>();
+    slot = std::make_shared<Frame>();
     slot->fill(0);
+  } else if (slot.use_count() > 1) {
+    // Copy-on-write break: a snapshot still references these contents, and
+    // the caller is about to mutate them. Clone so the captured image stays
+    // frozen; the snapshot's reference keeps the original alive.
+    slot = std::make_shared<Frame>(*slot);
   }
   return slot->data();
+}
+
+std::vector<PhysicalMemory::FrameImage> PhysicalMemory::capture_frames() const {
+  std::vector<FrameImage> out;
+  out.reserve(backed_frames());
+  for (const Shard& s : shards_) {
+    sync::SpinGuard lock(s.mu);
+    for (const auto& [fn, frame] : s.data) out.emplace_back(fn, frame);
+  }
+  // Frame numbers are unique across shards; sorting makes the capture order
+  // (and everything serialized from it) deterministic.
+  std::sort(out.begin(), out.end(),
+            [](const FrameImage& a, const FrameImage& b) { return a.first < b.first; });
+  return out;
+}
+
+bool PhysicalMemory::frame_shared(Hpa frame) const {
+  const u64 fn = page_index(frame);
+  const Shard& s = shard_of(fn);
+  sync::SpinGuard lock(s.mu);
+  const auto it = s.data.find(fn);
+  return it != s.data.end() && it->second.use_count() > 1;
+}
+
+u64 PhysicalMemory::shared_frames() const {
+  u64 total = 0;
+  for (const Shard& s : shards_) {
+    sync::SpinGuard lock(s.mu);
+    for (const auto& [fn, frame] : s.data) {
+      if (frame.use_count() > 1) ++total;
+    }
+  }
+  return total;
+}
+
+std::vector<std::pair<u64, bool>> PhysicalMemory::backed_frame_table() const {
+  std::vector<std::pair<u64, bool>> out;
+  for (const Shard& s : shards_) {
+    sync::SpinGuard lock(s.mu);
+    for (const auto& [fn, frame] : s.data) {
+      out.emplace_back(fn, frame.use_count() > 1);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 const u8* PhysicalMemory::frame_data_if_present(Hpa frame) const {

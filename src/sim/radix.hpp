@@ -4,13 +4,20 @@
 // Shared by the guest page table (GVA -> GPA) and the EPT (GPA -> HPA);
 // only the leaf entry type differs. Interior nodes are allocated lazily so a
 // sparse 1.5 GiB mapping costs a few thousand nodes.
+//
+// All nodes come from a per-table monotonic arena (base/arena.hpp): leaves
+// are never freed individually (unmap zeroes entries in place), so the only
+// deallocation point is clear()/destruction, which rewinds the arena
+// wholesale. Raw `new`/`delete` of node types outside the arena is forbidden
+// (lint rule radix-node-allocation) — it would reintroduce per-node heap
+// traffic the steady-state allocs_per_op == 0 benchmarks pin down.
 #pragma once
 
 #include <array>
 #include <cassert>
 #include <cstddef>
-#include <memory>
 
+#include "base/arena.hpp"
 #include "base/types.hpp"
 
 namespace ooh::sim {
@@ -32,6 +39,12 @@ inline constexpr std::size_t kRadixFanout = std::size_t{1} << kRadixBits;  // 51
 template <typename EntryT>
 class RadixTable4 {
  public:
+  RadixTable4() = default;
+  // Nodes hold raw arena pointers; copying or moving the table would alias
+  // or orphan them, and no call site needs either.
+  RadixTable4(const RadixTable4&) = delete;
+  RadixTable4& operator=(const RadixTable4&) = delete;
+
   /// Pointer to the leaf entry for `addr`, or nullptr if any interior node
   /// on the path is absent. Never allocates.
   ///
@@ -50,11 +63,11 @@ class RadixTable4 {
     if (mru_leaf_ != nullptr && mru_tag_ == tag) {
       return &mru_leaf_->entries[radix_index(addr, 0)];
     }
-    L2* l2 = root_.children[radix_index(addr, 3)].get();
+    L2* l2 = root_.children[radix_index(addr, 3)];
     if (l2 == nullptr) return nullptr;
-    L1* l1 = l2->children[radix_index(addr, 2)].get();
+    L1* l1 = l2->children[radix_index(addr, 2)];
     if (l1 == nullptr) return nullptr;
-    Leaf* leaf = l1->children[radix_index(addr, 1)].get();
+    Leaf* leaf = l1->children[radix_index(addr, 1)];
     if (leaf == nullptr) return nullptr;
     mru_leaf_ = leaf;
     mru_tag_ = tag;
@@ -71,18 +84,30 @@ class RadixTable4 {
     if (mru_leaf_ != nullptr && mru_tag_ == tag) {
       return mru_leaf_->entries[radix_index(addr, 0)];
     }
-    auto& l2 = root_.children[radix_index(addr, 3)];
-    if (!l2) l2 = std::make_unique<L2>();
-    auto& l1 = l2->children[radix_index(addr, 2)];
-    if (!l1) l1 = std::make_unique<L1>();
-    auto& leaf = l1->children[radix_index(addr, 1)];
-    if (!leaf) {
-      leaf = std::make_unique<Leaf>();
+    L2*& l2 = root_.children[radix_index(addr, 3)];
+    if (l2 == nullptr) l2 = arena_.create<L2>();
+    L1*& l1 = l2->children[radix_index(addr, 2)];
+    if (l1 == nullptr) l1 = arena_.create<L1>();
+    Leaf*& leaf = l1->children[radix_index(addr, 1)];
+    if (leaf == nullptr) {
+      leaf = arena_.create<Leaf>();
       ++leaf_count_;
     }
-    mru_leaf_ = leaf.get();
+    mru_leaf_ = leaf;
     mru_tag_ = tag;
     return leaf->entries[radix_index(addr, 0)];
+  }
+
+  /// Drop every node and rewind the arena (blocks are kept warm for
+  /// reuse). The snapshot-restore path rebuilds tables through this instead
+  /// of destroying and reconstructing the owning object graph.
+  void clear() noexcept {
+    root_ = L3{};
+    leaf_count_ = 0;
+    huge_slabs_ = 0;
+    mru_leaf_ = nullptr;
+    mru_tag_ = 0;
+    arena_.reset();
   }
 
   /// Drop the MRU walk cache. Called at the structural invalidation points
@@ -96,11 +121,11 @@ class RadixTable4 {
   [[nodiscard]] bool walk_cache_coherent() const noexcept {
     if (mru_leaf_ == nullptr) return true;
     const u64 addr = mru_tag_ << (kPageShift + kRadixBits);
-    const L2* l2 = root_.children[radix_index(addr, 3)].get();
+    const L2* l2 = root_.children[radix_index(addr, 3)];
     if (l2 == nullptr) return false;
-    const L1* l1 = l2->children[radix_index(addr, 2)].get();
+    const L1* l1 = l2->children[radix_index(addr, 2)];
     if (l1 == nullptr) return false;
-    return l1->children[radix_index(addr, 1)].get() == mru_leaf_;
+    return l1->children[radix_index(addr, 1)] == mru_leaf_;
   }
 
   /// Test-only corruption hook for the coherence oracle's mutation
@@ -112,13 +137,13 @@ class RadixTable4 {
   template <typename Fn>
   void for_each(Fn&& fn) {
     for (std::size_t i3 = 0; i3 < kRadixFanout; ++i3) {
-      L2* l2 = root_.children[i3].get();
+      L2* l2 = root_.children[i3];
       if (l2 == nullptr) continue;
       for (std::size_t i2 = 0; i2 < kRadixFanout; ++i2) {
-        L1* l1 = l2->children[i2].get();
+        L1* l1 = l2->children[i2];
         if (l1 == nullptr) continue;
         for (std::size_t i1 = 0; i1 < kRadixFanout; ++i1) {
-          Leaf* leaf = l1->children[i1].get();
+          Leaf* leaf = l1->children[i1];
           if (leaf == nullptr) continue;
           for (std::size_t i0 = 0; i0 < kRadixFanout; ++i0) {
             const u64 addr = ((static_cast<u64>(i3) << (kRadixBits * 3)) |
@@ -133,6 +158,12 @@ class RadixTable4 {
   }
 
   [[nodiscard]] std::size_t leaf_count() const noexcept { return leaf_count_; }
+
+  /// Bytes reserved by the node arena (growth diagnostic; benchmarks assert
+  /// it stays flat across steady-state iterations).
+  [[nodiscard]] std::size_t arena_reserved_bytes() const noexcept {
+    return arena_.reserved_bytes();
+  }
 
   // ---- PS-bit (huge) leaves -------------------------------------------------
   // A leaf may sit one level up (2 MiB, stored beside an L1's children) or
@@ -151,17 +182,17 @@ class RadixTable4 {
   /// (gran = k4K; may be null or non-present).
   [[nodiscard]] EntryT* find_leaf(u64 addr, PageGran& gran) noexcept {
     if (huge_slabs_ != 0) {
-      L2* l2 = root_.children[radix_index(addr, 3)].get();
+      L2* l2 = root_.children[radix_index(addr, 3)];
       if (l2 != nullptr) {
-        if (l2->huge) {
+        if (l2->huge != nullptr) {
           EntryT& e = (*l2->huge)[radix_index(addr, 2)];
           if (e.present) {
             gran = PageGran::k1G;
             return &e;
           }
         }
-        L1* l1 = l2->children[radix_index(addr, 2)].get();
-        if (l1 != nullptr && l1->huge) {
+        L1* l1 = l2->children[radix_index(addr, 2)];
+        if (l1 != nullptr && l1->huge != nullptr) {
           EntryT& e = (*l1->huge)[radix_index(addr, 1)];
           if (e.present) {
             gran = PageGran::k2M;
@@ -183,19 +214,19 @@ class RadixTable4 {
   [[nodiscard]] EntryT& ensure_huge(u64 addr, PageGran g) {
     assert(radix_canonical(addr) && "address beyond the 48-bit split aliases");
     assert(g != PageGran::k4K && "use ensure() for base pages");
-    auto& l2 = root_.children[radix_index(addr, 3)];
-    if (!l2) l2 = std::make_unique<L2>();
+    L2*& l2 = root_.children[radix_index(addr, 3)];
+    if (l2 == nullptr) l2 = arena_.create<L2>();
     if (g == PageGran::k1G) {
-      if (!l2->huge) {
-        l2->huge = std::make_unique<HugeSlab>();
+      if (l2->huge == nullptr) {
+        l2->huge = arena_.create<HugeSlab>();
         ++huge_slabs_;
       }
       return (*l2->huge)[radix_index(addr, 2)];
     }
-    auto& l1 = l2->children[radix_index(addr, 2)];
-    if (!l1) l1 = std::make_unique<L1>();
-    if (!l1->huge) {
-      l1->huge = std::make_unique<HugeSlab>();
+    L1*& l1 = l2->children[radix_index(addr, 2)];
+    if (l1 == nullptr) l1 = arena_.create<L1>();
+    if (l1->huge == nullptr) {
+      l1->huge = arena_.create<HugeSlab>();
       ++huge_slabs_;
     }
     return (*l1->huge)[radix_index(addr, 1)];
@@ -205,13 +236,13 @@ class RadixTable4 {
   /// no slab exists there. Never allocates; no present check.
   [[nodiscard]] EntryT* find_huge(u64 addr, PageGran g) noexcept {
     if (huge_slabs_ == 0) return nullptr;
-    L2* l2 = root_.children[radix_index(addr, 3)].get();
+    L2* l2 = root_.children[radix_index(addr, 3)];
     if (l2 == nullptr) return nullptr;
     if (g == PageGran::k1G) {
-      return l2->huge ? &(*l2->huge)[radix_index(addr, 2)] : nullptr;
+      return l2->huge != nullptr ? &(*l2->huge)[radix_index(addr, 2)] : nullptr;
     }
-    L1* l1 = l2->children[radix_index(addr, 2)].get();
-    if (l1 == nullptr || !l1->huge) return nullptr;
+    L1* l1 = l2->children[radix_index(addr, 2)];
+    if (l1 == nullptr || l1->huge == nullptr) return nullptr;
     return &(*l1->huge)[radix_index(addr, 1)];
   }
 
@@ -222,9 +253,9 @@ class RadixTable4 {
   void for_each_leaf(Fn&& fn) {
     if (huge_slabs_ != 0) {
       for (std::size_t i3 = 0; i3 < kRadixFanout; ++i3) {
-        L2* l2 = root_.children[i3].get();
+        L2* l2 = root_.children[i3];
         if (l2 == nullptr) continue;
-        if (l2->huge) {
+        if (l2->huge != nullptr) {
           for (std::size_t i2 = 0; i2 < kRadixFanout; ++i2) {
             const u64 addr = ((static_cast<u64>(i3) << kRadixBits) | i2)
                              << gran_shift(PageGran::k1G);
@@ -232,8 +263,8 @@ class RadixTable4 {
           }
         }
         for (std::size_t i2 = 0; i2 < kRadixFanout; ++i2) {
-          L1* l1 = l2->children[i2].get();
-          if (l1 == nullptr || !l1->huge) continue;
+          L1* l1 = l2->children[i2];
+          if (l1 == nullptr || l1->huge == nullptr) continue;
           for (std::size_t i1 = 0; i1 < kRadixFanout; ++i1) {
             const u64 addr = ((static_cast<u64>(i3) << (kRadixBits * 2)) |
                               (static_cast<u64>(i2) << kRadixBits) | i1)
@@ -252,19 +283,20 @@ class RadixTable4 {
   };
   using HugeSlab = std::array<EntryT, kRadixFanout>;
   struct L1 {
-    std::array<std::unique_ptr<Leaf>, kRadixFanout> children;
+    std::array<Leaf*, kRadixFanout> children{};
     // PS-bit leaves: slot i is a 2 MiB leaf entry covering the same span as
     // children[i]'s whole 4 KiB leaf. Allocated lazily on first huge map so
     // all-4K tables never pay for it.
-    std::unique_ptr<HugeSlab> huge;
+    HugeSlab* huge = nullptr;
   };
   struct L2 {
-    std::array<std::unique_ptr<L1>, kRadixFanout> children;
-    std::unique_ptr<HugeSlab> huge;  ///< 1 GiB PS-bit leaves.
+    std::array<L1*, kRadixFanout> children{};
+    HugeSlab* huge = nullptr;  ///< 1 GiB PS-bit leaves.
   };
   struct L3 {
-    std::array<std::unique_ptr<L2>, kRadixFanout> children;
+    std::array<L2*, kRadixFanout> children{};
   };
+  base::Arena arena_;  ///< owns every node below root_.
   L3 root_;
   std::size_t leaf_count_ = 0;
   std::size_t huge_slabs_ = 0;  ///< allocated huge slabs; never shrinks.

@@ -18,6 +18,10 @@
 #include "base/types.hpp"
 #include "sim/page_table_entry.hpp"
 
+namespace ooh::snapshot {
+struct Access;
+}  // namespace ooh::snapshot
+
 namespace ooh::sim {
 
 struct Segment {
@@ -147,6 +151,8 @@ class SegmentTable {
   }
 
  private:
+  friend struct ooh::snapshot::Access;
+
   std::vector<Segment> segs_;  // sorted by gva_base, non-overlapping
   u64 present_pages_ = 0;
   mutable std::size_t mru_ = 0;

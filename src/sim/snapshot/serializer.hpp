@@ -1,0 +1,154 @@
+// Versioned byte-stream serializer for machine snapshots.
+//
+// The format is deliberately dumb: a magic + version header, then tagged
+// sections, then fixed-width little-endian scalars in a fixed order per
+// subsystem (see machine_image.cpp for the walk order). Two properties are
+// load-bearing:
+//
+//   * Determinism. The same machine state always serializes to the same
+//     bytes — unordered containers are emitted in sorted key order,
+//     insertion-ordered containers in insertion order, and bitfield structs
+//     through explicit pack/unpack helpers (never memcpy of padding). The
+//     snapshot round-trip tests byte-compare serialize(original) against
+//     serialize(restore(save(original))), so any nondeterminism here is a
+//     test failure, not a latent surprise.
+//
+//   * Versioning. The header pins kSnapshotVersion; Reader refuses a
+//     mismatched version outright. Sections let a reader diagnose *where* a
+//     stream diverges (a truncated EPT section reads as "EPT section: bad
+//     tag", not an opaque garbage cascade three subsystems later).
+//
+// Frame *contents* deliberately do not travel through this stream: they are
+// shared copy-on-write with the live machine (sim/phys_mem.hpp FrameStore),
+// which is what makes a 1 GiB-footprint snapshot a millisecond operation.
+// The stream carries a per-frame FNV-1a digest instead so the byte-compare
+// tests still cover content equality.
+#pragma once
+
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "base/types.hpp"
+
+namespace ooh::snapshot {
+
+inline constexpr u32 kSnapshotMagic = 0x4F4F4853;  // "OOHS"
+inline constexpr u32 kSnapshotVersion = 1;
+
+class Writer {
+ public:
+  Writer() {
+    u32_(kSnapshotMagic);
+    u32_(kSnapshotVersion);
+  }
+
+  void u8(ooh::u8 v) { bytes_.push_back(v); }
+  void u32(ooh::u32 v) { u32_(v); }
+  void u64(ooh::u64 v) {
+    for (int i = 0; i < 8; ++i) bytes_.push_back(static_cast<ooh::u8>(v >> (8 * i)));
+  }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+  /// Doubles travel as their IEEE-754 bit pattern: bit-identity is the
+  /// contract (virtual time is a double), not approximate equality.
+  void f64(double v) {
+    ooh::u64 bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+  }
+
+  /// Open a tagged section; returns a token for end_section. Sections may
+  /// not nest (the machine image is a flat sequence of subsystems).
+  [[nodiscard]] std::size_t begin_section(ooh::u32 tag) {
+    u32_(tag);
+    const std::size_t patch = bytes_.size();
+    u64(0);  // length placeholder, patched by end_section
+    return patch;
+  }
+  void end_section(std::size_t patch) {
+    const ooh::u64 len = bytes_.size() - (patch + 8);
+    for (int i = 0; i < 8; ++i) bytes_[patch + i] = static_cast<ooh::u8>(len >> (8 * i));
+  }
+
+  [[nodiscard]] const std::vector<ooh::u8>& bytes() const noexcept { return bytes_; }
+  [[nodiscard]] std::vector<ooh::u8> take() && noexcept { return std::move(bytes_); }
+
+ private:
+  void u32_(ooh::u32 v) {
+    for (int i = 0; i < 4; ++i) bytes_.push_back(static_cast<ooh::u8>(v >> (8 * i)));
+  }
+  std::vector<ooh::u8> bytes_;
+};
+
+/// Sequential reader over a Writer-produced stream. Every read is
+/// bounds-checked; a truncated or corrupted stream throws
+/// std::runtime_error rather than reading garbage into machine state.
+class Reader {
+ public:
+  explicit Reader(const std::vector<ooh::u8>& bytes) : bytes_(bytes) {
+    if (u32() != kSnapshotMagic) throw std::runtime_error("snapshot: bad magic");
+    if (const ooh::u32 v = u32(); v != kSnapshotVersion) {
+      throw std::runtime_error("snapshot: version " + std::to_string(v) +
+                               " (expected " + std::to_string(kSnapshotVersion) + ")");
+    }
+  }
+
+  ooh::u8 u8() {
+    need(1);
+    return bytes_[pos_++];
+  }
+  ooh::u32 u32() {
+    need(4);
+    ooh::u32 v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<ooh::u32>(bytes_[pos_++]) << (8 * i);
+    return v;
+  }
+  ooh::u64 u64() {
+    need(8);
+    ooh::u64 v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<ooh::u64>(bytes_[pos_++]) << (8 * i);
+    return v;
+  }
+  bool boolean() { return u8() != 0; }
+  double f64() {
+    const ooh::u64 bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+
+  /// Consume a section header, checking the tag and that the declared
+  /// length fits in the remaining stream.
+  void expect_section(ooh::u32 tag) {
+    const ooh::u32 got = u32();
+    if (got != tag) {
+      throw std::runtime_error("snapshot: section tag mismatch (got " +
+                               std::to_string(got) + ", want " + std::to_string(tag) + ")");
+    }
+    const ooh::u64 len = u64();
+    if (len > bytes_.size() - pos_) throw std::runtime_error("snapshot: section overruns stream");
+  }
+
+  [[nodiscard]] bool at_end() const noexcept { return pos_ == bytes_.size(); }
+
+ private:
+  void need(std::size_t n) const {
+    if (bytes_.size() - pos_ < n) throw std::runtime_error("snapshot: truncated stream");
+  }
+  const std::vector<ooh::u8>& bytes_;
+  std::size_t pos_ = 0;
+};
+
+/// FNV-1a over a frame's bytes — the content witness carried in the stream
+/// in place of the CoW-shared contents themselves.
+[[nodiscard]] inline u64 fnv1a(const ooh::u8* data, std::size_t n) noexcept {
+  u64 h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace ooh::snapshot

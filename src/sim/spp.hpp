@@ -14,6 +14,10 @@
 
 #include "base/types.hpp"
 
+namespace ooh::snapshot {
+struct Access;
+}  // namespace ooh::snapshot
+
 namespace ooh::sim {
 
 inline constexpr u64 kSubPageShift = 7;
@@ -48,6 +52,8 @@ class SppTable {
   [[nodiscard]] std::size_t configured_pages() const noexcept { return masks_.size(); }
 
  private:
+  friend struct ooh::snapshot::Access;
+
   std::unordered_map<Gpa, u32> masks_;
 };
 

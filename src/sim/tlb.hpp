@@ -28,6 +28,10 @@
 
 #include "base/types.hpp"
 
+namespace ooh::snapshot {
+struct Access;
+}  // namespace ooh::snapshot
+
 namespace ooh::sim {
 
 struct TlbEntry {
@@ -85,6 +89,8 @@ class Tlb {
   }
 
  private:
+  friend struct ooh::snapshot::Access;
+
   struct Slot {
     u32 pid = 0;
     u32 bucket = 0;  ///< this slot's position in index_, kept in lockstep so

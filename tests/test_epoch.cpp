@@ -1,0 +1,179 @@
+// Epoch-parallel engine determinism pins (invariant EPOCH-1): virtual-time
+// outputs are a pure function of the epoch bodies — worker count, real-time
+// completion order (shuffled via the seeded stagger knob) and OS scheduling
+// cannot leak one bit into them. Plus the record/replay seam proof: every
+// epoch replayed independently from its boundary snapshot reproduces the
+// recorded serial timeline byte-for-byte.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/rng.hpp"
+#include "ooh/epoch_run.hpp"
+#include "ooh/experiment.hpp"
+#include "ooh/testbed.hpp"
+#include "ooh/trackers.hpp"
+#include "sim/epoch/epoch_pool.hpp"
+
+namespace ooh::lib {
+namespace {
+
+TestBedOptions small_bed() {
+  TestBedOptions opts;
+  opts.host_mem_bytes = 2 * kGiB;
+  opts.vm_mem_bytes = 256 * kMiB;
+  return opts;
+}
+
+/// One self-contained figure cell: its own bed, a tracked run, and the
+/// cell's virtual-time results rendered to the bytes a figure would emit.
+std::string run_cell(std::size_t i) {
+  TestBed bed(small_bed());
+  guest::GuestKernel& k = bed.kernel();
+  guest::Process& proc = k.create_process();
+  const u64 pages = 48 + (i % 3) * 16;
+  const Gva base = proc.mmap(pages * kPageSize);
+  const Technique tech = i % 2 == 0 ? Technique::kEpml : Technique::kProc;
+  auto tracker = make_tracker(tech, k, proc);
+  const RunResult r = run_tracked(
+      k, proc,
+      [=](guest::Process& p) {
+        Rng rng(1000 + i);
+        for (u64 n = 0; n < pages * 2; ++n) {
+          p.touch_write(base + rng.below(pages) * kPageSize);
+        }
+      },
+      tracker.get());
+  tracker->shutdown();
+  return std::to_string(r.tracked_time.count()) + "," +
+         std::to_string(r.tracker_time().count()) + "," +
+         std::to_string(r.unique_pages) + "," + std::to_string(r.dropped);
+}
+
+TEST(EpochPool, ParallelCellResultsBitIdenticalToSerial) {
+  constexpr std::size_t kCells = 9;
+  epoch::Options serial;
+  serial.threads = 1;
+  const std::vector<std::string> expect =
+      epoch::EpochPool::map<std::string>(kCells, run_cell, serial);
+  for (const unsigned threads : {2u, 4u, 8u}) {
+    epoch::Options opt;
+    opt.threads = threads;
+    const auto got = epoch::EpochPool::map<std::string>(kCells, run_cell, opt);
+    EXPECT_EQ(expect, got) << threads << " epoch workers diverged from serial";
+  }
+}
+
+TEST(EpochPool, CompletionOrderShuffleCannotLeakIntoResults) {
+  constexpr std::size_t kCells = 6;
+  epoch::Options serial;
+  serial.threads = 1;
+  const auto expect = epoch::EpochPool::map<std::string>(kCells, run_cell, serial);
+  for (const u64 seed : {u64{1}, u64{0xdead}, u64{0x5eed5eed}}) {
+    epoch::Options opt;
+    opt.threads = 4;
+    opt.stagger_seed = seed;  // seeded yield storms permute real-time finish order
+    const auto got = epoch::EpochPool::map<std::string>(kCells, run_cell, opt);
+    EXPECT_EQ(expect, got) << "stagger seed " << seed << " leaked into results";
+  }
+}
+
+TEST(EpochPool, FirstErrorByEpochIndexWinsDeterministically) {
+  for (const unsigned threads : {1u, 4u}) {
+    epoch::Options opt;
+    opt.threads = threads;
+    try {
+      epoch::EpochPool::run_indexed(
+          8,
+          [](std::size_t i) {
+            if (i % 3 == 2) throw std::runtime_error("epoch " + std::to_string(i));
+          },
+          opt);
+      FAIL() << "no exception surfaced";
+    } catch (const std::runtime_error& e) {
+      // Epochs 2, 5 (and 8, out of range) throw; the serial loop hits 2
+      // first, so the pool must rethrow 2 regardless of worker count.
+      EXPECT_STREQ(e.what(), "epoch 2");
+    }
+  }
+}
+
+TEST(EpochPool, WorkerCountCapsAtEpochCount) {
+  epoch::Options opt;
+  opt.threads = 16;
+  EXPECT_EQ(epoch::EpochPool::workers_for(3, opt), 3u);
+  EXPECT_EQ(epoch::EpochPool::workers_for(0, opt), 0u);
+  opt.threads = 1;
+  EXPECT_EQ(epoch::EpochPool::workers_for(8, opt), 1u);
+}
+
+/// Advance a bed by one epoch of tracked work and leave it quiescent.
+void epoch_body(TestBed& bed, std::size_t e) {
+  guest::GuestKernel& k = bed.kernel();
+  guest::Process& proc = k.create_process();
+  const u64 pages = 40;
+  const Gva base = proc.mmap(pages * kPageSize);
+  auto tracker = make_tracker(e % 2 == 0 ? Technique::kSpml : Technique::kProc,
+                              k, proc);
+  const RunResult r = run_tracked(
+      k, proc,
+      [=](guest::Process& p) {
+        Rng rng(77 + e);
+        for (u64 n = 0; n < pages * 2; ++n) {
+          p.touch_write(base + rng.below(pages) * kPageSize);
+        }
+      },
+      tracker.get());
+  tracker->shutdown();
+  // Epoch boundaries require full quiescence: the resident OoH module (left
+  // loaded by design after shutdown) must be unloaded before save().
+  k.unload_ooh_module();
+  ASSERT_GT(r.truth_pages, 0u);
+}
+
+TEST(EpochRun, ReplayedEpochsReproduceRecordedSeamsAcrossThreadCounts) {
+  constexpr std::size_t kEpochs = 4;
+  TestBed recorder(small_bed());
+  const EpochChain chain = record_epochs(recorder, kEpochs, epoch_body);
+  ASSERT_EQ(chain.epochs(), kEpochs);
+  ASSERT_EQ(chain.boundaries.size(), kEpochs + 1);
+  // The recording's final state is the bed's current state.
+  EXPECT_TRUE(chain.boundaries.back().bytes == recorder.state_bytes());
+
+  const auto make_bed = [] { return std::make_unique<TestBed>(small_bed()); };
+  for (const unsigned threads : {1u, 2u, 4u}) {
+    ReplayOptions opt;
+    opt.threads = threads;
+    opt.stagger_seed = threads;  // shuffle completion order too
+    // verify_seams (on by default) byte-compares every replayed epoch's
+    // exit against the recorded chain and throws on any divergence.
+    const auto exits = replay_epochs(make_bed, chain, epoch_body, opt);
+    ASSERT_EQ(exits.size(), kEpochs);
+    for (std::size_t e = 0; e < kEpochs; ++e) {
+      EXPECT_TRUE(exits[e] == chain.boundaries[e + 1].bytes);
+    }
+  }
+}
+
+TEST(EpochRun, MergedCountersEqualSerialTotals) {
+  EventCounters a;
+  a.add(Event::kPageFaultSoftDirty, 3);
+  a.add(Event::kHypercall, 1);
+  EventCounters b;
+  b.add(Event::kPageFaultSoftDirty, 4);
+  b.add(Event::kPmlLogGpa, 9);
+  const EventCounters merged = merge_counters({a, b});
+  EXPECT_EQ(merged.get(Event::kPageFaultSoftDirty), 7u);
+  EXPECT_EQ(merged.get(Event::kHypercall), 1u);
+  EXPECT_EQ(merged.get(Event::kPmlLogGpa), 9u);
+}
+
+TEST(EpochRun, EnvThreadKnobParses) {
+  // Not set in the test environment: auto-size sentinel.
+  EXPECT_EQ(epoch_threads_from_env(), 0u);
+}
+
+}  // namespace
+}  // namespace ooh::lib

@@ -32,8 +32,9 @@ namespace sched = check::sched;
 
 TEST(SchedExplorer, BuiltinScenariosExistAndRunBuiltinRejectsUnknownNames) {
   const auto& scenarios = sched::builtin_scenarios();
-  ASSERT_EQ(scenarios.size(), 5u);
+  ASSERT_EQ(scenarios.size(), 6u);
   EXPECT_EQ(scenarios[0].name, "ring_push_pop");
+  EXPECT_EQ(scenarios[5].name, "snapshot_during_epochs");
   EXPECT_THROW((void)sched::run_builtin("no_such_scenario"),
                std::invalid_argument);
 }

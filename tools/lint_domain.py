@@ -85,7 +85,12 @@ RULES: list[Rule] = [
     rule(
         "direct-counter-bump",
         r"\bcounters\.add\s*\(",
-        ["src/sim/exec_context.hpp"],
+        [
+            "src/sim/exec_context.hpp",
+            # Restore rebuilds counters verbatim from the snapshot stream;
+            # no event is being *charged*, so attribution is moot.
+            "src/sim/snapshot/machine_image.cpp",
+        ],
         "Event accounting must go through ExecContext::count() so counters "
         "stay attributable to the owning vCPU timeline.",
     ),
@@ -155,11 +160,22 @@ RULES: list[Rule] = [
             "src/sim/check/sched_explorer.cpp",
             "src/ooh/testbed.cpp",
             "src/hypervisor/migration.cpp",
+            "src/sim/epoch/epoch_pool.cpp",
         ],
         "Cross-thread state must live behind sync::Atomic / sync::Mutex / "
         "sync::SpinGuard (src/base/sync.hpp, invariant SYNC-1): raw std "
         "primitives are invisible to the schedule explorer and to the "
         "memory-order audit, so a race through them can never be flagged.",
+    ),
+    rule(
+        "radix-node-allocation",
+        r"make_unique<\s*(L1|L2|L3|Leaf|HugeSlab)\b|\bnew\s+(L1|L2|L3|Leaf|HugeSlab)\b",
+        ["src/sim/radix.hpp"],
+        "Radix/EPT paging-structure nodes are arena-allocated (base/arena.hpp "
+        "bulk prefault, rewound on clear()) so steady-state translation "
+        "allocates nothing; a raw new/make_unique of a node type reintroduces "
+        "per-node heap traffic and breaks the zero-steady-state-allocation "
+        "guarantee the gbench harness pins.",
     ),
     rule(
         "relaxed-needs-justification",

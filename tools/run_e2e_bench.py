@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""End-to-end figure wall-clock harness (PR 9 epoch-parallel engine).
+
+gbench_sim_primitives times simulator primitives; this tool times what the
+user actually waits for: whole figure binaries (fig5, fig8, fig10 at their
+small/default configs) from exec to exit. It emits google-benchmark
+compatible JSON so tools/check_bench_regression.py can gate the numbers
+against a committed baseline exactly like the microbenches.
+
+Two things are measured per target:
+  * E2E_<target>/serial    — wall-clock with OOH_EPOCH_THREADS=1 (the old
+    serial loop; this is the number comparable across PRs).
+  * E2E_<target>/threads:N — wall-clock with N epoch workers (the
+    epoch-parallel fan-out; on a multi-core runner this is the
+    order-of-magnitude column, on a 1-core runner it documents the
+    oversubscription cost instead).
+
+Independently of timing, the harness enforces EPOCH-1 at the figure level:
+for every target that fans cells across the epoch pool, the serial and
+parallel runs' stdout must be byte-identical. A mismatch is a determinism
+bug and fails the run regardless of speed.
+
+Wall-clock is the min over --repetitions runs: min is the right estimator
+for "how fast can this machine execute this code" because every source of
+interference only adds time.
+
+Usage:
+  run_e2e_bench.py --build-dir build-perf --out e2e_current.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+# (target, extra argv, fans cells across the epoch pool?). fig10 drives its
+# multi-VM fleet through the TestBed worker pool (pre-epoch machinery), so
+# it gets timed but not the serial-vs-parallel stdout compare.
+TARGETS: list[tuple[str, list[str], bool]] = [
+    ("fig5_boehm_tracker", [], True),
+    ("fig8_criu_checkpoint", [], True),
+    ("fig10_scalability_tracker", [], False),
+]
+
+
+def run_once(exe: Path, argv: list[str], threads: int) -> tuple[float, bytes]:
+    """Run the binary once; return (wall seconds, stdout bytes)."""
+    env = dict(os.environ, OOH_EPOCH_THREADS=str(threads))
+    start = time.monotonic()
+    proc = subprocess.run([str(exe), *argv], env=env, capture_output=True)
+    elapsed = time.monotonic() - start
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr.decode(errors="replace"))
+        raise SystemExit(f"run_e2e_bench: {exe.name} exited "
+                         f"{proc.returncode} (threads={threads})")
+    return elapsed, proc.stdout
+
+
+def bench_entry(name: str, wall_s: float) -> dict:
+    ms = wall_s * 1e3
+    return {
+        "name": name,
+        "run_type": "iteration",
+        "iterations": 1,
+        # Whole-process wall-clock is the tracked quantity; cpu_time is
+        # filled with the same value so generic gbench tooling stays happy,
+        # but check_bench_regression.py compares real_time for E2E_ rows.
+        "real_time": ms,
+        "cpu_time": ms,
+        "time_unit": "ms",
+    }
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--build-dir", type=Path, default=Path("build"),
+                        help="CMake build tree containing bench/ binaries")
+    parser.add_argument("--out", type=Path, required=True,
+                        help="output JSON path (gbench-compatible)")
+    parser.add_argument("--repetitions", type=int, default=3,
+                        help="timed runs per target; min wall-clock is kept")
+    parser.add_argument("--threads", type=int, default=4,
+                        help="epoch worker count for the parallel column")
+    parser.add_argument("--skip-parallel", action="store_true",
+                        help="measure only the serial column (still checks "
+                             "serial-vs-parallel byte-identity once)")
+    args = parser.parse_args(argv)
+
+    benchmarks: list[dict] = []
+    for target, extra, fans_out in TARGETS:
+        exe = args.build_dir / "bench" / target
+        if not exe.exists():
+            raise SystemExit(f"run_e2e_bench: {exe} not built "
+                             f"(cmake --build {args.build_dir} --target {target})")
+
+        serial_walls: list[float] = []
+        serial_out = b""
+        for _ in range(max(1, args.repetitions)):
+            wall, serial_out = run_once(exe, extra, threads=1)
+            serial_walls.append(wall)
+        benchmarks.append(bench_entry(f"E2E_{target}/serial", min(serial_walls)))
+        print(f"  E2E_{target}/serial: {min(serial_walls) * 1e3:.0f} ms "
+              f"(min of {len(serial_walls)})")
+
+        if not fans_out:
+            continue
+
+        # EPOCH-1 at the figure level: the parallel run must emit the exact
+        # bytes of the serial run. One verification run even when the
+        # parallel timing column is skipped.
+        reps = 1 if args.skip_parallel else max(1, args.repetitions)
+        par_walls: list[float] = []
+        par_out = b""
+        for _ in range(reps):
+            wall, par_out = run_once(exe, extra, threads=args.threads)
+            par_walls.append(wall)
+        if par_out != serial_out:
+            raise SystemExit(
+                f"run_e2e_bench: {target} stdout differs between "
+                f"OOH_EPOCH_THREADS=1 and ={args.threads} — EPOCH-1 "
+                "violated (worker count leaked into figure output)")
+        print(f"  E2E_{target}: serial vs threads={args.threads} "
+              "stdout byte-identical")
+        if not args.skip_parallel:
+            benchmarks.append(bench_entry(
+                f"E2E_{target}/threads:{args.threads}", min(par_walls)))
+            print(f"  E2E_{target}/threads:{args.threads}: "
+                  f"{min(par_walls) * 1e3:.0f} ms (min of {len(par_walls)})")
+
+    doc = {
+        "context": {
+            "date": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+            "executable": "tools/run_e2e_bench.py",
+            "num_cpus": os.cpu_count(),
+            "epoch_threads": args.threads,
+        },
+        "benchmarks": benchmarks,
+    }
+    args.out.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+    print(f"run_e2e_bench: wrote {len(benchmarks)} entries to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
