@@ -445,14 +445,20 @@ std::vector<Gpa> Hypervisor::harvest_wss(Vm& vm) {
   sim::ExecContext& ctx = vm.ctx();
   drain_all_pml_buffers(vm);
   std::vector<Gpa> out = take_ring_contents(vm);
-  // Re-arm: clear accessed (and dirty) flags of the sampled pages.
+  // Re-arm: clear accessed (and dirty) flags of the sampled pages. The
+  // sample is page-granular (the drain expands huge-leaf entries to every
+  // 4 KiB page they cover), but the flags live on the *leaf*: a shared
+  // 2 MiB leaf is one hardware flag word, so it must be visited, cleared
+  // and charged once — not once per constituent 4 KiB page.
   u64 cleared = 0;
+  std::unordered_set<Gpa> visited;  // leaf bases, gran-aligned
   for (const Gpa gpa : out) {
-    if (sim::EptEntry* e = vm.ept().entry(gpa); e != nullptr) {
-      if (e->accessed || e->dirty) ++cleared;
-      e->accessed = false;
-      e->dirty = false;
-    }
+    const sim::Ept::Lookup leaf = vm.ept().lookup(gpa);
+    if (leaf.entry == nullptr) continue;
+    if (!visited.insert(gran_floor(gpa, leaf.gran)).second) continue;
+    if (leaf.entry->accessed || leaf.entry->dirty) ++cleared;
+    leaf.entry->accessed = false;
+    leaf.entry->dirty = false;
   }
   ctx.charge_ns(ctx.cost.dbit_clear_ns * static_cast<double>(cleared));
   flush_all_tlbs(vm, ctx);

@@ -1,11 +1,13 @@
 #include "hypervisor/migration.hpp"
 
+#include <algorithm>
 #include <new>
 #include <thread>
 #include <unordered_set>
 #include <vector>
 
 #include "base/sync.hpp"
+#include "ooh/adaptive/convergence.hpp"
 
 namespace ooh::hv {
 namespace {
@@ -77,7 +79,11 @@ bool MigrationEngine::send_pages(sim::ExecContext& m, u64 count,
     ++rep.send_retries;
     m.count(Event::kMigrationSendRetry);
     // Exponential backoff before the retry, as a real transfer loop would.
-    m.charge_us(opts.retry_backoff_us * static_cast<double>(u64{1} << attempt));
+    // The exponent clamps at 20 (a ~10^6x backoff cap): a send_retry_limit
+    // configured above 63 must not shift past the u64 range, and no real
+    // transfer loop backs off beyond a bounded ceiling anyway.
+    m.charge_us(opts.retry_backoff_us *
+                static_cast<double>(u64{1} << std::min(attempt, 20u)));
     m.fault_audit();
     if (++attempt >= opts.send_retry_limit) return false;
   }
@@ -135,8 +141,10 @@ MigrationReport MigrationEngine::migrate(Vm& vm,
     return rep;
   }
 
+  lib::ConvergencePredictor predictor;
   std::vector<Gpa> carry;  // harvested but never transferred (failed sends)
   for (unsigned round = 0; round < opts.max_rounds; ++round) {
+    const VirtDuration round_start = m.clock.now();
     run_overlapped(run_guest_quantum);
     std::vector<Gpa> pending = hv_.harvest_hyp_dirty(vm);
     merge_unique(pending, carry);
@@ -164,6 +172,31 @@ MigrationReport MigrationEngine::migrate(Vm& vm,
       carry.clear();
       break;
     }
+    if (opts.adaptive_convergence) {
+      // Convergence prediction: dirty rate (EWMA over virtual time) vs. the
+      // transport's send bandwidth.
+      predictor.observe_round(pending.size(), m.clock.now() - round_start);
+      if (predictor.rounds() >= opts.predictor_warmup_rounds) {
+        const bool non_conv = predictor.non_convergent(m.cost);
+        predictor.note_verdict(non_conv);
+        if (non_conv && opts.throttle_fraction > 0.0) {
+          // Auto-converge: stall the guest for a fraction of the round it
+          // just ran (charged slowdown), lowering the dirty rate the next
+          // round will measure — QEMU's cpu-throttle, in virtual time.
+          m.count(Event::kMigrationThrottle);
+          ++rep.throttled_rounds;
+          m.charge_us(opts.throttle_fraction * to_us(m.clock.now() - round_start));
+        }
+        if (predictor.sustained_non_convergence() >= opts.predictor_patience) {
+          // Pre-copy provably cannot shrink the pending set: skip the
+          // redundant transfer and fold the harvest straight into the
+          // forced stop-and-copy below (auto-sized max_rounds).
+          rep.predicted_nonconvergent = true;
+          carry = std::move(pending);
+          break;
+        }
+      }
+    }
     if (send_pages(m, pending.size(), opts, rep)) {
       carry.clear();
     } else {
@@ -172,11 +205,19 @@ MigrationReport MigrationEngine::migrate(Vm& vm,
       carry = std::move(pending);
     }
   }
+  rep.predicted_dirty_rate = predictor.dirty_rate();
   if (!rep.converged && !rep.aborted) {
-    // Non-convergence cutoff: forced stop-and-copy after max_rounds.
+    // Non-convergence cutoff: forced stop-and-copy after max_rounds. This
+    // runs a full extra round (guest quantum + harvest), so it counts as
+    // one: rounds and kMigrationRound stay the ground truth of how many
+    // quanta the guest ran during pre-copy.
     run_overlapped(run_guest_quantum);
     std::vector<Gpa> pending = hv_.harvest_hyp_dirty(vm);
     merge_unique(pending, carry);
+    carry.clear();
+    hv_.audit_now(vm.id());
+    m.count(Event::kMigrationRound);
+    ++rep.rounds;
     run_overlapped(opts.drain_window_body);
     const VirtDuration pause_start = m.clock.now();
     merge_unique(pending, hv_.collect_dirty_paused(vm));

@@ -1,0 +1,112 @@
+#include "ooh/adaptive/adaptive_tracker.hpp"
+
+#include "hypervisor/hypervisor.hpp"
+#include "sim/exec_context.hpp"
+
+namespace ooh::lib {
+namespace {
+
+void add_phases(Phases& into, const Phases& p) {
+  into.init += p.init;
+  into.arm += p.arm;
+  into.collect += p.collect;
+  into.monitor += p.monitor;
+  into.intervals += p.intervals;
+  into.collected_pages += p.collected_pages;
+}
+
+}  // namespace
+
+AdaptiveTracker::AdaptiveTracker(guest::GuestKernel& kernel,
+                                 guest::Process& proc,
+                                 const AdaptiveOptions& opts)
+    : DirtyTracker(kernel, proc),
+      opts_(opts),
+      estimator_(opts.estimator_alpha),
+      policy_(opts.policy),
+      active_(make_tracker(opts.initial, kernel, proc)) {}
+
+AdaptiveTracker::~AdaptiveTracker() { unregister_estimator(); }
+
+void AdaptiveTracker::register_estimator() {
+  if (estimator_registered_) return;
+  // Dirty transitions dispatch on the chain of the vCPU that executed the
+  // write; listen on every vCPU's chain (each event fires on exactly one).
+  for (unsigned cpu = 0; cpu < kernel_.vcpu_count(); ++cpu) {
+    sim::WriteTrackRegistry& track = kernel_.vm().track(cpu);
+    track.register_notifier(sim::TrackLayer::kGuestPtDirty, &estimator_);
+    track.register_notifier(sim::TrackLayer::kEptDirty, &estimator_);
+  }
+  estimator_registered_ = true;
+}
+
+void AdaptiveTracker::unregister_estimator() {
+  if (!estimator_registered_) return;
+  for (unsigned cpu = 0; cpu < kernel_.vcpu_count(); ++cpu) {
+    sim::WriteTrackRegistry& track = kernel_.vm().track(cpu);
+    track.unregister_notifier(sim::TrackLayer::kEptDirty, &estimator_);
+    track.unregister_notifier(sim::TrackLayer::kGuestPtDirty, &estimator_);
+  }
+  estimator_registered_ = false;
+}
+
+void AdaptiveTracker::init() {
+  register_estimator();
+  estimator_.watch(proc_.pid());
+  active_->init();
+  estimator_.begin_window(proc_.pid(), kernel_.ctx_of(proc_).clock.now());
+}
+
+void AdaptiveTracker::begin_interval() { active_->begin_interval(); }
+
+std::vector<Gva> AdaptiveTracker::collect() {
+  // The active backend's own collect() wrapper counts kTrackerCollect,
+  // attributes phase time and dedups — delegating at the public layer keeps
+  // the accounting single-counted.
+  std::vector<Gva> pages = active_->collect();
+  sim::ExecContext& m = kernel_.ctx_of(proc_);
+  estimator_.note_interval(proc_.pid(), pages, m.clock.now(), m);
+  const Technique want = policy_.decide(signal(), active_->technique());
+  if (want != active_->technique()) switch_backend(want);
+  return pages;
+}
+
+void AdaptiveTracker::switch_backend(Technique want) {
+  // Handoff protocol (POL-1): this runs inside the tracker's synchronous
+  // service window — the tracked process is preempted and the old backend's
+  // interval was just collected, so the dirty baseline is empty. The old
+  // backend tears down completely (wp restores writability, PML sessions
+  // deactivate) before the new one arms; the caller's begin_interval()
+  // then opens the new backend's first interval.
+  sim::ExecContext& m = kernel_.ctx_of(proc_);
+  m.count(Event::kPolicySwitch);
+  m.charge_us(m.cost.policy_switch_us);
+  add_phases(retired_, active_->phases());
+  dropped_retired_ += active_->dropped();
+  active_->shutdown();
+  active_.reset();
+  active_ = make_tracker(want, kernel_, proc_);
+  active_->init();
+  history_.push_back(want);
+  // Handoff boundary: let an installed coherence hook audit this VM (the
+  // POL-1 pass; no-op outside audit builds).
+  kernel_.hypervisor().audit_now(kernel_.vm().id());
+}
+
+void AdaptiveTracker::shutdown() {
+  if (active_) active_->shutdown();
+  estimator_.unwatch(proc_.pid());
+  unregister_estimator();
+}
+
+u64 AdaptiveTracker::dropped() const {
+  return dropped_retired_ + (active_ ? active_->dropped() : 0);
+}
+
+const Phases& AdaptiveTracker::phases() const noexcept {
+  agg_ = retired_;
+  if (active_) add_phases(agg_, active_->phases());
+  return agg_;
+}
+
+}  // namespace ooh::lib

@@ -1,0 +1,102 @@
+// AdaptiveTracker — runtime backend switching over the DirtyTracker API.
+//
+// PR 5's degradation chain proved one-way live handoff works: init() can
+// swap EPML for SPML (or wp for /proc) when resources run out. This class
+// generalizes that machinery into a *bidirectional, policy-driven* handoff:
+// a WssEstimator senses each process's dirty rate, a PolicyEngine picks the
+// backend the next interval should run on, and the switch happens inside
+// collect() — the tracker's synchronous service window, when the tracked
+// process is preempted and the just-harvested interval is closed. Because
+// no guest write can interleave between the old backend's final collect()
+// and the new backend's init(), no dirty page is lost across the switch;
+// the POL-1 invariant (docs/invariants.md) audits the machine-visible half
+// of that contract: a handoff away from write-protection must not leave
+// orphaned non-writable EPT entries behind.
+//
+// Lifecycle mapping (caller sees one DirtyTracker):
+//   init()            estimator registers on the notifier chain; the
+//                     initial backend init()s.
+//   begin_interval()  forwards to the active backend (arms the *new*
+//                     backend right after a switch).
+//   collect()         active backend's collect() -> estimator window close
+//                     -> policy decision -> (maybe) handoff.
+//   shutdown()        active backend's shutdown(); estimator unregisters.
+//
+// Phase/drop accounting aggregates across every backend the session ran.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ooh/adaptive/policy.hpp"
+#include "ooh/adaptive/wss_estimator.hpp"
+#include "ooh/tracker.hpp"
+
+namespace ooh::lib {
+
+struct AdaptiveOptions {
+  /// Backend the session starts on (the paper's default tracker, EPML).
+  Technique initial = Technique::kEpml;
+  PolicyConfig policy;
+  /// EWMA weight of the newest window in the estimator.
+  double estimator_alpha = 0.5;
+};
+
+class AdaptiveTracker final : public DirtyTracker {
+ public:
+  AdaptiveTracker(guest::GuestKernel& kernel, guest::Process& proc,
+                  const AdaptiveOptions& opts = {});
+  ~AdaptiveTracker() override;
+
+  [[nodiscard]] Technique technique() const noexcept override {
+    return Technique::kAdaptive;
+  }
+
+  // ---- virtualized lifecycle: full delegation, no double accounting -------
+  void init() override;
+  void begin_interval() override;
+  [[nodiscard]] std::vector<Gva> collect() override;
+  void shutdown() override;
+
+  [[nodiscard]] u64 dropped() const override;
+  [[nodiscard]] Technique effective_technique() const noexcept override {
+    return active_ ? active_->effective_technique() : Technique::kAdaptive;
+  }
+  [[nodiscard]] const Phases& phases() const noexcept override;
+
+  // ---- control-plane introspection ----------------------------------------
+  [[nodiscard]] const WssSignal& signal() const noexcept {
+    return estimator_.signal(proc_.pid());
+  }
+  [[nodiscard]] WssEstimator& estimator() noexcept { return estimator_; }
+  /// Backends switched to, in order (excludes the initial backend).
+  [[nodiscard]] const std::vector<Technique>& switch_history() const noexcept {
+    return history_;
+  }
+  [[nodiscard]] u64 switches() const noexcept { return history_.size(); }
+
+ protected:
+  // The virtualized public lifecycle above fully delegates to the active
+  // backend; these base hooks are unreachable for this class.
+  void do_init() override {}
+  void do_begin_interval() override {}
+  [[nodiscard]] std::vector<Gva> do_collect() override { return {}; }
+  void do_shutdown() override {}
+
+ private:
+  void switch_backend(Technique want);
+  void register_estimator();
+  void unregister_estimator();
+
+  AdaptiveOptions opts_;
+  WssEstimator estimator_;
+  PolicyEngine policy_;
+  std::unique_ptr<DirtyTracker> active_;
+  std::vector<Technique> history_;
+  Phases retired_;         ///< accumulated phases of shut-down backends.
+  u64 dropped_retired_ = 0;
+  bool estimator_registered_ = false;
+  mutable Phases agg_;     ///< cache for phases() (base returns a reference).
+};
+
+}  // namespace ooh::lib

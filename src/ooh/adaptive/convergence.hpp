@@ -1,0 +1,81 @@
+// ConvergencePredictor — pre-copy convergence control for live migration.
+//
+// Classic pre-copy converges only when the guest dirties pages slower than
+// the transport resends them; otherwise every round harvests roughly the
+// same hot set and the loop burns `max_rounds` rounds before the forced
+// stop-and-copy. The predictor watches the per-round dirty rate (EWMA over
+// virtual time, the same smoothing the WssEstimator uses), compares it with
+// the send bandwidth implied by CostModel::migration_send_page_us, and lets
+// MigrationEngine::migrate
+//   * cut the pre-copy loop short as soon as non-convergence is sustained
+//     (auto-sizing max_rounds down), and
+//   * throttle the guest by charging a stall fraction of each quantum
+//     (auto-scaling the dirty rate down), the standard "auto-converge"
+//     mitigation (QEMU's cpu-throttle).
+//
+// Pure virtual-time arithmetic: deterministic, and inert unless
+// MigrationOptions::adaptive_convergence is set. Header-only because the
+// hypervisor layer consumes it and sits below the ooh library in the link
+// graph; the predictor itself depends only on base/.
+#pragma once
+
+#include <algorithm>
+
+#include "base/cost_model.hpp"
+#include "base/types.hpp"
+#include "base/vtime.hpp"
+
+namespace ooh::lib {
+
+class ConvergencePredictor {
+ public:
+  /// `alpha` weights the newest round in the dirty-rate EWMA.
+  explicit ConvergencePredictor(double alpha = 0.5) : alpha_(alpha) {}
+
+  /// Record one pre-copy round: `dirty_pages` harvested after the guest ran
+  /// for `round_time` of virtual time.
+  void observe_round(u64 dirty_pages, VirtDuration round_time) {
+    const double ms = std::max(to_ms(round_time), 1e-6);
+    const double rate = static_cast<double>(dirty_pages) / ms;
+    rate_ = rounds_ == 0 ? rate : alpha_ * rate + (1.0 - alpha_) * rate_;
+    ++rounds_;
+  }
+
+  /// Smoothed dirty rate, pages per virtual millisecond.
+  [[nodiscard]] double dirty_rate() const noexcept { return rate_; }
+
+  /// Transport bandwidth, pages per virtual millisecond.
+  [[nodiscard]] static double send_rate(const CostModel& cost) noexcept {
+    return cost.migration_send_page_us > 0.0
+               ? 1e3 / cost.migration_send_page_us
+               : 0.0;
+  }
+
+  /// True when the guest dirties pages at least as fast as the transport
+  /// resends them — pre-copy cannot shrink the pending set.
+  [[nodiscard]] bool non_convergent(const CostModel& cost) const noexcept {
+    return rate_ >= send_rate(cost);
+  }
+
+  /// Rounds observed so far.
+  [[nodiscard]] u64 rounds() const noexcept { return rounds_; }
+
+  /// Consecutive trailing rounds that looked non-convergent.
+  [[nodiscard]] u64 sustained_non_convergence() const noexcept {
+    return sustained_;
+  }
+
+  /// Note a convergence verdict for sustain tracking (called by the engine
+  /// once per round, after warmup).
+  void note_verdict(bool non_conv) noexcept {
+    sustained_ = non_conv ? sustained_ + 1 : 0;
+  }
+
+ private:
+  double alpha_;
+  double rate_ = 0.0;
+  u64 rounds_ = 0;
+  u64 sustained_ = 0;
+};
+
+}  // namespace ooh::lib

@@ -1,0 +1,24 @@
+#include "ooh/adaptive/policy.hpp"
+
+namespace ooh::lib {
+
+Technique PolicyEngine::decide(const WssSignal& sig, Technique current) {
+  if (sig.windows < cfg_.warmup_windows) return current;
+  if (switches_ != 0 &&
+      sig.windows - last_switch_window_ < cfg_.min_windows_between_switches) {
+    return current;
+  }
+  Technique want = current;
+  if (sig.dirty_rate >= cfg_.hot_rate_threshold) {
+    want = cfg_.hot;
+  } else if (sig.dirty_rate <= cfg_.cold_rate_threshold) {
+    want = cfg_.cold;
+  }
+  if (want != current) {
+    ++switches_;
+    last_switch_window_ = sig.windows;
+  }
+  return want;
+}
+
+}  // namespace ooh::lib

@@ -1,0 +1,94 @@
+#include "ooh/adaptive/wss_estimator.hpp"
+
+#include <algorithm>
+
+#include "sim/exec_context.hpp"
+#include "sim/vcpu.hpp"
+
+namespace ooh::lib {
+namespace {
+
+const WssSignal kEmptySignal{};
+
+}  // namespace
+
+bool WssEstimator::on_track(sim::TrackLayer layer, const sim::TrackEvent& ev) {
+  if (layer != sim::TrackLayer::kGuestPtDirty &&
+      layer != sim::TrackLayer::kEptDirty) {
+    return false;
+  }
+  if (!watched_.contains(ev.pid)) return false;
+  ProcState& st = procs_[ev.pid];
+  sim::ExecContext& ctx = ev.vcpu->ctx();
+  if (!st.started) {
+    st.started = true;
+    st.window_start = ctx.clock.now();
+  }
+  // A huge-leaf transition covers gran_size bytes; record its base page
+  // only — the authoritative interval ingest supplies page-precise sets,
+  // and a per-leaf entry keeps the chain feed O(1) per event.
+  st.window.insert(gran_floor(ev.gva_page, ev.gran));
+  ctx.charge_ns(ctx.cost.wss_estimator_update_ns);
+  return false;  // logging feed: never claims the event.
+}
+
+void WssEstimator::on_track_flush(u32 pid, Gva start, Gva end) {
+  const auto it = procs_.find(pid);
+  if (it == procs_.end()) return;
+  std::erase_if(it->second.window,
+                [start, end](u64 page) { return page >= start && page < end; });
+}
+
+void WssEstimator::close_window(ProcState& st, VirtDuration now) {
+  const double pages = static_cast<double>(st.window.size());
+  // A zero-length window (back-to-back ingests) still closes, but its rate
+  // is computed over a floor of 1ns so the EWMA never divides by zero.
+  const double ms = std::max(to_ms(now - st.window_start), 1e-6);
+  const double rate = pages / ms;
+  if (st.sig.windows == 0) {
+    st.sig.wss_pages = pages;
+    st.sig.dirty_rate = rate;
+  } else {
+    st.sig.wss_pages = alpha_ * pages + (1.0 - alpha_) * st.sig.wss_pages;
+    st.sig.dirty_rate = alpha_ * rate + (1.0 - alpha_) * st.sig.dirty_rate;
+  }
+  st.sig.last_window_pages = st.window.size();
+  ++st.sig.windows;
+  st.window.clear();
+  st.window_start = now;
+  st.started = true;
+}
+
+void WssEstimator::begin_window(u32 pid, VirtDuration now) {
+  ProcState& st = procs_[pid];
+  st.started = true;
+  st.window_start = now;
+}
+
+void WssEstimator::note_interval(u32 pid, std::span<const Gva> pages,
+                                 VirtDuration now, sim::ExecContext& ctx) {
+  ProcState& st = procs_[pid];
+  if (!st.started) {
+    // First feed for this pid: the window opened when tracking started, but
+    // the estimator only learns the clock here. Treat the first interval's
+    // span as one window ending now.
+    st.started = true;
+    st.window_start = now - msecs(1);
+  }
+  for (const Gva page : pages) st.window.insert(page);
+  ctx.charge_ns(ctx.cost.wss_estimator_update_ns *
+                static_cast<double>(pages.size()));
+  close_window(st, now);
+}
+
+void WssEstimator::ingest_sample(std::span<const Gpa> gpas, VirtDuration now,
+                                 sim::ExecContext& ctx) {
+  note_interval(0, gpas, now, ctx);
+}
+
+const WssSignal& WssEstimator::signal(u32 pid) const noexcept {
+  const auto it = procs_.find(pid);
+  return it == procs_.end() ? kEmptySignal : it->second.sig;
+}
+
+}  // namespace ooh::lib

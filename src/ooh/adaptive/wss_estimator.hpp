@@ -1,0 +1,94 @@
+// Working-set-size / dirty-rate estimator — the sensing half of the
+// adaptive tracking control plane (ROADMAP item 3).
+//
+// Intel PML doubles as a WSS estimator (PAPERS.md: "Intel Page Modification
+// Logging for virtual machine working set estimation"): the same dirty-page
+// stream every tracker backend harvests is, windowed and smoothed, a
+// per-process working-set signal. The estimator consumes that stream from
+// two feeds:
+//
+//   * the page-track notifier chain (kGuestPtDirty + kEptDirty): intra-
+//     window touches, delivered per write-transition while the guest runs;
+//   * the authoritative per-interval ingest (note_interval): the dedup'd
+//     page set a DirtyTracker::collect() or Hypervisor::harvest_wss pass
+//     returned, folded in at the window boundary.
+//
+// Backends that never reset guest-PT dirty flags (wp, /proc between
+// intervals) starve the chain feed, so the interval ingest — not the chain
+// — closes each window; the chain only enriches the window set. Windows are
+// measured in *virtual* time and every update charges explicit virtual time
+// (CostModel::wss_estimator_update_ns), so an adaptive run's timeline is
+// seed-deterministic and honest about the estimator's own cost.
+#pragma once
+
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "base/types.hpp"
+#include "base/vtime.hpp"
+#include "sim/page_track.hpp"
+
+namespace ooh::sim {
+class ExecContext;
+}
+
+namespace ooh::lib {
+
+/// Smoothed working-set signal for one process (or, under pid 0, one VM).
+struct WssSignal {
+  double wss_pages = 0.0;     ///< EWMA of unique pages per window.
+  double dirty_rate = 0.0;    ///< EWMA of pages per virtual millisecond.
+  u64 last_window_pages = 0;  ///< unique pages in the last closed window.
+  u64 windows = 0;            ///< windows closed so far.
+};
+
+class WssEstimator final : public sim::PageTrackNotifier {
+ public:
+  /// `alpha` weights the newest window in the EWMA (0 < alpha <= 1).
+  explicit WssEstimator(double alpha = 0.5) : alpha_(alpha) {}
+
+  // ---- sim::PageTrackNotifier (kGuestPtDirty + kEptDirty, logging) --------
+  bool on_track(sim::TrackLayer layer, const sim::TrackEvent& ev) override;
+  void on_track_flush(u32 pid, Gva start, Gva end) override;
+
+  /// Observe chain events for `pid` (events for other pids are ignored).
+  void watch(u32 pid) { watched_.insert(pid); }
+  void unwatch(u32 pid) { watched_.erase(pid); }
+
+  /// Open `pid`'s first window at virtual time `now` (tracking started).
+  /// Without this anchor the first note_interval has no window span and
+  /// assumes a 1 ms window.
+  void begin_window(u32 pid, VirtDuration now);
+
+  /// Close `pid`'s window at virtual time `now`: fold the interval's
+  /// authoritative page set into the window, update the EWMAs, and start
+  /// the next window. Charges wss_estimator_update_ns per folded page.
+  void note_interval(u32 pid, std::span<const Gva> pages, VirtDuration now,
+                     sim::ExecContext& ctx);
+
+  /// Hypervisor-side feed: a Hypervisor::harvest_wss sample closes the
+  /// VM-wide (pid 0) window. GPAs and GVAs never mix within one slot: the
+  /// VM-wide signal is kept per-GPA, per-process signals per-GVA.
+  void ingest_sample(std::span<const Gpa> gpas, VirtDuration now,
+                     sim::ExecContext& ctx);
+
+  /// The smoothed signal for `pid` (zero-valued before the first window).
+  [[nodiscard]] const WssSignal& signal(u32 pid = 0) const noexcept;
+
+ private:
+  struct ProcState {
+    std::unordered_set<u64> window;  ///< unique pages in the open window.
+    VirtDuration window_start{0};
+    bool started = false;  ///< window_start captured at the first feed.
+    WssSignal sig;
+  };
+
+  void close_window(ProcState& st, VirtDuration now);
+
+  double alpha_;
+  std::unordered_set<u32> watched_;
+  std::unordered_map<u32, ProcState> procs_;
+};
+
+}  // namespace ooh::lib

@@ -16,6 +16,7 @@ std::string_view technique_name(Technique t) noexcept {
     case Technique::kWp: return "wp";
     case Technique::kSeg: return "seg";
     case Technique::kOracle: return "oracle";
+    case Technique::kAdaptive: return "adaptive";
   }
   return "?";
 }

@@ -68,6 +68,7 @@ void CoherenceChecker::audit_vm(u32 vm_index) {
   audit_rings(vm);
   audit_dirty_accounting(vm);
   audit_registry(vm);
+  audit_policy_handoff(vm);
   audit_clock(vm);
   // relaxed-ok: statistics counter only.
   audits_run_.fetch_add(1, std::memory_order_relaxed);
@@ -611,6 +612,36 @@ void CoherenceChecker::audit_registry(hv::Vm& vm) {
     }
   });
   }
+}
+
+// ---- POL-* ------------------------------------------------------------------
+
+void CoherenceChecker::audit_policy_handoff(hv::Vm& vm) {
+  // POL-1: write-protected EPT entries must be claimed by a live handler.
+  // A wp-style tracking session clears `writable` on the pages it watches
+  // and owns a kEptWpFault notifier that services the resulting faults. A
+  // policy-driven handoff away from that backend must restore writability
+  // before the handler unregisters: an orphaned protection would make the
+  // next write to the page an *unhandled* WP fault (the dispatch throws),
+  // and the write's dirty transition would never reach the new backend —
+  // exactly the lost-page hazard the switch protocol promises away. SPP
+  // entries are exempt: their write mediation lives in the SPP table, not
+  // a notifier chain.
+  for (unsigned cpu = 0; cpu < vm.vcpu_count(); ++cpu) {
+    if (vm.vcpu(cpu).track_registry().notifier_count(
+            sim::TrackLayer::kEptWpFault) != 0) {
+      return;  // a WP session is live; its protections are owned.
+    }
+  }
+  vm.ept().for_each_leaf_present([&](Gpa base, sim::EptEntry& e, PageGran g) {
+    if (!e.writable && !e.spp) {
+      throw InvariantViolation(
+          "POL-1", Layer::kEpt, vm.id(), kNoAddr, base,
+          "no write-protected EPT entry outlives its kEptWpFault handler",
+          std::string("orphaned write protection on a present ") +
+              gran_name(g) + " leaf");
+    }
+  });
 }
 
 // ---- CLK-* ------------------------------------------------------------------

@@ -340,6 +340,33 @@ TEST_F(CoherenceMutationTest, DetectsSoftwareConsumerAheadOfCircuit) {
   expect_violation([&] { checker_.audit_registry(vm_); }, "REG-2");
 }
 
+// ---- policy-handoff corruptions ---------------------------------------------
+
+TEST_F(CoherenceMutationTest, DetectsOrphanedWriteProtectionAfterHandoff) {
+  auto [proc, base] = dirty_pages(4);
+  const Gpa gpa = kernel_.page_table(*proc).pte(base)->gpa_page;
+  EXPECT_NO_THROW(checker_.audit_policy_handoff(vm_));
+  // A backend switch away from write-protection that forgot to restore an
+  // entry: no kEptWpFault handler is live, so the next write to this page
+  // would be an unhandled WP fault and its dirty transition never observed.
+  vm_.ept().entry(gpa)->writable = false;
+  expect_violation([&] { checker_.audit_policy_handoff(vm_); }, "POL-1");
+}
+
+TEST_F(CoherenceMutationTest, LiveWpSessionOwnsItsProtections) {
+  guest::Process& p = kernel_.create_process();
+  const Gva base = p.mmap(4 * kPageSize);
+  for (int i = 0; i < 4; ++i) p.touch_write(base + i * kPageSize);
+  auto tracker = lib::make_tracker(lib::Technique::kWp, kernel_, p);
+  tracker->init();
+  tracker->begin_interval();  // write-protects the VMA's EPT entries
+  EXPECT_NO_THROW(checker_.audit_policy_handoff(vm_))
+      << "a live kEptWpFault handler owns its protections";
+  tracker->shutdown();  // the handoff path: restore writability, unregister
+  EXPECT_NO_THROW(checker_.audit_policy_handoff(vm_))
+      << "a clean shutdown leaves no orphaned protection behind";
+}
+
 // ---- clock corruption -------------------------------------------------------
 
 TEST_F(CoherenceMutationTest, DetectsClockRunningBackwards) {

@@ -440,6 +440,41 @@ TEST(FaultInjection, MigrationCarriesFailedRoundIntoNextInsteadOfDropping) {
   bed.audit();
 }
 
+TEST(FaultInjection, MigrationSurvivesRetryBudgetBeyondShiftWidth) {
+  // Regression: the backoff charge computed retry_backoff_us * (u64{1} <<
+  // attempt) with an unclamped exponent — undefined behaviour the moment
+  // send_retry_limit exceeds 63. The exponent now clamps at 20, so a huge
+  // retry budget must abort cleanly after charging a bounded backoff.
+  FaultPlan plan;
+  plan.add({FaultPoint::kMigrationSendFail, /*first=*/0, /*every=*/1, /*limit=*/0});
+  TestBedOptions o;
+  o.fault_plan = plan;
+  TestBed bed(o);
+  guest::GuestKernel& k = bed.kernel();
+  guest::Process& proc = k.create_process();
+  const Gva base = proc.mmap(8 * kPageSize);
+  for (u64 i = 0; i < 8; ++i) proc.touch_write(base + i * kPageSize);
+
+  hv::MigrationEngine engine(bed.hypervisor());
+  hv::MigrationOptions mopts;
+  mopts.send_retry_limit = 80;  // > 63: would have shifted past the u64 width
+  mopts.retry_backoff_us = 0.01;
+  const auto before = bed.ctx().clock.now();
+  const hv::MigrationReport rep = engine.migrate(bed.vm(), [] {}, mopts);
+  EXPECT_TRUE(rep.aborted);
+  EXPECT_FALSE(rep.converged);
+  EXPECT_EQ(rep.send_retries, 80u);
+  // Attempts 0..19 back off exponentially, 20..79 at the 2^20 cap:
+  // sum = (2^20 - 1) + 60 * 2^20 backoff units.
+  const double cap = static_cast<double>(u64{1} << 20);
+  const double expected_backoff_us = mopts.retry_backoff_us * ((cap - 1.0) + 60.0 * cap);
+  const double waited_us = (bed.ctx().clock.now() - before).count();
+  EXPECT_GE(waited_us, expected_backoff_us);
+  EXPECT_LE(waited_us, expected_backoff_us * 1.05 + 1000.0)
+      << "backoff must stay bounded by the clamped exponent";
+  bed.audit();
+}
+
 // ---- determinism: same-seed replay + faults-off transparency ----------------
 
 TEST(FaultReplay, SameSeedReplaysBitIdentically) {

@@ -3,9 +3,13 @@
 // pages -- reads AND writes -- without guest cooperation.
 #include <gtest/gtest.h>
 
+#include <unordered_set>
+#include <vector>
+
 #include "hypervisor/hypervisor.hpp"
 #include "ooh/testbed.hpp"
 #include "ooh/trackers.hpp"
+#include "sim/ept.hpp"
 
 namespace ooh {
 namespace {
@@ -84,6 +88,79 @@ TEST_F(WssTest, EpmlGuestTrackingCoexistsWithWss) {
   EXPECT_EQ(tracker->collect().size(), 20u) << "EPML sees only the writes";
   bed_.hypervisor().disable_wss_sampling(bed_.vm());
   tracker->shutdown();
+}
+
+// ---- gran-aware re-arm under 2 MiB backing ----------------------------------
+
+struct HarvestProbe {
+  double harvest_us = 0.0;   ///< virtual time harvest_wss charged.
+  u64 sample_pages = 0;      ///< page-granular sample size.
+  u64 leaves = 0;            ///< distinct EPT leaves covering the sample.
+};
+
+// One deterministic 512-page read sweep under the given backing mode and
+// dbit_clear_ns; probes what the re-arm pass charged. Two probes differing
+// only in dbit_clear_ns isolate exactly the flag-clear charge.
+HarvestProbe probe_harvest(bool ept_huge, double dbit_clear_ns) {
+  lib::TestBedOptions opts;
+  opts.vm_mem_bytes = 256 * kMiB;
+  opts.host_mem_bytes = 2 * kGiB;
+  opts.ept_huge = ept_huge;
+  opts.eager_split = false;  // keep the huge leaves through the session
+  opts.cost.dbit_clear_ns = dbit_clear_ns;
+  lib::TestBed bed(opts);
+  auto& k = bed.kernel();
+  guest::Process& proc = k.create_process();
+  const u64 pages = 512;  // one full 2 MiB region's worth
+  const Gva base = proc.mmap(pages * kPageSize);
+  for (u64 i = 0; i < pages; ++i) proc.touch_write(base + i * kPageSize);
+
+  hv::Hypervisor& hv = bed.hypervisor();
+  hv.enable_wss_sampling(bed.vm());
+  k.scheduler().enter_process(proc.pid());
+  for (u64 i = 0; i < pages; ++i) proc.touch_read(base + i * kPageSize);
+  k.scheduler().exit_process(proc.pid());
+
+  HarvestProbe p;
+  const VirtDuration before = bed.ctx().clock.now();
+  const std::vector<Gpa> wss = hv.harvest_wss(bed.vm());
+  p.harvest_us = (bed.ctx().clock.now() - before).count();
+  p.sample_pages = wss.size();
+  std::unordered_set<Gpa> leaves;
+  for (const Gpa gpa : wss) {
+    const sim::Ept::Lookup leaf = bed.vm().ept().lookup(gpa);
+    if (leaf.entry != nullptr) leaves.insert(gran_floor(gpa, leaf.gran));
+  }
+  p.leaves = leaves.size();
+  hv.disable_wss_sampling(bed.vm());
+  return p;
+}
+
+TEST(WssHugeBacking, RearmChargesDbitClearOncePerSharedLeaf) {
+  // Regression: the re-arm loop used to walk every sampled GPA to its leaf
+  // per 4 KiB page. A shared 2 MiB leaf is one hardware flag word: it must
+  // be visited, cleared and charged once — not once per constituent page.
+  const double kD = 5000.0;  // ns; large enough to dominate float noise
+  const HarvestProbe h0 = probe_harvest(/*ept_huge=*/true, 0.0);
+  const HarvestProbe h1 = probe_harvest(/*ept_huge=*/true, kD);
+  ASSERT_EQ(h0.sample_pages, h1.sample_pages) << "identical deterministic runs";
+  ASSERT_GE(h1.sample_pages, 512u) << "huge-leaf drain expands per-4K";
+  ASSERT_GE(h1.leaves, 1u);
+  ASSERT_LT(h1.leaves, h1.sample_pages) << "sample shares huge leaves";
+  const double extra_huge_ns = (h1.harvest_us - h0.harvest_us) * 1e3;
+  EXPECT_NEAR(extra_huge_ns, kD * static_cast<double>(h1.leaves), kD * 0.01)
+      << "one dbit_clear_ns charge per shared leaf, not per page";
+
+  // Contrast: 4 KiB backing really does pay once per page.
+  const HarvestProbe f0 = probe_harvest(/*ept_huge=*/false, 0.0);
+  const HarvestProbe f1 = probe_harvest(/*ept_huge=*/false, kD);
+  ASSERT_EQ(f1.sample_pages, 512u);
+  ASSERT_EQ(f1.leaves, 512u);
+  const double extra_4k_ns = (f1.harvest_us - f0.harvest_us) * 1e3;
+  EXPECT_NEAR(extra_4k_ns, kD * 512.0, kD);
+  EXPECT_LT(extra_huge_ns, extra_4k_ns / 100.0)
+      << "the 2 MiB-backed re-arm is two orders cheaper";
+  (void)f0;
 }
 
 }  // namespace

@@ -140,6 +140,7 @@ RULES: list[Rule] = [
             "src/hypervisor/hypervisor.cpp",
             "src/guest/kernel.cpp",
             "src/ooh/trackers.cpp",
+            "src/ooh/adaptive/adaptive_tracker.cpp",
         ],
         "Page-track consumers may only (un)register through the subsystems "
         "the registry audit knows about; others corrupt chain-order "
